@@ -1,0 +1,61 @@
+//! Performance of workload generation (the substrate's cost) across
+//! profiles and arrival models — also the ablation bench for the three
+//! arrival substrates called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use webpuzzle_workload::{
+    generate_session_starts, ArrivalModel, ServerProfile, WorkloadGenerator,
+};
+
+fn bench_profiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for profile in ServerProfile::all() {
+        let name = profile.name();
+        let scaled = profile.with_scale(0.02);
+        group.bench_function(BenchmarkId::new("profile", name), |b| {
+            b.iter(|| {
+                WorkloadGenerator::new(black_box(scaled.clone()))
+                    .seed(1)
+                    .generate()
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_arrival_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival");
+    group.sample_size(10);
+    let models = [
+        ("poisson", ArrivalModel::Poisson),
+        ("fgn_cox", ArrivalModel::FgnCox { h: 0.85, cv: 0.7 }),
+        (
+            "on_off",
+            ArrivalModel::OnOff {
+                alpha_on: 1.4,
+                alpha_off: 1.4,
+                sources: 32,
+            },
+        ),
+    ];
+    for (name, model) in models {
+        group.bench_function(BenchmarkId::new("model", name), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                generate_session_starts(black_box(&model), 20_000, 0.5, 0.1, &mut rng)
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiles, bench_arrival_models);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Performance of the statistical tests (KPSS, Anderson-Darling, ACF,
+//! decomposition) on pipeline-sized inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use webpuzzle_stats::dist::{Exponential, Sampler};
+use webpuzzle_stats::htest::{anderson_darling_exponential, kpss_test, KpssType};
+use webpuzzle_timeseries::{acf, decompose};
+
+fn noisy_series(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|t| {
+            10.0 + 0.001 * t as f64
+                + 3.0 * (2.0 * std::f64::consts::PI * t as f64 / 1440.0).sin()
+                + rng.random::<f64>()
+        })
+        .collect()
+}
+
+fn bench_kpss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kpss");
+    group.sample_size(10);
+    for &n in &[10_080usize, 86_400, 604_800] {
+        let x = noisy_series(n, 1);
+        group.bench_with_input(BenchmarkId::new("level", n), &x, |b, x| {
+            b.iter(|| kpss_test(black_box(x), KpssType::Level).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_acf_and_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("series");
+    group.sample_size(10);
+    let x = noisy_series(86_400, 2);
+    group.bench_function("acf/86400x600", |b| {
+        b.iter(|| acf(black_box(&x), 600).unwrap())
+    });
+    group.bench_function("decompose/86400", |b| {
+        b.iter(|| decompose(black_box(&x), 60.0, 20_000.0, 10.0).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_anderson_darling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anderson_darling");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(3);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let sample = Exponential::new(1.0)
+            .expect("valid rate")
+            .sample_n(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("exp", n), &sample, |b, s| {
+            b.iter(|| anderson_darling_exponential(black_box(s)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kpss,
+    bench_acf_and_decompose,
+    bench_anderson_darling
+);
+criterion_main!(benches);

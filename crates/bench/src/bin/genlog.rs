@@ -1,0 +1,94 @@
+//! Generate a synthetic week-long access log in Common Log Format.
+//!
+//! Makes the calibrated substrate usable outside this repository (feed the
+//! output to any log-analysis tool, or back into
+//! `examples/characterize_log`):
+//!
+//! ```text
+//! genlog --profile wvu|clarknet|csee|nasa [--scale S] [--seed N]
+//!        [--base-epoch SECS] [--out PATH]
+//! ```
+//!
+//! Writes CLF lines to `--out` (default stdout).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+
+use webpuzzle_weblog::clf::format_line;
+use webpuzzle_workload::{ServerProfile, WorkloadGenerator};
+
+/// 2004-01-12 00:00:00 UTC, the paper's WVU log start.
+const DEFAULT_BASE_EPOCH: i64 = 1_073_865_600;
+
+fn main() {
+    let mut profile_name = "csee".to_string();
+    let mut scale = 0.05f64;
+    let mut seed = 0u64;
+    let mut base_epoch = DEFAULT_BASE_EPOCH;
+    let mut out_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--profile" => profile_name = value("--profile"),
+            "--scale" => {
+                scale = value("--scale").parse().expect("--scale must be a number")
+            }
+            "--seed" => {
+                seed = value("--seed").parse().expect("--seed must be an integer")
+            }
+            "--base-epoch" => {
+                base_epoch = value("--base-epoch")
+                    .parse()
+                    .expect("--base-epoch must be an integer")
+            }
+            "--out" => out_path = Some(value("--out")),
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!(
+                    "usage: genlog --profile wvu|clarknet|csee|nasa \
+                     [--scale S] [--seed N] [--base-epoch SECS] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let profile = match profile_name.to_ascii_lowercase().as_str() {
+        "wvu" => ServerProfile::wvu(),
+        "clarknet" => ServerProfile::clarknet(),
+        "csee" => ServerProfile::csee(),
+        "nasa" | "nasa-pub2" => ServerProfile::nasa_pub2(),
+        other => {
+            eprintln!("unknown profile {other} (wvu|clarknet|csee|nasa)");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "[genlog] generating {} at scale {scale}, seed {seed}…",
+        profile.name()
+    );
+    let records = WorkloadGenerator::new(profile.with_scale(scale))
+        .seed(seed)
+        .generate()
+        .expect("built-in profiles generate cleanly");
+    eprintln!("[genlog] {} records", records.len());
+
+    let stdout = io::stdout();
+    let mut sink: Box<dyn Write> = match out_path {
+        Some(path) => Box::new(BufWriter::new(
+            File::create(&path).expect("cannot create output file"),
+        )),
+        None => Box::new(BufWriter::new(stdout.lock())),
+    };
+    for record in &records {
+        writeln!(sink, "{}", format_line(record, base_epoch))
+            .expect("write failed");
+    }
+    sink.flush().expect("flush failed");
+}

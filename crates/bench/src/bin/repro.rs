@@ -1,0 +1,629 @@
+//! Reproduce every table and figure of "A Contribution Towards Solving the
+//! Web Workload Puzzle" (DSN 2006) on the synthetic four-server substrate.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--scale S] [--seed N] [--fast] <experiment>...
+//! repro all
+//! ```
+//!
+//! Experiments: `table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 sec42 fig9 fig10
+//! sec512 fig11 fig12 table2 fig13 table3 table4 curv`.
+//!
+//! `--scale` multiplies the paper's Table 1 volumes (default 0.05 = 1/20 of
+//! the real traffic; `--scale 1.0` reproduces full volumes but needs ~1 GB
+//! of RAM for WVU). `--fast` switches to 60-second analysis bins.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use webpuzzle_bench::cell;
+use webpuzzle_core::{AnalysisConfig, FullWebModel, PoissonVerdict};
+use webpuzzle_heavytail::{hill_plot, llcd_fit, EmpiricalCcdf};
+use webpuzzle_lrd::SweepEstimator;
+use webpuzzle_timeseries::{acf, CountSeries};
+use webpuzzle_weblog::{WeekDataset, SECONDS_PER_WEEK};
+use webpuzzle_workload::{ServerProfile, WorkloadGenerator};
+
+const SERVER_ORDER: [&str; 4] = ["WVU", "ClarkNet", "CSEE", "NASA-Pub2"];
+
+/// Paper values for Tables 2–4 (α_LLCD per Low/Med/High/Week) so the output
+/// can show paper-vs-measured side by side. `None` marks the paper's NA.
+struct PaperTable {
+    caption: &'static str,
+    rows: [(&'static str, [Option<f64>; 4]); 4],
+}
+
+const PAPER_TABLE2: PaperTable = PaperTable {
+    caption: "Table 2: session length (s), α_LLCD",
+    rows: [
+        ("Low", [Some(1.044), Some(1.03), Some(2.172), None]),
+        ("Med", [Some(1.609), Some(1.273), Some(1.888), Some(1.840)]),
+        ("High", [Some(1.670), Some(1.832), Some(3.103), Some(1.422)]),
+        ("Week", [Some(1.803), Some(1.723), Some(2.329), Some(2.286)]),
+    ],
+};
+
+const PAPER_TABLE3: PaperTable = PaperTable {
+    caption: "Table 3: requests per session, α_LLCD",
+    rows: [
+        ("Low", [Some(1.965), Some(2.218), Some(2.047), None]),
+        ("Med", [Some(2.055), Some(1.724), Some(1.931), Some(1.948)]),
+        ("High", [Some(1.965), Some(1.928), Some(2.167), Some(1.437)]),
+        ("Week", [Some(2.151), Some(2.586), Some(1.932), Some(1.615)]),
+    ],
+};
+
+const PAPER_TABLE4: PaperTable = PaperTable {
+    caption: "Table 4: bytes per session, α_LLCD",
+    rows: [
+        ("Low", [Some(1.168), Some(1.786), Some(0.788), None]),
+        ("Med", [Some(1.371), Some(1.799), Some(0.898), Some(1.676)]),
+        ("High", [Some(1.418), Some(1.754), Some(1.026), Some(1.641)]),
+        ("Week", [Some(1.454), Some(1.842), Some(0.954), Some(1.424)]),
+    ],
+};
+
+struct Ctx {
+    scale: f64,
+    cfg: AnalysisConfig,
+    datasets: Vec<(&'static str, WeekDataset)>,
+    models: BTreeMap<&'static str, FullWebModel>,
+}
+
+impl Ctx {
+    fn new(scale: f64, seed: u64, fast: bool) -> Self {
+        let cfg = if fast {
+            AnalysisConfig::fast()
+        } else {
+            AnalysisConfig::default()
+        };
+        eprintln!("[repro] generating 4 synthetic weeks at scale {scale} (seed {seed})…");
+        let t0 = Instant::now();
+        let mut datasets = Vec::new();
+        for profile in ServerProfile::all() {
+            let name = profile.name();
+            let records = WorkloadGenerator::new(profile.with_scale(scale))
+                .seed(seed)
+                .generate()
+                .expect("built-in profiles generate cleanly");
+            let ds = WeekDataset::from_records(records, 1800.0)
+                .expect("generated records fit the week window");
+            eprintln!(
+                "[repro]   {name}: {} requests, {} sessions",
+                ds.records().len(),
+                ds.sessions().len()
+            );
+            datasets.push((name, ds));
+        }
+        eprintln!("[repro] generation took {:.1?}", t0.elapsed());
+        Ctx {
+            scale,
+            cfg,
+            datasets,
+            models: BTreeMap::new(),
+        }
+    }
+
+    fn dataset(&self, name: &str) -> &WeekDataset {
+        &self
+            .datasets
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("known server name")
+            .1
+    }
+
+    fn model(&mut self, name: &'static str) -> &FullWebModel {
+        if !self.models.contains_key(name) {
+            eprintln!("[repro] running FULL-Web pipeline for {name}…");
+            let t0 = Instant::now();
+            let model = FullWebModel::analyze(name, self.dataset(name), &self.cfg)
+                .expect("pipeline runs on generated datasets");
+            eprintln!("[repro]   {name} analyzed in {:.1?}", t0.elapsed());
+            self.models.insert(name, model);
+        }
+        &self.models[name]
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.05;
+    let mut seed = 1u64;
+    let mut fast = false;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a positive number")
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer")
+            }
+            "--fast" => fast = true,
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        eprintln!(
+            "usage: repro [--scale S] [--seed N] [--fast] \
+             <table1|fig2|…|table4|curv|all>"
+        );
+        std::process::exit(2);
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "sec42", "fig9", "fig10", "sec512", "fig11", "fig12", "table2",
+            "fig13", "table3", "table4", "curv",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let mut ctx = Ctx::new(scale, seed, fast);
+    for exp in &experiments {
+        println!("\n################ {exp} ################");
+        match exp.as_str() {
+            "table1" => table1(&ctx),
+            "fig2" => fig2(&ctx),
+            "fig3" => fig3(&ctx, false),
+            "fig4" => hurst_figure(&mut ctx, true, true),
+            "fig5" => fig3(&ctx, true),
+            "fig6" => hurst_figure(&mut ctx, true, false),
+            "fig7" => sweep_figure(&mut ctx, SweepEstimator::Whittle),
+            "fig8" => sweep_figure(&mut ctx, SweepEstimator::AbryVeitch),
+            "sec42" => poisson_section(&mut ctx, true),
+            "fig9" => hurst_figure(&mut ctx, false, true),
+            "fig10" => hurst_figure(&mut ctx, false, false),
+            "sec512" => poisson_section(&mut ctx, false),
+            "fig11" => fig11(&ctx),
+            "fig12" => fig12(&ctx),
+            "table2" => table234(&mut ctx, Metric::Duration),
+            "fig13" => fig13(&ctx),
+            "table3" => table234(&mut ctx, Metric::Requests),
+            "table4" => table234(&mut ctx, Metric::Bytes),
+            "curv" => curvature_section(&mut ctx),
+            "ablate" => ablate_arrivals(seed),
+            other => eprintln!("[repro] unknown experiment `{other}` (skipped)"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- table 1
+
+fn table1(ctx: &Ctx) {
+    println!("Table 1: raw data summary (scale {})", ctx.scale);
+    println!(
+        "paper (scale 1.0): WVU 15,785,164/188,213/34,485 | ClarkNet 1,654,882/139,745/13,785 | \
+         CSEE 396,743/34,343/10,138 | NASA-Pub2 39,137/3,723/311"
+    );
+    println!("{:<10} {:>10} {:>10} {:>10}", "Data set", "Requests", "Sessions", "MB");
+    for (name, ds) in &ctx.datasets {
+        let (req, sess, mb) = ds.summary();
+        println!("{name:<10} {req:>10} {sess:>10} {mb:>10.0}");
+    }
+    println!("shape check: volumes must span ~3 orders of magnitude top to bottom.");
+}
+
+// ------------------------------------------------------- figures 2 / 3 / 5
+
+fn fig2(ctx: &Ctx) {
+    println!("Figure 2: requests per second, WVU, one week (hourly means shown)");
+    let ds = ctx.dataset("WVU");
+    let times = ds.request_times();
+    let hourly =
+        CountSeries::from_event_times_in_window(&times, 3600.0, 0.0, 168).unwrap();
+    for day in 0..7 {
+        let row: Vec<String> = (0..24)
+            .map(|h| format!("{:5.1}", hourly.counts()[day * 24 + h] / 3600.0))
+            .collect();
+        println!("day {day}: {}", row.join(" "));
+    }
+    println!("expected shape: clear diurnal cycle, busiest around hour 15.");
+}
+
+fn fig3(ctx: &Ctx, stationary: bool) {
+    let which = if stationary {
+        "Figure 5: ACF after removing trend and periodicity"
+    } else {
+        "Figure 3: ACF of raw requests/s"
+    };
+    println!("{which} — WVU");
+    let ds = ctx.dataset("WVU");
+    let times = ds.request_times();
+    let series = CountSeries::from_event_times_in_window(
+        &times,
+        ctx.cfg.bin_width,
+        0.0,
+        (SECONDS_PER_WEEK / ctx.cfg.bin_width) as usize,
+    )
+    .unwrap();
+    let counts = if stationary {
+        let (lo, hi) = (
+            (3600.0 / ctx.cfg.bin_width).max(2.1),
+            2.5 * 86_400.0 / ctx.cfg.bin_width,
+        );
+        webpuzzle_timeseries::decompose(series.counts(), lo, hi, ctx.cfg.period_snr)
+            .unwrap()
+            .stationary
+    } else {
+        series.counts().to_vec()
+    };
+    let max_lag = 512.min(counts.len() / 4);
+    let r = acf(&counts, max_lag).unwrap();
+    println!("{:>6} {:>8}", "lag", "acf");
+    let mut lag = 1;
+    while lag <= max_lag {
+        println!("{lag:>6} {:>8.4}", r[lag]);
+        lag *= 2;
+    }
+    println!(
+        "expected shape: raw ACF decays slowly (Fig 3); stationary ACF smaller \
+         but still slowly decaying (Fig 5)."
+    );
+}
+
+// ------------------------------------------------- figures 4 / 6 / 9 / 10
+
+fn hurst_figure(ctx: &mut Ctx, request_level: bool, raw: bool) {
+    let (fig, what) = match (request_level, raw) {
+        (true, true) => ("Figure 4", "requests/s, raw data"),
+        (true, false) => ("Figure 6", "requests/s, stationary data"),
+        (false, true) => ("Figure 9", "sessions initiated/s, raw data"),
+        (false, false) => ("Figure 10", "sessions initiated/s, stationary data"),
+    };
+    println!("{fig}: Hurst exponent for {what}");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "server", "Variance", "R/S", "Pgram", "Whittle", "AbryV"
+    );
+    for name in SERVER_ORDER {
+        let model = ctx.model(name);
+        let analysis = if request_level {
+            &model.request_level
+        } else {
+            &model.inter_session
+        };
+        let suite = if raw {
+            &analysis.hurst_raw
+        } else {
+            &analysis.hurst_stationary
+        };
+        let row = format!(
+            "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            name,
+            cell(suite.variance_time.map(|e| e.h)),
+            cell(suite.rescaled_range.map(|e| e.h)),
+            cell(suite.periodogram.map(|e| e.h)),
+            cell(suite.whittle.map(|e| e.h)),
+            cell(suite.abry_veitch.map(|e| e.h)),
+        );
+        println!("{row}");
+    }
+    println!(
+        "expected shape: all H > 0.5; raw ≥ stationary in most cells; H grows \
+         with workload intensity (WVU highest) at request level."
+    );
+}
+
+// ----------------------------------------------------------- figures 7 / 8
+
+fn sweep_figure(ctx: &mut Ctx, estimator: SweepEstimator) {
+    let fig = match estimator {
+        SweepEstimator::Whittle => "Figure 7 (Whittle)",
+        SweepEstimator::AbryVeitch => "Figure 8 (Abry-Veitch)",
+    };
+    println!("{fig}: Ĥ(m) vs aggregation level, stationary requests/s, WVU");
+    let model = ctx.model("WVU");
+    let sweep = match estimator {
+        SweepEstimator::Whittle => &model.request_level.whittle_sweep,
+        SweepEstimator::AbryVeitch => &model.request_level.abry_veitch_sweep,
+    };
+    println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "m", "points", "H", "lo95", "hi95");
+    for p in sweep {
+        let (lo, hi) = p.estimate.ci95.unwrap_or((f64::NAN, f64::NAN));
+        println!(
+            "{:>6} {:>8} {:>8.3} {:>8.3} {:>8.3}",
+            p.m, p.len, p.estimate.h, lo, hi
+        );
+    }
+    println!(
+        "paper: WVU Whittle Ĥ(m) ∈ [0.768, 0.986], Abry-Veitch ∈ [0.748, 0.925]; \
+         expected shape: Ĥ(m) roughly constant, CIs widening with m."
+    );
+}
+
+// ----------------------------------------------------- §4.2 / §5.1.2 tests
+
+fn verdict_str(v: PoissonVerdict) -> &'static str {
+    match v {
+        PoissonVerdict::ConsistentWithPoisson => "Poisson",
+        PoissonVerdict::Rejected => "REJECT",
+        PoissonVerdict::NotApplicable => "NA",
+    }
+}
+
+fn poisson_section(ctx: &mut Ctx, request_level: bool) {
+    let (sec, what) = if request_level {
+        ("§4.2", "request")
+    } else {
+        ("§5.1.2", "session")
+    };
+    println!("{sec}: Poisson tests for {what} arrivals (Low/Med/High intervals)");
+    println!(
+        "{:<10} {:<5} {:>8} {:>10} {:>10}",
+        "server", "level", "events", "hourly", "10-min"
+    );
+    for name in SERVER_ORDER {
+        let model = ctx.model(name);
+        let mut rows = Vec::new();
+        for lvl in &model.levels {
+            let (battery, events) = if request_level {
+                (&lvl.request_poisson, lvl.request_count)
+            } else {
+                (&lvl.session_poisson, lvl.session_count)
+            };
+            rows.push(format!(
+                "{:<10} {:<5} {:>8} {:>10} {:>10}",
+                name,
+                lvl.level.to_string(),
+                events,
+                verdict_str(battery.hourly_verdict()),
+                verdict_str(battery.ten_min_verdict()),
+            ));
+        }
+        for r in rows {
+            println!("{r}");
+        }
+    }
+    if request_level {
+        println!(
+            "paper: request arrivals reject Poisson everywhere (both rates, both \
+             tie-spreading assumptions)."
+        );
+    } else {
+        println!(
+            "paper: only the quietest intervals (< ~1000 sessions / 4 h: CSEE \
+             Low/Med) are indistinguishable from Poisson; NASA-Pub2 is NA."
+        );
+    }
+}
+
+// --------------------------------------------------- figures 11 / 12 / 13
+
+fn fig11(ctx: &Ctx) {
+    println!("Figure 11: LLCD plot, WVU session length, High interval");
+    let ds = ctx.dataset("WVU");
+    let (_, _, high) = ds.select_low_med_high();
+    let durations: Vec<f64> = ds
+        .sessions_in(&high)
+        .iter()
+        .map(|s| s.duration())
+        .filter(|&d| d > 0.0)
+        .collect();
+    print_llcd(&durations);
+    match llcd_fit(&durations, 0.14) {
+        Ok(fit) => println!(
+            "fit above θ={:.0}s: α_LLCD = {:.3} (σ = {:.3}, R² = {:.3}, n_tail = {})",
+            fit.threshold, fit.alpha, fit.std_err, fit.r_squared, fit.n_tail
+        ),
+        Err(e) => println!("fit failed: {e}"),
+    }
+    println!("paper: α_LLCD = 1.67, σ = 0.004, R² = 0.993 (linear above ~1000 s).");
+}
+
+fn fig12(ctx: &Ctx) {
+    println!("Figure 12: Hill plot, WVU session length, High interval (upper 14%)");
+    let ds = ctx.dataset("WVU");
+    let (_, _, high) = ds.select_low_med_high();
+    let durations: Vec<f64> = ds
+        .sessions_in(&high)
+        .iter()
+        .map(|s| s.duration())
+        .filter(|&d| d > 0.0)
+        .collect();
+    match hill_plot(&durations, 0.14) {
+        Ok(plot) => {
+            println!("{:>6} {:>8}", "k", "alpha_k");
+            let step = (plot.len() / 20).max(1);
+            for (k, a) in plot.iter().step_by(step) {
+                println!("{k:>6} {a:>8.3}");
+            }
+            let tail_mean: f64 = plot[plot.len() / 2..]
+                .iter()
+                .map(|(_, a)| a)
+                .sum::<f64>()
+                / (plot.len() - plot.len() / 2) as f64;
+            println!("outer-half mean α_Hill ≈ {tail_mean:.3}");
+        }
+        Err(e) => println!("Hill plot failed: {e}"),
+    }
+    println!("paper: Hill plot settles near α ≈ 1.58.");
+}
+
+fn fig13(ctx: &Ctx) {
+    println!("Figure 13: LLCD, ClarkNet requests per session, one week");
+    let ds = ctx.dataset("ClarkNet");
+    let counts: Vec<f64> = ds
+        .sessions()
+        .iter()
+        .map(|s| s.request_count as f64)
+        .collect();
+    print_llcd(&counts);
+    match llcd_fit(&counts, 0.14) {
+        Ok(fit) => println!(
+            "fit: α_LLCD = {:.3} (R² = {:.3})",
+            fit.alpha, fit.r_squared
+        ),
+        Err(e) => println!("fit failed: {e}"),
+    }
+    println!("paper: α_LLCD = 2.586, slope steepens in extreme tail.");
+}
+
+fn print_llcd(values: &[f64]) {
+    let Ok(ccdf) = EmpiricalCcdf::new(values) else {
+        println!("(no positive values)");
+        return;
+    };
+    let pts = ccdf.llcd_points();
+    println!("{:>10} {:>10}", "log10 x", "log10 P[X>x]");
+    let step = (pts.len() / 24).max(1);
+    for (lx, ly) in pts.iter().step_by(step) {
+        println!("{lx:>10.3} {ly:>10.3}");
+    }
+}
+
+// ------------------------------------------------------- tables 2 / 3 / 4
+
+#[derive(Clone, Copy)]
+enum Metric {
+    Duration,
+    Requests,
+    Bytes,
+}
+
+fn table234(ctx: &mut Ctx, metric: Metric) {
+    let paper = match metric {
+        Metric::Duration => &PAPER_TABLE2,
+        Metric::Requests => &PAPER_TABLE3,
+        Metric::Bytes => &PAPER_TABLE4,
+    };
+    println!("{} — measured (paper)", paper.caption);
+    println!(
+        "{:<6} {:>22} {:>22} {:>22} {:>22}",
+        "", SERVER_ORDER[0], SERVER_ORDER[1], SERVER_ORDER[2], SERVER_ORDER[3]
+    );
+    for (row_idx, (row_name, paper_vals)) in paper.rows.iter().enumerate() {
+        let mut cells = Vec::new();
+        for (col, name) in SERVER_ORDER.iter().enumerate() {
+            let model = ctx.model(name);
+            let analysis = if row_idx < 3 {
+                &model.levels[row_idx].intra_session
+            } else {
+                &model.intra_session_week
+            };
+            let tail = match metric {
+                Metric::Duration => &analysis.duration,
+                Metric::Requests => &analysis.requests,
+                Metric::Bytes => &analysis.bytes,
+            };
+            let measured = cell(tail.llcd.map(|f| f.alpha));
+            let hill = match &tail.hill {
+                Some(h) => match h.alpha {
+                    Some(a) => format!("{a:.2}"),
+                    None => "NS".to_string(),
+                },
+                None => "NA".to_string(),
+            };
+            let paper_cell = match paper_vals[col] {
+                Some(v) => format!("{v:.2}"),
+                None => "NA".to_string(),
+            };
+            cells.push(format!("{measured}/{hill} ({paper_cell})"));
+        }
+        println!(
+            "{:<6} {:>22} {:>22} {:>22} {:>22}",
+            row_name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!("cell format: α_LLCD/α_Hill (paper α_LLCD); NS = Hill did not stabilize.");
+}
+
+// ------------------------------------------------------------- curvature
+
+fn curvature_section(ctx: &mut Ctx) {
+    println!("§5.2 curvature tests: Pareto and lognormal p-values (week, all metrics)");
+    println!(
+        "{:<10} {:<22} {:>10} {:>10} {:>12}",
+        "server", "metric", "p(Pareto)", "p(logN)", "verdicts"
+    );
+    for name in SERVER_ORDER {
+        let model = ctx.model(name);
+        let mut rows = Vec::new();
+        for tail in model.intra_session_week.iter() {
+            let (pp, pl) = (
+                tail.curvature_pareto.as_ref().map(|t| t.p_value),
+                tail.curvature_lognormal.as_ref().map(|t| t.p_value),
+            );
+            let verdict = match (pp, pl) {
+                (Some(a), Some(b)) => {
+                    let v = |p: f64| if p < 0.05 { "reject" } else { "ok" };
+                    format!("{}/{}", v(a), v(b))
+                }
+                _ => "NA".to_string(),
+            };
+            rows.push(format!(
+                "{:<10} {:<22} {:>10} {:>10} {:>12}",
+                name,
+                tail.metric.to_string(),
+                cell(pp),
+                cell(pl),
+                verdict
+            ));
+        }
+        for r in rows {
+            println!("{r}");
+        }
+    }
+    println!(
+        "paper: neither Pareto nor lognormal rejected for any interval \
+         (p > 0.05 everywhere); p-values are sensitive to α̂ and the MC sample."
+    );
+}
+
+// ------------------------------------------------------------- ablation
+
+/// DESIGN.md ablation: the three arrival substrates, identical flat
+/// envelope, identical mean rate, measured with the CI-producing Hurst
+/// estimators at 60-second bins.
+fn ablate_arrivals(seed: u64) {
+    use rand::SeedableRng;
+    use webpuzzle_lrd::{abry_veitch, whittle};
+    use webpuzzle_workload::{generate_session_starts, ArrivalModel};
+
+    println!("arrival-model ablation: 300k events/week, flat envelope, 60 s bins");
+    println!("{:<28} {:>10} {:>10}", "model", "Whittle H", "AbryV H");
+    let models = [
+        ("Poisson (negative control)", ArrivalModel::Poisson),
+        ("fGn-Cox H=0.85 cv=0.7", ArrivalModel::FgnCox { h: 0.85, cv: 0.7 }),
+        (
+            "ON/OFF a=1.3 x12 sources",
+            ArrivalModel::OnOff {
+                alpha_on: 1.3,
+                alpha_off: 1.3,
+                sources: 12,
+            },
+        ),
+    ];
+    for (name, model) in models {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let starts = generate_session_starts(&model, 300_000, 0.0, 0.0, &mut rng)
+            .expect("arrival generation succeeds");
+        let counts = CountSeries::from_event_times_in_window(
+            &starts,
+            60.0,
+            0.0,
+            (SECONDS_PER_WEEK / 60.0) as usize,
+        )
+        .expect("binning succeeds")
+        .into_counts();
+        let w = whittle(&counts).map(|e| e.h);
+        let av = abry_veitch(&counts).map(|e| e.h);
+        println!("{:<28} {:>10} {:>10}", name, cell(w.ok()), cell(av.ok()));
+    }
+    println!(
+        "expected shape: Poisson ~0.5; both LRD substrates well above 0.65 — \
+         the pipeline's LRD verdicts track the planted ground truth."
+    );
+}

@@ -1,0 +1,68 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+//!
+//! The interesting entry points live in `src/bin/repro.rs` (table/figure
+//! reproduction) and `benches/` (criterion performance benches); this
+//! library only hosts the small utilities they share.
+
+use webpuzzle_core::Result;
+use webpuzzle_weblog::WeekDataset;
+use webpuzzle_workload::{ServerProfile, WorkloadGenerator};
+
+/// Generate the standard four-server datasets at the given volume scale.
+///
+/// # Errors
+///
+/// Propagates generator failures (none for the built-in profiles).
+///
+/// # Examples
+///
+/// ```
+/// let sets = webpuzzle_bench::standard_datasets(0.005, 1).unwrap();
+/// assert_eq!(sets.len(), 4);
+/// assert_eq!(sets[0].0, "WVU");
+/// ```
+pub fn standard_datasets(
+    scale: f64,
+    seed: u64,
+) -> Result<Vec<(&'static str, WeekDataset)>> {
+    let mut out = Vec::with_capacity(4);
+    for profile in ServerProfile::all() {
+        let name = profile.name();
+        let records = WorkloadGenerator::new(profile.with_scale(scale))
+            .seed(seed)
+            .generate()?;
+        let dataset = WeekDataset::from_records(records, 1800.0)
+            .expect("generated records lie within the week window");
+        out.push((name, dataset));
+    }
+    Ok(out)
+}
+
+/// Render a float that may be absent (the paper's NA/NS cells).
+pub fn cell(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "NS/NA".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_ordered_and_nonempty() {
+        let sets = standard_datasets(0.002, 7).unwrap();
+        let names: Vec<&str> = sets.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["WVU", "ClarkNet", "CSEE", "NASA-Pub2"]);
+        for (name, ds) in &sets {
+            assert!(!ds.records().is_empty(), "{name} empty");
+        }
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(cell(Some(1.2345)), "1.234");
+        assert_eq!(cell(None), "NS/NA");
+    }
+}

@@ -1,0 +1,241 @@
+//! Long-range dependence analysis of an arrival process (requests or
+//! session starts): the §4.1/§5.1.1 battery.
+
+use crate::config::AnalysisConfig;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use webpuzzle_lrd::{
+    aggregated_hurst_sweep, AggregatedEstimate, HurstSuite, SweepEstimator,
+};
+use webpuzzle_stats::descriptive::Summary;
+use webpuzzle_stats::htest::{kpss_test, KpssResult, KpssType};
+use webpuzzle_timeseries::{acf, decompose, CountSeries};
+
+/// Raw-vs-stationary ACF comparison at reporting lags — the paper's
+/// Figure 3 vs Figure 5 observation that ignoring trend/periodicity
+/// inflates the autocorrelations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcfComparison {
+    /// Lags reported (1, 2, 4, 8, … up to the configured maximum).
+    pub lags: Vec<usize>,
+    /// ACF of the raw series at those lags.
+    pub raw: Vec<f64>,
+    /// ACF of the stationarized series.
+    pub stationary: Vec<f64>,
+}
+
+/// Complete LRD analysis of one arrival process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalAnalysis {
+    /// Events analyzed.
+    pub n_events: usize,
+    /// Series length in bins.
+    pub series_len: usize,
+    /// Bin width in seconds.
+    pub bin_width: f64,
+    /// Mean events per bin.
+    pub mean_rate: f64,
+    /// Summary of the inter-arrival times ("time between sessions
+    /// initiated", the paper's second inter-session characteristic).
+    pub inter_arrival: Option<Summary>,
+    /// KPSS on the raw series (level stationarity).
+    pub kpss_raw: KpssResult,
+    /// KPSS on the stationarized series.
+    pub kpss_stationary: KpssResult,
+    /// Estimated linear trend slope (events/bin per bin).
+    pub trend_slope: f64,
+    /// Detected seasonal period in seconds, if any (expect ≈ 86 400).
+    pub period_seconds: Option<f64>,
+    /// ACF before/after stationarization.
+    pub acf: AcfComparison,
+    /// The five Hurst estimators on the raw series (Figure 4 / 9).
+    pub hurst_raw: HurstSuite,
+    /// The five Hurst estimators on the stationary series (Figure 6 / 10).
+    pub hurst_stationary: HurstSuite,
+    /// Whittle Ĥ(m) sweep on the stationary series (Figure 7).
+    pub whittle_sweep: Vec<AggregatedEstimate>,
+    /// Abry-Veitch Ĥ(m) sweep on the stationary series (Figure 8).
+    pub abry_veitch_sweep: Vec<AggregatedEstimate>,
+}
+
+impl ArrivalAnalysis {
+    /// Run the full battery on event times within `[0, window_len)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binning, testing, and estimation failures (typically
+    /// [`webpuzzle_stats::StatsError::InsufficientData`] for very sparse
+    /// processes).
+    pub fn analyze(
+        events: &[f64],
+        window_len: f64,
+        cfg: &AnalysisConfig,
+    ) -> Result<Self> {
+        let n_bins = (window_len / cfg.bin_width).round() as usize;
+        let series =
+            CountSeries::from_event_times_in_window(events, cfg.bin_width, 0.0, n_bins)?;
+        let counts = series.counts();
+
+        let mut sorted_events = events.to_vec();
+        sorted_events.sort_by(|x, y| x.partial_cmp(y).expect("finite event times"));
+        let gaps: Vec<f64> = sorted_events.windows(2).map(|w| w[1] - w[0]).collect();
+        let inter_arrival = Summary::from_sample(&gaps).ok();
+
+        let kpss_raw = kpss_test(counts, KpssType::Level)?;
+        let (min_p, max_p) = cfg.period_search_bins();
+        let max_p = max_p.min(counts.len() as f64 / 2.0);
+        let dec = decompose(counts, min_p, max_p, cfg.period_snr)?;
+        let kpss_stationary = kpss_test(&dec.stationary, KpssType::Level)?;
+
+        let max_lag = cfg.acf_max_lag.min(counts.len() / 2 - 1);
+        let raw_acf = acf(counts, max_lag)?;
+        let st_acf = acf(&dec.stationary, max_lag.min(dec.stationary.len() / 2 - 1))?;
+        let mut lags = Vec::new();
+        let mut lag = 1usize;
+        while lag <= max_lag && lag < st_acf.len() {
+            lags.push(lag);
+            lag *= 2;
+        }
+        let acf_cmp = AcfComparison {
+            raw: lags.iter().map(|&l| raw_acf[l]).collect(),
+            stationary: lags.iter().map(|&l| st_acf[l]).collect(),
+            lags,
+        };
+
+        let hurst_raw = HurstSuite::estimate(counts)?;
+        let hurst_stationary = HurstSuite::estimate(&dec.stationary)?;
+        let whittle_sweep = aggregated_hurst_sweep(
+            &dec.stationary,
+            SweepEstimator::Whittle,
+            cfg.sweep_min_points,
+        )
+        .unwrap_or_default();
+        let abry_veitch_sweep = aggregated_hurst_sweep(
+            &dec.stationary,
+            SweepEstimator::AbryVeitch,
+            cfg.sweep_min_points,
+        )
+        .unwrap_or_default();
+
+        Ok(ArrivalAnalysis {
+            n_events: events.len(),
+            series_len: counts.len(),
+            bin_width: cfg.bin_width,
+            mean_rate: series.mean_rate(),
+            inter_arrival,
+            kpss_raw,
+            kpss_stationary,
+            trend_slope: dec.trend_slope,
+            period_seconds: dec.period.map(|p| p as f64 * cfg.bin_width),
+            acf: acf_cmp,
+            hurst_raw,
+            hurst_stationary,
+            whittle_sweep,
+            abry_veitch_sweep,
+        })
+    }
+
+    /// The paper's central claim for this process: every stationary-series
+    /// estimator lies in (0.5, 1).
+    pub fn long_range_dependent(&self) -> bool {
+        self.hurst_stationary.consensus_lrd()
+    }
+
+    /// Mean raw-minus-stationary H difference across estimators — positive
+    /// when ignoring trend/periodicity *overestimates* LRD (the paper's
+    /// headline methodological point).
+    pub fn raw_overestimation(&self) -> Option<f64> {
+        let raw = self.hurst_raw.mean_h()?;
+        let st = self.hurst_stationary.mean_h()?;
+        Some(raw - st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use webpuzzle_workload::{generate_session_starts, ArrivalModel};
+
+    const WEEK: f64 = 604_800.0;
+
+    fn cox_events(h: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_session_starts(
+            &ArrivalModel::FgnCox { h, cv: 0.7 },
+            n,
+            0.5,
+            0.15,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn detects_nonstationarity_then_fixes_it() {
+        let events = cox_events(0.85, 150_000, 1);
+        let a = ArrivalAnalysis::analyze(&events, WEEK, &AnalysisConfig::fast())
+            .unwrap();
+        assert!(a.kpss_raw.nonstationary_5pct(), "raw should be nonstationary");
+        assert!(
+            !a.kpss_stationary.nonstationary_1pct(),
+            "stationarized series should pass KPSS at 1% (statistic {})",
+            a.kpss_stationary.statistic
+        );
+    }
+
+    #[test]
+    fn finds_daily_period() {
+        let events = cox_events(0.8, 150_000, 2);
+        let a = ArrivalAnalysis::analyze(&events, WEEK, &AnalysisConfig::fast())
+            .unwrap();
+        let period = a.period_seconds.expect("diurnal cycle should be detected");
+        assert!(
+            (period - 86_400.0).abs() < 8_000.0,
+            "detected period {period}"
+        );
+    }
+
+    #[test]
+    fn lrd_process_flagged_lrd() {
+        let events = cox_events(0.85, 150_000, 3);
+        let a = ArrivalAnalysis::analyze(&events, WEEK, &AnalysisConfig::fast())
+            .unwrap();
+        assert!(a.long_range_dependent(), "{}", a.hurst_stationary);
+        assert!(!a.whittle_sweep.is_empty());
+        assert!(!a.abry_veitch_sweep.is_empty());
+    }
+
+    #[test]
+    fn raw_h_exceeds_stationary_h() {
+        // Figure 4 vs Figure 6: trend + periodicity inflate Ĥ.
+        let events = cox_events(0.8, 150_000, 4);
+        let a = ArrivalAnalysis::analyze(&events, WEEK, &AnalysisConfig::fast())
+            .unwrap();
+        let over = a.raw_overestimation().unwrap();
+        assert!(over > -0.05, "raw-stationary H difference {over}");
+    }
+
+    #[test]
+    fn acf_shrinks_after_stationarization() {
+        let events = cox_events(0.8, 150_000, 5);
+        let a = ArrivalAnalysis::analyze(&events, WEEK, &AnalysisConfig::fast())
+            .unwrap();
+        // Figure 3 vs 5: mean |ACF| at the reported lags should not grow.
+        let mean_abs = |v: &[f64]| {
+            v.iter().map(|x| x.abs()).sum::<f64>() / v.len() as f64
+        };
+        assert!(mean_abs(&a.acf.stationary) <= mean_abs(&a.acf.raw) + 0.05);
+    }
+
+    #[test]
+    fn serializes() {
+        let events = cox_events(0.7, 50_000, 6);
+        let a = ArrivalAnalysis::analyze(&events, WEEK, &AnalysisConfig::fast())
+            .unwrap();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: ArrivalAnalysis = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,108 @@
+//! Pipeline configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the FULL-Web pipeline. [`AnalysisConfig::default`]
+/// matches the paper's choices; the speed-oriented
+/// [`AnalysisConfig::fast`] preset coarsens the series for tests and
+/// examples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Bin width for arrival count series, seconds (paper: 1 s).
+    pub bin_width: f64,
+    /// Number of ACF lags to retain in reports.
+    pub acf_max_lag: usize,
+    /// Period search range for the seasonality detector, seconds
+    /// (the 24 h day/night cycle lives well inside the default).
+    pub period_search: (f64, f64),
+    /// Signal-to-median ratio a periodogram peak must exceed to count as
+    /// real periodicity.
+    pub period_snr: f64,
+    /// Minimum points retained at the deepest aggregation level in Ĥ(m)
+    /// sweeps (paper footnote 2 trades CI width against depth).
+    pub sweep_min_points: usize,
+    /// Upper tail fraction used for LLCD fits and Hill plots (the paper's
+    /// Figure 12 uses the upper 14 %).
+    pub tail_fraction: f64,
+    /// Monte-Carlo replicates for the curvature test.
+    pub curvature_replicates: usize,
+    /// Minimum observations for an intra-session tail analysis; below this
+    /// the cell is NA (the paper's NASA-Pub2 Low case).
+    pub min_tail_sample: usize,
+    /// Minimum arrivals per subinterval for the Poisson test; below this
+    /// the interval verdict is NA (§5.1.2 for NASA-Pub2).
+    pub min_poisson_arrivals: usize,
+    /// RNG seed for the stochastic steps (uniform tie-spreading, curvature
+    /// Monte Carlo).
+    pub seed: u64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            bin_width: 1.0,
+            acf_max_lag: 600,
+            period_search: (3600.0, 2.5 * 86_400.0),
+            period_snr: 10.0,
+            sweep_min_points: 1024,
+            tail_fraction: 0.14,
+            curvature_replicates: 99,
+            min_tail_sample: 100,
+            min_poisson_arrivals: 50,
+            seed: 0,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// A coarser, faster configuration for tests and examples: 60-second
+    /// bins (so week series are 10 080 points instead of 604 800) and fewer
+    /// Monte-Carlo replicates. Estimates are slightly noisier but every
+    /// code path is identical.
+    pub fn fast() -> Self {
+        AnalysisConfig {
+            bin_width: 60.0,
+            acf_max_lag: 200,
+            curvature_replicates: 29,
+            sweep_min_points: 512,
+            ..AnalysisConfig::default()
+        }
+    }
+
+    /// Bins per detected-period search bound, derived from
+    /// [`AnalysisConfig::period_search`] and [`AnalysisConfig::bin_width`].
+    pub(crate) fn period_search_bins(&self) -> (f64, f64) {
+        (
+            (self.period_search.0 / self.bin_width).max(2.1),
+            self.period_search.1 / self.bin_width,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = AnalysisConfig::default();
+        assert_eq!(c.bin_width, 1.0);
+        assert!((c.tail_fraction - 0.14).abs() < 1e-12);
+        assert_eq!(c.curvature_replicates, 99);
+    }
+
+    #[test]
+    fn fast_is_coarser() {
+        let c = AnalysisConfig::fast();
+        assert!(c.bin_width > AnalysisConfig::default().bin_width);
+        assert!(c.curvature_replicates < 99);
+    }
+
+    #[test]
+    fn period_bins_scale_with_bin_width() {
+        let c = AnalysisConfig::fast();
+        let (lo, hi) = c.period_search_bins();
+        assert!((lo - 60.0).abs() < 1e-9); // 3600 s / 60 s
+        assert!((hi - 3600.0).abs() < 1e-9); // 2.5 d / 60 s
+    }
+}

@@ -1,0 +1,307 @@
+//! Intra-session heavy-tail analysis (§5.2, Tables 2–4).
+
+use crate::config::AnalysisConfig;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use webpuzzle_heavytail::{
+    curvature_test, hill_estimate, llcd_fit, moment_estimator, CurvatureModel,
+    CurvatureTest, HillEstimate, LlcdFit, MomentEstimate, TailRegime,
+};
+use webpuzzle_weblog::Session;
+
+/// Which intra-session characteristic a [`TailAnalysis`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SessionMetric {
+    /// Session length in seconds (§5.2.1, Table 2).
+    DurationSeconds,
+    /// Requests per session (§5.2.2, Table 3).
+    RequestCount,
+    /// Bytes transferred per session (§5.2.3, Table 4).
+    BytesTransferred,
+}
+
+impl SessionMetric {
+    /// All three metrics in table order.
+    pub fn all() -> [SessionMetric; 3] {
+        [
+            SessionMetric::DurationSeconds,
+            SessionMetric::RequestCount,
+            SessionMetric::BytesTransferred,
+        ]
+    }
+
+    /// Extract this metric from a session; `None` when the value carries no
+    /// tail information (zero duration/bytes — e.g. single-request
+    /// sessions, which cannot appear on a log-log plot).
+    pub fn extract(&self, s: &Session) -> Option<f64> {
+        let v = match self {
+            SessionMetric::DurationSeconds => s.duration(),
+            SessionMetric::RequestCount => s.request_count as f64,
+            SessionMetric::BytesTransferred => s.bytes as f64,
+        };
+        (v > 0.0).then_some(v)
+    }
+}
+
+impl std::fmt::Display for SessionMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SessionMetric::DurationSeconds => "session length (s)",
+            SessionMetric::RequestCount => "requests per session",
+            SessionMetric::BytesTransferred => "bytes per session",
+        })
+    }
+}
+
+/// One cell battery of Tables 2–4: LLCD fit, Hill estimate (or NS), and the
+/// Pareto/lognormal curvature tests. `None` everywhere means NA (sample too
+/// small, the paper's NASA-Pub2 Low case).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TailAnalysis {
+    /// Metric analyzed.
+    pub metric: SessionMetric,
+    /// Number of positive observations.
+    pub n: usize,
+    /// LLCD regression (α_LLCD, σ_α, R²).
+    pub llcd: Option<LlcdFit>,
+    /// Hill estimate; `alpha == None` inside means NS.
+    pub hill: Option<HillEstimate>,
+    /// Dekkers-Einmahl-de Haan moment estimate of the extreme-value index
+    /// (extension: resolves NS cells into light-tail vs heavy-tail).
+    pub moment: Option<MomentEstimate>,
+    /// Curvature test against the fitted Pareto.
+    pub curvature_pareto: Option<CurvatureTest>,
+    /// Curvature test against the fitted lognormal.
+    pub curvature_lognormal: Option<CurvatureTest>,
+}
+
+impl TailAnalysis {
+    /// Analyze one metric over a set of sessions.
+    ///
+    /// Sub-threshold samples (`cfg.min_tail_sample`) return an all-NA
+    /// analysis rather than an error — mirroring the NA cells in the
+    /// paper's tables.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (individual analyses degrade to
+    /// `None`), but returns `Result` for forward compatibility.
+    pub fn analyze(
+        metric: SessionMetric,
+        sessions: &[Session],
+        cfg: &AnalysisConfig,
+    ) -> Result<Self> {
+        let values: Vec<f64> =
+            sessions.iter().filter_map(|s| metric.extract(s)).collect();
+        if values.len() < cfg.min_tail_sample {
+            return Ok(TailAnalysis {
+                metric,
+                n: values.len(),
+                llcd: None,
+                hill: None,
+                moment: None,
+                curvature_pareto: None,
+                curvature_lognormal: None,
+            });
+        }
+        let llcd = llcd_fit(&values, cfg.tail_fraction).ok();
+        let hill = hill_estimate(&values, cfg.tail_fraction).ok();
+        let moment = moment_estimator(&values, cfg.tail_fraction).ok();
+        let curvature_pareto = curvature_test(
+            &values,
+            CurvatureModel::Pareto,
+            cfg.tail_fraction,
+            cfg.curvature_replicates,
+            cfg.seed,
+        )
+        .ok();
+        let curvature_lognormal = curvature_test(
+            &values,
+            CurvatureModel::LogNormal,
+            cfg.tail_fraction,
+            cfg.curvature_replicates,
+            cfg.seed.wrapping_add(1),
+        )
+        .ok();
+        Ok(TailAnalysis {
+            metric,
+            n: values.len(),
+            llcd,
+            hill,
+            moment,
+            curvature_pareto,
+            curvature_lognormal,
+        })
+    }
+
+    /// Whether the cell is NA.
+    pub fn is_na(&self) -> bool {
+        self.llcd.is_none() && self.hill.is_none()
+    }
+
+    /// Moment regime under the Pareto model (from α_LLCD).
+    pub fn regime(&self) -> Option<TailRegime> {
+        self.llcd.map(|f| TailRegime::from_alpha(f.alpha))
+    }
+
+    /// The paper's cross-validation check: Hill stabilized and within
+    /// `tol` of the LLCD estimate.
+    pub fn estimates_consistent(&self, tol: f64) -> Option<bool> {
+        let llcd = self.llcd?;
+        let hill = self.hill.as_ref()?.alpha?;
+        Some((llcd.alpha - hill).abs() <= tol)
+    }
+}
+
+/// All three metrics for one interval or the whole week.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntraSessionAnalysis {
+    /// Table 2 row: session length in time.
+    pub duration: TailAnalysis,
+    /// Table 3 row: requests per session.
+    pub requests: TailAnalysis,
+    /// Table 4 row: bytes per session.
+    pub bytes: TailAnalysis,
+}
+
+impl IntraSessionAnalysis {
+    /// Analyze all three intra-session characteristics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TailAnalysis::analyze`] failures.
+    pub fn analyze(sessions: &[Session], cfg: &AnalysisConfig) -> Result<Self> {
+        Ok(IntraSessionAnalysis {
+            duration: TailAnalysis::analyze(
+                SessionMetric::DurationSeconds,
+                sessions,
+                cfg,
+            )?,
+            requests: TailAnalysis::analyze(SessionMetric::RequestCount, sessions, cfg)?,
+            bytes: TailAnalysis::analyze(
+                SessionMetric::BytesTransferred,
+                sessions,
+                cfg,
+            )?,
+        })
+    }
+
+    /// The three analyses in table order.
+    pub fn iter(&self) -> impl Iterator<Item = &TailAnalysis> {
+        [&self.duration, &self.requests, &self.bytes].into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use webpuzzle_stats::dist::{Pareto, Sampler};
+
+    fn pareto_sessions(
+        alpha_dur: f64,
+        alpha_req: f64,
+        alpha_bytes: f64,
+        n: usize,
+        seed: u64,
+    ) -> Vec<Session> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = Pareto::new(alpha_dur, 10.0).unwrap();
+        let r = Pareto::new(alpha_req, 2.0).unwrap();
+        let b = Pareto::new(alpha_bytes, 1000.0).unwrap();
+        (0..n)
+            .map(|i| {
+                let start = i as f64 * 10.0;
+                Session {
+                    client: i as u32,
+                    start,
+                    end: start + d.sample(&mut rng),
+                    request_count: r.sample(&mut rng).round() as usize,
+                    bytes: b.sample(&mut rng) as u64,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_planted_tail_indices() {
+        let sessions = pareto_sessions(1.67, 1.95, 1.45, 20_000, 1);
+        let cfg = AnalysisConfig {
+            curvature_replicates: 29,
+            ..AnalysisConfig::default()
+        };
+        let a = IntraSessionAnalysis::analyze(&sessions, &cfg).unwrap();
+        assert!((a.duration.llcd.unwrap().alpha - 1.67).abs() < 0.2);
+        assert!((a.bytes.llcd.unwrap().alpha - 1.45).abs() < 0.2);
+        // Request counts are integer-rounded Pareto; allow extra slack.
+        assert!((a.requests.llcd.unwrap().alpha - 1.95).abs() < 0.4);
+        assert_eq!(a.duration.regime(), Some(TailRegime::InfiniteVariance));
+    }
+
+    #[test]
+    fn hill_and_llcd_consistent_on_pure_pareto() {
+        let sessions = pareto_sessions(1.5, 1.8, 1.3, 20_000, 2);
+        let cfg = AnalysisConfig {
+            curvature_replicates: 29,
+            ..AnalysisConfig::default()
+        };
+        let a = TailAnalysis::analyze(SessionMetric::DurationSeconds, &sessions, &cfg)
+            .unwrap();
+        assert_eq!(a.estimates_consistent(0.25), Some(true), "{a:?}");
+    }
+
+    #[test]
+    fn small_sample_is_na() {
+        let sessions = pareto_sessions(1.5, 1.8, 1.3, 20, 3);
+        let a = IntraSessionAnalysis::analyze(&sessions, &AnalysisConfig::default())
+            .unwrap();
+        assert!(a.duration.is_na());
+        assert!(a.requests.is_na());
+        assert_eq!(a.duration.n, 20);
+    }
+
+    #[test]
+    fn zero_duration_sessions_excluded() {
+        let mut sessions = pareto_sessions(1.5, 1.8, 1.3, 500, 4);
+        // Make 100 single-request (zero-duration) sessions.
+        for s in sessions.iter_mut().take(100) {
+            s.end = s.start;
+        }
+        let a = TailAnalysis::analyze(
+            SessionMetric::DurationSeconds,
+            &sessions,
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(a.n, 400);
+    }
+
+    #[test]
+    fn curvature_tests_mostly_accept_pareto_truth() {
+        let sessions = pareto_sessions(1.6, 1.8, 1.4, 10_000, 5);
+        let cfg = AnalysisConfig {
+            curvature_replicates: 49,
+            ..AnalysisConfig::default()
+        };
+        let a = TailAnalysis::analyze(SessionMetric::DurationSeconds, &sessions, &cfg)
+            .unwrap();
+        let p = a.curvature_pareto.unwrap();
+        assert!(!p.reject_5pct(), "true Pareto rejected with p = {}", p.p_value);
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let s = Session {
+            client: 1,
+            start: 0.0,
+            end: 30.0,
+            request_count: 5,
+            bytes: 0,
+        };
+        assert_eq!(SessionMetric::DurationSeconds.extract(&s), Some(30.0));
+        assert_eq!(SessionMetric::RequestCount.extract(&s), Some(5.0));
+        assert_eq!(SessionMetric::BytesTransferred.extract(&s), None);
+        assert_eq!(SessionMetric::all().len(), 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Empirical complementary cumulative distribution function.
+
+use crate::Result;
+use webpuzzle_stats::StatsError;
+
+/// The empirical CCDF `F̄(x) = P[X > x]` of a positive sample, the object
+/// LLCD plots display on log-log axes.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_heavytail::EmpiricalCcdf;
+///
+/// let ccdf = EmpiricalCcdf::new(&[1.0, 2.0, 2.0, 4.0]).unwrap();
+/// assert!((ccdf.eval(0.5) - 1.0).abs() < 1e-12);
+/// assert!((ccdf.eval(2.0) - 0.25).abs() < 1e-12); // only 4.0 exceeds 2.0
+/// assert!((ccdf.eval(5.0) - 0.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCcdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCcdf {
+    /// Build the empirical CCDF of a sample of strictly positive values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] for an empty sample,
+    /// [`StatsError::NonFiniteData`] for non-finite values, and
+    /// [`StatsError::DegenerateInput`] if any value is not strictly positive
+    /// (LLCD analysis needs `log x`).
+    pub fn new(data: &[f64]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFiniteData);
+        }
+        if data.iter().any(|&x| x <= 0.0) {
+            return Err(StatsError::DegenerateInput {
+                what: "CCDF analysis requires strictly positive data",
+            });
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Ok(EmpiricalCcdf { sorted })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true via the constructor).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted underlying sample (ascending).
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluate `P[X > x]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of values <= x.
+        let le = self.sorted.partition_point(|&v| v <= x);
+        (self.sorted.len() - le) as f64 / self.sorted.len() as f64
+    }
+
+    /// The LLCD point cloud: `(log10 x_(i), log10 F̄(x_(i)))` for each order
+    /// statistic with positive CCDF (the largest observation is excluded
+    /// because its empirical CCDF is zero).
+    pub fn llcd_points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let mut pts = Vec::with_capacity(n.saturating_sub(1));
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let surv = (n - i - 1) as f64 / n as f64;
+            if surv > 0.0 {
+                pts.push((x.log10(), surv.log10()));
+            }
+        }
+        pts
+    }
+
+    /// The empirical quantile at probability `p ∈ [0, 1]` (by order
+    /// statistic, no interpolation — adequate for tail thresholds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        let idx = ((p * self.sorted.len() as f64) as usize).min(self.sorted.len() - 1);
+        self.sorted[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_definition() {
+        let c = EmpiricalCcdf::new(&[3.0, 1.0, 2.0]).unwrap();
+        assert!((c.eval(0.0) - 1.0).abs() < 1e-12);
+        assert!((c.eval(1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.eval(1.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.eval(3.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nonincreasing() {
+        let data: Vec<f64> = (1..=100).map(|i| (i as f64).sqrt()).collect();
+        let c = EmpiricalCcdf::new(&data).unwrap();
+        let mut prev = 1.0;
+        for i in 0..200 {
+            let x = i as f64 * 0.06;
+            let v = c.eval(x);
+            assert!(v <= prev + 1e-15);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn llcd_points_exclude_zero_survival() {
+        let c = EmpiricalCcdf::new(&[1.0, 10.0, 100.0]).unwrap();
+        let pts = c.llcd_points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].0 - 0.0).abs() < 1e-12); // log10(1)
+        assert!((pts[0].1 - (2.0f64 / 3.0).log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(EmpiricalCcdf::new(&[]).is_err());
+        assert!(EmpiricalCcdf::new(&[1.0, -1.0]).is_err());
+        assert!(EmpiricalCcdf::new(&[0.0]).is_err());
+        assert!(EmpiricalCcdf::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn quantile_thresholds() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let c = EmpiricalCcdf::new(&data).unwrap();
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+        assert!((c.quantile(0.86) - 87.0).abs() <= 1.0); // 86th percentile-ish
+        assert_eq!(c.len(), 100);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Hill estimator of the tail index, with plateau (stabilization)
+//! detection.
+
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use webpuzzle_stats::StatsError;
+
+/// Result of Hill-plot analysis — the paper's `α_Hill` cells, including the
+/// **NS** ("did not stabilize") outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HillEstimate {
+    /// The stabilized estimate, or `None` when the plot never settles (NS).
+    pub alpha: Option<f64>,
+    /// Coefficient of variation of `α_{k,n}` over the assessment window —
+    /// the stability diagnostic (small = plateau).
+    pub plateau_cv: f64,
+    /// Number of upper-order statistics at the right edge of the plot.
+    pub k_max: usize,
+}
+
+impl HillEstimate {
+    /// Whether the Hill plot stabilized.
+    pub fn stabilized(&self) -> bool {
+        self.alpha.is_some()
+    }
+}
+
+/// The Hill plot: `(k, α_{k,n})` for `k = k_min .. k_max`, where
+/// `α_{k,n} = 1/H_{k,n}` and `H_{k,n} = (1/k) Σ_{i≤k} ln X_(i) − ln X_(k+1)`
+/// over the descending order statistics (paper equation (5)).
+///
+/// `tail_fraction` bounds `k_max = ⌊tail_fraction · n⌋` (the paper uses the
+/// upper 14 % for Figure 12).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] for `tail_fraction` outside
+/// `(0, 1]`, [`StatsError::InsufficientData`] when fewer than 25 usable
+/// order statistics exist, and [`StatsError::DegenerateInput`] for
+/// non-positive data.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use webpuzzle_heavytail::hill_plot;
+/// use webpuzzle_stats::dist::{Pareto, Sampler};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+/// let sample = Pareto::new(1.58, 1.0)?.sample_n(&mut rng, 5_000);
+/// let plot = hill_plot(&sample, 0.14)?;
+/// let (_, alpha_at_kmax) = *plot.last().unwrap();
+/// assert!((alpha_at_kmax - 1.58).abs() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hill_plot(data: &[f64], tail_fraction: f64) -> Result<Vec<(usize, f64)>> {
+    if !(tail_fraction > 0.0 && tail_fraction <= 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "tail_fraction",
+            value: tail_fraction,
+            constraint: "must be in (0, 1]",
+        });
+    }
+    let n = data.len();
+    if n < 50 {
+        return Err(StatsError::InsufficientData { needed: 50, got: n });
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFiniteData);
+    }
+    if data.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::DegenerateInput {
+            what: "Hill estimation requires strictly positive data",
+        });
+    }
+    let mut desc = data.to_vec();
+    desc.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    // k must leave X_(k+1) available.
+    let k_max = (((n as f64) * tail_fraction) as usize).min(n - 1);
+    let k_min = 5usize;
+    if k_max <= k_min + 20 {
+        return Err(StatsError::InsufficientData {
+            needed: k_min + 21,
+            got: k_max,
+        });
+    }
+    let logs: Vec<f64> = desc.iter().map(|&x| x.ln()).collect();
+    let mut prefix = 0.0;
+    let mut out = Vec::with_capacity(k_max - k_min + 1);
+    for k in 1..=k_max {
+        prefix += logs[k - 1];
+        if k >= k_min {
+            let h = prefix / k as f64 - logs[k];
+            // Guard against round-off on (near-)tied order statistics: an
+            // h of ~1e-16 would otherwise produce an absurd α ~ 1e16.
+            if h > 1e-9 {
+                out.push((k, 1.0 / h));
+            }
+        }
+    }
+    if out.len() < 20 {
+        return Err(StatsError::DegenerateInput {
+            what: "Hill plot degenerate (too many tied order statistics)",
+        });
+    }
+    Ok(out)
+}
+
+/// Hill estimate with automatic plateau detection over the outer half of the
+/// plot: if the coefficient of variation of `α_{k,n}` across the assessment
+/// window is below 7.5 %, the plot is declared stable and the window mean is
+/// returned; otherwise `alpha` is `None` (**NS**, as annotated in the
+/// paper's Tables 2–4).
+///
+/// # Errors
+///
+/// Same conditions as [`hill_plot`].
+pub fn hill_estimate(data: &[f64], tail_fraction: f64) -> Result<HillEstimate> {
+    const CV_THRESHOLD: f64 = 0.075;
+    let plot = hill_plot(data, tail_fraction)?;
+    let k_max = plot.last().expect("plot non-empty").0;
+    // Assessment window: the outer half of the plot (large k), where the
+    // paper reads off the settled value.
+    let window: Vec<f64> = plot
+        .iter()
+        .filter(|(k, _)| *k >= k_max / 2)
+        .map(|(_, a)| *a)
+        .collect();
+    let mean = window.iter().sum::<f64>() / window.len() as f64;
+    let var = window.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>()
+        / window.len() as f64;
+    let cv = if mean > 0.0 { var.sqrt() / mean } else { f64::INFINITY };
+    Ok(HillEstimate {
+        alpha: if cv < CV_THRESHOLD { Some(mean) } else { None },
+        plateau_cv: cv,
+        k_max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use webpuzzle_stats::dist::{Exponential, Pareto, Sampler};
+
+    #[test]
+    fn recovers_alpha_for_pareto() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &alpha in &[0.9, 1.58, 2.2] {
+            let sample = Pareto::new(alpha, 1.0).unwrap().sample_n(&mut rng, 20_000);
+            let est = hill_estimate(&sample, 0.14).unwrap();
+            let got = est.alpha.expect("pure Pareto must stabilize");
+            assert!(
+                (got - alpha).abs() < 0.15,
+                "α = {alpha}, estimated {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn plot_k_range_respects_fraction() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let sample = Pareto::new(1.5, 1.0).unwrap().sample_n(&mut rng, 10_000);
+        let plot = hill_plot(&sample, 0.14).unwrap();
+        assert!(plot.last().unwrap().0 <= 1400);
+        assert!(plot.first().unwrap().0 >= 5);
+    }
+
+    #[test]
+    fn exponential_data_does_not_stabilize() {
+        // For light tails the Hill plot rises steadily with k — the NS case.
+        let mut rng = StdRng::seed_from_u64(23);
+        let sample = Exponential::new(1.0).unwrap().sample_n(&mut rng, 20_000);
+        let est = hill_estimate(&sample, 0.5).unwrap();
+        assert!(
+            !est.stabilized(),
+            "exponential should be NS, got α = {:?} (cv = {})",
+            est.alpha,
+            est.plateau_cv
+        );
+    }
+
+    #[test]
+    fn plateau_cv_small_for_pareto() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let sample = Pareto::new(1.3, 1.0).unwrap().sample_n(&mut rng, 50_000);
+        let est = hill_estimate(&sample, 0.14).unwrap();
+        assert!(est.plateau_cv < 0.04, "cv = {}", est.plateau_cv);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(hill_plot(&[1.0; 10], 0.14).is_err());
+        assert!(hill_plot(&[1.0; 100], 0.0).is_err());
+        let mut bad = vec![1.0; 100];
+        bad[0] = -1.0;
+        assert!(hill_plot(&bad, 0.5).is_err());
+        // All-equal data: log spacings vanish.
+        assert!(hill_plot(&[7.0; 1000], 0.5).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Heavy-tail analysis toolkit for the `webpuzzle` suite.
+//!
+//! Implements the three cross-validating methods the paper applies to the
+//! intra-session characteristics (session length in seconds, requests per
+//! session, bytes per session — §5.2):
+//!
+//! * [`LlcdFit`] / [`llcd_fit`] — least-squares slope of the log-log
+//!   complementary distribution plot above a tail threshold, giving the
+//!   tail index `α_LLCD`, its standard error, and R².
+//! * [`hill_estimate`] / [`hill_plot`] — the Hill estimator over the range
+//!   of upper-order statistics, with automatic plateau detection that
+//!   reports **NS** (no stabilization) exactly like the paper's tables.
+//! * [`curvature_test`] — Downey's Monte-Carlo curvature test that asks
+//!   whether the extreme-tail curvature of the empirical LLCD is consistent
+//!   with a fitted Pareto (straight line) or lognormal (downward curving).
+//!
+//! [`TailRegime`] classifies an estimated α into the moment-existence
+//! regimes the paper reasons about (infinite mean / infinite variance /
+//! finite variance).
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use webpuzzle_heavytail::{hill_estimate, llcd_fit, TailRegime};
+//! use webpuzzle_stats::dist::{Pareto, Sampler};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let sample = Pareto::new(1.5, 1.0)?.sample_n(&mut rng, 20_000);
+//!
+//! let llcd = llcd_fit(&sample, 0.2)?;
+//! assert!((llcd.alpha - 1.5).abs() < 0.15);
+//! assert_eq!(TailRegime::from_alpha(llcd.alpha), TailRegime::InfiniteVariance);
+//!
+//! let hill = hill_estimate(&sample, 0.15)?;
+//! assert!((hill.alpha.unwrap() - 1.5).abs() < 0.15);
+//! # Ok(())
+//! # }
+//! ```
+
+mod ccdf;
+mod curvature;
+mod hill;
+mod llcd;
+mod moment_est;
+mod regime;
+
+pub use ccdf::EmpiricalCcdf;
+pub use curvature::{curvature_test, CurvatureModel, CurvatureTest};
+pub use hill::{hill_estimate, hill_plot, HillEstimate};
+pub use llcd::{llcd_fit, llcd_fit_above, LlcdFit};
+pub use moment_est::{moment_estimator, MomentEstimate};
+pub use regime::TailRegime;
+
+pub use webpuzzle_stats::StatsError;
+
+/// Crate-wide result alias (errors are [`StatsError`]).
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,102 @@
+//! Moment-existence classification of a tail index.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The qualitative moment regimes of a heavy-tailed distribution with tail
+/// index α (paper §3.2): which moments exist decides whether quantities like
+/// "average session length" are even meaningful to report (§5.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TailRegime {
+    /// `α ≤ 1`: infinite mean and variance.
+    InfiniteMean,
+    /// `1 < α ≤ 2`: finite mean, infinite variance.
+    InfiniteVariance,
+    /// `α > 2`: finite mean and variance.
+    FiniteVariance,
+}
+
+impl TailRegime {
+    /// Classify a tail index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite and positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use webpuzzle_heavytail::TailRegime;
+    ///
+    /// assert_eq!(TailRegime::from_alpha(0.95), TailRegime::InfiniteMean);
+    /// assert_eq!(TailRegime::from_alpha(1.67), TailRegime::InfiniteVariance);
+    /// assert_eq!(TailRegime::from_alpha(2.33), TailRegime::FiniteVariance);
+    /// ```
+    pub fn from_alpha(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "tail index must be finite and positive, got {alpha}"
+        );
+        if alpha <= 1.0 {
+            TailRegime::InfiniteMean
+        } else if alpha <= 2.0 {
+            TailRegime::InfiniteVariance
+        } else {
+            TailRegime::FiniteVariance
+        }
+    }
+
+    /// Whether the mean exists.
+    pub fn has_finite_mean(&self) -> bool {
+        !matches!(self, TailRegime::InfiniteMean)
+    }
+
+    /// Whether the variance exists.
+    pub fn has_finite_variance(&self) -> bool {
+        matches!(self, TailRegime::FiniteVariance)
+    }
+}
+
+impl fmt::Display for TailRegime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TailRegime::InfiniteMean => "infinite mean and variance",
+            TailRegime::InfiniteVariance => "finite mean, infinite variance",
+            TailRegime::FiniteVariance => "finite mean and variance",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(TailRegime::from_alpha(1.0), TailRegime::InfiniteMean);
+        assert_eq!(TailRegime::from_alpha(2.0), TailRegime::InfiniteVariance);
+        assert_eq!(TailRegime::from_alpha(2.0001), TailRegime::FiniteVariance);
+    }
+
+    #[test]
+    fn moment_flags() {
+        assert!(!TailRegime::InfiniteMean.has_finite_mean());
+        assert!(TailRegime::InfiniteVariance.has_finite_mean());
+        assert!(!TailRegime::InfiniteVariance.has_finite_variance());
+        assert!(TailRegime::FiniteVariance.has_finite_variance());
+    }
+
+    #[test]
+    #[should_panic(expected = "tail index must be finite")]
+    fn rejects_nonpositive() {
+        TailRegime::from_alpha(0.0);
+    }
+
+    #[test]
+    fn display_readable() {
+        assert!(TailRegime::InfiniteVariance
+            .to_string()
+            .contains("infinite variance"));
+    }
+}

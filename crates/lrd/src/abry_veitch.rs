@@ -1,0 +1,187 @@
+//! Abry-Veitch wavelet estimator of the Hurst exponent.
+//!
+//! For an LRD process the variance of the detail coefficients grows
+//! geometrically across octaves: `E[d²_{j,·}] ∝ 2^{j(2H−1)}`. The estimator
+//! (Abry & Veitch 1998) regresses the bias-corrected log₂ octave energies on
+//! the octave index with weights from the known variance of a log-χ²
+//! average, yielding both Ĥ and a genuine confidence interval.
+
+use crate::estimate::{EstimatorKind, HurstEstimate};
+use crate::wavelet::{dwt, Wavelet};
+use crate::Result;
+use webpuzzle_stats::regression::wls;
+use webpuzzle_stats::special::digamma;
+use webpuzzle_stats::StatsError;
+
+/// Abry-Veitch estimator with automatic octave selection: uses Daubechies-2,
+/// skips the finest octave (short-range-dependence contamination) and keeps
+/// octaves with at least 8 coefficients.
+///
+/// # Errors
+///
+/// See [`abry_veitch_with_scales`].
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_lrd::{abry_veitch, fgn::FgnGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = FgnGenerator::new(0.8)?.seed(17).generate(16_384)?;
+/// let est = abry_veitch(&x)?;
+/// assert!((est.h - 0.8).abs() < 0.08, "H = {}", est.h);
+/// assert!(est.ci95.is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn abry_veitch(data: &[f64]) -> Result<HurstEstimate> {
+    abry_veitch_with_scales(data, Wavelet::Daubechies2, 2, usize::MAX)
+}
+
+/// Abry-Veitch estimator with explicit wavelet and octave range
+/// `[j1, j2]` (`j2` is clamped to the deepest octave keeping ≥ 8
+/// coefficients).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if fewer than 3 octaves fit in
+/// the requested range, plus any DWT failure.
+pub fn abry_veitch_with_scales(
+    data: &[f64],
+    wavelet: Wavelet,
+    j1: usize,
+    j2: usize,
+) -> Result<HurstEstimate> {
+    if j1 == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "j1",
+            value: 0.0,
+            constraint: "octaves are 1-based; j1 must be >= 1",
+        });
+    }
+    let max_level = (data.len() as f64).log2().floor() as usize;
+    let levels = dwt(data, wavelet, max_level.min(j2.saturating_add(0)))?;
+
+    let ln2 = std::f64::consts::LN_2;
+    // The periodized DWT wraps the signal circularly, so any level/trend
+    // mismatch between the series' two ends leaks energy into the trailing
+    // coefficients of every octave. Dropping one filter-length of trailing
+    // coefficients removes the contamination and preserves the estimator's
+    // trend robustness (the property its vanishing moments are supposed to
+    // provide).
+    let boundary_drop = wavelet.lowpass().len();
+    let mut js = Vec::new();
+    let mut ys = Vec::new();
+    let mut ws = Vec::new();
+    for level in &levels {
+        let j = level.level;
+        let usable = level.details.len().saturating_sub(boundary_drop);
+        let nj = usable;
+        if j < j1 || j > j2 || nj < 8 {
+            continue;
+        }
+        let mu: f64 =
+            level.details[..usable].iter().map(|d| d * d).sum::<f64>() / nj as f64;
+        if mu <= 0.0 {
+            continue;
+        }
+        // Bias correction: E[log2 μ̂_j] = log2 μ_j + g_j with
+        // g_j = ψ(n_j/2)/ln2 − log2(n_j/2).
+        let half_n = nj as f64 / 2.0;
+        let gj = digamma(half_n) / ln2 - half_n.log2();
+        // Var[log2 μ̂_j] = ζ(2, n_j/2)/ln²2 ≈ 2/(n_j ln²2).
+        let var = 2.0 / (nj as f64 * ln2 * ln2);
+        js.push(j as f64);
+        ys.push(mu.log2() - gj);
+        ws.push(1.0 / var);
+    }
+    if js.len() < 3 {
+        return Err(StatsError::InsufficientData {
+            needed: 3,
+            got: js.len(),
+        });
+    }
+    let fit = wls(&js, &ys, &ws)?;
+    // Slope ζ = 2H − 1 for LRD (stationary) processes.
+    let h = (fit.slope + 1.0) / 2.0;
+    let half_width = 1.96 * fit.slope_std_err / 2.0;
+    Ok(HurstEstimate::with_ci(
+        EstimatorKind::AbryVeitch,
+        h,
+        h - half_width,
+        h + half_width,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fgn::FgnGenerator;
+
+    #[test]
+    fn recovers_h_for_fgn() {
+        for &h in &[0.6, 0.75, 0.9] {
+            let x = FgnGenerator::new(h).unwrap().seed(55).generate(32_768).unwrap();
+            let est = abry_veitch(&x).unwrap();
+            assert!(
+                (est.h - h).abs() < 0.08,
+                "true H = {h}, estimated {}",
+                est.h
+            );
+        }
+    }
+
+    #[test]
+    fn white_noise_near_half() {
+        let x = FgnGenerator::new(0.5).unwrap().seed(56).generate(32_768).unwrap();
+        let est = abry_veitch(&x).unwrap();
+        assert!((est.h - 0.5).abs() < 0.05, "H = {}", est.h);
+    }
+
+    #[test]
+    fn ci_covers_truth_most_of_the_time() {
+        let h = 0.75;
+        let mut covered = 0;
+        let trials = 20;
+        for seed in 100..100 + trials {
+            let x = FgnGenerator::new(h).unwrap().seed(seed).generate(8192).unwrap();
+            let est = abry_veitch(&x).unwrap();
+            let (lo, hi) = est.ci95.unwrap();
+            if lo <= h && h <= hi {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 15, "coverage {covered}/{trials}");
+    }
+
+    #[test]
+    fn robust_to_linear_trend() {
+        // The 2 vanishing moments of db2 should absorb a linear trend —
+        // the property that makes Abry-Veitch attractive for raw traffic.
+        let h = 0.7;
+        let clean = FgnGenerator::new(h).unwrap().seed(57).generate(16_384).unwrap();
+        let trended: Vec<f64> = clean
+            .iter()
+            .enumerate()
+            .map(|(t, x)| x + 0.001 * t as f64)
+            .collect();
+        let est = abry_veitch(&trended).unwrap();
+        assert!((est.h - h).abs() < 0.1, "H = {} under trend", est.h);
+    }
+
+    #[test]
+    fn explicit_scale_range() {
+        let x = FgnGenerator::new(0.8).unwrap().seed(58).generate(16_384).unwrap();
+        let est = abry_veitch_with_scales(&x, Wavelet::Daubechies4, 3, 9).unwrap();
+        assert!((est.h - 0.8).abs() < 0.12, "H = {}", est.h);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(abry_veitch(&[1.0; 16]).is_err());
+        let x = FgnGenerator::new(0.7).unwrap().seed(59).generate(1024).unwrap();
+        assert!(abry_veitch_with_scales(&x, Wavelet::Daubechies2, 0, 5).is_err());
+        // j1 beyond available octaves.
+        assert!(abry_veitch_with_scales(&x, Wavelet::Daubechies2, 20, 25).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Common result types for Hurst-exponent estimators.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which estimator produced a [`HurstEstimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// Variance-time plot (time domain).
+    VarianceTime,
+    /// Rescaled range R/S (time domain).
+    RescaledRange,
+    /// Periodogram log-log regression (frequency domain).
+    Periodogram,
+    /// Whittle maximum likelihood under an fGn spectrum (frequency domain).
+    Whittle,
+    /// Abry-Veitch wavelet log-scale diagram (wavelet domain).
+    AbryVeitch,
+    /// Absolute-moments aggregation method (extension beyond the paper).
+    AbsoluteMoments,
+    /// Variance-of-residuals / Peng method (extension beyond the paper).
+    VarianceResiduals,
+}
+
+impl fmt::Display for EstimatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            EstimatorKind::VarianceTime => "Variance",
+            EstimatorKind::RescaledRange => "R/S",
+            EstimatorKind::Periodogram => "Periodogram",
+            EstimatorKind::Whittle => "Whittle",
+            EstimatorKind::AbryVeitch => "Abry-Veitch",
+            EstimatorKind::AbsoluteMoments => "Abs-Moments",
+            EstimatorKind::VarianceResiduals => "Var-Residuals",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A point estimate of the Hurst exponent, optionally with a 95 % confidence
+/// interval (Whittle and Abry-Veitch provide one, per the paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HurstEstimate {
+    /// Which estimator produced this value.
+    pub kind: EstimatorKind,
+    /// The point estimate Ĥ.
+    pub h: f64,
+    /// 95 % confidence interval `(lower, upper)` when the estimator provides
+    /// one.
+    pub ci95: Option<(f64, f64)>,
+}
+
+impl HurstEstimate {
+    /// Create an estimate without a confidence interval.
+    pub fn new(kind: EstimatorKind, h: f64) -> Self {
+        HurstEstimate { kind, h, ci95: None }
+    }
+
+    /// Create an estimate with a 95 % confidence interval.
+    pub fn with_ci(kind: EstimatorKind, h: f64, lower: f64, upper: f64) -> Self {
+        HurstEstimate {
+            kind,
+            h,
+            ci95: Some((lower, upper)),
+        }
+    }
+
+    /// Whether the estimate indicates long-range dependence
+    /// (`0.5 < H < 1`), the criterion the paper applies throughout §4–§5.
+    pub fn indicates_lrd(&self) -> bool {
+        self.h > 0.5 && self.h < 1.0
+    }
+}
+
+impl fmt::Display for HurstEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ci95 {
+            Some((lo, hi)) => {
+                write!(f, "{}: H = {:.3} [{:.3}, {:.3}]", self.kind, self.h, lo, hi)
+            }
+            None => write!(f, "{}: H = {:.3}", self.kind, self.h),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lrd_criterion() {
+        assert!(HurstEstimate::new(EstimatorKind::Whittle, 0.75).indicates_lrd());
+        assert!(!HurstEstimate::new(EstimatorKind::Whittle, 0.5).indicates_lrd());
+        assert!(!HurstEstimate::new(EstimatorKind::Whittle, 1.01).indicates_lrd());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = HurstEstimate::with_ci(EstimatorKind::AbryVeitch, 0.8, 0.75, 0.85);
+        let s = e.to_string();
+        assert!(s.contains("Abry-Veitch"));
+        assert!(s.contains("0.800"));
+        assert!(s.contains("[0.750, 0.850]"));
+        let plain = HurstEstimate::new(EstimatorKind::RescaledRange, 0.6).to_string();
+        assert!(plain.contains("R/S"));
+        assert!(!plain.contains('['));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = HurstEstimate::with_ci(EstimatorKind::Whittle, 0.7, 0.65, 0.75);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: HurstEstimate = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,228 @@
+//! Additional Hurst estimators beyond the paper's five: the Absolute
+//! Moments and Variance-of-Residuals methods (both in the SELFIS tool and
+//! in Taqqu & Teverovsky's survey [27]). Extensions for cross-checking the
+//! main battery; not part of [`crate::HurstSuite`], which mirrors the paper
+//! exactly.
+
+use crate::estimate::{EstimatorKind, HurstEstimate};
+use crate::Result;
+use webpuzzle_stats::regression::ols;
+use webpuzzle_stats::StatsError;
+use webpuzzle_timeseries::{aggregate, aggregation_levels};
+
+/// Absolute-moments estimator: for a self-similar process the first
+/// absolute moment of the m-aggregated series scales as
+/// `E|X^{(m)} − X̄| ∝ m^{H−1}`, so the log-log slope plus one is H.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for series shorter than 256
+/// points and [`StatsError::DegenerateInput`] for constant series.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_lrd::{absolute_moments, fgn::FgnGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = FgnGenerator::new(0.8)?.seed(9).generate(16_384)?;
+/// let est = absolute_moments(&x)?;
+/// assert!((est.h - 0.8).abs() < 0.12, "H = {}", est.h);
+/// # Ok(())
+/// # }
+/// ```
+pub fn absolute_moments(data: &[f64]) -> Result<HurstEstimate> {
+    if data.len() < 256 {
+        return Err(StatsError::InsufficientData {
+            needed: 256,
+            got: data.len(),
+        });
+    }
+    let levels = aggregation_levels(data.len(), 64);
+    let mut log_m = Vec::with_capacity(levels.len());
+    let mut log_am = Vec::with_capacity(levels.len());
+    for &m in &levels {
+        let agg = aggregate(data, m)?;
+        let mean = agg.iter().sum::<f64>() / agg.len() as f64;
+        let am =
+            agg.iter().map(|x| (x - mean).abs()).sum::<f64>() / agg.len() as f64;
+        if am > 0.0 {
+            log_m.push((m as f64).ln());
+            log_am.push(am.ln());
+        }
+    }
+    if log_m.len() < 3 {
+        return Err(StatsError::DegenerateInput {
+            what: "too few usable aggregation levels for an absolute-moments fit",
+        });
+    }
+    let fit = ols(&log_m, &log_am)?;
+    Ok(HurstEstimate::new(
+        EstimatorKind::AbsoluteMoments,
+        fit.slope + 1.0,
+    ))
+}
+
+/// Variance-of-residuals estimator (Peng's method): within blocks of size
+/// `m`, the variance of the residuals of an OLS line fitted to the partial
+/// sums scales as `m^{2H}`; half the log-log slope is H.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for series shorter than 512
+/// points and [`StatsError::DegenerateInput`] for constant series.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_lrd::{fgn::FgnGenerator, variance_of_residuals};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = FgnGenerator::new(0.7)?.seed(10).generate(16_384)?;
+/// let est = variance_of_residuals(&x)?;
+/// assert!((est.h - 0.7).abs() < 0.12, "H = {}", est.h);
+/// # Ok(())
+/// # }
+/// ```
+pub fn variance_of_residuals(data: &[f64]) -> Result<HurstEstimate> {
+    let n = data.len();
+    if n < 512 {
+        return Err(StatsError::InsufficientData { needed: 512, got: n });
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFiniteData);
+    }
+    // Partial-sum (integrated) series.
+    let mut walk = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &x in data {
+        acc += x;
+        walk.push(acc);
+    }
+
+    let mut log_m = Vec::new();
+    let mut log_v = Vec::new();
+    let mut m = 16usize;
+    while m <= n / 8 {
+        let mut vars = Vec::new();
+        for block in walk.chunks_exact(m) {
+            if let Some(v) = residual_variance(block) {
+                vars.push(v);
+            }
+        }
+        if !vars.is_empty() {
+            let mean_v = vars.iter().sum::<f64>() / vars.len() as f64;
+            if mean_v > 0.0 {
+                log_m.push((m as f64).ln());
+                log_v.push(mean_v.ln());
+            }
+        }
+        m = ((m as f64) * 1.8).ceil() as usize;
+    }
+    if log_m.len() < 3 {
+        return Err(StatsError::DegenerateInput {
+            what: "too few usable block sizes for a variance-of-residuals fit",
+        });
+    }
+    let fit = ols(&log_m, &log_v)?;
+    Ok(HurstEstimate::new(
+        EstimatorKind::VarianceResiduals,
+        fit.slope / 2.0,
+    ))
+}
+
+// Variance of the OLS-line residuals of one block of the integrated series.
+fn residual_variance(block: &[f64]) -> Option<f64> {
+    let m = block.len() as f64;
+    let t_mean = (m - 1.0) / 2.0;
+    let y_mean = block.iter().sum::<f64>() / m;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (t, &y) in block.iter().enumerate() {
+        let dt = t as f64 - t_mean;
+        sxx += dt * dt;
+        sxy += dt * (y - y_mean);
+    }
+    if sxx <= 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = y_mean - slope * t_mean;
+    let var = block
+        .iter()
+        .enumerate()
+        .map(|(t, &y)| {
+            let r = y - (intercept + slope * t as f64);
+            r * r
+        })
+        .sum::<f64>()
+        / m;
+    (var > 0.0).then_some(var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fgn::FgnGenerator;
+
+    fn fgn(h: f64, n: usize, seed: u64) -> Vec<f64> {
+        FgnGenerator::new(h).unwrap().seed(seed).generate(n).unwrap()
+    }
+
+    #[test]
+    fn absolute_moments_tracks_h() {
+        for &h in &[0.6, 0.8] {
+            let x = fgn(h, 65_536, 70);
+            let est = absolute_moments(&x).unwrap();
+            assert_eq!(est.kind, EstimatorKind::AbsoluteMoments);
+            assert!((est.h - h).abs() < 0.1, "H = {h}: got {}", est.h);
+        }
+    }
+
+    #[test]
+    fn variance_of_residuals_tracks_h() {
+        for &h in &[0.6, 0.8] {
+            let x = fgn(h, 65_536, 71);
+            let est = variance_of_residuals(&x).unwrap();
+            assert_eq!(est.kind, EstimatorKind::VarianceResiduals);
+            assert!((est.h - h).abs() < 0.1, "H = {h}: got {}", est.h);
+        }
+    }
+
+    #[test]
+    fn white_noise_near_half() {
+        let x = fgn(0.5, 32_768, 72);
+        assert!((absolute_moments(&x).unwrap().h - 0.5).abs() < 0.08);
+        assert!((variance_of_residuals(&x).unwrap().h - 0.5).abs() < 0.08);
+    }
+
+    #[test]
+    fn variance_of_residuals_immune_to_level_shift() {
+        // A constant level in the series becomes a linear component of the
+        // partial sums, which the per-block OLS detrending absorbs exactly —
+        // the property that makes Peng's method insensitive to the series
+        // mean. (A linear *trend* becomes quadratic in the sums and is NOT
+        // absorbed; detrend first, as the pipeline does.)
+        let h = 0.7;
+        let base = fgn(h, 32_768, 73);
+        let shifted: Vec<f64> = base.iter().map(|v| v + 250.0).collect();
+        let e0 = variance_of_residuals(&base).unwrap().h;
+        let e1 = variance_of_residuals(&shifted).unwrap().h;
+        assert!((e0 - e1).abs() < 1e-9, "shift changed H: {e0} vs {e1}");
+        assert!((e1 - h).abs() < 0.1, "H = {e1}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(absolute_moments(&[1.0; 100]).is_err());
+        assert!(variance_of_residuals(&[1.0; 100]).is_err());
+        assert!(matches!(
+            absolute_moments(&vec![3.0; 1000]),
+            Err(StatsError::DegenerateInput { .. })
+        ));
+        assert!(matches!(
+            variance_of_residuals(&vec![3.0; 1000]),
+            Err(StatsError::DegenerateInput { .. })
+        ));
+    }
+}

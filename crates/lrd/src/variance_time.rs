@@ -1,0 +1,111 @@
+//! Variance-time plot estimator of the Hurst exponent.
+
+use crate::estimate::{EstimatorKind, HurstEstimate};
+use crate::Result;
+use webpuzzle_stats::regression::ols;
+use webpuzzle_stats::StatsError;
+use webpuzzle_timeseries::{aggregate, aggregation_levels};
+
+/// Variance-time estimator: for a self-similar process the variance of the
+/// m-aggregated series decays as `Var(X^{(m)}) ∝ m^{2H−2}`, so the slope β
+/// of `log Var(X^{(m)})` against `log m` gives `H = 1 + β/2`.
+///
+/// Aggregation levels are chosen geometrically such that every aggregated
+/// series retains at least 64 points (variance estimates from fewer blocks
+/// are too noisy to regress on).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for series shorter than 256
+/// points and [`StatsError::DegenerateInput`] when the series has no
+/// variance at some usable aggregation level.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_lrd::{fgn::FgnGenerator, variance_time};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = FgnGenerator::new(0.5)?.seed(2).generate(16_384)?;
+/// let est = variance_time(&x)?;
+/// assert!((est.h - 0.5).abs() < 0.1, "H = {}", est.h);
+/// # Ok(())
+/// # }
+/// ```
+pub fn variance_time(data: &[f64]) -> Result<HurstEstimate> {
+    if data.len() < 256 {
+        return Err(StatsError::InsufficientData {
+            needed: 256,
+            got: data.len(),
+        });
+    }
+    let levels = aggregation_levels(data.len(), 64);
+    let mut log_m = Vec::with_capacity(levels.len());
+    let mut log_var = Vec::with_capacity(levels.len());
+    for &m in &levels {
+        let agg = aggregate(data, m)?;
+        let mean = agg.iter().sum::<f64>() / agg.len() as f64;
+        let var =
+            agg.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / agg.len() as f64;
+        if var > 0.0 {
+            log_m.push((m as f64).ln());
+            log_var.push(var.ln());
+        }
+    }
+    if log_m.len() < 3 {
+        return Err(StatsError::DegenerateInput {
+            what: "too few usable aggregation levels for a variance-time fit",
+        });
+    }
+    let fit = ols(&log_m, &log_var)?;
+    Ok(HurstEstimate::new(
+        EstimatorKind::VarianceTime,
+        1.0 + fit.slope / 2.0,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fgn::FgnGenerator;
+
+    #[test]
+    fn recovers_h_for_fgn() {
+        for &(h, tol) in &[(0.6, 0.1), (0.8, 0.12), (0.9, 0.15)] {
+            let x = FgnGenerator::new(h).unwrap().seed(77).generate(65_536).unwrap();
+            let est = variance_time(&x).unwrap();
+            assert_eq!(est.kind, EstimatorKind::VarianceTime);
+            assert!(
+                (est.h - h).abs() < tol,
+                "true H = {h}, estimated {}",
+                est.h
+            );
+        }
+    }
+
+    #[test]
+    fn white_noise_near_half() {
+        let x = FgnGenerator::new(0.5).unwrap().seed(78).generate(65_536).unwrap();
+        let est = variance_time(&x).unwrap();
+        assert!((est.h - 0.5).abs() < 0.08, "H = {}", est.h);
+    }
+
+    #[test]
+    fn short_series_rejected() {
+        assert!(variance_time(&[1.0; 100]).is_err());
+    }
+
+    #[test]
+    fn constant_series_degenerate() {
+        assert!(matches!(
+            variance_time(&vec![1.0; 1000]),
+            Err(StatsError::DegenerateInput { .. })
+        ));
+    }
+
+    #[test]
+    fn no_ci_reported() {
+        let x = FgnGenerator::new(0.7).unwrap().seed(79).generate(4096).unwrap();
+        assert!(variance_time(&x).unwrap().ci95.is_none());
+    }
+}

@@ -1,0 +1,239 @@
+//! Discrete wavelet transform with Daubechies filters (periodized pyramid),
+//! the machinery behind the Abry-Veitch Hurst estimator.
+
+use crate::Result;
+use webpuzzle_stats::StatsError;
+
+/// Orthonormal wavelet families available for the pyramid transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Wavelet {
+    /// Haar (Daubechies-1): 1 vanishing moment, 2 taps.
+    Haar,
+    /// Daubechies-2 (4 taps, 2 vanishing moments) — the Abry-Veitch default;
+    /// its 2 vanishing moments kill linear trends in the detail
+    /// coefficients, which is why the estimator is robust to residual trend.
+    Daubechies2,
+    /// Daubechies-4 (8 taps, 4 vanishing moments).
+    Daubechies4,
+}
+
+impl Wavelet {
+    /// The low-pass (scaling) filter coefficients, normalized so that
+    /// `Σ h_k = √2`.
+    pub fn lowpass(&self) -> &'static [f64] {
+        match self {
+            Wavelet::Haar => &HAAR,
+            Wavelet::Daubechies2 => &DB2,
+            Wavelet::Daubechies4 => &DB4,
+        }
+    }
+
+    /// Number of vanishing moments of the analysis wavelet.
+    pub fn vanishing_moments(&self) -> usize {
+        match self {
+            Wavelet::Haar => 1,
+            Wavelet::Daubechies2 => 2,
+            Wavelet::Daubechies4 => 4,
+        }
+    }
+}
+
+const SQRT2_INV: f64 = std::f64::consts::FRAC_1_SQRT_2;
+static HAAR: [f64; 2] = [SQRT2_INV, SQRT2_INV];
+static DB2: [f64; 4] = [
+    0.482_962_913_144_690_25,
+    0.836_516_303_737_469,
+    0.224_143_868_041_857_35,
+    -0.129_409_522_550_921_45,
+];
+static DB4: [f64; 8] = [
+    0.230_377_813_308_855_23,
+    0.714_846_570_552_541_5,
+    0.630_880_767_929_590_4,
+    -0.027_983_769_416_983_85,
+    -0.187_034_811_718_881_14,
+    0.030_841_381_835_986_965,
+    0.032_883_011_666_982_945,
+    -0.010_597_401_784_997_278,
+];
+
+/// Detail coefficients of one octave of a multilevel DWT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DwtLevel {
+    /// Octave index `j` (1 = finest scale).
+    pub level: usize,
+    /// Detail (wavelet) coefficients `d_{j,k}` at this octave.
+    pub details: Vec<f64>,
+}
+
+/// Multilevel periodized DWT: returns detail coefficients for octaves
+/// `1..=max_level` (finest first). `max_level` is capped so every octave
+/// retains at least `filter_len` coefficients.
+///
+/// Periodized boundary handling wraps the signal circularly — standard for
+/// spectral estimation where only coefficient *energies* matter.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if the signal is shorter than
+/// twice the filter length, and [`StatsError::NonFiniteData`] for non-finite
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_lrd::wavelet::{dwt, Wavelet};
+///
+/// let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let levels = dwt(&x, Wavelet::Daubechies2, 4).unwrap();
+/// assert_eq!(levels.len(), 4);
+/// assert_eq!(levels[0].details.len(), 32);
+/// assert_eq!(levels[3].details.len(), 4);
+/// ```
+pub fn dwt(data: &[f64], wavelet: Wavelet, max_level: usize) -> Result<Vec<DwtLevel>> {
+    let h = wavelet.lowpass();
+    let l = h.len();
+    if data.len() < 2 * l {
+        return Err(StatsError::InsufficientData {
+            needed: 2 * l,
+            got: data.len(),
+        });
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFiniteData);
+    }
+    // Quadrature mirror: g_k = (−1)^k h_{L−1−k}.
+    let g: Vec<f64> = (0..l)
+        .map(|k| {
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            sign * h[l - 1 - k]
+        })
+        .collect();
+
+    let mut approx: Vec<f64> = data.to_vec();
+    let mut out = Vec::new();
+    for level in 1..=max_level {
+        let n = approx.len();
+        if n / 2 < l {
+            break;
+        }
+        let half = n / 2;
+        let mut next_approx = Vec::with_capacity(half);
+        let mut details = Vec::with_capacity(half);
+        for k in 0..half {
+            let mut a = 0.0;
+            let mut d = 0.0;
+            for (i, (&hi, &gi)) in h.iter().zip(&g).enumerate() {
+                let idx = (2 * k + i) % n;
+                a += hi * approx[idx];
+                d += gi * approx[idx];
+            }
+            next_approx.push(a);
+            details.push(d);
+        }
+        out.push(DwtLevel { level, details });
+        approx = next_approx;
+    }
+    if out.is_empty() {
+        return Err(StatsError::InsufficientData {
+            needed: 2 * l,
+            got: data.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn filters_are_orthonormal() {
+        for w in [Wavelet::Haar, Wavelet::Daubechies2, Wavelet::Daubechies4] {
+            let h = w.lowpass();
+            let sum: f64 = h.iter().sum();
+            assert!(
+                (sum - std::f64::consts::SQRT_2).abs() < 1e-10,
+                "{w:?} sum = {sum}"
+            );
+            let energy: f64 = h.iter().map(|c| c * c).sum();
+            assert!((energy - 1.0).abs() < 1e-10, "{w:?} energy = {energy}");
+            // Even-shift orthogonality: Σ h_k h_{k+2} = 0.
+            if h.len() >= 4 {
+                let dot: f64 = (0..h.len() - 2).map(|k| h[k] * h[k + 2]).sum();
+                assert!(dot.abs() < 1e-10, "{w:?} shift-2 dot = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn vanishing_moments_kill_polynomials() {
+        // A linear ramp has zero detail coefficients under db2 (2 vanishing
+        // moments), away from the circular wrap-around.
+        let x: Vec<f64> = (0..256).map(|i| 3.0 + 0.5 * i as f64).collect();
+        let levels = dwt(&x, Wavelet::Daubechies2, 3).unwrap();
+        let d1 = &levels[0].details;
+        // Skip coefficients affected by the wrap (filter length 4 → last 2).
+        for (k, &d) in d1[..d1.len() - 2].iter().enumerate() {
+            assert!(d.abs() < 1e-9, "d1[{k}] = {d}");
+        }
+    }
+
+    #[test]
+    fn haar_details_are_scaled_differences() {
+        let x = [1.0, 3.0, 2.0, 6.0];
+        let levels = dwt(&x, Wavelet::Haar, 1).unwrap();
+        // Haar detail: (x0 − x1)/√2 with our g convention (sign may flip;
+        // energy is what matters downstream).
+        let expected = [(1.0f64 - 3.0) / 2f64.sqrt(), (2.0f64 - 6.0) / 2f64.sqrt()];
+        for (d, e) in levels[0].details.iter().zip(&expected) {
+            assert!((d.abs() - e.abs()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn energy_preserved_overall() {
+        // Parseval: total detail energy + final approximation energy equals
+        // signal energy. Reconstruct the approximation by running the
+        // pyramid manually (reuse dwt and sum energies).
+        let mut rng = StdRng::seed_from_u64(21);
+        let x: Vec<f64> = (0..512).map(|_| rng.random::<f64>() - 0.5).collect();
+        let levels = dwt(&x, Wavelet::Daubechies2, 9).unwrap();
+        let signal_energy: f64 = x.iter().map(|v| v * v).sum();
+        let detail_energy: f64 = levels
+            .iter()
+            .map(|l| l.details.iter().map(|d| d * d).sum::<f64>())
+            .sum();
+        // Detail energy must be at most the signal energy, and for zero-mean
+        // noise almost all energy lives in the details.
+        assert!(detail_energy <= signal_energy + 1e-9);
+        assert!(detail_energy > 0.9 * signal_energy);
+    }
+
+    #[test]
+    fn level_sizes_halve() {
+        let x = vec![1.0; 1024];
+        let levels = dwt(&x, Wavelet::Daubechies4, 6).unwrap();
+        for (i, l) in levels.iter().enumerate() {
+            assert_eq!(l.level, i + 1);
+            assert_eq!(l.details.len(), 1024 >> (i + 1));
+        }
+    }
+
+    #[test]
+    fn max_level_capped_by_filter_length() {
+        let x = vec![0.5; 64];
+        let levels = dwt(&x, Wavelet::Daubechies4, 20).unwrap();
+        // Deepest level must retain >= 8 coefficients for db4.
+        assert!(levels.last().unwrap().details.len() >= 8);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(dwt(&[1.0, 2.0], Wavelet::Daubechies2, 2).is_err());
+        assert!(dwt(&[1.0, f64::NAN, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            Wavelet::Daubechies2, 1).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Exponential distribution.
+
+use super::{open_unit, ContinuousDistribution, Sampler};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+///
+/// This is the inter-arrival distribution of a homogeneous Poisson process —
+/// the null model the paper formally rejects for Web request arrivals (§4.2).
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_stats::dist::{ContinuousDistribution, Exponential};
+///
+/// let exp = Exponential::new(2.0).unwrap();
+/// assert!((exp.mean() - 0.5).abs() < 1e-12);
+/// assert!((exp.cdf(0.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution with the given rate `λ > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `rate` is not a finite
+    /// positive number.
+    pub fn new(rate: f64) -> Result<Self> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Create from the mean `1/λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `mean` is not finite and
+    /// positive.
+    pub fn from_mean(mean: f64) -> Result<Self> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        -(1.0 - p).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open_unit(rng).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::*;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::from_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let d = Exponential::new(4.0).unwrap();
+        assert!((d.mean() - 0.25).abs() < 1e-12);
+        assert!((d.variance() - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_matches_formula() {
+        let d = Exponential::new(1.5).unwrap();
+        assert!((d.quantile(0.5) - (2.0f64).ln() / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        check_quantile_roundtrip(&Exponential::new(0.7).unwrap());
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        check_sampler_matches_cdf(&Exponential::new(3.0).unwrap(), 20_000, 0.02, 42);
+    }
+
+    #[test]
+    fn pdf_zero_below_support() {
+        let d = Exponential::new(1.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Lognormal distribution.
+
+use super::{ContinuousDistribution, Normal, Sampler};
+use crate::special::{normal_cdf, normal_quantile};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Lognormal distribution: `ln X ~ N(μ, σ²)`.
+///
+/// The lognormal is the paper's foil for the Pareto model: it is **not**
+/// heavy-tailed in the sense of equation (3), yet for large σ its LLCD plot
+/// is nearly straight "at least to a point" (Downey 2001), which is exactly
+/// why the curvature test in [`crate::htest`]/`webpuzzle-heavytail` exists.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_stats::dist::{ContinuousDistribution, LogNormal};
+///
+/// let ln = LogNormal::new(0.0, 1.0).unwrap();
+/// // Median of a lognormal is exp(μ).
+/// assert!((ln.quantile(0.5) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create a lognormal with log-mean `mu` and log-std-dev `sigma > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `mu` is not finite or
+    /// `sigma` is not finite and positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                value: mu,
+                constraint: "must be finite",
+            });
+        }
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Log-scale mean parameter `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-scale standard deviation parameter `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDistribution for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp()
+            / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * normal_quantile(p)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * Normal::standard_sample(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::*;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        assert!((d.mean() - (1.125f64).exp()).abs() < 1e-10);
+        let s2 = 0.25f64;
+        let expected_var = (s2.exp() - 1.0) * (2.0 + s2).exp();
+        assert!((d.variance() - expected_var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        check_quantile_roundtrip(&LogNormal::new(2.0, 1.3).unwrap());
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        check_sampler_matches_cdf(&LogNormal::new(0.5, 1.0).unwrap(), 20_000, 0.02, 33);
+    }
+
+    #[test]
+    fn support_positive_only() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn llcd_slope_steepens_in_extreme_tail() {
+        // The property the curvature test exploits: unlike a Pareto, the
+        // lognormal's LLCD slope becomes steeper (more negative) deeper in
+        // the tail.
+        let d = LogNormal::new(0.0, 2.0).unwrap();
+        let slope = |x1: f64, x2: f64| {
+            (d.ccdf(x2).ln() - d.ccdf(x1).ln()) / (x2.ln() - x1.ln())
+        };
+        let body = slope(1.0, 10.0);
+        let tail = slope(100.0, 1000.0);
+        assert!(tail < body, "tail slope {tail} should be steeper than body {body}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Parametric distributions used throughout the workload suite.
+//!
+//! Every distribution implements [`ContinuousDistribution`] (density, CDF,
+//! quantile, moments) and [`Sampler`] (inverse-transform or transform-based
+//! sampling from any [`rand::Rng`]). The set matches what the paper needs:
+//! exponential (Poisson inter-arrivals, §4.2), Pareto and bounded Pareto
+//! (heavy tails, §5.2 and the ON/OFF arrival substrate), lognormal (the
+//! competing model in Downey's curvature test), and the normal distribution
+//! (fGn synthesis and test statistics).
+
+mod exponential;
+mod lognormal;
+mod normal;
+mod pareto;
+mod weibull;
+
+pub use exponential::Exponential;
+pub use lognormal::LogNormal;
+pub use normal::Normal;
+pub use pareto::{BoundedPareto, Pareto};
+pub use weibull::Weibull;
+
+use rand::{Rng, RngExt};
+
+/// A continuous univariate distribution.
+///
+/// This trait is object-safe so heterogeneous model lists (e.g. the curvature
+/// test comparing Pareto vs lognormal candidates) can hold
+/// `Box<dyn ContinuousDistribution>`.
+pub trait ContinuousDistribution {
+    /// Probability density function at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `P[X ≤ x]`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Complementary CDF `P[X > x]`; the quantity LLCD plots display.
+    fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Quantile (inverse CDF) for `p ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `p` is outside `(0, 1)`.
+    fn quantile(&self, p: f64) -> f64;
+
+    /// Mean, or `f64::INFINITY` when it does not exist (heavy tails with
+    /// tail index α ≤ 1).
+    fn mean(&self) -> f64;
+
+    /// Variance, or `f64::INFINITY` when it does not exist (α ≤ 2).
+    fn variance(&self) -> f64;
+}
+
+/// Sampling support for a distribution.
+pub trait Sampler {
+    /// Draw one value using the supplied random-number generator.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draw `n` values into a fresh vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Draw a uniform variate in the open interval (0, 1), safe for use in
+/// inverse-transform sampling (never exactly 0 or 1).
+pub(crate) fn open_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random();
+        if u > 0.0 && u < 1.0 {
+            return u;
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Kolmogorov–Smirnov style sanity check: empirical CDF of `n` samples
+    /// should track the analytic CDF within `tol` at every sample point.
+    pub fn check_sampler_matches_cdf<D>(dist: &D, n: usize, tol: f64, seed: u64)
+    where
+        D: ContinuousDistribution + Sampler,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = dist.sample_n(&mut rng, n);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut max_gap = 0.0f64;
+        for (i, &x) in xs.iter().enumerate() {
+            let emp = (i + 1) as f64 / n as f64;
+            let gap = (emp - dist.cdf(x)).abs();
+            max_gap = max_gap.max(gap);
+        }
+        assert!(
+            max_gap < tol,
+            "empirical/analytic CDF gap {max_gap} exceeds {tol}"
+        );
+    }
+
+    /// Check quantile/cdf round-trip across the body of the distribution.
+    pub fn check_quantile_roundtrip<D: ContinuousDistribution>(dist: &D) {
+        for &p in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = dist.quantile(p);
+            assert!(
+                (dist.cdf(x) - p).abs() < 1e-9,
+                "cdf(quantile({p})) = {} != {p}",
+                dist.cdf(x)
+            );
+        }
+    }
+}

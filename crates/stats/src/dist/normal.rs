@@ -1,0 +1,151 @@
+//! Normal (Gaussian) distribution.
+
+use super::{open_unit, ContinuousDistribution, Sampler};
+use crate::special::{normal_cdf, normal_quantile};
+use crate::{Result, StatsError};
+use rand::{Rng, RngExt};
+
+/// Normal distribution `N(μ, σ²)`.
+///
+/// Sampling uses the Box–Muller transform (both variates generated, one
+/// cached would add statefulness; we simply draw fresh pairs — throughput is
+/// dominated by downstream work in this suite).
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_stats::dist::{ContinuousDistribution, Normal};
+///
+/// let n = Normal::standard();
+/// assert!((n.cdf(0.0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution with mean `mu` and standard deviation
+    /// `sigma > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `mu` is not finite or
+    /// `sigma` is not finite and positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                value: mu,
+                constraint: "must be finite",
+            });
+        }
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Normal { mu, sigma })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Mean parameter `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation parameter `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draw a standard normal variate via Box–Muller.
+    pub fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1 = open_unit(rng);
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Default for Normal {
+    fn default() -> Self {
+        Normal::standard()
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * normal_quantile(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+impl Sampler for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * Normal::standard_sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::*;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn standard_matches_default() {
+        assert_eq!(Normal::standard(), Normal::default());
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        check_quantile_roundtrip(&Normal::new(3.0, 2.5).unwrap());
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        check_sampler_matches_cdf(&Normal::new(-1.0, 2.0).unwrap(), 20_000, 0.02, 21);
+    }
+
+    #[test]
+    fn sample_moments() {
+        let d = Normal::new(5.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs = d.sample_n(&mut rng, 100_000);
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 5.0).abs() < 0.05);
+        assert!((v - 9.0).abs() < 0.2);
+    }
+}

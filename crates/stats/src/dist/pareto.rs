@@ -1,0 +1,349 @@
+//! Classical and bounded Pareto distributions.
+
+use super::{open_unit, ContinuousDistribution, Sampler};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Classical Pareto distribution with shape `α` and location (minimum) `k`,
+/// the paper's equation (4): `F(x) = 1 − (k/x)^α` for `x ≥ k`.
+///
+/// This is the canonical heavy-tailed model: for `1 < α ≤ 2` the mean is
+/// finite but the variance infinite; for `α ≤ 1` even the mean is infinite.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_stats::dist::{ContinuousDistribution, Pareto};
+///
+/// let p = Pareto::new(1.5, 10.0).unwrap();
+/// assert!((p.ccdf(20.0) - (0.5f64).powf(1.5)).abs() < 1e-12);
+/// assert!(p.variance().is_infinite()); // α ≤ 2 ⇒ infinite variance
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    alpha: f64,
+    k: f64,
+}
+
+impl Pareto {
+    /// Create a Pareto distribution with shape `alpha > 0` and location
+    /// `k > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if either parameter is not
+    /// finite and positive.
+    pub fn new(alpha: f64, k: f64) -> Result<Self> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !k.is_finite() || k <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "k",
+                value: k,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Pareto { alpha, k })
+    }
+
+    /// The tail index (shape) `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The location (minimum value) `k`.
+    pub fn location(&self) -> f64 {
+        self.k
+    }
+}
+
+impl ContinuousDistribution for Pareto {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.k {
+            0.0
+        } else {
+            self.alpha * self.k.powf(self.alpha) / x.powf(self.alpha + 1.0)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.k {
+            0.0
+        } else {
+            1.0 - (self.k / x).powf(self.alpha)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        self.k / (1.0 - p).powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.k / (self.alpha - 1.0)
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.alpha <= 2.0 {
+            f64::INFINITY
+        } else {
+            let a = self.alpha;
+            self.k * self.k * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        }
+    }
+}
+
+impl Sampler for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform: k / U^{1/α}.
+        self.k / open_unit(rng).powf(1.0 / self.alpha)
+    }
+}
+
+/// Bounded (truncated) Pareto on `[low, high]` with shape `α`.
+///
+/// Used by the workload generator where a physical cap exists — e.g. think
+/// times inside a session are bounded above by the 30-minute session
+/// threshold, and ON/OFF period lengths need finite support to keep the
+/// simulated week well-defined.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_stats::dist::{BoundedPareto, ContinuousDistribution};
+///
+/// let bp = BoundedPareto::new(1.2, 1.0, 1800.0).unwrap();
+/// assert_eq!(bp.cdf(0.5), 0.0);
+/// assert!((bp.cdf(1800.0) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    alpha: f64,
+    low: f64,
+    high: f64,
+    // Cached: low^alpha and the normalizing constant 1 - (low/high)^alpha.
+    low_a: f64,
+    norm: f64,
+}
+
+impl BoundedPareto {
+    /// Create a bounded Pareto with shape `alpha > 0` on `0 < low < high`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `alpha` or `low` is not
+    /// positive and finite, or if `high <= low`.
+    pub fn new(alpha: f64, low: f64, high: f64) -> Result<Self> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !low.is_finite() || low <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "low",
+                value: low,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !high.is_finite() || high <= low {
+            return Err(StatsError::InvalidParameter {
+                name: "high",
+                value: high,
+                constraint: "must be finite and > low",
+            });
+        }
+        Ok(BoundedPareto {
+            alpha,
+            low,
+            high,
+            low_a: low.powf(alpha),
+            norm: 1.0 - (low / high).powf(alpha),
+        })
+    }
+
+    /// The tail index (shape) `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Lower bound of the support.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper bound of the support.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+}
+
+impl ContinuousDistribution for BoundedPareto {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.low || x > self.high {
+            0.0
+        } else {
+            self.alpha * self.low_a / (x.powf(self.alpha + 1.0) * self.norm)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.low {
+            0.0
+        } else if x >= self.high {
+            1.0
+        } else {
+            (1.0 - (self.low / x).powf(self.alpha)) / self.norm
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        self.low / (1.0 - p * self.norm).powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        let a = self.alpha;
+        if (a - 1.0).abs() < 1e-12 {
+            // α = 1 limit: E = L ln(H/L) / (1 - L/H)
+            self.low * (self.high / self.low).ln() / self.norm
+        } else {
+            (a * self.low_a / (self.norm * (a - 1.0)))
+                * (self.low.powf(1.0 - a) - self.high.powf(1.0 - a))
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        let a = self.alpha;
+        let ex2 = if (a - 2.0).abs() < 1e-12 {
+            a * self.low_a / self.norm * (self.high / self.low).ln()
+        } else {
+            (a * self.low_a / (self.norm * (a - 2.0)))
+                * (self.low.powf(2.0 - a) - self.high.powf(2.0 - a))
+        };
+        let m = self.mean();
+        (ex2 - m * m).max(0.0)
+    }
+}
+
+impl Sampler for BoundedPareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = open_unit(rng);
+        self.low / (1.0 - u * self.norm).powf(1.0 / self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::*;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pareto_rejects_bad_params() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn pareto_moment_regimes() {
+        // α ≤ 1: infinite mean and variance.
+        let p = Pareto::new(0.9, 1.0).unwrap();
+        assert!(p.mean().is_infinite());
+        assert!(p.variance().is_infinite());
+        // 1 < α ≤ 2: finite mean, infinite variance.
+        let p = Pareto::new(1.5, 1.0).unwrap();
+        assert!((p.mean() - 3.0).abs() < 1e-12);
+        assert!(p.variance().is_infinite());
+        // α > 2: both finite.
+        let p = Pareto::new(3.0, 2.0).unwrap();
+        assert!((p.mean() - 3.0).abs() < 1e-12);
+        assert!((p.variance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_llcd_slope_is_minus_alpha() {
+        // The defining property the LLCD method exploits:
+        // d log F̄ / d log x = -α exactly, everywhere.
+        let p = Pareto::new(1.7, 5.0).unwrap();
+        let (x1, x2) = (10.0, 1000.0);
+        let slope = (p.ccdf(x2).ln() - p.ccdf(x1).ln()) / (x2.ln() - x1.ln());
+        assert!((slope + 1.7).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pareto_quantile_roundtrip() {
+        check_quantile_roundtrip(&Pareto::new(1.3, 2.0).unwrap());
+    }
+
+    #[test]
+    fn pareto_sampler_matches_cdf() {
+        check_sampler_matches_cdf(&Pareto::new(1.5, 1.0).unwrap(), 20_000, 0.02, 7);
+    }
+
+    #[test]
+    fn bounded_rejects_bad_bounds() {
+        assert!(BoundedPareto::new(1.0, 2.0, 2.0).is_err());
+        assert!(BoundedPareto::new(1.0, 0.0, 2.0).is_err());
+        assert!(BoundedPareto::new(-1.0, 1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn bounded_support_is_respected() {
+        let bp = BoundedPareto::new(1.1, 1.0, 100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5_000 {
+            let x = bp.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&x), "sample {x} outside support");
+        }
+    }
+
+    #[test]
+    fn bounded_quantile_roundtrip() {
+        check_quantile_roundtrip(&BoundedPareto::new(0.8, 1.0, 500.0).unwrap());
+    }
+
+    #[test]
+    fn bounded_sampler_matches_cdf() {
+        check_sampler_matches_cdf(
+            &BoundedPareto::new(1.2, 1.0, 1800.0).unwrap(),
+            20_000,
+            0.02,
+            13,
+        );
+    }
+
+    #[test]
+    fn bounded_mean_matches_monte_carlo() {
+        let bp = BoundedPareto::new(1.4, 1.0, 1000.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let m: f64 = (0..n).map(|_| bp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (m - bp.mean()).abs() / bp.mean() < 0.05,
+            "MC mean {m} vs analytic {}",
+            bp.mean()
+        );
+    }
+
+    #[test]
+    fn bounded_alpha_one_mean_limit() {
+        // Continuity near α = 1.
+        let near = BoundedPareto::new(1.0 + 1e-9, 1.0, 100.0).unwrap().mean();
+        let at = BoundedPareto::new(1.0, 1.0, 100.0).unwrap().mean();
+        assert!((near - at).abs() / at < 1e-4);
+    }
+}

@@ -1,0 +1,178 @@
+//! Weibull distribution.
+
+use super::{open_unit, ContinuousDistribution, Sampler};
+use crate::special::gamma;
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Weibull distribution with shape `k` and scale `λ`:
+/// `F(x) = 1 − exp(−(x/λ)^k)`.
+///
+/// A *stretched-exponential* model often proposed as a middle ground
+/// between exponential and Pareto session/transfer models: for `k < 1` the
+/// tail is sub-exponential but still lighter than any power law, so it is a
+/// useful additional foil for the heavy-tail discrimination machinery
+/// (Hill plots of Weibull data must report NS).
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_stats::dist::{ContinuousDistribution, Weibull};
+///
+/// // k = 1 reduces to Exponential(1/λ).
+/// let w = Weibull::new(1.0, 2.0).unwrap();
+/// assert!((w.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Create a Weibull distribution with `shape > 0` and `scale > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when either parameter is
+    /// not finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "shape",
+                value: shape,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "scale",
+                value: scale,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Weibull { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDistribution for Weibull {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.shape < 1.0 {
+                f64::INFINITY
+            } else if self.shape == 1.0 {
+                1.0 / self.scale
+            } else {
+                0.0
+            };
+        }
+        let z = x / self.scale;
+        (self.shape / self.scale) * z.powf(self.shape - 1.0)
+            * (-z.powf(self.shape)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = gamma(1.0 + 1.0 / self.shape);
+        let g2 = gamma(1.0 + 2.0 / self.shape);
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+}
+
+impl Sampler for Weibull {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * (-open_unit(rng).ln()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::*;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, -1.0).is_err());
+        assert!(Weibull::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn reduces_to_exponential_at_shape_one() {
+        let w = Weibull::new(1.0, 0.5).unwrap();
+        // Exponential with rate 2: mean 0.5, variance 0.25.
+        assert!((w.mean() - 0.5).abs() < 1e-10);
+        assert!((w.variance() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rayleigh_moments_at_shape_two() {
+        // k = 2 is the Rayleigh distribution: mean = λ√π/2.
+        let w = Weibull::new(2.0, 3.0).unwrap();
+        assert!(
+            (w.mean() - 3.0 * std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        check_quantile_roundtrip(&Weibull::new(0.7, 2.0).unwrap());
+        check_quantile_roundtrip(&Weibull::new(2.5, 0.3).unwrap());
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        check_sampler_matches_cdf(&Weibull::new(0.6, 1.0).unwrap(), 20_000, 0.02, 44);
+        check_sampler_matches_cdf(&Weibull::new(3.0, 2.0).unwrap(), 20_000, 0.02, 45);
+    }
+
+    #[test]
+    fn stretched_exponential_is_subexponential_but_not_pareto() {
+        // For k < 1 the LLCD slope keeps steepening — no straight-line
+        // (power-law) regime exists.
+        let w = Weibull::new(0.5, 1.0).unwrap();
+        let slope = |x1: f64, x2: f64| {
+            (w.ccdf(x2).ln() - w.ccdf(x1).ln()) / (x2.ln() - x1.ln())
+        };
+        let body = slope(1.0, 10.0);
+        let tail = slope(10.0, 100.0);
+        assert!(tail < body, "tail slope {tail} vs body {body}");
+    }
+
+    #[test]
+    fn pdf_boundary_behaviour() {
+        assert_eq!(Weibull::new(0.5, 1.0).unwrap().pdf(0.0), f64::INFINITY);
+        assert_eq!(Weibull::new(2.0, 1.0).unwrap().pdf(0.0), 0.0);
+        assert!((Weibull::new(1.0, 2.0).unwrap().pdf(0.0) - 0.5).abs() < 1e-12);
+        assert_eq!(Weibull::new(1.0, 1.0).unwrap().pdf(-1.0), 0.0);
+    }
+}

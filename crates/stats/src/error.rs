@@ -1,0 +1,86 @@
+//! Error type shared by all statistical routines in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by statistical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution or test parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be > 0"`.
+        constraint: &'static str,
+    },
+    /// The input sample was too small for the requested procedure.
+    InsufficientData {
+        /// Number of observations required.
+        needed: usize,
+        /// Number of observations provided.
+        got: usize,
+    },
+    /// The input contained a non-finite value (NaN or infinity).
+    NonFiniteData,
+    /// An iterative numerical procedure failed to converge.
+    NoConvergence {
+        /// Name of the procedure that failed.
+        what: &'static str,
+    },
+    /// The input was degenerate (e.g. zero variance where variance is needed).
+    DegenerateInput {
+        /// Explanation of the degeneracy.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: need at least {needed}, got {got}")
+            }
+            StatsError::NonFiniteData => write!(f, "input contains non-finite values"),
+            StatsError::NoConvergence { what } => write!(f, "{what} failed to converge"),
+            StatsError::DegenerateInput { what } => write!(f, "degenerate input: {what}"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::InvalidParameter {
+            name: "alpha",
+            value: -1.0,
+            constraint: "must be > 0",
+        };
+        let s = e.to_string();
+        assert!(s.contains("alpha"));
+        assert!(s.contains("-1"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&StatsError::NonFiniteData);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,298 @@
+//! Maximum-likelihood parameter fits for the model distributions.
+//!
+//! These are the fits the curvature test (Downey 2001) needs: given an
+//! empirical sample, fit a candidate Pareto or lognormal and then compare the
+//! sample's LLCD curvature against Monte-Carlo replicates from the fit.
+
+use crate::descriptive::check_sample;
+use crate::dist::{Exponential, LogNormal, Pareto, Weibull};
+use crate::{Result, StatsError};
+
+/// Fit an exponential distribution by maximum likelihood (`λ̂ = 1/x̄`).
+///
+/// # Errors
+///
+/// Returns an error for empty/non-finite input or if any observation is
+/// negative (outside the exponential support) or the mean is zero.
+///
+/// # Examples
+///
+/// ```
+/// let d = webpuzzle_stats::fit::fit_exponential(&[1.0, 2.0, 3.0]).unwrap();
+/// assert!((d.rate() - 0.5).abs() < 1e-12);
+/// ```
+pub fn fit_exponential(data: &[f64]) -> Result<Exponential> {
+    check_sample(data, 1)?;
+    if data.iter().any(|&x| x < 0.0) {
+        return Err(StatsError::DegenerateInput {
+            what: "exponential fit requires non-negative data",
+        });
+    }
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    if mean <= 0.0 {
+        return Err(StatsError::DegenerateInput {
+            what: "exponential fit requires positive mean",
+        });
+    }
+    Exponential::from_mean(mean)
+}
+
+/// Fit a lognormal by maximum likelihood on the logs
+/// (`μ̂ = mean(ln x)`, `σ̂² = var(ln x)` with n denominator).
+///
+/// # Errors
+///
+/// Returns an error for fewer than two observations, non-finite input,
+/// non-positive observations, or zero variance on the log scale.
+pub fn fit_lognormal(data: &[f64]) -> Result<LogNormal> {
+    check_sample(data, 2)?;
+    if data.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::DegenerateInput {
+            what: "lognormal fit requires strictly positive data",
+        });
+    }
+    let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
+    let n = logs.len() as f64;
+    let mu = logs.iter().sum::<f64>() / n;
+    let var = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return Err(StatsError::DegenerateInput {
+            what: "lognormal fit requires non-degenerate data",
+        });
+    }
+    LogNormal::new(mu, var.sqrt())
+}
+
+/// Fit a Pareto by maximum likelihood with the location fixed at the sample
+/// minimum: `α̂ = n / Σ ln(xᵢ/k̂)`, `k̂ = min xᵢ`.
+///
+/// This is the conditional MLE; for tail-only fitting above a chosen
+/// threshold use [`fit_pareto_tail`].
+///
+/// # Errors
+///
+/// Returns an error for fewer than two observations, non-finite input, or
+/// non-positive observations.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use webpuzzle_stats::dist::{Pareto, Sampler};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let truth = Pareto::new(1.5, 2.0).unwrap();
+/// let sample = truth.sample_n(&mut rng, 5000);
+/// let fitted = webpuzzle_stats::fit::fit_pareto(&sample).unwrap();
+/// assert!((fitted.alpha() - 1.5).abs() < 0.1);
+/// ```
+pub fn fit_pareto(data: &[f64]) -> Result<Pareto> {
+    check_sample(data, 2)?;
+    if data.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::DegenerateInput {
+            what: "Pareto fit requires strictly positive data",
+        });
+    }
+    let k = data.iter().cloned().fold(f64::INFINITY, f64::min);
+    let sum_log: f64 = data.iter().map(|&x| (x / k).ln()).sum();
+    if sum_log <= 0.0 {
+        return Err(StatsError::DegenerateInput {
+            what: "Pareto fit requires non-degenerate data",
+        });
+    }
+    Pareto::new(data.len() as f64 / sum_log, k)
+}
+
+/// Fit a Pareto to the upper tail: observations `x ≥ threshold` only, with
+/// the location fixed at `threshold`.
+///
+/// # Errors
+///
+/// Returns an error if the threshold is not positive, fewer than two
+/// observations exceed it, or the tail is degenerate.
+pub fn fit_pareto_tail(data: &[f64], threshold: f64) -> Result<Pareto> {
+    if !threshold.is_finite() || threshold <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "threshold",
+            value: threshold,
+            constraint: "must be finite and > 0",
+        });
+    }
+    let tail: Vec<f64> = data.iter().cloned().filter(|&x| x >= threshold).collect();
+    if tail.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: tail.len(),
+        });
+    }
+    check_sample(&tail, 2)?;
+    let sum_log: f64 = tail.iter().map(|&x| (x / threshold).ln()).sum();
+    if sum_log <= 0.0 {
+        return Err(StatsError::DegenerateInput {
+            what: "tail contains no spread above threshold",
+        });
+    }
+    Pareto::new(tail.len() as f64 / sum_log, threshold)
+}
+
+/// Fit a Weibull distribution by maximum likelihood.
+///
+/// The shape `k̂` solves `Σxᵏln x / Σxᵏ − 1/k − mean(ln x) = 0` (found by
+/// bisection on `k ∈ [0.02, 100]`), then `λ̂ = (Σxᵏ/n)^{1/k}`.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two observations, non-finite or
+/// non-positive data, degenerate (constant) samples, or if the profile
+/// equation has no root in the bracket ([`StatsError::NoConvergence`]).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use webpuzzle_stats::dist::{Sampler, Weibull};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let truth = Weibull::new(0.8, 3.0).unwrap();
+/// let sample = truth.sample_n(&mut rng, 5000);
+/// let fit = webpuzzle_stats::fit::fit_weibull(&sample).unwrap();
+/// assert!((fit.shape() - 0.8).abs() < 0.05);
+/// ```
+pub fn fit_weibull(data: &[f64]) -> Result<Weibull> {
+    check_sample(data, 2)?;
+    if data.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::DegenerateInput {
+            what: "Weibull fit requires strictly positive data",
+        });
+    }
+    let n = data.len() as f64;
+    let mean_log: f64 = data.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let profile = |k: f64| -> f64 {
+        let mut sxk = 0.0;
+        let mut sxk_ln = 0.0;
+        for &x in data {
+            let xk = x.powf(k);
+            sxk += xk;
+            sxk_ln += xk * x.ln();
+        }
+        sxk_ln / sxk - 1.0 / k - mean_log
+    };
+    let (mut lo, mut hi) = (0.02, 100.0);
+    let (flo, fhi) = (profile(lo), profile(hi));
+    if !(flo < 0.0 && fhi > 0.0) {
+        return Err(StatsError::NoConvergence {
+            what: "Weibull shape profile has no sign change in [0.02, 100]",
+        });
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if profile(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-10 {
+            break;
+        }
+    }
+    let k = 0.5 * (lo + hi);
+    let scale = (data.iter().map(|x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+    Weibull::new(k, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Sampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_fit_recovers_rate() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let truth = Exponential::new(2.5).unwrap();
+        let sample = truth.sample_n(&mut rng, 50_000);
+        let fit = fit_exponential(&sample).unwrap();
+        assert!((fit.rate() - 2.5).abs() < 0.05, "rate = {}", fit.rate());
+    }
+
+    #[test]
+    fn exponential_fit_rejects_negative() {
+        assert!(fit_exponential(&[-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_params() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let truth = LogNormal::new(1.5, 0.8).unwrap();
+        let sample = truth.sample_n(&mut rng, 50_000);
+        let fit = fit_lognormal(&sample).unwrap();
+        assert!((fit.mu() - 1.5).abs() < 0.02);
+        assert!((fit.sigma() - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn lognormal_fit_rejects_nonpositive() {
+        assert!(fit_lognormal(&[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn pareto_fit_recovers_alpha() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let truth = Pareto::new(1.2, 3.0).unwrap();
+        let sample = truth.sample_n(&mut rng, 50_000);
+        let fit = fit_pareto(&sample).unwrap();
+        assert!((fit.alpha() - 1.2).abs() < 0.05, "alpha = {}", fit.alpha());
+        assert!((fit.location() - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn pareto_tail_fit_ignores_body() {
+        // Mix a lognormal body with a Pareto tail; the tail fit above the
+        // splice point should recover the tail α.
+        let mut rng = StdRng::seed_from_u64(40);
+        let body = LogNormal::new(0.0, 0.5).unwrap().sample_n(&mut rng, 20_000);
+        let tail = Pareto::new(1.6, 20.0).unwrap().sample_n(&mut rng, 20_000);
+        let mut all = body;
+        all.extend(tail);
+        let fit = fit_pareto_tail(&all, 20.0).unwrap();
+        assert!((fit.alpha() - 1.6).abs() < 0.1, "alpha = {}", fit.alpha());
+    }
+
+    #[test]
+    fn pareto_tail_fit_needs_enough_tail() {
+        assert!(matches!(
+            fit_pareto_tail(&[1.0, 2.0, 3.0], 100.0),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_sample_rejected() {
+        assert!(fit_pareto(&[2.0, 2.0, 2.0]).is_err());
+        assert!(fit_lognormal(&[5.0, 5.0]).is_err());
+    }
+
+    #[test]
+    fn weibull_fit_recovers_params() {
+        let mut rng = StdRng::seed_from_u64(55);
+        for &(k, lam) in &[(0.6, 2.0), (1.0, 1.0), (2.5, 10.0)] {
+            let truth = Weibull::new(k, lam).unwrap();
+            let sample = truth.sample_n(&mut rng, 20_000);
+            let fit = fit_weibull(&sample).unwrap();
+            assert!((fit.shape() - k).abs() < 0.05, "k = {k}: got {}", fit.shape());
+            assert!(
+                (fit.scale() / lam - 1.0).abs() < 0.05,
+                "λ = {lam}: got {}",
+                fit.scale()
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_fit_rejects_bad_input() {
+        assert!(fit_weibull(&[1.0]).is_err());
+        assert!(fit_weibull(&[1.0, -2.0]).is_err());
+        assert!(fit_weibull(&[3.0, 3.0, 3.0]).is_err());
+    }
+}

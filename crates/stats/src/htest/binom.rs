@@ -1,0 +1,191 @@
+//! Binomial meta-tests of §4.2.
+//!
+//! The paper aggregates per-subinterval verdicts (lag-1 autocorrelation below
+//! the 1.96/√n band; Anderson–Darling below its critical value) into a single
+//! conclusion via a binomial model: if each of `n` subintervals independently
+//! "passes" with probability 0.95 under the null, the number of passes `S`
+//! follows `B(n, 0.95)`, and an observed count `s` with `P(S = s) < 0.05`
+//! rejects the null with 95 % confidence.
+
+use crate::special::binomial_pmf;
+use crate::{Result, StatsError};
+
+/// Result of the binomial count meta-test.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BinomialCountResult {
+    /// Number of subintervals.
+    pub n: u64,
+    /// Number of subintervals that passed the per-interval test.
+    pub passes: u64,
+    /// `P(S = passes)` under `S ~ B(n, p_pass)`.
+    pub pmf: f64,
+    /// Whether the null is rejected (`pmf < 0.05`).
+    pub reject: bool,
+}
+
+/// The paper's count test: given `passes` of `n` subintervals passing a
+/// per-interval 95 % test, reject the global null when `P(S = passes) < 0.05`
+/// for `S ~ B(n, 0.95)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] when `passes > n` or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_stats::htest::binomial_count_test;
+///
+/// // All 4 hourly intervals pass: P(S=4) ≈ 0.81 → do not reject.
+/// assert!(!binomial_count_test(4, 4).unwrap().reject);
+/// // Only 2 pass: P(S=2) ≈ 0.013 → reject.
+/// assert!(binomial_count_test(4, 2).unwrap().reject);
+/// ```
+pub fn binomial_count_test(n: u64, passes: u64) -> Result<BinomialCountResult> {
+    if n == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "n",
+            value: 0.0,
+            constraint: "must be >= 1",
+        });
+    }
+    if passes > n {
+        return Err(StatsError::InvalidParameter {
+            name: "passes",
+            value: passes as f64,
+            constraint: "must be <= n",
+        });
+    }
+    let pmf = binomial_pmf(n, 0.95, passes);
+    Ok(BinomialCountResult {
+        n,
+        passes,
+        pmf,
+        reject: pmf < 0.05,
+    })
+}
+
+/// Direction of a detected correlation imbalance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SignBalance {
+    /// No significant imbalance between positive and negative correlations.
+    Balanced,
+    /// Significantly more positive autocorrelations than chance allows.
+    SignificantlyPositive,
+    /// Significantly more negative autocorrelations than chance allows.
+    SignificantlyNegative,
+}
+
+/// The paper's sign test: under independence, each subinterval's lag-1
+/// autocorrelation is positive with probability ½. With `positives` of `n`
+/// positive, declare a significant imbalance when the one-sided tail
+/// probability is below 2.5 %.
+///
+/// Note: the paper's text says `X` follows `B(4, 0.95)`, but its own premise
+/// ("negative with probability 0.5 and positive with probability 0.5") makes
+/// the null `B(n, 0.5)`; we implement `B(n, 0.5)` (documented deviation in
+/// DESIGN.md).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] when `positives > n` or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_stats::htest::{sign_balance_test, SignBalance};
+///
+/// // 24 of 24 positive is wildly imbalanced.
+/// assert_eq!(
+///     sign_balance_test(24, 24).unwrap(),
+///     SignBalance::SignificantlyPositive
+/// );
+/// // 2 of 4: perfectly balanced.
+/// assert_eq!(sign_balance_test(4, 2).unwrap(), SignBalance::Balanced);
+/// ```
+pub fn sign_balance_test(n: u64, positives: u64) -> Result<SignBalance> {
+    if n == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "n",
+            value: 0.0,
+            constraint: "must be >= 1",
+        });
+    }
+    if positives > n {
+        return Err(StatsError::InvalidParameter {
+            name: "positives",
+            value: positives as f64,
+            constraint: "must be <= n",
+        });
+    }
+    // One-sided exact binomial tail probabilities under B(n, 1/2).
+    let upper: f64 = (positives..=n).map(|k| binomial_pmf(n, 0.5, k)).sum();
+    let lower: f64 = (0..=positives).map(|k| binomial_pmf(n, 0.5, k)).sum();
+    if upper < 0.025 {
+        Ok(SignBalance::SignificantlyPositive)
+    } else if lower < 0.025 {
+        Ok(SignBalance::SignificantlyNegative)
+    } else {
+        Ok(SignBalance::Balanced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_test_four_intervals() {
+        // B(4, 0.95): P(4)≈0.8145, P(3)≈0.1715, P(2)≈0.0135, P(1)≈0.00047.
+        assert!(!binomial_count_test(4, 4).unwrap().reject);
+        assert!(!binomial_count_test(4, 3).unwrap().reject);
+        assert!(binomial_count_test(4, 2).unwrap().reject);
+        assert!(binomial_count_test(4, 1).unwrap().reject);
+        assert!(binomial_count_test(4, 0).unwrap().reject);
+    }
+
+    #[test]
+    fn count_test_twentyfour_intervals() {
+        // B(24, 0.95): the 10-minute-rate variant of §4.2.
+        assert!(!binomial_count_test(24, 24).unwrap().reject);
+        assert!(!binomial_count_test(24, 23).unwrap().reject);
+        assert!(!binomial_count_test(24, 22).unwrap().reject);
+        assert!(binomial_count_test(24, 20).unwrap().reject);
+        assert!(binomial_count_test(24, 10).unwrap().reject);
+    }
+
+    #[test]
+    fn count_test_validates() {
+        assert!(binomial_count_test(0, 0).is_err());
+        assert!(binomial_count_test(4, 5).is_err());
+    }
+
+    #[test]
+    fn sign_test_balanced_small_n() {
+        // With n = 4, even 4/4 positive has tail prob 1/16 = 0.0625 > 0.025,
+        // so no imbalance can be declared — matching the weak power the
+        // paper's 4-interval design has.
+        for k in 0..=4 {
+            assert_eq!(sign_balance_test(4, k).unwrap(), SignBalance::Balanced);
+        }
+    }
+
+    #[test]
+    fn sign_test_detects_imbalance_large_n() {
+        assert_eq!(
+            sign_balance_test(24, 20).unwrap(),
+            SignBalance::SignificantlyPositive
+        );
+        assert_eq!(
+            sign_balance_test(24, 4).unwrap(),
+            SignBalance::SignificantlyNegative
+        );
+        assert_eq!(sign_balance_test(24, 12).unwrap(), SignBalance::Balanced);
+    }
+
+    #[test]
+    fn sign_test_validates() {
+        assert!(sign_balance_test(0, 0).is_err());
+        assert!(sign_balance_test(4, 5).is_err());
+    }
+}

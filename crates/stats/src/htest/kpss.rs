@@ -1,0 +1,251 @@
+//! Kwiatkowski–Phillips–Schmidt–Shin (KPSS) stationarity test.
+//!
+//! Tests the null hypothesis that a series is (level- or trend-) stationary
+//! against the alternative of a unit root. The paper uses this test to show
+//! that raw request/session arrival series are non-stationary and that the
+//! detrended, deseasonalized series are stationary (§4.1, §5.1.1).
+
+use crate::{Result, StatsError};
+
+/// Which stationarity null the KPSS test assumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum KpssType {
+    /// Stationary around a constant level (demeaned residuals).
+    Level,
+    /// Stationary around a deterministic linear trend (detrended residuals).
+    Trend,
+}
+
+/// Outcome of a KPSS test.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KpssResult {
+    /// The KPSS statistic η.
+    pub statistic: f64,
+    /// Critical value at the 5 % significance level.
+    pub critical_5pct: f64,
+    /// Critical value at the 1 % significance level.
+    pub critical_1pct: f64,
+    /// Bartlett bandwidth used for the long-run variance estimate.
+    pub bandwidth: usize,
+    /// Null used ([`KpssType::Level`] or [`KpssType::Trend`]).
+    pub kind: KpssType,
+}
+
+impl KpssResult {
+    /// True when the stationarity null is **rejected** at 5 % — i.e. the
+    /// series looks non-stationary.
+    pub fn nonstationary_5pct(&self) -> bool {
+        self.statistic > self.critical_5pct
+    }
+
+    /// True when the stationarity null is rejected at 1 %.
+    pub fn nonstationary_1pct(&self) -> bool {
+        self.statistic > self.critical_1pct
+    }
+}
+
+/// Run the KPSS test with the Schwert-style default bandwidth
+/// `l = ⌊4·(n/100)^{1/4}⌋`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than 10 observations,
+/// [`StatsError::NonFiniteData`] for non-finite input, and
+/// [`StatsError::DegenerateInput`] for a constant series.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{RngExt, SeedableRng};
+/// use webpuzzle_stats::htest::{kpss_test, KpssType};
+///
+/// // White noise is stationary: the null should not be rejected.
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let x: Vec<f64> = (0..2000).map(|_| rng.random::<f64>() - 0.5).collect();
+/// let res = kpss_test(&x, KpssType::Level).unwrap();
+/// assert!(!res.nonstationary_5pct());
+/// ```
+pub fn kpss_test(data: &[f64], kind: KpssType) -> Result<KpssResult> {
+    let n = data.len();
+    let bandwidth = (4.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize;
+    kpss_test_with_bandwidth(data, kind, bandwidth)
+}
+
+/// Run the KPSS test with an explicit Bartlett bandwidth `l`.
+///
+/// # Errors
+///
+/// Same conditions as [`kpss_test`], plus [`StatsError::InvalidParameter`]
+/// if `bandwidth >= n`.
+pub fn kpss_test_with_bandwidth(
+    data: &[f64],
+    kind: KpssType,
+    bandwidth: usize,
+) -> Result<KpssResult> {
+    let n = data.len();
+    if n < 10 {
+        return Err(StatsError::InsufficientData { needed: 10, got: n });
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFiniteData);
+    }
+    if bandwidth >= n {
+        return Err(StatsError::InvalidParameter {
+            name: "bandwidth",
+            value: bandwidth as f64,
+            constraint: "must be < n",
+        });
+    }
+
+    // Residuals from the deterministic component under the null.
+    let residuals: Vec<f64> = match kind {
+        KpssType::Level => {
+            let mean = data.iter().sum::<f64>() / n as f64;
+            data.iter().map(|x| x - mean).collect()
+        }
+        KpssType::Trend => {
+            // OLS on time index.
+            let t_mean = (n as f64 - 1.0) / 2.0;
+            let y_mean = data.iter().sum::<f64>() / n as f64;
+            let mut sxx = 0.0;
+            let mut sxy = 0.0;
+            for (t, &y) in data.iter().enumerate() {
+                let dt = t as f64 - t_mean;
+                sxx += dt * dt;
+                sxy += dt * (y - y_mean);
+            }
+            let slope = sxy / sxx;
+            let intercept = y_mean - slope * t_mean;
+            data.iter()
+                .enumerate()
+                .map(|(t, &y)| y - (intercept + slope * t as f64))
+                .collect()
+        }
+    };
+
+    let ss_res: f64 = residuals.iter().map(|e| e * e).sum();
+    if ss_res <= 0.0 {
+        return Err(StatsError::DegenerateInput {
+            what: "constant series has no stochastic component to test",
+        });
+    }
+
+    // Long-run variance: Newey-West with Bartlett kernel.
+    let mut s2 = ss_res / n as f64;
+    for s in 1..=bandwidth {
+        let w = 1.0 - s as f64 / (bandwidth as f64 + 1.0);
+        let gamma: f64 = (s..n).map(|t| residuals[t] * residuals[t - s]).sum::<f64>()
+            / n as f64;
+        s2 += 2.0 * w * gamma;
+    }
+    if s2 <= 0.0 {
+        // Numerically possible for pathological series; fall back to the
+        // short-run variance so the statistic stays defined.
+        s2 = ss_res / n as f64;
+    }
+
+    // Partial sums of residuals.
+    let mut running = 0.0;
+    let mut sum_sq_partial = 0.0;
+    for &e in &residuals {
+        running += e;
+        sum_sq_partial += running * running;
+    }
+    let statistic = sum_sq_partial / (n as f64 * n as f64 * s2);
+
+    // Critical values from KPSS (1992), Table 1.
+    let (critical_5pct, critical_1pct) = match kind {
+        KpssType::Level => (0.463, 0.739),
+        KpssType::Trend => (0.146, 0.216),
+    };
+
+    Ok(KpssResult {
+        statistic,
+        critical_5pct,
+        critical_1pct,
+        bandwidth,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random::<f64>() - 0.5).collect()
+    }
+
+    #[test]
+    fn white_noise_is_stationary() {
+        let x = white_noise(5_000, 1);
+        let res = kpss_test(&x, KpssType::Level).unwrap();
+        assert!(
+            !res.nonstationary_5pct(),
+            "statistic {} vs critical {}",
+            res.statistic,
+            res.critical_5pct
+        );
+    }
+
+    #[test]
+    fn random_walk_is_nonstationary() {
+        let noise = white_noise(5_000, 2);
+        let mut walk = Vec::with_capacity(noise.len());
+        let mut acc = 0.0;
+        for e in noise {
+            acc += e;
+            walk.push(acc);
+        }
+        let res = kpss_test(&walk, KpssType::Level).unwrap();
+        assert!(res.nonstationary_1pct(), "statistic {}", res.statistic);
+    }
+
+    #[test]
+    fn trending_series_nonstationary_in_level_but_ok_in_trend() {
+        let x: Vec<f64> = white_noise(5_000, 3)
+            .iter()
+            .enumerate()
+            .map(|(t, e)| 0.01 * t as f64 + e)
+            .collect();
+        let level = kpss_test(&x, KpssType::Level).unwrap();
+        assert!(level.nonstationary_5pct());
+        let trend = kpss_test(&x, KpssType::Trend).unwrap();
+        assert!(!trend.nonstationary_5pct(), "statistic {}", trend.statistic);
+    }
+
+    #[test]
+    fn short_series_rejected() {
+        assert!(matches!(
+            kpss_test(&[1.0; 5], KpssType::Level),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_series_degenerate() {
+        assert!(matches!(
+            kpss_test(&[2.0; 100], KpssType::Level),
+            Err(StatsError::DegenerateInput { .. })
+        ));
+    }
+
+    #[test]
+    fn bandwidth_validation() {
+        let x = white_noise(20, 4);
+        assert!(kpss_test_with_bandwidth(&x, KpssType::Level, 20).is_err());
+        assert!(kpss_test_with_bandwidth(&x, KpssType::Level, 5).is_ok());
+    }
+
+    #[test]
+    fn result_reports_inputs() {
+        let x = white_noise(1_000, 5);
+        let res = kpss_test(&x, KpssType::Trend).unwrap();
+        assert_eq!(res.kind, KpssType::Trend);
+        assert_eq!(res.bandwidth, (4.0 * 10.0f64.powf(0.25)).floor() as usize);
+        assert!((res.critical_5pct - 0.146).abs() < 1e-12);
+    }
+}

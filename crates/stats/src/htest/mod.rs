@@ -1,0 +1,21 @@
+//! Hypothesis tests used by the paper's methodology.
+//!
+//! * [`kpss_test`] — Kwiatkowski-Phillips-Schmidt-Shin stationarity test
+//!   (the paper's §4.1/§5.1 stationarity gate before Hurst estimation).
+//! * [`anderson_darling_exponential`] — Anderson-Darling goodness-of-fit for
+//!   exponential inter-arrival times with estimated rate (§4.2).
+//! * [`binomial_count_test`] / [`sign_balance_test`] — the binomial
+//!   meta-tests that aggregate per-interval verdicts
+//!   into a single Poisson/non-Poisson conclusion (§4.2).
+
+mod anderson_darling;
+mod binom;
+mod kpss;
+mod ljung_box;
+
+pub use anderson_darling::{anderson_darling_exponential, AndersonDarlingResult};
+pub use binom::{
+    binomial_count_test, sign_balance_test, BinomialCountResult, SignBalance,
+};
+pub use kpss::{kpss_test, kpss_test_with_bandwidth, KpssResult, KpssType};
+pub use ljung_box::{ljung_box, LjungBoxResult};

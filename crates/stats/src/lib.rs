@@ -1,0 +1,38 @@
+//! Statistical foundations for the `webpuzzle` workload-characterization suite.
+//!
+//! This crate provides everything the higher layers (time-series analysis,
+//! long-range-dependence estimation, heavy-tail analysis) need that a thin
+//! Rust statistics ecosystem does not: special functions, parametric
+//! distributions with samplers and maximum-likelihood fits, ordinary and
+//! weighted least-squares regression, and the hypothesis tests used by the
+//! paper (KPSS stationarity test, Anderson-Darling exponentiality test, and
+//! the binomial meta-tests of §4.2).
+//!
+//! # Examples
+//!
+//! Fit a Pareto tail and run an Anderson-Darling test:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use webpuzzle_stats::dist::{Exponential, Sampler};
+//! use webpuzzle_stats::htest::anderson_darling_exponential;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let exp = Exponential::new(2.0).unwrap();
+//! let sample: Vec<f64> = (0..500).map(|_| exp.sample(&mut rng)).collect();
+//! let result = anderson_darling_exponential(&sample).unwrap();
+//! assert!(!result.reject, "a true exponential sample should not be rejected");
+//! ```
+
+pub mod descriptive;
+pub mod dist;
+pub mod error;
+pub mod fit;
+pub mod htest;
+pub mod regression;
+pub mod special;
+
+pub use error::StatsError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StatsError>;

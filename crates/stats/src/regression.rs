@@ -1,0 +1,279 @@
+//! Ordinary and weighted least-squares simple linear regression.
+//!
+//! Every slope-based estimator in the suite reduces to one of these two
+//! routines: LLCD tail-index fits, variance-time plots, R/S plots,
+//! periodogram regressions (OLS), and the Abry-Veitch logscale diagram (WLS
+//! with known per-octave variances).
+
+use crate::{Result, StatsError};
+
+/// Result of a simple linear regression `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Regression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Standard error of the slope estimate.
+    pub slope_std_err: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl Regression {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Half-width of the normal-approximation confidence interval on the
+    /// slope at the given confidence level (e.g. `0.95`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside `(0, 1)`.
+    pub fn slope_ci_half_width(&self, level: f64) -> f64 {
+        let z = crate::special::normal_quantile(0.5 + level / 2.0);
+        z * self.slope_std_err
+    }
+}
+
+/// Ordinary least squares fit of `y` on `x`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if fewer than 3 points (needed
+/// for a residual degree of freedom), [`StatsError::DegenerateInput`] if the
+/// lengths differ or `x` has no spread, and [`StatsError::NonFiniteData`] for
+/// non-finite input.
+///
+/// # Examples
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.1, 3.9, 6.1, 7.9];
+/// let fit = webpuzzle_stats::regression::ols(&x, &y).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 0.1);
+/// assert!(fit.r_squared > 0.99);
+/// ```
+pub fn ols(x: &[f64], y: &[f64]) -> Result<Regression> {
+    validate_xy(x, y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|xi| (xi - mx) * (xi - mx)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
+    let syy: f64 = y.iter().map(|yi| (yi - my) * (yi - my)).sum();
+    if sxx <= 0.0 {
+        return Err(StatsError::DegenerateInput {
+            what: "x has zero variance",
+        });
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(xi, yi)| {
+            let r = yi - (intercept + slope * xi);
+            r * r
+        })
+        .sum();
+    let r_squared = if syy > 0.0 { 1.0 - ss_res / syy } else { 1.0 };
+    let dof = (x.len() - 2).max(1) as f64;
+    let slope_std_err = (ss_res / dof / sxx).sqrt();
+    Ok(Regression {
+        slope,
+        intercept,
+        slope_std_err,
+        r_squared,
+        n: x.len(),
+    })
+}
+
+/// Weighted least squares fit of `y` on `x` with known weights `w`
+/// (`wᵢ = 1/Var(yᵢ)` for optimal weighting).
+///
+/// The slope standard error is computed from the *supplied* weights
+/// (`Var(slope) = 1/Σw·(x−x̄_w)²`), which is the correct formula when the
+/// weights are known variances — the Abry-Veitch case.
+///
+/// # Errors
+///
+/// Same conditions as [`ols`], plus [`StatsError::InvalidParameter`] if any
+/// weight is not finite and positive.
+pub fn wls(x: &[f64], y: &[f64], w: &[f64]) -> Result<Regression> {
+    validate_xy(x, y)?;
+    if w.len() != x.len() {
+        return Err(StatsError::DegenerateInput {
+            what: "weight vector length mismatch",
+        });
+    }
+    if w.iter().any(|&wi| !wi.is_finite() || wi <= 0.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "w",
+            value: f64::NAN,
+            constraint: "all weights must be finite and > 0",
+        });
+    }
+    let sw: f64 = w.iter().sum();
+    let mx = x.iter().zip(w).map(|(xi, wi)| wi * xi).sum::<f64>() / sw;
+    let my = y.iter().zip(w).map(|(yi, wi)| wi * yi).sum::<f64>() / sw;
+    let sxx: f64 = x
+        .iter()
+        .zip(w)
+        .map(|(xi, wi)| wi * (xi - mx) * (xi - mx))
+        .sum();
+    if sxx <= 0.0 {
+        return Err(StatsError::DegenerateInput {
+            what: "x has zero weighted variance",
+        });
+    }
+    let sxy: f64 = x
+        .iter()
+        .zip(y)
+        .zip(w)
+        .map(|((xi, yi), wi)| wi * (xi - mx) * (yi - my))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // R² on the weighted scale.
+    let syy: f64 = y
+        .iter()
+        .zip(w)
+        .map(|(yi, wi)| wi * (yi - my) * (yi - my))
+        .sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .zip(w)
+        .map(|((xi, yi), wi)| {
+            let r = yi - (intercept + slope * xi);
+            wi * r * r
+        })
+        .sum();
+    let r_squared = if syy > 0.0 { 1.0 - ss_res / syy } else { 1.0 };
+    Ok(Regression {
+        slope,
+        intercept,
+        slope_std_err: (1.0 / sxx).sqrt(),
+        r_squared,
+        n: x.len(),
+    })
+}
+
+fn validate_xy(x: &[f64], y: &[f64]) -> Result<()> {
+    if x.len() != y.len() {
+        return Err(StatsError::DegenerateInput {
+            what: "x and y lengths differ",
+        });
+    }
+    if x.len() < 3 {
+        return Err(StatsError::InsufficientData {
+            needed: 3,
+            got: x.len(),
+        });
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteData);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|xi| 3.0 - 0.5 * xi).collect();
+        let fit = ols(&x, &y).unwrap();
+        assert!((fit.slope + 0.5).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.slope_std_err < 1e-10);
+    }
+
+    #[test]
+    fn noisy_line_reasonable() {
+        // Deterministic pseudo-noise.
+        let x: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, xi)| 2.0 * xi + 1.0 + ((i as f64 * 12.9898).sin() * 0.5))
+            .collect();
+        let fit = ols(&x, &y).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+        // The CI should cover the truth.
+        assert!((fit.slope - 2.0).abs() < fit.slope_ci_half_width(0.99));
+    }
+
+    #[test]
+    fn degenerate_x_rejected() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert!(matches!(
+            ols(&x, &y),
+            Err(StatsError::DegenerateInput { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(ols(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(matches!(
+            ols(&[1.0, 2.0], &[1.0, 2.0]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn wls_equal_weights_matches_ols() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|xi| 1.5 * xi - 2.0 + (xi * 0.7).sin()).collect();
+        let w = vec![2.0; 50];
+        let o = ols(&x, &y).unwrap();
+        let wfit = wls(&x, &y, &w).unwrap();
+        assert!((o.slope - wfit.slope).abs() < 1e-10);
+        assert!((o.intercept - wfit.intercept).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wls_downweights_outliers() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0, 1.0, 2.0, 3.0, 100.0];
+        // With the outlier weighted ~0, slope should be ~1.
+        let w = [1.0, 1.0, 1.0, 1.0, 1e-9];
+        let fit = wls(&x, &y, &w).unwrap();
+        assert!((fit.slope - 1.0).abs() < 1e-3, "slope = {}", fit.slope);
+        // Sanity: with equal weights it is far from 1.
+        y[4] = 100.0;
+        let fit_eq = ols(&x, &y).unwrap();
+        assert!(fit_eq.slope > 5.0);
+    }
+
+    #[test]
+    fn wls_rejects_bad_weights() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0];
+        assert!(wls(&x, &y, &[1.0, -1.0, 1.0]).is_err());
+        assert!(wls(&x, &y, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn nonfinite_rejected() {
+        assert_eq!(
+            ols(&[1.0, 2.0, f64::NAN], &[1.0, 2.0, 3.0]),
+            Err(StatsError::NonFiniteData)
+        );
+    }
+}

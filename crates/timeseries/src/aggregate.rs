@@ -1,0 +1,129 @@
+//! Block aggregation of time series — equation (1) of the paper.
+
+use crate::Result;
+use webpuzzle_stats::StatsError;
+
+/// Aggregate a series at level `m` by averaging non-overlapping blocks of
+/// size `m` (the paper's equation (1)):
+///
+/// `X^{(m)}_k = (1/m) Σ_{i=(k−1)m+1}^{km} X_i`.
+///
+/// A trailing partial block is dropped, matching the convention in the
+/// self-similarity literature.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] for `m == 0` and
+/// [`StatsError::InsufficientData`] when fewer than one full block exists.
+///
+/// # Examples
+///
+/// ```
+/// let x = [1.0, 3.0, 5.0, 7.0, 100.0];
+/// let agg = webpuzzle_timeseries::aggregate(&x, 2).unwrap();
+/// assert_eq!(agg, vec![2.0, 6.0]); // trailing 100.0 dropped
+/// ```
+pub fn aggregate(data: &[f64], m: usize) -> Result<Vec<f64>> {
+    if m == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "m",
+            value: 0.0,
+            constraint: "must be >= 1",
+        });
+    }
+    let blocks = data.len() / m;
+    if blocks == 0 {
+        return Err(StatsError::InsufficientData {
+            needed: m,
+            got: data.len(),
+        });
+    }
+    let inv = 1.0 / m as f64;
+    Ok((0..blocks)
+        .map(|k| data[k * m..(k + 1) * m].iter().sum::<f64>() * inv)
+        .collect())
+}
+
+/// A geometric grid of aggregation levels suitable for an Ĥ(m) sweep
+/// (Figures 7–8): roughly logarithmically spaced values of `m` such that the
+/// aggregated series keeps at least `min_points` points.
+///
+/// # Examples
+///
+/// ```
+/// let levels = webpuzzle_timeseries::aggregation_levels(100_000, 256);
+/// assert_eq!(levels[0], 1);
+/// assert!(levels.iter().all(|&m| 100_000 / m >= 256));
+/// // strictly increasing
+/// assert!(levels.windows(2).all(|w| w[0] < w[1]));
+/// ```
+pub fn aggregation_levels(series_len: usize, min_points: usize) -> Vec<usize> {
+    let max_m = series_len.checked_div(min_points).unwrap_or(series_len);
+    let mut out = Vec::new();
+    let mut m = 1.0f64;
+    while (m as usize) <= max_m.max(1) {
+        let mi = m as usize;
+        if out.last() != Some(&mi) {
+            out.push(mi);
+        }
+        m *= 1.6;
+    }
+    if out.is_empty() {
+        out.push(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_m1_is_identity() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(aggregate(&x, 1).unwrap(), x.to_vec());
+    }
+
+    #[test]
+    fn aggregate_preserves_mean_of_full_blocks() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let agg = aggregate(&x, 10).unwrap();
+        let mean_x: f64 = x.iter().sum::<f64>() / 100.0;
+        let mean_agg: f64 = agg.iter().sum::<f64>() / agg.len() as f64;
+        assert!((mean_x - mean_agg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_reduces_variance_of_iid() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<f64> = (0..100_000).map(|_| rng.random::<f64>()).collect();
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        let v1 = var(&x);
+        let v10 = var(&aggregate(&x, 10).unwrap());
+        // For iid data, Var(X^{(m)}) = Var(X)/m.
+        assert!((v10 - v1 / 10.0).abs() / (v1 / 10.0) < 0.1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(aggregate(&[1.0], 0).is_err());
+        assert!(aggregate(&[1.0, 2.0], 5).is_err());
+    }
+
+    #[test]
+    fn levels_respect_min_points() {
+        let levels = aggregation_levels(604_800, 1000);
+        assert!(levels.iter().all(|&m| 604_800 / m >= 1000));
+        assert!(levels.len() > 5, "expect a usable sweep, got {levels:?}");
+    }
+
+    #[test]
+    fn levels_tiny_series() {
+        assert_eq!(aggregation_levels(10, 100), vec![1]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Trend and seasonality removal — the stationarization step the paper adds
+//! over prior work (§4.1): least-squares trend estimation, periodogram-based
+//! period detection, and seasonal differencing (Box-Jenkins).
+
+use crate::periodogram::dominant_period;
+use crate::Result;
+use webpuzzle_stats::StatsError;
+
+/// Result of stationarizing a series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Estimated linear trend slope (per bin).
+    pub trend_slope: f64,
+    /// Estimated trend intercept.
+    pub trend_intercept: f64,
+    /// Detected seasonal period in bins, if any.
+    pub period: Option<usize>,
+    /// The stationarized remainder series.
+    pub stationary: Vec<f64>,
+}
+
+/// Remove a least-squares linear trend; returns the residuals plus the
+/// estimated `(slope, intercept)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than 3 points and
+/// [`StatsError::NonFiniteData`] for non-finite input.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_timeseries::remove_linear_trend;
+///
+/// let x: Vec<f64> = (0..100).map(|t| 2.0 + 0.5 * t as f64).collect();
+/// let (resid, slope, intercept) = remove_linear_trend(&x).unwrap();
+/// assert!((slope - 0.5).abs() < 1e-10);
+/// assert!((intercept - 2.0).abs() < 1e-8);
+/// assert!(resid.iter().all(|r| r.abs() < 1e-8));
+/// ```
+pub fn remove_linear_trend(data: &[f64]) -> Result<(Vec<f64>, f64, f64)> {
+    let n = data.len();
+    if n < 3 {
+        return Err(StatsError::InsufficientData { needed: 3, got: n });
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFiniteData);
+    }
+    let t_mean = (n as f64 - 1.0) / 2.0;
+    let y_mean = data.iter().sum::<f64>() / n as f64;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (t, &y) in data.iter().enumerate() {
+        let dt = t as f64 - t_mean;
+        sxx += dt * dt;
+        sxy += dt * (y - y_mean);
+    }
+    let slope = sxy / sxx;
+    let intercept = y_mean - slope * t_mean;
+    let resid = data
+        .iter()
+        .enumerate()
+        .map(|(t, &y)| y - (intercept + slope * t as f64))
+        .collect();
+    Ok((resid, slope, intercept))
+}
+
+/// Seasonal differencing at lag `period`: `y_t = x_t − x_{t−p}`
+/// (Box-Jenkins), returning a series of length `n − p`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] for `period == 0` and
+/// [`StatsError::InsufficientData`] when `period >= data.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_timeseries::seasonal_difference;
+///
+/// // A pure period-3 signal differences to zero.
+/// let x = [1.0, 5.0, 2.0, 1.0, 5.0, 2.0, 1.0];
+/// let d = seasonal_difference(&x, 3).unwrap();
+/// assert!(d.iter().all(|v| v.abs() < 1e-12));
+/// ```
+pub fn seasonal_difference(data: &[f64], period: usize) -> Result<Vec<f64>> {
+    if period == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "period",
+            value: 0.0,
+            constraint: "must be >= 1",
+        });
+    }
+    if data.len() <= period {
+        return Err(StatsError::InsufficientData {
+            needed: period + 1,
+            got: data.len(),
+        });
+    }
+    Ok((period..data.len())
+        .map(|t| data[t] - data[t - period])
+        .collect())
+}
+
+/// Stationarize a series following the paper's recipe: estimate and remove
+/// the least-squares linear trend, detect the dominant period in
+/// `[min_period, max_period]` bins via the periodogram (signal-to-median
+/// ratio `snr_threshold` decides whether a peak is real), and remove the
+/// seasonal component by seasonal differencing.
+///
+/// When no dominant period is found the detrended series is returned as-is
+/// (with `period == None`) — this is the NASA-Pub2 session-series case in
+/// §5.1.1, which was already stationary.
+///
+/// # Errors
+///
+/// Propagates errors from [`remove_linear_trend`], period detection, and
+/// [`seasonal_difference`].
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_timeseries::decompose;
+///
+/// // Trend + daily cycle (hourly bins, 2 weeks) + deterministic jitter.
+/// let x: Vec<f64> = (0..336)
+///     .map(|t| {
+///         0.05 * t as f64
+///             + 10.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+///             + (t as f64 * 0.7).sin()
+///     })
+///     .collect();
+/// let d = decompose(&x, 4.0, 168.0, 10.0).unwrap();
+/// assert_eq!(d.period, Some(24));
+/// assert!(d.trend_slope > 0.03);
+/// ```
+pub fn decompose(
+    data: &[f64],
+    min_period: f64,
+    max_period: f64,
+    snr_threshold: f64,
+) -> Result<Decomposition> {
+    let (detrended, slope, intercept) = remove_linear_trend(data)?;
+    let period = dominant_period(&detrended, min_period, max_period, snr_threshold)?;
+    match period {
+        Some(p) => {
+            let p_bins = p.round().max(1.0) as usize;
+            let stationary = seasonal_difference(&detrended, p_bins)?;
+            Ok(Decomposition {
+                trend_slope: slope,
+                trend_intercept: intercept,
+                period: Some(p_bins),
+                stationary,
+            })
+        }
+        None => Ok(Decomposition {
+            trend_slope: slope,
+            trend_intercept: intercept,
+            period: None,
+            stationary: detrended,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use webpuzzle_stats::htest::{kpss_test, KpssType};
+
+    #[test]
+    fn detrend_removes_slope() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x: Vec<f64> = (0..5000)
+            .map(|t| 3.0 + 0.01 * t as f64 + rng.random::<f64>())
+            .collect();
+        let (resid, slope, _) = remove_linear_trend(&x).unwrap();
+        assert!((slope - 0.01).abs() < 1e-3);
+        let mean: f64 = resid.iter().sum::<f64>() / resid.len() as f64;
+        assert!(mean.abs() < 1e-10);
+    }
+
+    #[test]
+    fn seasonal_difference_length() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = seasonal_difference(&x, 7).unwrap();
+        assert_eq!(d.len(), 93);
+        // Linear trend differences to a constant (= 7 * slope).
+        assert!(d.iter().all(|v| (v - 7.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn seasonal_difference_errors() {
+        assert!(seasonal_difference(&[1.0, 2.0], 0).is_err());
+        assert!(seasonal_difference(&[1.0, 2.0], 2).is_err());
+    }
+
+    #[test]
+    fn full_decomposition_stationarizes() {
+        // Synthetic "web traffic": trend + daily cycle + AR noise, hourly
+        // bins over 6 weeks. KPSS should reject the raw series and accept
+        // the stationarized one.
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 24 * 42;
+        let mut ar = 0.0f64;
+        let x: Vec<f64> = (0..n)
+            .map(|t| {
+                ar = 0.6 * ar + rng.random::<f64>() - 0.5;
+                20.0 + 0.02 * t as f64
+                    + 8.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+                    + ar
+            })
+            .collect();
+        let raw = kpss_test(&x, KpssType::Level).unwrap();
+        assert!(raw.nonstationary_5pct(), "raw statistic {}", raw.statistic);
+
+        let d = decompose(&x, 4.0, n as f64 / 4.0, 10.0).unwrap();
+        assert_eq!(d.period, Some(24));
+        let st = kpss_test(&d.stationary, KpssType::Level).unwrap();
+        assert!(
+            !st.nonstationary_5pct(),
+            "stationarized statistic {}",
+            st.statistic
+        );
+    }
+
+    #[test]
+    fn no_period_passthrough() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x: Vec<f64> = (0..2000).map(|_| rng.random::<f64>()).collect();
+        let d = decompose(&x, 4.0, 500.0, 200.0).unwrap();
+        assert_eq!(d.period, None);
+        assert_eq!(d.stationary.len(), x.len());
+    }
+}

@@ -1,0 +1,390 @@
+//! Fast Fourier transform: iterative radix-2 Cooley-Tukey for power-of-two
+//! lengths and Bluestein's chirp-z algorithm for arbitrary lengths.
+//!
+//! This is the numerical engine behind the [`crate::periodogram`], the
+//! seasonality detector, and the Davies-Harte fractional-Gaussian-noise
+//! synthesizer in `webpuzzle-lrd`. Arbitrary-length support matters because
+//! workload series have natural lengths (604 800 seconds in a week, 14 400
+//! in a 4-hour interval) that are never powers of two.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number in Cartesian form.
+///
+/// Deliberately minimal: only the operations the FFT and its callers need.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Create a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Create a pure-real complex number.
+    pub fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+/// In-place forward FFT (`X_k = Σ_t x_t e^{-2πi tk/n}`) for any length.
+///
+/// Power-of-two lengths use iterative radix-2 Cooley-Tukey; other lengths go
+/// through Bluestein's algorithm (O(n log n) for all n). Length 0 and 1 are
+/// no-ops.
+pub fn fft(data: &mut [Complex]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_pow2(data, false);
+    } else {
+        bluestein(data, false);
+    }
+}
+
+/// In-place inverse FFT (`x_t = (1/n) Σ_k X_k e^{+2πi tk/n}`), the exact
+/// inverse of [`fft`] including the 1/n normalization.
+pub fn ifft(data: &mut [Complex]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_pow2(data, true);
+    } else {
+        bluestein(data, true);
+    }
+    let scale = 1.0 / n as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(scale);
+    }
+}
+
+/// Forward FFT of a real-valued signal, returning the full complex spectrum.
+///
+/// Convenience wrapper: callers that only need magnitudes (periodograms)
+/// don't have to build the complex buffer themselves.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_timeseries::fft::fft_real;
+///
+/// // DC component of a constant signal is n·c, all other bins zero.
+/// let spec = fft_real(&[2.0, 2.0, 2.0, 2.0]);
+/// assert!((spec[0].re - 8.0).abs() < 1e-12);
+/// assert!(spec[1].abs() < 1e-12);
+/// ```
+pub fn fft_real(data: &[f64]) -> Vec<Complex> {
+    let mut buf: Vec<Complex> = data.iter().map(|&x| Complex::from_real(x)).collect();
+    fft(&mut buf);
+    buf
+}
+
+// Iterative radix-2 Cooley-Tukey, in place. `inverse` flips the twiddle
+// sign only (no normalization).
+fn fft_pow2(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..half {
+                let u = data[start + k];
+                let v = data[start + k + half] * w;
+                data[start + k] = u + v;
+                data[start + k + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+// Bluestein's chirp-z transform: express the DFT as a convolution and
+// evaluate it with a power-of-two FFT of length >= 2n-1.
+fn bluestein(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let m = (2 * n - 1).next_power_of_two();
+
+    // Chirp: w_k = e^{sign·πi k²/n}. Compute k² mod 2n to avoid precision
+    // loss for large k (k² overflows the exactly-representable range long
+    // before usize overflows, but mod 2n keeps the angle exact).
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let k2 = ((k as u128 * k as u128) % (2 * n as u128)) as f64;
+            Complex::cis(sign * std::f64::consts::PI * k2 / n as f64)
+        })
+        .collect();
+
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = data[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for k in 0..m {
+        a[k] = a[k] * b[k];
+    }
+    fft_pow2(&mut a, true);
+    let scale = 1.0 / m as f64;
+    for (k, out) in data.iter_mut().enumerate() {
+        *out = a[k].scale(scale) * chirp[k];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (t, &xt) in x.iter().enumerate() {
+                    acc += xt
+                        * Complex::cis(
+                            -2.0 * std::f64::consts::PI * (t * k) as f64 / n as f64,
+                        );
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 * 0.37 - 1.0, (i as f64 * 0.11).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_pow2() {
+        for &n in &[2usize, 4, 8, 16, 64] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            fft(&mut y);
+            let err = max_err(&y, &naive_dft(&x));
+            assert!(err < 1e-9 * n as f64, "n={n}, err={err}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary() {
+        for &n in &[3usize, 5, 6, 7, 12, 100, 241, 360] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            fft(&mut y);
+            let err = max_err(&y, &naive_dft(&x));
+            assert!(err < 1e-8 * n as f64, "n={n}, err={err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for &n in &[1usize, 2, 3, 8, 17, 100, 1024, 3600] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            fft(&mut y);
+            ifft(&mut y);
+            let err = max_err(&y, &x);
+            assert!(err < 1e-9, "n={n}, err={err}");
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 240;
+        let freq = 12;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| {
+                Complex::from_real(
+                    (2.0 * std::f64::consts::PI * freq as f64 * t as f64 / n as f64)
+                        .cos(),
+                )
+            })
+            .collect();
+        let mut y = x;
+        fft(&mut y);
+        // A real cosine splits its energy between bins `freq` and `n-freq`.
+        assert!((y[freq].abs() - n as f64 / 2.0).abs() < 1e-8);
+        assert!((y[n - freq].abs() - n as f64 / 2.0).abs() < 1e-8);
+        for (k, z) in y.iter().enumerate() {
+            if k != freq && k != n - freq {
+                assert!(z.abs() < 1e-7, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        let n = 360;
+        let x = ramp(n);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x;
+        fft(&mut y);
+        let freq_energy: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-7 * time_energy);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut empty: Vec<Complex> = vec![];
+        fft(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![Complex::new(3.0, -1.0)];
+        fft(&mut one);
+        assert_eq!(one[0], Complex::new(3.0, -1.0));
+        ifft(&mut one);
+        assert_eq!(one[0], Complex::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn large_prime_length() {
+        // Bluestein must stay accurate for awkward lengths.
+        let n = 4999;
+        let x = ramp(n);
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        assert!(max_err(&y, &x) < 1e-8);
+    }
+
+    #[test]
+    fn complex_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((a.norm_sqr() - 5.0).abs() < 1e-15);
+        assert_eq!(Complex::from(2.5), Complex::new(2.5, 0.0));
+    }
+}

@@ -1,0 +1,226 @@
+//! Counting-process representation of an event stream.
+
+use crate::Result;
+use webpuzzle_stats::StatsError;
+
+/// A time series of event counts per fixed-width bin — the paper's
+/// "number of requests per unit of time" / "sessions initiated per unit of
+/// time" representation.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_timeseries::CountSeries;
+///
+/// let s = CountSeries::from_event_times(&[0.5, 1.5, 1.7], 1.0).unwrap();
+/// assert_eq!(s.counts(), &[1.0, 2.0]);
+/// assert_eq!(s.len(), 2);
+/// assert!((s.total_events() - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountSeries {
+    counts: Vec<f64>,
+    bin_width: f64,
+}
+
+impl CountSeries {
+    /// Build a count series from raw (not necessarily sorted) event times,
+    /// binning into intervals of `bin_width` starting at the floor of the
+    /// earliest event time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `bin_width` is not finite
+    /// and positive, [`StatsError::InsufficientData`] for an empty event
+    /// list, and [`StatsError::NonFiniteData`] for non-finite event times.
+    pub fn from_event_times(events: &[f64], bin_width: f64) -> Result<Self> {
+        if !bin_width.is_finite() || bin_width <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bin_width",
+                value: bin_width,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if events.is_empty() {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        if events.iter().any(|t| !t.is_finite()) {
+            return Err(StatsError::NonFiniteData);
+        }
+        let t0 = events.iter().cloned().fold(f64::INFINITY, f64::min);
+        let t0 = (t0 / bin_width).floor() * bin_width;
+        let t_max = events.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let n_bins = ((t_max - t0) / bin_width).floor() as usize + 1;
+        let mut counts = vec![0.0; n_bins];
+        for &t in events {
+            let idx = (((t - t0) / bin_width) as usize).min(n_bins - 1);
+            counts[idx] += 1.0;
+        }
+        Ok(CountSeries { counts, bin_width })
+    }
+
+    /// Build a count series over a fixed window `[start, start + n_bins·w)`,
+    /// dropping events outside the window. Useful for aligning a series to a
+    /// whole week even if the first request arrives mid-bin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `bin_width` is not
+    /// positive/finite or `n_bins` is zero, and
+    /// [`StatsError::NonFiniteData`] for non-finite event times.
+    pub fn from_event_times_in_window(
+        events: &[f64],
+        bin_width: f64,
+        start: f64,
+        n_bins: usize,
+    ) -> Result<Self> {
+        if !bin_width.is_finite() || bin_width <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bin_width",
+                value: bin_width,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if n_bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "n_bins",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        if events.iter().any(|t| !t.is_finite()) {
+            return Err(StatsError::NonFiniteData);
+        }
+        let mut counts = vec![0.0; n_bins];
+        for &t in events {
+            let off = t - start;
+            if off < 0.0 {
+                continue;
+            }
+            let idx = (off / bin_width) as usize;
+            if idx < n_bins {
+                counts[idx] += 1.0;
+            }
+        }
+        Ok(CountSeries { counts, bin_width })
+    }
+
+    /// Wrap an existing count vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for a non-positive bin width
+    /// and [`StatsError::InsufficientData`] for an empty vector.
+    pub fn from_counts(counts: Vec<f64>, bin_width: f64) -> Result<Self> {
+        if !bin_width.is_finite() || bin_width <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bin_width",
+                value: bin_width,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if counts.is_empty() {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        Ok(CountSeries { counts, bin_width })
+    }
+
+    /// The per-bin counts.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the series has no bins (cannot occur via constructors, but
+    /// required for a well-behaved `len`).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Width of each bin in the event-time unit (seconds in this suite).
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+
+    /// Total number of events across all bins.
+    pub fn total_events(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean events per bin.
+    pub fn mean_rate(&self) -> f64 {
+        self.total_events() / self.counts.len() as f64
+    }
+
+    /// Consume the series and return the underlying count vector.
+    pub fn into_counts(self) -> Vec<f64> {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_basic() {
+        let s = CountSeries::from_event_times(&[0.0, 0.9, 1.0, 2.5, 2.6, 2.7], 1.0)
+            .unwrap();
+        assert_eq!(s.counts(), &[2.0, 1.0, 3.0]);
+        assert_eq!(s.bin_width(), 1.0);
+    }
+
+    #[test]
+    fn binning_aligns_to_bin_grid() {
+        // Events starting at t = 5.3 with width 2 should align to t0 = 4.
+        let s = CountSeries::from_event_times(&[5.3, 6.1, 8.0], 2.0).unwrap();
+        assert_eq!(s.counts(), &[1.0, 1.0, 1.0]); // [4,6), [6,8), [8,10)
+    }
+
+    #[test]
+    fn unsorted_events_ok() {
+        let s = CountSeries::from_event_times(&[2.5, 0.1, 1.9], 1.0).unwrap();
+        assert_eq!(s.counts(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn windowed_binning_drops_outside() {
+        let s = CountSeries::from_event_times_in_window(
+            &[-1.0, 0.5, 1.5, 99.0],
+            1.0,
+            0.0,
+            3,
+        )
+        .unwrap();
+        assert_eq!(s.counts(), &[1.0, 1.0, 0.0]);
+        assert_eq!(s.total_events(), 2.0);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(CountSeries::from_event_times(&[], 1.0).is_err());
+        assert!(CountSeries::from_event_times(&[1.0], 0.0).is_err());
+        assert!(CountSeries::from_event_times(&[f64::NAN], 1.0).is_err());
+        assert!(CountSeries::from_counts(vec![], 1.0).is_err());
+        assert!(CountSeries::from_event_times_in_window(&[1.0], 1.0, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn totals_preserved() {
+        let events: Vec<f64> = (0..1000).map(|i| i as f64 * 0.37).collect();
+        let s = CountSeries::from_event_times(&events, 5.0).unwrap();
+        assert_eq!(s.total_events(), 1000.0);
+        assert!((s.mean_rate() - 1000.0 / s.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_counts_roundtrip() {
+        let s = CountSeries::from_counts(vec![1.0, 2.0, 3.0], 1.0).unwrap();
+        assert!(!s.is_empty());
+        assert_eq!(s.clone().into_counts(), vec![1.0, 2.0, 3.0]);
+    }
+}

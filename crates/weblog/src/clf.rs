@@ -1,0 +1,364 @@
+//! Common Log Format (CLF) reading and writing.
+//!
+//! Lines look like:
+//!
+//! ```text
+//! 10.0.3.17 - - [12/Jan/2004:00:00:07 +0000] "GET /r/42 HTTP/1.0" 200 2326
+//! ```
+//!
+//! Record timestamps in this suite are *relative* seconds from the start of
+//! the observation window, so both directions take a `base_epoch` (Unix
+//! seconds, UTC) anchoring the window — e.g. the paper's WVU log starts
+//! 12-Jan-04.
+
+use crate::record::{LogRecord, Method};
+use crate::{Result, WeblogError};
+use std::fmt::Write as _;
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov",
+    "Dec",
+];
+
+/// Format one record as a CLF line anchored at `base_epoch` (Unix seconds).
+///
+/// The client id renders as a synthetic IPv4 address and the resource id as
+/// `/r/<id>`; sub-second timestamp precision is truncated, exactly like real
+/// 1-second-granularity server logs (the property that forces the paper's
+/// tie-spreading step in §4.2).
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_weblog::clf::format_line;
+/// use webpuzzle_weblog::{LogRecord, Method};
+///
+/// let rec = LogRecord::new(7.9, 0x0A000311, Method::Get, 42, 200, 2326);
+/// let line = format_line(&rec, 1_073_865_600); // 12-Jan-2004 00:00 UTC
+/// assert_eq!(
+///     line,
+///     "10.0.3.17 - - [12/Jan/2004:00:00:07 +0000] \"GET /r/42 HTTP/1.0\" 200 2326"
+/// );
+/// ```
+pub fn format_line(record: &LogRecord, base_epoch: i64) -> String {
+    let [a, b, c, d] = record.client.to_be_bytes();
+    let epoch = base_epoch + record.timestamp.floor() as i64;
+    let (date, time) = split_epoch(epoch);
+    let mut line = String::with_capacity(96);
+    let _ = write!(
+        line,
+        "{a}.{b}.{c}.{d} - - [{:02}/{}/{}:{:02}:{:02}:{:02} +0000] \"{} /r/{} HTTP/1.0\" {} {}",
+        date.2,
+        MONTHS[date.1 as usize - 1],
+        date.0,
+        time.0,
+        time.1,
+        time.2,
+        record.method,
+        record.resource,
+        record.status,
+        record.bytes,
+    );
+    line
+}
+
+/// Parse one CLF line into a record with timestamp relative to `base_epoch`.
+///
+/// Accepts `-` for the byte count (written by servers for bodyless
+/// responses) and maps it to 0.
+///
+/// # Errors
+///
+/// Returns [`WeblogError::ParseLine`] describing the first malformed field.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_weblog::clf::{format_line, parse_line};
+/// use webpuzzle_weblog::{LogRecord, Method};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rec = LogRecord::new(61.0, 7, Method::Post, 3, 404, 0);
+/// let line = format_line(&rec, 1_000_000_000);
+/// let back = parse_line(&line, 1_000_000_000)?;
+/// assert_eq!(back, rec);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_line(line: &str, base_epoch: i64) -> Result<LogRecord> {
+    let bad = |reason: &str| WeblogError::ParseLine {
+        line: 0,
+        reason: reason.to_string(),
+    };
+
+    // host ident user [date tz] "request" status bytes
+    let (host, rest) = line.split_once(' ').ok_or_else(|| bad("missing host"))?;
+    let client = parse_ipv4(host).ok_or_else(|| bad("bad host address"))?;
+
+    let open = rest.find('[').ok_or_else(|| bad("missing [date]"))?;
+    let close = rest[open..]
+        .find(']')
+        .map(|i| i + open)
+        .ok_or_else(|| bad("unterminated [date]"))?;
+    let epoch = parse_clf_date(&rest[open + 1..close]).ok_or_else(|| bad("bad date"))?;
+
+    let after_date = &rest[close + 1..];
+    let q1 = after_date.find('"').ok_or_else(|| bad("missing request"))?;
+    let q2 = after_date[q1 + 1..]
+        .find('"')
+        .map(|i| i + q1 + 1)
+        .ok_or_else(|| bad("unterminated request"))?;
+    let request = &after_date[q1 + 1..q2];
+    let mut req_parts = request.split_whitespace();
+    let method = Method::parse(req_parts.next().ok_or_else(|| bad("empty request"))?);
+    let uri = req_parts.next().ok_or_else(|| bad("request missing URI"))?;
+    let resource = uri
+        .rsplit('/')
+        .next()
+        .and_then(|tail| tail.parse::<u32>().ok())
+        .unwrap_or_else(|| fnv1a(uri));
+
+    let mut tail = after_date[q2 + 1..].split_whitespace();
+    let status: u16 = tail
+        .next()
+        .ok_or_else(|| bad("missing status"))?
+        .parse()
+        .map_err(|_| bad("bad status"))?;
+    let bytes_tok = tail.next().ok_or_else(|| bad("missing bytes"))?;
+    let bytes: u64 = if bytes_tok == "-" {
+        0
+    } else {
+        bytes_tok.parse().map_err(|_| bad("bad byte count"))?
+    };
+
+    Ok(LogRecord {
+        timestamp: (epoch - base_epoch) as f64,
+        client,
+        method,
+        resource,
+        status,
+        bytes,
+    })
+}
+
+/// Parse a whole CLF stream; line numbers are reported in errors.
+///
+/// # Errors
+///
+/// Returns [`WeblogError::ParseLine`] with the 1-based line number of the
+/// first malformed line. Blank lines are skipped.
+pub fn parse_log(text: &str, base_epoch: i64) -> Result<Vec<LogRecord>> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line, base_epoch) {
+            Ok(r) => out.push(r),
+            Err(WeblogError::ParseLine { reason, .. }) => {
+                return Err(WeblogError::ParseLine {
+                    line: i + 1,
+                    reason,
+                })
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_ipv4(s: &str) -> Option<u32> {
+    let mut parts = s.split('.');
+    let mut bytes = [0u8; 4];
+    for b in &mut bytes {
+        *b = parts.next()?.parse().ok()?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(u32::from_be_bytes(bytes))
+}
+
+// [dd/Mon/yyyy:HH:MM:SS +ZZZZ] body (without brackets) → Unix seconds.
+fn parse_clf_date(s: &str) -> Option<i64> {
+    let (datetime, tz) = match s.split_once(' ') {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    let mut it = datetime.splitn(3, '/');
+    let day: i64 = it.next()?.parse().ok()?;
+    let mon_name = it.next()?;
+    let month = MONTHS.iter().position(|m| *m == mon_name)? as i64 + 1;
+    let mut rest = it.next()?.splitn(4, ':');
+    let year: i64 = rest.next()?.parse().ok()?;
+    let hh: i64 = rest.next()?.parse().ok()?;
+    let mm: i64 = rest.next()?.parse().ok()?;
+    let ss: i64 = rest.next()?.parse().ok()?;
+    if !(1..=31).contains(&day) || hh > 23 || mm > 59 || ss > 60 {
+        return None;
+    }
+    let days = days_from_civil(year, month, day);
+    let mut epoch = days * 86_400 + hh * 3_600 + mm * 60 + ss;
+    if let Some(tz) = tz {
+        // ±HHMM offset: logged local time minus offset = UTC.
+        let sign = match tz.as_bytes().first()? {
+            b'+' => 1,
+            b'-' => -1,
+            _ => return None,
+        };
+        let hhmm: i64 = tz[1..].parse().ok()?;
+        let offset = (hhmm / 100) * 3_600 + (hhmm % 100) * 60;
+        epoch -= sign * offset;
+    }
+    Some(epoch)
+}
+
+// Days since 1970-01-01 (Howard Hinnant's days_from_civil).
+fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+// Inverse of days_from_civil.
+fn civil_from_days(z: i64) -> (i64, i64, i64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+// Epoch seconds → ((year, month, day), (hh, mm, ss)) in UTC.
+fn split_epoch(epoch: i64) -> ((i64, i64, i64), (i64, i64, i64)) {
+    let days = epoch.div_euclid(86_400);
+    let secs = epoch.rem_euclid(86_400);
+    (civil_from_days(days), (secs / 3_600, (secs / 60) % 60, secs % 60))
+}
+
+// FNV-1a hash for non-numeric URIs so foreign logs can still be interned.
+fn fnv1a(s: &str) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in s.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: i64 = 1_073_865_600; // 2004-01-12 00:00:00 UTC
+
+    #[test]
+    fn civil_roundtrip() {
+        for &z in &[-719_468i64, -1, 0, 1, 10_957, 12_418, 20_000, 100_000] {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z, "z = {z} → {y}-{m}-{d}");
+        }
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        // 2004-01-12 is 12 431 days after the epoch.
+        assert_eq!(days_from_civil(2004, 1, 12) * 86_400, BASE);
+    }
+
+    #[test]
+    fn format_known_line() {
+        let rec = LogRecord::new(7.0, 0x0A00_0311, Method::Get, 42, 200, 2326);
+        assert_eq!(
+            format_line(&rec, BASE),
+            "10.0.3.17 - - [12/Jan/2004:00:00:07 +0000] \"GET /r/42 HTTP/1.0\" 200 2326"
+        );
+    }
+
+    #[test]
+    fn roundtrip_many() {
+        for (i, &(ts, client, status, bytes)) in [
+            (0.0, 1u32, 200u16, 0u64),
+            (86_399.0, u32::MAX, 404, 123_456_789),
+            (604_799.0, 0, 500, 1),
+            (3_601.5, 77, 304, 0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let rec = LogRecord::new(ts, client, Method::Head, i as u32, status, bytes);
+            let line = format_line(&rec, BASE);
+            let back = parse_line(&line, BASE).unwrap();
+            assert_eq!(back.timestamp, ts.floor(), "line {line}");
+            assert_eq!(back.client, client);
+            assert_eq!(back.status, status);
+            assert_eq!(back.bytes, bytes);
+            assert_eq!(back.method, Method::Head);
+            assert_eq!(back.resource, i as u32);
+        }
+    }
+
+    #[test]
+    fn parses_real_world_shapes() {
+        // A ClarkNet-era line with "-" bytes and a textual URI.
+        let line = r#"199.72.81.55 - - [28/Aug/1995:00:00:01 -0400] "GET /images/ksclogo.gif HTTP/1.0" 304 -"#;
+        let rec = parse_line(line, 0).unwrap();
+        assert_eq!(rec.status, 304);
+        assert_eq!(rec.bytes, 0);
+        assert_eq!(rec.method, Method::Get);
+        // -0400 means UTC is 4h ahead of the logged local time.
+        assert_eq!(
+            rec.timestamp as i64,
+            days_from_civil(1995, 8, 28) * 86_400 + 1 + 4 * 3_600
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_line("not a log line", 0).is_err());
+        assert!(parse_line("1.2.3.4 - - [bad] \"GET / HTTP/1.0\" 200 1", 0).is_err());
+        assert!(parse_line(
+            "1.2.3.4 - - [12/Jan/2004:00:00:07 +0000] \"GET / HTTP/1.0\" xx 1",
+            0
+        )
+        .is_err());
+        assert!(parse_line("300.2.3.4 - - [12/Jan/2004:00:00:07 +0000] \"GET / HTTP/1.0\" 200 1", 0).is_err());
+    }
+
+    #[test]
+    fn parse_log_reports_line_numbers() {
+        let text = "10.0.0.1 - - [12/Jan/2004:00:00:07 +0000] \"GET /r/1 HTTP/1.0\" 200 10\n\ngarbage\n";
+        let err = parse_log(text, BASE).unwrap_err();
+        match err {
+            WeblogError::ParseLine { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_log_ok() {
+        let mut text = String::new();
+        for i in 0..50 {
+            let rec = LogRecord::new(i as f64, i, Method::Get, i, 200, 100 + i as u64);
+            text.push_str(&format_line(&rec, BASE));
+            text.push('\n');
+        }
+        let records = parse_log(&text, BASE).unwrap();
+        assert_eq!(records.len(), 50);
+        assert_eq!(records[49].bytes, 149);
+    }
+
+    #[test]
+    fn textual_uri_hashes_stably() {
+        let line = r#"1.2.3.4 - - [12/Jan/2004:00:00:07 +0000] "GET /a/b.html HTTP/1.0" 200 5"#;
+        let a = parse_line(line, BASE).unwrap().resource;
+        let b = parse_line(line, BASE).unwrap().resource;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,312 @@
+//! Week-long dataset handling: the 42 four-hour intervals and Low/Med/High
+//! workload selection of the paper's §2.
+
+use crate::record::LogRecord;
+use crate::session::{sessionize, Session};
+use crate::{Result, WeblogError};
+use serde::{Deserialize, Serialize};
+
+/// Seconds in the one-week observation window.
+pub const SECONDS_PER_WEEK: f64 = 7.0 * 24.0 * 3600.0;
+
+/// Seconds in one of the 42 analysis intervals (4 hours).
+pub const SECONDS_PER_INTERVAL: f64 = 4.0 * 3600.0;
+
+/// Workload-intensity label for a selected interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadLevel {
+    /// The least busy 4-hour interval of the week.
+    Low,
+    /// The median-busy interval.
+    Med,
+    /// The busiest interval.
+    High,
+}
+
+impl std::fmt::Display for WorkloadLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WorkloadLevel::Low => "Low",
+            WorkloadLevel::Med => "Med",
+            WorkloadLevel::High => "High",
+        })
+    }
+}
+
+/// One 4-hour analysis interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Index within the week (0..42).
+    pub index: usize,
+    /// Start time (seconds from week start).
+    pub start: f64,
+    /// End time (exclusive).
+    pub end: f64,
+    /// Requests falling in the interval.
+    pub request_count: usize,
+}
+
+/// A week of traffic for one server: records, derived sessions, and the
+/// interval machinery of §2.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_weblog::{LogRecord, Method, WeekDataset};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let records: Vec<LogRecord> = (0..1000)
+///     .map(|i| LogRecord::new(i as f64 * 600.0, i % 50, Method::Get, 0, 200, 1024))
+///     .collect();
+/// let ds = WeekDataset::from_records(records, 1800.0)?;
+/// assert_eq!(ds.intervals().len(), 42);
+/// let (low, _med, high) = ds.select_low_med_high();
+/// assert!(low.request_count <= high.request_count);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeekDataset {
+    records: Vec<LogRecord>,
+    sessions: Vec<Session>,
+    threshold: f64,
+    intervals: Vec<Interval>,
+}
+
+impl WeekDataset {
+    /// Build a dataset from raw records (sorted internally) and a session
+    /// threshold in seconds. Records outside `[0, SECONDS_PER_WEEK)` are
+    /// rejected — the window is the analysis contract of the whole suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeblogError::Empty`] for no records,
+    /// [`WeblogError::InvalidParameter`] for records outside the week window
+    /// or a bad threshold.
+    pub fn from_records(mut records: Vec<LogRecord>, threshold: f64) -> Result<Self> {
+        if records.is_empty() {
+            return Err(WeblogError::Empty);
+        }
+        if records
+            .iter()
+            .any(|r| !(0.0..SECONDS_PER_WEEK).contains(&r.timestamp))
+        {
+            return Err(WeblogError::InvalidParameter {
+                name: "records",
+                constraint: "timestamps must lie in [0, one week)",
+            });
+        }
+        records.sort_by(|a, b| {
+            a.timestamp.partial_cmp(&b.timestamp).expect("finite timestamps")
+        });
+        let sessions = sessionize(&records, threshold)?;
+
+        let n_intervals = (SECONDS_PER_WEEK / SECONDS_PER_INTERVAL) as usize;
+        let mut counts = vec![0usize; n_intervals];
+        for r in &records {
+            let idx = ((r.timestamp / SECONDS_PER_INTERVAL) as usize)
+                .min(n_intervals - 1);
+            counts[idx] += 1;
+        }
+        let intervals = counts
+            .into_iter()
+            .enumerate()
+            .map(|(index, request_count)| Interval {
+                index,
+                start: index as f64 * SECONDS_PER_INTERVAL,
+                end: (index + 1) as f64 * SECONDS_PER_INTERVAL,
+                request_count,
+            })
+            .collect();
+
+        Ok(WeekDataset {
+            records,
+            sessions,
+            threshold,
+            intervals,
+        })
+    }
+
+    /// The time-sorted records.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// The derived sessions, sorted by start time.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// The session threshold used (seconds).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The 42 four-hour intervals with request counts.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Request timestamps (already sorted).
+    pub fn request_times(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.timestamp).collect()
+    }
+
+    /// Session start timestamps (already sorted).
+    pub fn session_start_times(&self) -> Vec<f64> {
+        self.sessions.iter().map(|s| s.start).collect()
+    }
+
+    /// Total bytes transferred over the week.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Pick the typical Low / Med / High intervals by total request count
+    /// (minimum, median, maximum of the 42 intervals), the paper's §2
+    /// selection criterion.
+    pub fn select_low_med_high(&self) -> (Interval, Interval, Interval) {
+        let mut by_count: Vec<Interval> = self.intervals.clone();
+        by_count.sort_by_key(|iv| iv.request_count);
+        (
+            by_count[0],
+            by_count[by_count.len() / 2],
+            by_count[by_count.len() - 1],
+        )
+    }
+
+    /// Request timestamps within an interval.
+    pub fn request_times_in(&self, interval: &Interval) -> Vec<f64> {
+        let lo = self
+            .records
+            .partition_point(|r| r.timestamp < interval.start);
+        let hi = self.records.partition_point(|r| r.timestamp < interval.end);
+        self.records[lo..hi].iter().map(|r| r.timestamp).collect()
+    }
+
+    /// Session start timestamps within an interval (sessions *initiated*
+    /// there, the paper's inter-session convention).
+    pub fn session_starts_in(&self, interval: &Interval) -> Vec<f64> {
+        self.sessions
+            .iter()
+            .filter(|s| s.start >= interval.start && s.start < interval.end)
+            .map(|s| s.start)
+            .collect()
+    }
+
+    /// Sessions initiated within an interval.
+    pub fn sessions_in(&self, interval: &Interval) -> Vec<Session> {
+        self.sessions
+            .iter()
+            .filter(|s| s.start >= interval.start && s.start < interval.end)
+            .copied()
+            .collect()
+    }
+
+    /// Table 1 style summary: `(requests, sessions, megabytes)`.
+    pub fn summary(&self) -> (usize, usize, f64) {
+        (
+            self.records.len(),
+            self.sessions.len(),
+            self.total_bytes() as f64 / (1024.0 * 1024.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Method;
+
+    fn rec(t: f64, client: u32) -> LogRecord {
+        LogRecord::new(t, client, Method::Get, 0, 200, 1000)
+    }
+
+    fn sample_dataset() -> WeekDataset {
+        // Heavier traffic in intervals 10..20.
+        let mut records = Vec::new();
+        let mut id = 0u32;
+        for iv in 0..42 {
+            let per = if (10..20).contains(&iv) { 200 } else { 50 };
+            for i in 0..per {
+                id += 1;
+                records.push(rec(
+                    iv as f64 * SECONDS_PER_INTERVAL + i as f64 * 30.0,
+                    id % 97,
+                ));
+            }
+        }
+        WeekDataset::from_records(records, 1800.0).unwrap()
+    }
+
+    #[test]
+    fn intervals_cover_week() {
+        let ds = sample_dataset();
+        assert_eq!(ds.intervals().len(), 42);
+        assert_eq!(ds.intervals()[41].end, SECONDS_PER_WEEK);
+        let total: usize = ds.intervals().iter().map(|iv| iv.request_count).sum();
+        assert_eq!(total, ds.records().len());
+    }
+
+    #[test]
+    fn low_med_high_ordering() {
+        let ds = sample_dataset();
+        let (low, med, high) = ds.select_low_med_high();
+        assert!(low.request_count <= med.request_count);
+        assert!(med.request_count <= high.request_count);
+        assert_eq!(low.request_count, 50);
+        assert_eq!(high.request_count, 200);
+    }
+
+    #[test]
+    fn interval_extraction_consistent() {
+        let ds = sample_dataset();
+        let (_, _, high) = ds.select_low_med_high();
+        let times = ds.request_times_in(&high);
+        assert_eq!(times.len(), high.request_count);
+        assert!(times.iter().all(|&t| t >= high.start && t < high.end));
+    }
+
+    #[test]
+    fn session_starts_partition() {
+        let ds = sample_dataset();
+        let total: usize = ds
+            .intervals()
+            .iter()
+            .map(|iv| ds.session_starts_in(iv).len())
+            .sum();
+        assert_eq!(total, ds.sessions().len());
+    }
+
+    #[test]
+    fn summary_units() {
+        let ds = sample_dataset();
+        let (req, sess, mb) = ds.summary();
+        assert_eq!(req, ds.records().len());
+        assert_eq!(sess, ds.sessions().len());
+        assert!((mb - req as f64 * 1000.0 / 1048576.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_out_of_window() {
+        let bad = vec![rec(-1.0, 1)];
+        assert!(WeekDataset::from_records(bad, 1800.0).is_err());
+        let bad = vec![rec(SECONDS_PER_WEEK, 1)];
+        assert!(WeekDataset::from_records(bad, 1800.0).is_err());
+        assert!(WeekDataset::from_records(vec![], 1800.0).is_err());
+    }
+
+    #[test]
+    fn records_sorted_after_construction() {
+        let records = vec![rec(500.0, 1), rec(10.0, 2), rec(300.0, 3)];
+        let ds = WeekDataset::from_records(records, 1800.0).unwrap();
+        let times = ds.request_times();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn workload_level_display() {
+        assert_eq!(WorkloadLevel::Low.to_string(), "Low");
+        assert_eq!(WorkloadLevel::High.to_string(), "High");
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for log parsing and dataset construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by log handling routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeblogError {
+    /// A Common Log Format line could not be parsed.
+    ParseLine {
+        /// 1-based line number when parsing a stream, 0 for single lines.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A parameter (threshold, interval width, …) was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// The input records were empty where data is required.
+    Empty,
+    /// Records were required to be time-sorted but were not.
+    Unsorted {
+        /// Index of the first out-of-order record.
+        at: usize,
+    },
+}
+
+impl fmt::Display for WeblogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeblogError::ParseLine { line, reason } => {
+                if *line == 0 {
+                    write!(f, "malformed log line: {reason}")
+                } else {
+                    write!(f, "malformed log line {line}: {reason}")
+                }
+            }
+            WeblogError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter {name}: {constraint}")
+            }
+            WeblogError::Empty => write!(f, "no log records provided"),
+            WeblogError::Unsorted { at } => {
+                write!(f, "records not sorted by timestamp (first violation at index {at})")
+            }
+        }
+    }
+}
+
+impl Error for WeblogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(WeblogError::Empty.to_string().contains("no log records"));
+        assert!(WeblogError::Unsorted { at: 3 }.to_string().contains('3'));
+        let e = WeblogError::ParseLine {
+            line: 7,
+            reason: "bad status".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn is_error_trait_object() {
+        fn takes(_: &dyn Error) {}
+        takes(&WeblogError::Empty);
+    }
+}

@@ -1,0 +1,41 @@
+//! Web server log handling for the `webpuzzle` suite.
+//!
+//! Mirrors the paper's data-extraction pipeline (Figure 1): log records
+//! ([`LogRecord`]) are parsed from / formatted to Common Log Format
+//! ([`clf`]), access and error logs are merged ([`merge_sorted`]), requests
+//! are grouped into sessions by client with a 30-minute inactivity threshold
+//! ([`sessionize`], [`Session`]), and a week of traffic becomes a
+//! [`WeekDataset`] that can hand out the 42 four-hour intervals and the
+//! Low/Med/High workload selections of §2.
+//!
+//! # Examples
+//!
+//! ```
+//! use webpuzzle_weblog::{sessionize, LogRecord, Method};
+//!
+//! let records = vec![
+//!     LogRecord::new(0.0, 1, Method::Get, 10, 200, 512),
+//!     LogRecord::new(60.0, 1, Method::Get, 11, 200, 1024),
+//!     LogRecord::new(10_000.0, 1, Method::Get, 12, 404, 0),
+//! ];
+//! // 30-minute threshold: the 10 000 s gap starts a new session.
+//! let sessions = sessionize(&records, 1800.0).unwrap();
+//! assert_eq!(sessions.len(), 2);
+//! assert_eq!(sessions[0].request_count, 2);
+//! ```
+
+pub mod clf;
+mod dataset;
+mod error;
+mod merge;
+mod record;
+mod session;
+
+pub use dataset::{Interval, WeekDataset, WorkloadLevel, SECONDS_PER_WEEK};
+pub use error::WeblogError;
+pub use merge::merge_sorted;
+pub use record::{LogRecord, Method};
+pub use session::{sessionize, Session, DEFAULT_SESSION_THRESHOLD};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WeblogError>;

@@ -1,0 +1,117 @@
+//! Merging of time-sorted log streams (the paper's access + error log merge
+//! for servers with redundant front-ends, Figure 1).
+
+use crate::record::LogRecord;
+use crate::{Result, WeblogError};
+
+/// Merge any number of individually time-sorted record streams into one
+/// sorted stream (k-way merge, stable across streams in input order).
+///
+/// # Errors
+///
+/// Returns [`WeblogError::Unsorted`] if any input stream is not sorted by
+/// timestamp (the index reported is within the offending stream).
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_weblog::{merge_sorted, LogRecord, Method};
+///
+/// let access = vec![
+///     LogRecord::new(1.0, 1, Method::Get, 1, 200, 10),
+///     LogRecord::new(5.0, 1, Method::Get, 2, 200, 10),
+/// ];
+/// let errors = vec![LogRecord::new(3.0, 2, Method::Get, 9, 404, 0)];
+/// let merged = merge_sorted(&[&access, &errors]).unwrap();
+/// let times: Vec<f64> = merged.iter().map(|r| r.timestamp).collect();
+/// assert_eq!(times, vec![1.0, 3.0, 5.0]);
+/// ```
+pub fn merge_sorted(streams: &[&[LogRecord]]) -> Result<Vec<LogRecord>> {
+    for stream in streams {
+        if let Some(at) = first_unsorted(stream) {
+            return Err(WeblogError::Unsorted { at });
+        }
+    }
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; streams.len()];
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (stream, &cur)) in streams.iter().zip(&cursors).enumerate() {
+            if cur < stream.len() {
+                let t = stream[cur].timestamp;
+                if best.map(|(_, bt)| t < bt).unwrap_or(true) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                out.push(streams[i][cursors[i]]);
+                cursors[i] += 1;
+            }
+            None => break,
+        }
+    }
+    Ok(out)
+}
+
+fn first_unsorted(records: &[LogRecord]) -> Option<usize> {
+    records
+        .windows(2)
+        .position(|w| w[1].timestamp < w[0].timestamp)
+        .map(|i| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Method;
+
+    fn rec(t: f64, client: u32) -> LogRecord {
+        LogRecord::new(t, client, Method::Get, 0, 200, 0)
+    }
+
+    #[test]
+    fn merge_three_streams() {
+        let a = vec![rec(1.0, 1), rec(4.0, 1), rec(7.0, 1)];
+        let b = vec![rec(2.0, 2), rec(5.0, 2)];
+        let c = vec![rec(3.0, 3), rec(6.0, 3)];
+        let merged = merge_sorted(&[&a, &b, &c]).unwrap();
+        let times: Vec<f64> = merged.iter().map(|r| r.timestamp).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn ties_stable_by_stream_order() {
+        let a = vec![rec(1.0, 1)];
+        let b = vec![rec(1.0, 2)];
+        let merged = merge_sorted(&[&a, &b]).unwrap();
+        assert_eq!(merged[0].client, 1);
+        assert_eq!(merged[1].client, 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_sorted(&[]).unwrap().is_empty());
+        let a: Vec<LogRecord> = vec![];
+        let b = vec![rec(1.0, 1)];
+        assert_eq!(merge_sorted(&[&a, &b]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unsorted_detected() {
+        let a = vec![rec(2.0, 1), rec(1.0, 1)];
+        assert_eq!(
+            merge_sorted(&[&a]).unwrap_err(),
+            WeblogError::Unsorted { at: 1 }
+        );
+    }
+
+    #[test]
+    fn merge_preserves_count() {
+        let a: Vec<LogRecord> = (0..100).map(|i| rec(i as f64 * 2.0, 1)).collect();
+        let b: Vec<LogRecord> = (0..77).map(|i| rec(i as f64 * 3.0, 2)).collect();
+        assert_eq!(merge_sorted(&[&a, &b]).unwrap().len(), 177);
+    }
+}

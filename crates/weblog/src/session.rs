@@ -1,0 +1,213 @@
+//! Sessionization: grouping requests into user sessions.
+//!
+//! The paper's definition (§2): a session is a sequence of requests from the
+//! same IP address with inter-request gaps below a threshold; a gap at or
+//! above the threshold starts a new session. The threshold adopted by the
+//! paper (after the sensitivity study in [12]) is 30 minutes.
+
+use crate::record::LogRecord;
+use crate::{Result, WeblogError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The paper's session inactivity threshold: 30 minutes, in seconds.
+pub const DEFAULT_SESSION_THRESHOLD: f64 = 1800.0;
+
+/// One user session and its intra-session characteristics — exactly the
+/// three quantities analyzed in §5.2 plus bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// Client (IP) identifier the session belongs to.
+    pub client: u32,
+    /// Timestamp of the first request.
+    pub start: f64,
+    /// Timestamp of the last request.
+    pub end: f64,
+    /// Number of requests in the session (§5.2.2).
+    pub request_count: usize,
+    /// Total bytes transferred, completed and partial (§5.2.3).
+    pub bytes: u64,
+}
+
+impl Session {
+    /// Session length in time units (§5.2.1). Zero for single-request
+    /// sessions.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Group records into sessions using the given inactivity `threshold`
+/// (seconds). Records need not be sorted; each client's stream is sorted
+/// internally. Sessions are returned sorted by start time.
+///
+/// # Errors
+///
+/// Returns [`WeblogError::InvalidParameter`] for a non-positive threshold
+/// and [`WeblogError::Empty`] for no records.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_weblog::{sessionize, LogRecord, Method, DEFAULT_SESSION_THRESHOLD};
+///
+/// let recs = vec![
+///     LogRecord::new(0.0, 1, Method::Get, 1, 200, 100),
+///     LogRecord::new(100.0, 1, Method::Get, 2, 200, 200),
+///     LogRecord::new(50.0, 2, Method::Get, 1, 200, 300),
+/// ];
+/// let sessions = sessionize(&recs, DEFAULT_SESSION_THRESHOLD).unwrap();
+/// assert_eq!(sessions.len(), 2);
+/// assert_eq!(sessions[0].client, 1);
+/// assert_eq!(sessions[0].bytes, 300);
+/// ```
+pub fn sessionize(records: &[LogRecord], threshold: f64) -> Result<Vec<Session>> {
+    if !threshold.is_finite() || threshold <= 0.0 {
+        return Err(WeblogError::InvalidParameter {
+            name: "threshold",
+            constraint: "must be finite and > 0",
+        });
+    }
+    if records.is_empty() {
+        return Err(WeblogError::Empty);
+    }
+
+    // Bucket timestamps/bytes per client.
+    let mut per_client: HashMap<u32, Vec<(f64, u64)>> = HashMap::new();
+    for r in records {
+        per_client
+            .entry(r.client)
+            .or_default()
+            .push((r.timestamp, r.bytes));
+    }
+
+    let mut sessions = Vec::new();
+    for (client, mut events) in per_client {
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+        let mut current = Session {
+            client,
+            start: events[0].0,
+            end: events[0].0,
+            request_count: 1,
+            bytes: events[0].1,
+        };
+        for &(t, b) in &events[1..] {
+            if t - current.end < threshold {
+                current.end = t;
+                current.request_count += 1;
+                current.bytes += b;
+            } else {
+                sessions.push(current);
+                current = Session {
+                    client,
+                    start: t,
+                    end: t,
+                    request_count: 1,
+                    bytes: b,
+                };
+            }
+        }
+        sessions.push(current);
+    }
+    sessions.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
+    Ok(sessions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Method;
+
+    fn rec(t: f64, client: u32, bytes: u64) -> LogRecord {
+        LogRecord::new(t, client, Method::Get, 0, 200, bytes)
+    }
+
+    #[test]
+    fn gap_below_threshold_stays_one_session() {
+        let recs = vec![rec(0.0, 1, 1), rec(1799.0, 1, 1), rec(3598.0, 1, 1)];
+        let s = sessionize(&recs, 1800.0).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].request_count, 3);
+        assert_eq!(s[0].duration(), 3598.0);
+    }
+
+    #[test]
+    fn gap_at_threshold_splits() {
+        // "time between requests less than some threshold" — an exact
+        // 1800 s gap starts a new session.
+        let recs = vec![rec(0.0, 1, 1), rec(1800.0, 1, 1)];
+        let s = sessionize(&recs, 1800.0).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn clients_never_mix() {
+        let recs = vec![rec(0.0, 1, 1), rec(1.0, 2, 1), rec(2.0, 1, 1)];
+        let s = sessionize(&recs, 1800.0).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().any(|x| x.client == 1 && x.request_count == 2));
+        assert!(s.iter().any(|x| x.client == 2 && x.request_count == 1));
+    }
+
+    #[test]
+    fn bytes_accumulate() {
+        let recs = vec![rec(0.0, 1, 100), rec(10.0, 1, 250)];
+        let s = sessionize(&recs, 1800.0).unwrap();
+        assert_eq!(s[0].bytes, 350);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let recs = vec![rec(5000.0, 1, 1), rec(0.0, 1, 1), rec(10.0, 1, 1)];
+        let s = sessionize(&recs, 1800.0).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].request_count, 2);
+        assert_eq!(s[0].start, 0.0);
+    }
+
+    #[test]
+    fn sessions_sorted_by_start() {
+        let recs = vec![rec(100.0, 2, 1), rec(0.0, 1, 1), rec(50.0, 3, 1)];
+        let s = sessionize(&recs, 1800.0).unwrap();
+        let starts: Vec<f64> = s.iter().map(|x| x.start).collect();
+        assert_eq!(starts, vec![0.0, 50.0, 100.0]);
+    }
+
+    #[test]
+    fn request_counts_partition_records() {
+        // Every record lands in exactly one session.
+        let recs: Vec<LogRecord> = (0..500)
+            .map(|i| rec(i as f64 * 700.0, (i % 7) as u32, 1))
+            .collect();
+        let s = sessionize(&recs, 1800.0).unwrap();
+        let total: usize = s.iter().map(|x| x.request_count).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn single_request_session_has_zero_duration() {
+        let s = sessionize(&[rec(42.0, 9, 7)], 1800.0).unwrap();
+        assert_eq!(s[0].duration(), 0.0);
+        assert_eq!(s[0].request_count, 1);
+    }
+
+    #[test]
+    fn threshold_sensitivity() {
+        // Smaller threshold → at least as many sessions (the [12] study).
+        let recs: Vec<LogRecord> = (0..100)
+            .map(|i| rec(i as f64 * 60.0, 1, 1))
+            .collect();
+        let coarse = sessionize(&recs, 1800.0).unwrap().len();
+        let fine = sessionize(&recs, 30.0).unwrap().len();
+        assert!(fine >= coarse);
+        assert_eq!(coarse, 1);
+        assert_eq!(fine, 100);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(sessionize(&[], 1800.0).is_err());
+        assert!(sessionize(&[rec(0.0, 1, 1)], 0.0).is_err());
+        assert!(sessionize(&[rec(0.0, 1, 1)], f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,384 @@
+//! Session arrival process generation.
+//!
+//! Three models, matching the ablation axis in DESIGN.md:
+//!
+//! * [`ArrivalModel::FgnCox`] — a doubly-stochastic (Cox) process whose
+//!   intensity is modulated by fractional Gaussian noise: the counting
+//!   process inherits the fGn's long-range dependence (the paper's §5.1
+//!   finding for real session arrivals).
+//! * [`ArrivalModel::OnOff`] — superposition of heavy-tailed ON/OFF
+//!   sources (Willinger et al. [28]), the classic structural explanation of
+//!   traffic self-similarity.
+//! * [`ArrivalModel::Poisson`] — the negative control: §4.2/§5.1.2 must
+//!   *fail to reject* Poisson on this model's output.
+//!
+//! All models share the same deterministic envelope — a 24-hour diurnal
+//! cycle plus a linear weekly trend — so the stationarization pipeline
+//! (KPSS → detrend → deseasonalize) has the exact non-stationarities the
+//! paper found in real traffic.
+
+use crate::poisson::poisson_sample;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use webpuzzle_lrd::fgn::FgnGenerator;
+use webpuzzle_stats::dist::{BoundedPareto, Sampler};
+use webpuzzle_stats::StatsError;
+use webpuzzle_weblog::SECONDS_PER_WEEK;
+
+/// Hour of day (local) when the diurnal cycle peaks.
+const PEAK_HOUR: f64 = 15.0;
+
+/// Resolution at which the fGn intensity is sampled (seconds). Holding the
+/// intensity constant within 10-second steps preserves LRD at every scale
+/// the estimators use while keeping the synthesis FFT small.
+const FGN_STEP: f64 = 10.0;
+
+/// The session arrival dynamics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Homogeneous-in-envelope Poisson arrivals (the null model the paper
+    /// rejects for all but the quietest intervals).
+    Poisson,
+    /// Cox process with fGn-modulated intensity: `h` is the target Hurst
+    /// exponent, `cv` the relative intensity fluctuation (coefficient of
+    /// variation of the modulation).
+    FgnCox {
+        /// Target Hurst exponent in (0, 1).
+        h: f64,
+        /// Relative intensity fluctuation, ≥ 0.
+        cv: f64,
+    },
+    /// Superposition of `sources` ON/OFF sources with Pareto ON and OFF
+    /// period durations (`alpha_on`, `alpha_off` ∈ (1, 2) for LRD).
+    OnOff {
+        /// Tail index of ON period durations.
+        alpha_on: f64,
+        /// Tail index of OFF period durations.
+        alpha_off: f64,
+        /// Number of superposed sources.
+        sources: usize,
+    },
+}
+
+/// Generate `target_count` (in expectation) session start times over one
+/// week under the given model and deterministic envelope.
+///
+/// Returns sorted times in `[0, SECONDS_PER_WEEK)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] for a zero target, an fGn `h`
+/// outside (0, 1), a negative `cv`, ON/OFF tail indices outside (1, 2], or
+/// zero sources.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use webpuzzle_workload::{generate_session_starts, ArrivalModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let starts =
+///     generate_session_starts(&ArrivalModel::Poisson, 2_000, 0.4, 0.1, &mut rng)?;
+/// assert!((starts.len() as f64 - 2_000.0).abs() < 200.0);
+/// assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate_session_starts(
+    model: &ArrivalModel,
+    target_count: usize,
+    diurnal_amplitude: f64,
+    weekly_trend: f64,
+    rng: &mut StdRng,
+) -> Result<Vec<f64>> {
+    if target_count == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "target_count",
+            value: 0.0,
+            constraint: "must be >= 1",
+        });
+    }
+    let n_seconds = SECONDS_PER_WEEK as usize;
+
+    // Stochastic modulation factors, one per FGN_STEP bucket.
+    let n_steps = (SECONDS_PER_WEEK / FGN_STEP).ceil() as usize;
+    let modulation: Vec<f64> = match *model {
+        ArrivalModel::Poisson => vec![1.0; n_steps],
+        ArrivalModel::FgnCox { h, cv } => {
+            if cv < 0.0 || !cv.is_finite() {
+                return Err(StatsError::InvalidParameter {
+                    name: "cv",
+                    value: cv,
+                    constraint: "must be finite and >= 0",
+                });
+            }
+            let noise = FgnGenerator::new(h)?.generate_with(rng, n_steps)?;
+            noise.iter().map(|z| (1.0 + cv * z).max(0.02)).collect()
+        }
+        ArrivalModel::OnOff {
+            alpha_on,
+            alpha_off,
+            sources,
+        } => on_off_active_counts(alpha_on, alpha_off, sources, n_steps, rng)?,
+    };
+
+    // Deterministic envelope per second, combined with the modulation, then
+    // normalized so the expected total equals target_count.
+    let mut rate = Vec::with_capacity(n_seconds);
+    let mut total = 0.0;
+    for t in 0..n_seconds {
+        let tf = t as f64;
+        let day_phase = 2.0 * std::f64::consts::PI * (tf / 86_400.0 - PEAK_HOUR / 24.0);
+        let diurnal = 1.0 + diurnal_amplitude * day_phase.cos();
+        let trend = 1.0 + weekly_trend * (tf / SECONDS_PER_WEEK - 0.5);
+        let r = diurnal.max(0.0)
+            * trend.max(0.0)
+            * modulation[(tf / FGN_STEP) as usize];
+        total += r;
+        rate.push(r);
+    }
+    if total <= 0.0 {
+        return Err(StatsError::DegenerateInput {
+            what: "arrival envelope collapsed to zero",
+        });
+    }
+    let norm = target_count as f64 / total;
+
+    let mut starts = Vec::with_capacity(target_count + target_count / 8);
+    for (t, r) in rate.into_iter().enumerate() {
+        let events = poisson_sample(rng, r * norm);
+        for _ in 0..events {
+            starts.push(t as f64 + rng.random::<f64>());
+        }
+    }
+    starts.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    // Guard the window invariant exactly.
+    starts.retain(|&t| t < SECONDS_PER_WEEK);
+    Ok(starts)
+}
+
+// Per-step count of active ON/OFF sources, normalized to mean 1.
+fn on_off_active_counts(
+    alpha_on: f64,
+    alpha_off: f64,
+    sources: usize,
+    n_steps: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<f64>> {
+    for (name, a) in [("alpha_on", alpha_on), ("alpha_off", alpha_off)] {
+        if !(1.0 < a && a <= 2.0) {
+            return Err(StatsError::InvalidParameter {
+                name,
+                value: a,
+                constraint: "must be in (1, 2] for LRD superposition",
+            });
+        }
+    }
+    if sources == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "sources",
+            value: 0.0,
+            constraint: "must be >= 1",
+        });
+    }
+    // Period durations in steps (minimum 3 steps = 30 s so sources persist
+    // long enough to correlate adjacent bins); bounded so a single period
+    // cannot swallow the week many times over.
+    let horizon = n_steps as f64;
+    let on = BoundedPareto::new(alpha_on, 3.0, horizon)?;
+    let off = BoundedPareto::new(alpha_off, 3.0, horizon)?;
+
+    let mut active = vec![0.0f64; n_steps];
+    for _ in 0..sources {
+        // Random initial phase and state.
+        let mut pos = -(rng.random::<f64>() * horizon * 0.5);
+        let mut is_on = rng.random::<f64>() < 0.5;
+        while pos < horizon {
+            let len = if is_on { on.sample(rng) } else { off.sample(rng) };
+            if is_on {
+                let a = pos.max(0.0) as usize;
+                let b = ((pos + len).min(horizon)).max(0.0) as usize;
+                for slot in active.iter_mut().take(b).skip(a) {
+                    *slot += 1.0;
+                }
+            }
+            pos += len;
+            is_on = !is_on;
+        }
+    }
+    let mean = active.iter().sum::<f64>() / n_steps as f64;
+    if mean <= 0.0 {
+        return Err(StatsError::DegenerateInput {
+            what: "no ON/OFF source was ever active",
+        });
+    }
+    Ok(active.into_iter().map(|a| (a / mean).max(0.02)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use webpuzzle_lrd::whittle;
+    use webpuzzle_timeseries::CountSeries;
+
+    fn counts_per_second(starts: &[f64], bin: f64) -> Vec<f64> {
+        CountSeries::from_event_times_in_window(
+            starts,
+            bin,
+            0.0,
+            (SECONDS_PER_WEEK / bin) as usize,
+        )
+        .unwrap()
+        .into_counts()
+    }
+
+    #[test]
+    fn poisson_total_near_target() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let starts =
+            generate_session_starts(&ArrivalModel::Poisson, 10_000, 0.5, 0.1, &mut rng)
+                .unwrap();
+        assert!(
+            (starts.len() as f64 - 10_000.0).abs() < 400.0,
+            "{} events",
+            starts.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_cycle_visible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let starts =
+            generate_session_starts(&ArrivalModel::Poisson, 50_000, 0.6, 0.0, &mut rng)
+                .unwrap();
+        // Hourly counts: peak hour (15:00) should be far busier than 03:00.
+        let hourly = counts_per_second(&starts, 3600.0);
+        let peak: f64 = (0..7).map(|d| hourly[d * 24 + 15]).sum();
+        let trough: f64 = (0..7).map(|d| hourly[d * 24 + 3]).sum();
+        assert!(peak > 2.0 * trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn trend_visible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let starts =
+            generate_session_starts(&ArrivalModel::Poisson, 50_000, 0.0, 0.4, &mut rng)
+                .unwrap();
+        let n = starts.len();
+        let first_half = starts.iter().filter(|&&t| t < SECONDS_PER_WEEK / 2.0).count();
+        let second_half = n - first_half;
+        assert!(
+            second_half as f64 > first_half as f64 * 1.1,
+            "{first_half} vs {second_half}"
+        );
+    }
+
+    #[test]
+    fn fgn_cox_is_lrd_poisson_is_not() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Flat envelope isolates the stochastic component.
+        let lrd_starts = generate_session_starts(
+            &ArrivalModel::FgnCox { h: 0.85, cv: 0.7 },
+            200_000,
+            0.0,
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let poi_starts =
+            generate_session_starts(&ArrivalModel::Poisson, 200_000, 0.0, 0.0, &mut rng)
+                .unwrap();
+        // 60-second bins keep the series length manageable for Whittle.
+        let h_lrd = whittle(&counts_per_second(&lrd_starts, 60.0)).unwrap().h;
+        let h_poi = whittle(&counts_per_second(&poi_starts, 60.0)).unwrap().h;
+        assert!(h_lrd > 0.7, "Cox H = {h_lrd}");
+        assert!(h_poi < 0.6, "Poisson H = {h_poi}");
+    }
+
+    #[test]
+    fn onoff_superposition_is_lrd() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Few sources and a high event rate keep the heavy-tailed ON/OFF
+        // modulation above the Poisson sampling noise floor.
+        let starts = generate_session_starts(
+            &ArrivalModel::OnOff {
+                alpha_on: 1.3,
+                alpha_off: 1.3,
+                sources: 12,
+            },
+            400_000,
+            0.0,
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let h = whittle(&counts_per_second(&starts, 60.0)).unwrap().h;
+        assert!(h > 0.65, "ON/OFF H = {h}");
+    }
+
+    #[test]
+    fn all_times_in_window_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let starts = generate_session_starts(
+            &ArrivalModel::FgnCox { h: 0.7, cv: 0.5 },
+            5_000,
+            0.5,
+            0.1,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(starts.iter().all(|&t| (0.0..SECONDS_PER_WEEK).contains(&t)));
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(generate_session_starts(&ArrivalModel::Poisson, 0, 0.0, 0.0, &mut rng)
+            .is_err());
+        assert!(generate_session_starts(
+            &ArrivalModel::FgnCox { h: 1.5, cv: 0.5 },
+            100,
+            0.0,
+            0.0,
+            &mut rng
+        )
+        .is_err());
+        assert!(generate_session_starts(
+            &ArrivalModel::FgnCox { h: 0.7, cv: -1.0 },
+            100,
+            0.0,
+            0.0,
+            &mut rng
+        )
+        .is_err());
+        assert!(generate_session_starts(
+            &ArrivalModel::OnOff {
+                alpha_on: 2.5,
+                alpha_off: 1.4,
+                sources: 10
+            },
+            100,
+            0.0,
+            0.0,
+            &mut rng
+        )
+        .is_err());
+        assert!(generate_session_starts(
+            &ArrivalModel::OnOff {
+                alpha_on: 1.4,
+                alpha_off: 1.4,
+                sources: 0
+            },
+            100,
+            0.0,
+            0.0,
+            &mut rng
+        )
+        .is_err());
+    }
+}

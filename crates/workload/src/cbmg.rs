@@ -1,0 +1,419 @@
+//! Customer Behavior Model Graph (CBMG) — the session representation of
+//! Menascé et al. [19, 20], implemented as the *baseline* the paper argues
+//! against.
+//!
+//! A CBMG is an absorbing Markov chain over page-type states: a session
+//! enters at a state drawn from the entry distribution, hops between states
+//! according to a transition matrix, and exits with the row's residual
+//! probability. Prior work characterized e-commerce workloads this way and
+//! reported metrics like "average session length".
+//!
+//! The paper's §5.2.2 criticism is structural: a finite-state absorbing
+//! chain produces **phase-type (geometrically bounded) session lengths**,
+//! so a CBMG can never reproduce the heavy-tailed requests-per-session
+//! distributions of Table 3 — and when the real variance is infinite,
+//! "it does not make sense to derive and report metrics such as average
+//! session length". The tests in this module demonstrate both halves: the
+//! fitted CBMG matches observed transition frequencies, yet its generated
+//! session lengths are rejected by the heavy-tail battery.
+
+use crate::Result;
+use rand::{Rng, RngExt};
+use webpuzzle_stats::StatsError;
+
+/// An absorbing-Markov-chain session model over `n` page-type states.
+///
+/// # Examples
+///
+/// Build a two-state browse/buy model and compute its mean session length:
+///
+/// ```
+/// use webpuzzle_workload::cbmg::Cbmg;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cbmg = Cbmg::new(
+///     vec![0.9, 0.1],                               // entry: mostly browse
+///     vec![vec![0.6, 0.1], vec![0.3, 0.2]],         // rows sum < 1 ⇒ exit
+/// )?;
+/// let mean = cbmg.expected_session_length()?;
+/// assert!(mean > 1.0 && mean < 20.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cbmg {
+    entry: Vec<f64>,
+    transitions: Vec<Vec<f64>>,
+}
+
+impl Cbmg {
+    /// Create a CBMG from an entry distribution and a transition matrix.
+    /// Row `i` of `transitions` gives `P(next = j | current = i)`; the
+    /// residual `1 − Σ_j` is the exit probability from state `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when the entry distribution
+    /// does not sum to 1, any probability is outside `[0, 1]`, any row sums
+    /// above 1, or the chain has no exit at all (every row sums to exactly
+    /// 1, which would make sessions immortal).
+    pub fn new(entry: Vec<f64>, transitions: Vec<Vec<f64>>) -> Result<Self> {
+        let n = entry.len();
+        if n == 0 || transitions.len() != n || transitions.iter().any(|r| r.len() != n)
+        {
+            return Err(StatsError::InvalidParameter {
+                name: "transitions",
+                value: transitions.len() as f64,
+                constraint: "must be a square matrix matching the entry vector",
+            });
+        }
+        let bad_prob = |p: &f64| !p.is_finite() || *p < 0.0 || *p > 1.0;
+        if entry.iter().any(bad_prob)
+            || transitions.iter().flatten().any(bad_prob)
+        {
+            return Err(StatsError::InvalidParameter {
+                name: "probability",
+                value: f64::NAN,
+                constraint: "all probabilities must lie in [0, 1]",
+            });
+        }
+        if (entry.iter().sum::<f64>() - 1.0).abs() > 1e-9 {
+            return Err(StatsError::InvalidParameter {
+                name: "entry",
+                value: entry.iter().sum(),
+                constraint: "must sum to 1",
+            });
+        }
+        let mut any_exit = false;
+        for row in &transitions {
+            let s: f64 = row.iter().sum();
+            if s > 1.0 + 1e-9 {
+                return Err(StatsError::InvalidParameter {
+                    name: "transitions",
+                    value: s,
+                    constraint: "each row must sum to at most 1",
+                });
+            }
+            if s < 1.0 - 1e-9 {
+                any_exit = true;
+            }
+        }
+        if !any_exit {
+            return Err(StatsError::DegenerateInput {
+                what: "no state has an exit probability; sessions never end",
+            });
+        }
+        Ok(Cbmg { entry, transitions })
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.entry.len()
+    }
+
+    /// Entry distribution.
+    pub fn entry(&self) -> &[f64] {
+        &self.entry
+    }
+
+    /// Transition matrix (row-stochastic up to the exit residual).
+    pub fn transitions(&self) -> &[Vec<f64>] {
+        &self.transitions
+    }
+
+    /// Exit probability from state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn exit_probability(&self, i: usize) -> f64 {
+        (1.0 - self.transitions[i].iter().sum::<f64>()).max(0.0)
+    }
+
+    /// Maximum-likelihood fit from observed state sequences (each sequence
+    /// is one session's page-type trail). States are `0..n_states`.
+    ///
+    /// States never observed get a uniform entry mass of zero and an
+    /// immediate exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] when no non-empty sequence
+    /// is supplied and [`StatsError::InvalidParameter`] when a state id
+    /// is out of range.
+    pub fn fit(sequences: &[Vec<usize>], n_states: usize) -> Result<Self> {
+        if n_states == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "n_states",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        let mut entry_counts = vec![0.0f64; n_states];
+        let mut trans_counts = vec![vec![0.0f64; n_states]; n_states];
+        let mut leaving = vec![0.0f64; n_states]; // transitions + exits per state
+        let mut sessions = 0usize;
+        for seq in sequences {
+            if seq.is_empty() {
+                continue;
+            }
+            if seq.iter().any(|&s| s >= n_states) {
+                return Err(StatsError::InvalidParameter {
+                    name: "state",
+                    value: *seq.iter().max().expect("non-empty") as f64,
+                    constraint: "all state ids must be < n_states",
+                });
+            }
+            sessions += 1;
+            entry_counts[seq[0]] += 1.0;
+            for w in seq.windows(2) {
+                trans_counts[w[0]][w[1]] += 1.0;
+                leaving[w[0]] += 1.0;
+            }
+            leaving[seq[seq.len() - 1]] += 1.0; // the exit
+        }
+        if sessions == 0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        let entry: Vec<f64> =
+            entry_counts.iter().map(|c| c / sessions as f64).collect();
+        let transitions: Vec<Vec<f64>> = trans_counts
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                if leaving[i] > 0.0 {
+                    row.iter().map(|c| c / leaving[i]).collect()
+                } else {
+                    vec![0.0; n_states]
+                }
+            })
+            .collect();
+        Cbmg::new(entry, transitions)
+    }
+
+    /// Generate one session as a state sequence. `max_len` caps runaway
+    /// walks (returns exactly `max_len` states if the cap is hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len == 0`.
+    pub fn generate_session<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        max_len: usize,
+    ) -> Vec<usize> {
+        assert!(max_len > 0, "max_len must be >= 1");
+        let mut state = sample_categorical(rng, &self.entry);
+        let mut seq = vec![state];
+        while seq.len() < max_len {
+            let row = &self.transitions[state];
+            let u: f64 = rng.random();
+            let mut acc = 0.0;
+            let mut next = None;
+            for (j, &p) in row.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    next = Some(j);
+                    break;
+                }
+            }
+            match next {
+                Some(j) => {
+                    state = j;
+                    seq.push(j);
+                }
+                None => break, // exit
+            }
+        }
+        seq
+    }
+
+    /// Expected session length in requests (visits before absorption),
+    /// computed exactly from the fundamental matrix:
+    /// `E[L] = entryᵀ (I − Q)^{-1} 𝟙`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DegenerateInput`] when `I − Q` is singular
+    /// (a closed recurrent class with no exit path).
+    pub fn expected_session_length(&self) -> Result<f64> {
+        let n = self.n_states();
+        // Solve (I - Q) v = 1; E[L] = entry · v.
+        let mut a = vec![vec![0.0f64; n + 1]; n];
+        for (i, row) in a.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().take(n).enumerate() {
+                *cell = if i == j { 1.0 } else { 0.0 } - self.transitions[i][j];
+            }
+            row[n] = 1.0;
+        }
+        let v = solve_linear(&mut a)?;
+        Ok(self.entry.iter().zip(&v).map(|(e, vi)| e * vi).sum())
+    }
+}
+
+// Sample an index from a (sub-)distribution; residual mass goes to the
+// last index.
+fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, probs: &[f64]) -> usize {
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+// Gaussian elimination with partial pivoting on an augmented n×(n+1) matrix.
+fn solve_linear(a: &mut [Vec<f64>]) -> Result<Vec<f64>> {
+    let n = a.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&x, &y| a[x][col].abs().partial_cmp(&a[y][col].abs()).unwrap())
+            .expect("non-empty range");
+        a.swap(col, pivot);
+        if a[col][col].abs() < 1e-12 {
+            return Err(StatsError::DegenerateInput {
+                what: "singular fundamental matrix (closed recurrent class)",
+            });
+        }
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (k, cell) in rest[0].iter_mut().enumerate().skip(col) {
+                *cell -= f * pivot_row[k];
+            }
+        }
+    }
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut s = a[i][n];
+        for j in i + 1..n {
+            s -= a[i][j] * x[j];
+        }
+        x[i] = s / a[i][i];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use webpuzzle_heavytail::hill_estimate;
+
+    fn browse_buy() -> Cbmg {
+        // 3 states: home, browse, buy.
+        Cbmg::new(
+            vec![0.8, 0.2, 0.0],
+            vec![
+                vec![0.1, 0.7, 0.05],
+                vec![0.1, 0.6, 0.1],
+                vec![0.0, 0.3, 0.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Cbmg::new(vec![0.5, 0.4], vec![vec![0.5; 2]; 2]).is_err()); // entry ≠ 1
+        assert!(Cbmg::new(vec![1.0], vec![vec![1.1]]).is_err()); // row > 1
+        assert!(Cbmg::new(vec![1.0], vec![vec![1.0]]).is_err()); // no exit
+        assert!(Cbmg::new(vec![1.0], vec![vec![0.5], vec![0.5]]).is_err()); // shape
+        assert!(Cbmg::new(vec![1.0], vec![vec![-0.1]]).is_err());
+        assert!(Cbmg::new(vec![1.0], vec![vec![0.5]]).is_ok());
+    }
+
+    #[test]
+    fn expected_length_matches_geometric_special_case() {
+        // Single state with self-loop p: length ~ Geometric, mean 1/(1-p).
+        for &p in &[0.0, 0.5, 0.9] {
+            let c = Cbmg::new(vec![1.0], vec![vec![p]]).unwrap();
+            let expected = 1.0 / (1.0 - p);
+            assert!(
+                (c.expected_session_length().unwrap() - expected).abs() < 1e-9,
+                "p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_length_matches_monte_carlo() {
+        let c = browse_buy();
+        let analytic = c.expected_session_length().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let total: usize = (0..n)
+            .map(|_| c.generate_session(&mut rng, 10_000).len())
+            .sum();
+        let mc = total as f64 / n as f64;
+        assert!(
+            (mc - analytic).abs() / analytic < 0.02,
+            "MC {mc} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn fit_recovers_transition_probabilities() {
+        let truth = browse_buy();
+        let mut rng = StdRng::seed_from_u64(2);
+        let sequences: Vec<Vec<usize>> = (0..50_000)
+            .map(|_| truth.generate_session(&mut rng, 10_000))
+            .collect();
+        let fitted = Cbmg::fit(&sequences, 3).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (fitted.transitions()[i][j] - truth.transitions()[i][j]).abs()
+                        < 0.02,
+                    "transition {i}→{j}: {} vs {}",
+                    fitted.transitions()[i][j],
+                    truth.transitions()[i][j]
+                );
+            }
+            assert!(
+                (fitted.exit_probability(i) - truth.exit_probability(i)).abs() < 0.02
+            );
+        }
+        assert!((fitted.entry()[0] - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn cbmg_session_lengths_are_light_tailed() {
+        // The paper's §5.2.2 point: phase-type lengths from a CBMG cannot
+        // reproduce Table 3's heavy tails — the Hill plot must NOT
+        // stabilize onto a power law.
+        let c = browse_buy();
+        let mut rng = StdRng::seed_from_u64(3);
+        let lengths: Vec<f64> = (0..30_000)
+            .map(|_| c.generate_session(&mut rng, 10_000).len() as f64)
+            .collect();
+        let hill = hill_estimate(&lengths, 0.5).unwrap();
+        assert!(
+            !hill.stabilized(),
+            "CBMG lengths looked Pareto: α = {:?}",
+            hill.alpha
+        );
+    }
+
+    #[test]
+    fn generate_respects_cap() {
+        let c = Cbmg::new(vec![1.0], vec![vec![0.999]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(c.generate_session(&mut rng, 50).len() <= 50);
+        }
+    }
+
+    #[test]
+    fn fit_validation() {
+        assert!(Cbmg::fit(&[], 2).is_err());
+        assert!(Cbmg::fit(&[vec![]], 2).is_err());
+        assert!(Cbmg::fit(&[vec![5]], 2).is_err());
+        assert!(Cbmg::fit(&[vec![0, 1, 0]], 2).is_ok());
+    }
+}

@@ -1,0 +1,167 @@
+//! Requests-per-session distribution: a light body with a heavy tail.
+
+use crate::Result;
+use rand::{Rng, RngExt};
+use webpuzzle_stats::dist::{BoundedPareto, ContinuousDistribution, Sampler};
+use webpuzzle_stats::StatsError;
+
+/// Mixture distribution for the number of requests in a session: with
+/// probability `1 − tail_prob` a geometric "browse a few pages" body, with
+/// probability `tail_prob` a rounded bounded-Pareto tail (crawlers, embedded
+/// object storms, long research sessions).
+///
+/// The mixture lets a profile hit both the paper's per-server *mean*
+/// requests/session (Table 1 ratios, dominated by the body and the tail
+/// mass) and the *tail index* (Table 3, set by the Pareto component alone —
+/// a mixture's tail index is the heavier component's).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use webpuzzle_workload::RequestCountDist;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dist = RequestCountDist::new(6.0, 0.2, 2.59, 20.0, 5000.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let n = dist.sample(&mut rng);
+/// assert!(n >= 1);
+/// assert!((dist.mean() - 11.3).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestCountDist {
+    body_mean: f64,
+    tail_prob: f64,
+    tail: BoundedPareto,
+}
+
+impl RequestCountDist {
+    /// Create the mixture.
+    ///
+    /// * `body_mean` — mean of the geometric body (support ≥ 1), must be
+    ///   ≥ 1;
+    /// * `tail_prob` — probability of drawing from the tail, in `[0, 1]`;
+    /// * `tail_alpha`, `tail_low`, `tail_high` — bounded-Pareto tail
+    ///   parameters (Table 3's α).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for out-of-range parameters.
+    pub fn new(
+        body_mean: f64,
+        tail_prob: f64,
+        tail_alpha: f64,
+        tail_low: f64,
+        tail_high: f64,
+    ) -> Result<Self> {
+        if !body_mean.is_finite() || body_mean < 1.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "body_mean",
+                value: body_mean,
+                constraint: "must be finite and >= 1",
+            });
+        }
+        if !(0.0..=1.0).contains(&tail_prob) {
+            return Err(StatsError::InvalidParameter {
+                name: "tail_prob",
+                value: tail_prob,
+                constraint: "must be in [0, 1]",
+            });
+        }
+        Ok(RequestCountDist {
+            body_mean,
+            tail_prob,
+            tail: BoundedPareto::new(tail_alpha, tail_low, tail_high)?,
+        })
+    }
+
+    /// Analytic mean of the mixture.
+    pub fn mean(&self) -> f64 {
+        (1.0 - self.tail_prob) * self.body_mean + self.tail_prob * self.tail.mean()
+    }
+
+    /// The tail index α of the Pareto component (= the mixture's tail
+    /// index whenever `tail_prob > 0`).
+    pub fn tail_alpha(&self) -> f64 {
+        self.tail.alpha()
+    }
+
+    /// Draw a session's request count (always ≥ 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let draw: f64 = rng.random();
+        if draw < self.tail_prob {
+            self.tail.sample(rng).round().max(1.0) as usize
+        } else {
+            // Geometric on {1, 2, …} with mean body_mean: success
+            // probability p = 1/body_mean.
+            let p = 1.0 / self.body_mean;
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let g = (u.ln() / (1.0 - p).ln()).floor() as usize + 1;
+            g.max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_matches_monte_carlo() {
+        let dist = RequestCountDist::new(15.0, 0.45, 2.15, 80.0, 20_000.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let total: usize = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        let mc = total as f64 / n as f64;
+        assert!(
+            (mc - dist.mean()).abs() / dist.mean() < 0.05,
+            "MC {mc} vs analytic {}",
+            dist.mean()
+        );
+    }
+
+    #[test]
+    fn all_samples_at_least_one() {
+        let dist = RequestCountDist::new(1.0, 0.1, 1.5, 5.0, 100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(dist.sample(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn pure_body_is_geometric() {
+        let dist = RequestCountDist::new(4.0, 0.0, 2.0, 10.0, 100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let total: usize = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        assert!((total as f64 / n as f64 - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn tail_dominates_extremes() {
+        // With a tail component, the max over many draws should exceed what
+        // a pure geometric could plausibly produce.
+        let dist = RequestCountDist::new(5.0, 0.2, 1.6, 10.0, 50_000.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let max = (0..50_000).map(|_| dist.sample(&mut rng)).max().unwrap();
+        assert!(max > 1000, "max = {max}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RequestCountDist::new(0.5, 0.1, 2.0, 10.0, 100.0).is_err());
+        assert!(RequestCountDist::new(2.0, 1.5, 2.0, 10.0, 100.0).is_err());
+        assert!(RequestCountDist::new(2.0, 0.5, -1.0, 10.0, 100.0).is_err());
+    }
+
+    #[test]
+    fn reports_tail_alpha() {
+        let dist = RequestCountDist::new(5.0, 0.2, 1.93, 15.0, 5_000.0).unwrap();
+        assert!((dist.tail_alpha() - 1.93).abs() < 1e-12);
+    }
+}

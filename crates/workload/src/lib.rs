@@ -1,0 +1,53 @@
+//! Synthetic Web workload generation for the `webpuzzle` suite.
+//!
+//! The paper analyzed one week of real logs from four servers (WVU,
+//! ClarkNet, CSEE, NASA-Pub2). Those logs are not redistributable, so this
+//! crate is the substitution substrate (see DESIGN.md): a generator whose
+//! *ground truth* is set to the paper's measured characteristics —
+//!
+//! * session arrivals follow a long-range dependent doubly-stochastic
+//!   (Cox) process driven by fractional Gaussian noise, with a 24-hour
+//!   diurnal cycle and a slight linear trend ([`ArrivalModel::FgnCox`]);
+//!   ON/OFF heavy-tailed superposition ([`ArrivalModel::OnOff`]) and plain
+//!   Poisson ([`ArrivalModel::Poisson`]) are available as ablations /
+//!   negative controls;
+//! * requests per session, think times, and bytes per request are drawn
+//!   from heavy-tailed (bounded Pareto) distributions calibrated per server
+//!   profile to the tail indices of the paper's Tables 2–4;
+//! * request-level long-range dependence *emerges* from the heavy-tailed
+//!   session structure, exactly as the ON/OFF theory (Willinger et al.)
+//!   predicts.
+//!
+//! # Examples
+//!
+//! ```
+//! use webpuzzle_workload::{ServerProfile, WorkloadGenerator};
+//! use webpuzzle_weblog::WeekDataset;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let profile = ServerProfile::nasa_pub2(); // the smallest server
+//! let records = WorkloadGenerator::new(profile).seed(1).generate()?;
+//! let ds = WeekDataset::from_records(records, 1800.0)?;
+//! // NASA-Pub2 at the default 1/20 scale: ~186 sessions for the week.
+//! assert!(ds.sessions().len() > 100);
+//! # Ok(())
+//! # }
+//! ```
+
+mod arrival;
+pub mod cbmg;
+mod counts;
+mod generator;
+mod poisson;
+mod profile;
+
+pub use arrival::{generate_session_starts, ArrivalModel};
+pub use counts::RequestCountDist;
+pub use generator::WorkloadGenerator;
+pub use poisson::poisson_sample;
+pub use profile::ServerProfile;
+
+pub use webpuzzle_stats::StatsError;
+
+/// Crate-wide result alias (errors are [`StatsError`]).
+pub type Result<T> = std::result::Result<T, StatsError>;

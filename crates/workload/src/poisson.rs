@@ -1,0 +1,103 @@
+//! Poisson random variate generation.
+
+use rand::{Rng, RngExt};
+use webpuzzle_stats::dist::Normal;
+
+/// Draw a Poisson(`mean`) variate.
+///
+/// Uses Knuth's multiplication method for small means and a rounded normal
+/// approximation for `mean > 30` (error is far below the statistical noise
+/// of any downstream workload analysis; the approximation regime only
+/// occurs for per-second rates above 30 events, i.e. the very busiest
+/// profiles).
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or not finite.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use webpuzzle_workload::poisson_sample;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let n: u64 = (0..10_000).map(|_| poisson_sample(&mut rng, 3.0)).sum();
+/// let mean = n as f64 / 10_000.0;
+/// assert!((mean - 3.0).abs() < 0.1);
+/// ```
+pub fn poisson_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "Poisson mean must be finite and non-negative, got {mean}"
+    );
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        let draw = mean + mean.sqrt() * Normal::standard_sample(rng);
+        return draw.round().max(0.0) as u64;
+    }
+    // Knuth: count multiplications until the product drops below e^{-mean}.
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.random();
+    let mut count = 0u64;
+    while product > limit {
+        product *= rng.random::<f64>();
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(mean: f64, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n)
+            .map(|_| poisson_sample(&mut rng, mean) as f64)
+            .collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        (m, v)
+    }
+
+    #[test]
+    fn zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(poisson_sample(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn small_mean_moments() {
+        let (m, v) = sample_stats(0.3, 100_000, 2);
+        assert!((m - 0.3).abs() < 0.01, "mean {m}");
+        assert!((v - 0.3).abs() < 0.02, "var {v}");
+    }
+
+    #[test]
+    fn medium_mean_moments() {
+        let (m, v) = sample_stats(12.0, 50_000, 3);
+        assert!((m - 12.0).abs() < 0.1, "mean {m}");
+        assert!((v - 12.0).abs() < 0.4, "var {v}");
+    }
+
+    #[test]
+    fn large_mean_normal_regime() {
+        let (m, v) = sample_stats(500.0, 20_000, 4);
+        assert!((m - 500.0).abs() < 1.0, "mean {m}");
+        assert!((v - 500.0).abs() < 20.0, "var {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson mean must be finite")]
+    fn negative_mean_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        poisson_sample(&mut rng, -1.0);
+    }
+}

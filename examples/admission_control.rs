@@ -1,0 +1,142 @@
+//! Session-based admission control under Poisson vs long-range dependent
+//! session arrivals.
+//!
+//! The paper shows (§5.1) that Web *session arrivals* are long-range
+//! dependent, and (§5.2.1) that session lengths are heavy-tailed rather
+//! than exponential — while the session-based admission control of
+//! Cherkasova & Phaal [5, 6] was evaluated under Poisson/exponential
+//! assumptions. This example runs the same admission controller (reject new
+//! sessions when the server already holds `CAPACITY` active sessions)
+//! against both assumptions and against the paper's measured reality.
+//!
+//! Two effects are separated deliberately:
+//!
+//! * **Service-time insensitivity.** For Poisson arrivals, the blocking
+//!   probability of a loss system depends on the service distribution only
+//!   through its mean (Erlang-B insensitivity) — so swapping exponential
+//!   durations for equal-mean Pareto durations barely moves rejections.
+//!   The exponential-duration assumption is "wrong but lucky" *for this
+//!   single metric*.
+//! * **Arrival correlation is NOT insensitive.** Making the arrivals LRD
+//!   (what the paper actually measured) inflates rejections and blockade
+//!   episodes dramatically at identical offered load — this is the error
+//!   that breaks Erlang-style provisioning.
+//!
+//! ```text
+//! cargo run --release --example admission_control
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use webpuzzle::stats::dist::{ContinuousDistribution, Exponential, Pareto, Sampler};
+use webpuzzle::weblog::SECONDS_PER_WEEK;
+use webpuzzle::workload::{generate_session_starts, ArrivalModel};
+
+/// Concurrent-session capacity of the simulated server.
+const CAPACITY: usize = 60;
+/// Mean session duration in seconds (all duration models share it).
+const MEAN_DURATION: f64 = 600.0;
+/// Offered sessions per week, sized for ~90% nominal utilization.
+const SESSIONS: usize =
+    (0.9 * CAPACITY as f64 / MEAN_DURATION * SECONDS_PER_WEEK) as usize;
+
+#[derive(Debug, Default)]
+struct Outcome {
+    offered: u64,
+    rejected: u64,
+    longest_blockade: f64,
+}
+
+fn simulate(
+    arrivals: &[f64],
+    duration: &mut dyn FnMut(&mut StdRng) -> f64,
+    seed: u64,
+) -> Outcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut active: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+    let mut out = Outcome::default();
+    let mut blockade_start: Option<f64> = None;
+    for &t in arrivals {
+        while let Some(&Reverse(end_bits)) = active.peek() {
+            if f64::from_bits(end_bits) <= t {
+                active.pop();
+            } else {
+                break;
+            }
+        }
+        out.offered += 1;
+        if active.len() >= CAPACITY {
+            out.rejected += 1;
+            if blockade_start.is_none() {
+                blockade_start = Some(t);
+            }
+        } else {
+            if let Some(start) = blockade_start.take() {
+                out.longest_blockade = out.longest_blockade.max(t - start);
+            }
+            active.push(Reverse((t + duration(&mut rng)).to_bits()));
+        }
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "capacity {CAPACITY} concurrent sessions, mean duration {MEAN_DURATION} s,\n\
+         {SESSIONS} sessions over one week (nominal utilization 90%)\n"
+    );
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let poisson_arrivals =
+        generate_session_starts(&ArrivalModel::Poisson, SESSIONS, 0.0, 0.0, &mut rng)?;
+    let lrd_arrivals = generate_session_starts(
+        &ArrivalModel::FgnCox { h: 0.85, cv: 0.7 },
+        SESSIONS,
+        0.0,
+        0.0,
+        &mut rng,
+    )?;
+
+    let exp = Exponential::from_mean(MEAN_DURATION)?;
+    let alpha = 1.67; // the paper's WVU-High session-length tail index
+    let pareto = Pareto::new(alpha, MEAN_DURATION * (alpha - 1.0) / alpha)?;
+    assert!((pareto.mean() - MEAN_DURATION).abs() < 1e-9);
+
+    println!(
+        "{:<44} {:>9} {:>8} {:>16}",
+        "scenario (arrivals × durations)", "rejected", "rej %", "worst blockade(s)"
+    );
+    let scenarios: [(&str, &[f64], bool); 4] = [
+        ("Poisson × exponential (the [5,6] model)", &poisson_arrivals, false),
+        ("Poisson × Pareto α=1.67 (insensitivity)", &poisson_arrivals, true),
+        ("LRD H=0.85 × exponential", &lrd_arrivals, false),
+        ("LRD H=0.85 × Pareto α=1.67 (measured reality)", &lrd_arrivals, true),
+    ];
+    for (name, arrivals, heavy) in scenarios {
+        let mut dur: Box<dyn FnMut(&mut StdRng) -> f64> = if heavy {
+            Box::new(|rng| pareto.sample(rng))
+        } else {
+            Box::new(|rng| exp.sample(rng))
+        };
+        let o = simulate(arrivals, &mut *dur, 42);
+        println!(
+            "{:<44} {:>9} {:>7.2}% {:>16.0}",
+            name,
+            o.rejected,
+            100.0 * o.rejected as f64 / o.offered as f64,
+            o.longest_blockade
+        );
+    }
+
+    println!(
+        "\ntakeaway: swapping the *duration* model barely moves the loss rate\n\
+         (Erlang-B insensitivity), but swapping the *arrival* model — the LRD\n\
+         property the paper actually measured — multiplies rejections and\n\
+         stretches blockade episodes at identical offered load. Admission\n\
+         thresholds tuned under the Poisson/exponential assumption are wrong."
+    );
+    Ok(())
+}

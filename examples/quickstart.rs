@@ -1,0 +1,43 @@
+//! Quickstart: generate a synthetic week of Web traffic, sessionize it, and
+//! run the FULL-Web characterization pipeline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use webpuzzle::core::{AnalysisConfig, FullWebModel};
+use webpuzzle::weblog::{WeekDataset, DEFAULT_SESSION_THRESHOLD};
+use webpuzzle::workload::{ServerProfile, WorkloadGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a server profile (CSEE: the departmental-server preset) and
+    //    scale it down so this example runs in seconds.
+    let profile = ServerProfile::csee().with_scale(0.05);
+    println!(
+        "generating ~{} sessions (≈{} requests) for profile {}…",
+        profile.target_sessions(),
+        profile.expected_requests() as u64,
+        profile.name()
+    );
+
+    // 2. Generate one week of log records and build the dataset (requests
+    //    sorted, sessions derived with the paper's 30-minute threshold).
+    let records = WorkloadGenerator::new(profile).seed(42).generate()?;
+    let dataset = WeekDataset::from_records(records, DEFAULT_SESSION_THRESHOLD)?;
+    let (requests, sessions, mb) = dataset.summary();
+    println!("dataset: {requests} requests, {sessions} sessions, {mb:.0} MB");
+
+    // 3. Run the full pipeline: stationarity tests, Hurst estimator battery,
+    //    Poisson tests, and intra-session heavy-tail analysis.
+    //    `AnalysisConfig::fast()` uses 60-second bins to keep this example
+    //    quick; drop to `AnalysisConfig::default()` for the paper's
+    //    1-second resolution.
+    let model = FullWebModel::analyze("CSEE", &dataset, &AnalysisConfig::fast())?;
+
+    // 4. The model prints as a readable report and serializes as JSON.
+    println!("\n{model}");
+    let json = model.to_json().map_err(std::io::Error::other)?;
+    println!("JSON report: {} bytes (first 200 shown)", json.len());
+    println!("{}…", &json[..200.min(json.len())]);
+    Ok(())
+}

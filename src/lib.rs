@@ -1,0 +1,50 @@
+//! # webpuzzle
+//!
+//! A Rust reproduction of *"A Contribution Towards Solving the Web Workload
+//! Puzzle"* (Goševa-Popstojanova, Li, Wang, Sangle — DSN 2006): rigorous
+//! request-level and session-level Web workload characterization.
+//!
+//! This facade crate re-exports the whole suite:
+//!
+//! * [`stats`] — distributions, regression, KPSS / Anderson-Darling /
+//!   binomial meta-tests.
+//! * [`timeseries`] — event binning, ACF, aggregation, detrending,
+//!   seasonality, FFT, periodogram.
+//! * [`lrd`] — the five Hurst-exponent estimators (Variance-time, R/S,
+//!   Periodogram, Whittle, Abry-Veitch), aggregation sweeps, and fractional
+//!   Gaussian noise synthesis.
+//! * [`heavytail`] — LLCD regression, Hill plots, and Downey's curvature
+//!   test for Pareto-vs-lognormal discrimination.
+//! * [`weblog`] — Common Log Format parsing, log merging, sessionization,
+//!   and week-dataset handling.
+//! * [`workload`] — synthetic workload generation calibrated to the paper's
+//!   four server profiles.
+//! * [`core`] — the FULL-Web analysis pipeline tying it all together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use webpuzzle::workload::{ServerProfile, WorkloadGenerator};
+//! use webpuzzle::weblog::WeekDataset;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small synthetic workload for the CSEE-like profile.
+//! let profile = ServerProfile::csee().with_scale(0.02);
+//! let records = WorkloadGenerator::new(profile).seed(7).generate()?;
+//! let dataset = WeekDataset::from_records(records, 1800.0)?;
+//! println!(
+//!     "{} requests in {} sessions",
+//!     dataset.records().len(),
+//!     dataset.sessions().len()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub use webpuzzle_core as core;
+pub use webpuzzle_heavytail as heavytail;
+pub use webpuzzle_lrd as lrd;
+pub use webpuzzle_stats as stats;
+pub use webpuzzle_timeseries as timeseries;
+pub use webpuzzle_weblog as weblog;
+pub use webpuzzle_workload as workload;

@@ -1,0 +1,116 @@
+//! Cross-crate ground-truth validation of the Hurst estimator battery:
+//! every estimator must recover the Hurst exponent planted by the exact
+//! Davies-Harte fGn synthesizer, and the CI-producing estimators must
+//! achieve near-nominal coverage.
+
+use webpuzzle::lrd::{
+    abry_veitch, fgn::FgnGenerator, periodogram_hurst, rescaled_range, variance_time,
+    whittle, EstimatorKind, HurstEstimate, HurstSuite,
+};
+
+fn fgn(h: f64, n: usize, seed: u64) -> Vec<f64> {
+    FgnGenerator::new(h)
+        .expect("valid H")
+        .seed(seed)
+        .generate(n)
+        .expect("generation succeeds")
+}
+
+#[test]
+fn all_estimators_track_h_across_the_lrd_range() {
+    // Tolerances reflect each estimator's documented small-sample behavior.
+    type Estimator = fn(&[f64]) -> webpuzzle::lrd::Result<HurstEstimate>;
+    let cases: &[(Estimator, &str, f64)] = &[
+        (variance_time, "variance-time", 0.12),
+        (rescaled_range, "R/S", 0.15),
+        (periodogram_hurst, "periodogram", 0.10),
+        (whittle, "Whittle", 0.05),
+        (abry_veitch, "Abry-Veitch", 0.08),
+    ];
+    for &h in &[0.55, 0.65, 0.75, 0.85, 0.95] {
+        let x = fgn(h, 65_536, (h * 1000.0) as u64);
+        for (est, name, tol) in cases {
+            let got = est(&x).expect("estimator runs").h;
+            assert!(
+                (got - h).abs() < *tol,
+                "{name}: planted H = {h}, estimated {got}"
+            );
+        }
+    }
+}
+
+#[test]
+fn estimators_do_not_hallucinate_lrd_on_white_noise() {
+    // Individual estimators can drift a hair above 0.5 on any finite white
+    // noise sample (R/S is upward-biased by design), so the guard is
+    // calibrated: the battery mean must hug 0.5 and the Whittle CI must
+    // usually contain 0.5.
+    let mut whittle_ci_contains_half = 0;
+    for seed in 0..3 {
+        let x = fgn(0.5, 32_768, 100 + seed);
+        let suite = HurstSuite::estimate(&x).expect("suite runs");
+        let mean = suite.mean_h().expect("estimates exist");
+        assert!(
+            (mean - 0.5).abs() < 0.06,
+            "white noise mean Ĥ = {mean} (seed {seed}): {suite}"
+        );
+        let (lo, hi) = suite.whittle.expect("whittle runs").ci95.unwrap();
+        if lo <= 0.5 && 0.5 <= hi {
+            whittle_ci_contains_half += 1;
+        }
+    }
+    assert!(whittle_ci_contains_half >= 2);
+}
+
+#[test]
+fn whittle_ci_coverage_near_nominal() {
+    let h = 0.8;
+    let trials = 30;
+    let mut covered = 0;
+    for seed in 0..trials {
+        let x = fgn(h, 8_192, 500 + seed);
+        let est = whittle(&x).expect("whittle runs");
+        let (lo, hi) = est.ci95.expect("whittle provides a CI");
+        assert!(lo < hi);
+        if lo <= h && h <= hi {
+            covered += 1;
+        }
+    }
+    // Nominal 95%; demand >= 80% to keep flakiness negligible.
+    assert!(covered >= 24, "Whittle CI covered {covered}/{trials}");
+}
+
+#[test]
+fn abry_veitch_ci_coverage_near_nominal() {
+    let h = 0.7;
+    let trials = 30;
+    let mut covered = 0;
+    for seed in 0..trials {
+        let x = fgn(h, 8_192, 900 + seed);
+        let est = abry_veitch(&x).expect("abry-veitch runs");
+        let (lo, hi) = est.ci95.expect("abry-veitch provides a CI");
+        if lo <= h && h <= hi {
+            covered += 1;
+        }
+    }
+    assert!(covered >= 22, "Abry-Veitch CI covered {covered}/{trials}");
+}
+
+#[test]
+fn estimator_kinds_are_labeled_correctly() {
+    let x = fgn(0.7, 4_096, 1);
+    assert_eq!(variance_time(&x).unwrap().kind, EstimatorKind::VarianceTime);
+    assert_eq!(rescaled_range(&x).unwrap().kind, EstimatorKind::RescaledRange);
+    assert_eq!(periodogram_hurst(&x).unwrap().kind, EstimatorKind::Periodogram);
+    assert_eq!(whittle(&x).unwrap().kind, EstimatorKind::Whittle);
+    assert_eq!(abry_veitch(&x).unwrap().kind, EstimatorKind::AbryVeitch);
+}
+
+#[test]
+fn suite_detects_antipersistent_series_as_non_lrd() {
+    let x = fgn(0.3, 32_768, 7);
+    let suite = HurstSuite::estimate(&x).expect("suite runs");
+    assert!(!suite.consensus_lrd());
+    // Whittle should place H well below 0.5.
+    assert!(suite.whittle.expect("whittle runs").h < 0.45);
+}

@@ -1,0 +1,177 @@
+//! Integration tests for the extension features beyond the paper's exact
+//! scope: the FARIMA cross-family generator, the extra Hurst estimators,
+//! the moment (DEdH) tail estimator, the Ljung-Box cross-check inside the
+//! Poisson battery, and the CBMG baseline comparison.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use webpuzzle::core::{AnalysisConfig, FullWebModel, TailAnalysis};
+use webpuzzle::heavytail::{hill_estimate, moment_estimator};
+use webpuzzle::lrd::arfima::FarimaGenerator;
+use webpuzzle::lrd::fgn::FgnGenerator;
+use webpuzzle::lrd::{absolute_moments, variance_of_residuals, HurstSuite};
+use webpuzzle::stats::dist::{Sampler, Weibull};
+use webpuzzle::weblog::{WeekDataset, DEFAULT_SESSION_THRESHOLD};
+use webpuzzle::workload::cbmg::Cbmg;
+use webpuzzle::workload::{ServerProfile, WorkloadGenerator};
+
+#[test]
+fn seven_estimators_agree_on_fgn() {
+    // The paper's five (via the suite) plus the two extensions must tell
+    // one coherent story on clean synthetic LRD data.
+    let h = 0.8;
+    let x = FgnGenerator::new(h).unwrap().seed(900).generate(65_536).unwrap();
+    let suite = HurstSuite::estimate(&x).unwrap();
+    let am = absolute_moments(&x).unwrap().h;
+    let vr = variance_of_residuals(&x).unwrap().h;
+    for (name, est) in [("abs-moments", am), ("var-residuals", vr)] {
+        assert!((est - h).abs() < 0.1, "{name}: {est}");
+    }
+    let spread = suite
+        .iter()
+        .map(|e| e.h)
+        .chain([am, vr])
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(v), hi.max(v))
+        });
+    assert!(spread.1 - spread.0 < 0.25, "estimator spread {spread:?}");
+}
+
+#[test]
+fn farima_and_fgn_same_h_same_verdict() {
+    // Cross-family: two different exactly-LRD processes with the same H
+    // should give matching suite conclusions.
+    let h = 0.75;
+    let fgn = FgnGenerator::new(h).unwrap().seed(901).generate(32_768).unwrap();
+    let farima = FarimaGenerator::new(h - 0.5)
+        .unwrap()
+        .seed(901)
+        .generate(32_768)
+        .unwrap();
+    let s1 = HurstSuite::estimate(&fgn).unwrap();
+    let s2 = HurstSuite::estimate(&farima).unwrap();
+    assert!(s1.consensus_lrd());
+    assert!(s2.consensus_lrd());
+    let (m1, m2) = (s1.mean_h().unwrap(), s2.mean_h().unwrap());
+    assert!((m1 - m2).abs() < 0.12, "fGn {m1} vs FARIMA {m2}");
+}
+
+#[test]
+fn moment_estimator_resolves_ns_cells() {
+    // The paper's NS cells (Hill won't stabilize) are ambiguous: heavy tail
+    // with a bad plot, or genuinely light tail? The DEdH moment estimator
+    // answers: Weibull data → Hill NS *and* γ ≈ 0 (light); Pareto-tailed
+    // data with the same Hill instability would show γ > 0.
+    let mut rng = StdRng::seed_from_u64(902);
+    let light = Weibull::new(0.6, 100.0).unwrap().sample_n(&mut rng, 30_000);
+    let hill = hill_estimate(&light, 0.5).unwrap();
+    assert!(!hill.stabilized(), "Weibull should be NS");
+    // γ converges to 0 slowly for stretched exponentials (small-sample
+    // positive bias), so the discriminating statement is relative: the
+    // Weibull's γ sits far below a genuinely heavy tail's γ at the same
+    // tail fraction.
+    let g_light = moment_estimator(&light, 0.14).unwrap().gamma;
+    let heavy = webpuzzle::stats::dist::Pareto::new(1.3, 1.0)
+        .unwrap()
+        .sample_n(&mut rng, 30_000);
+    let g_heavy = moment_estimator(&heavy, 0.14).unwrap().gamma;
+    assert!(
+        g_light < g_heavy - 0.3,
+        "Weibull γ {g_light} should sit far below Pareto γ {g_heavy}"
+    );
+    assert!(g_light < 0.4, "Weibull γ = {g_light}");
+}
+
+#[test]
+fn pipeline_populates_extension_fields() {
+    let records = WorkloadGenerator::new(ServerProfile::clarknet().with_scale(0.03))
+        .seed(903)
+        .generate()
+        .unwrap();
+    let ds = WeekDataset::from_records(records, DEFAULT_SESSION_THRESHOLD).unwrap();
+    let model = FullWebModel::analyze("x", &ds, &AnalysisConfig::fast()).unwrap();
+
+    // Moment estimate present on week-level tails.
+    let check = |t: &TailAnalysis| {
+        let m = t.moment.expect("moment estimate present");
+        assert!(m.gamma.is_finite());
+        assert!(m.k > 0);
+    };
+    for t in model.intra_session_week.iter() {
+        check(t);
+    }
+    // Heavy-tailed bytes: γ should be clearly positive.
+    let bytes_gamma = model.intra_session_week.bytes.moment.unwrap().gamma;
+    assert!(bytes_gamma > 0.15, "bytes γ = {bytes_gamma}");
+
+    // Ljung-Box battery recorded on testable intervals.
+    let high = &model.levels[2];
+    if let Some(outcome) = &high.request_poisson.hourly_uniform {
+        assert_eq!(outcome.ljung_box.n, 4);
+        // LRD request arrivals: Ljung-Box should reject at least as often
+        // as the lag-1 test (it pools 10 lags).
+        assert!(outcome.ljung_box.passes <= outcome.independence.passes + 1);
+    }
+    // Inter-arrival summary present and sane.
+    let ia = model.request_level.inter_arrival.expect("summary present");
+    assert!(ia.mean > 0.0);
+    assert!(ia.min >= 0.0 && ia.max >= ia.median);
+}
+
+#[test]
+fn cbmg_baseline_cannot_reproduce_table3() {
+    // Fit a CBMG to the generator's sessions (using request counts as
+    // repeated visits to a single "page" state won't do — use a 4-state
+    // resource-class trail), then compare tails: the generator's planted
+    // heavy tail survives in its own data but the CBMG's regenerated
+    // sessions are light-tailed.
+    let records = WorkloadGenerator::new(ServerProfile::nasa_pub2().with_scale(2.0))
+        .seed(904)
+        .generate()
+        .unwrap();
+    let ds = WeekDataset::from_records(records, DEFAULT_SESSION_THRESHOLD).unwrap();
+
+    // Build state trails per session: resource id bucketed into 4 classes.
+    let mut trails: Vec<Vec<usize>> = Vec::new();
+    let mut by_client: std::collections::HashMap<u32, Vec<(f64, usize)>> =
+        std::collections::HashMap::new();
+    for r in ds.records() {
+        by_client
+            .entry(r.client)
+            .or_default()
+            .push((r.timestamp, (r.resource % 4) as usize));
+    }
+    for (_, mut events) in by_client {
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        trails.push(events.into_iter().map(|(_, s)| s).collect());
+    }
+
+    let cbmg = Cbmg::fit(&trails, 4).unwrap();
+    let mut rng = StdRng::seed_from_u64(905);
+    let cbmg_lengths: Vec<f64> = (0..trails.len())
+        .map(|_| cbmg.generate_session(&mut rng, 100_000).len() as f64)
+        .collect();
+    let real_lengths: Vec<f64> = trails.iter().map(|t| t.len() as f64).collect();
+
+    // Same mean (the CBMG matches first moments)...
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        (mean(&cbmg_lengths) / mean(&real_lengths) - 1.0).abs() < 0.25,
+        "CBMG mean {} vs real {}",
+        mean(&cbmg_lengths),
+        mean(&real_lengths)
+    );
+    // ...but a much lighter tail: the real p999/mean ratio dwarfs the
+    // CBMG's (geometric tails die fast).
+    let p999 = |v: &[f64]| {
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[(s.len() - 1) * 999 / 1000]
+    };
+    let real_ratio = p999(&real_lengths) / mean(&real_lengths);
+    let cbmg_ratio = p999(&cbmg_lengths) / mean(&cbmg_lengths);
+    assert!(
+        real_ratio > 2.0 * cbmg_ratio,
+        "real p999/mean {real_ratio} vs CBMG {cbmg_ratio}"
+    );
+}

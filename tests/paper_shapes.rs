@@ -1,0 +1,145 @@
+//! Shape-level reproduction checks: scaled-down versions of the paper's
+//! headline comparisons, asserting the *qualitative* results the repro
+//! harness prints (who wins, orderings, crossovers) rather than absolute
+//! numbers.
+
+use webpuzzle::core::{AnalysisConfig, FullWebModel};
+use webpuzzle::weblog::{WeekDataset, DEFAULT_SESSION_THRESHOLD};
+use webpuzzle::workload::{ServerProfile, WorkloadGenerator};
+
+fn model_for(profile: ServerProfile, seed: u64) -> FullWebModel {
+    let name = profile.name();
+    let records = WorkloadGenerator::new(profile)
+        .seed(seed)
+        .generate()
+        .expect("generation succeeds");
+    let ds = WeekDataset::from_records(records, DEFAULT_SESSION_THRESHOLD)
+        .expect("records fit week");
+    FullWebModel::analyze(name, &ds, &AnalysisConfig::fast()).expect("pipeline runs")
+}
+
+#[test]
+fn table1_shape_three_orders_of_magnitude() {
+    let mut volumes = Vec::new();
+    for profile in ServerProfile::all() {
+        let records = WorkloadGenerator::new(profile.with_scale(0.02))
+            .seed(1)
+            .generate()
+            .unwrap();
+        volumes.push(records.len());
+    }
+    // Descending order WVU > ClarkNet > CSEE > NASA, spanning ≥ 2 orders
+    // of magnitude (3 at full scale; the ratio is scale-invariant).
+    assert!(volumes.windows(2).all(|w| w[0] > w[1]), "{volumes:?}");
+    assert!(
+        volumes[0] / volumes[3] > 100,
+        "WVU/NASA ratio = {}",
+        volumes[0] / volumes[3]
+    );
+}
+
+#[test]
+fn figure_4_6_shape_h_decreases_after_stationarization_and_with_load() {
+    // Two ends of the intensity spectrum suffice for the ordering claim.
+    let busy = model_for(ServerProfile::wvu().with_scale(0.05), 2);
+    let quiet = model_for(ServerProfile::nasa_pub2().with_scale(1.0), 2);
+
+    // (2) The busy server is strongly long-range dependent. Point
+    // estimates at one bin size can exceed 1 when short-range session
+    // persistence contaminates the pure-fGn Whittle fit — the exact
+    // pathology the paper's aggregation sweep corrects — so assert on the
+    // battery mean and on the deepest sweep levels, where SRD has been
+    // averaged out.
+    let mean_h = busy.request_level.hurst_stationary.mean_h().unwrap();
+    assert!((0.6..1.1).contains(&mean_h), "WVU mean Ĥ = {mean_h}");
+    let deepest = busy
+        .request_level
+        .whittle_sweep
+        .last()
+        .expect("sweep has levels");
+    assert!(
+        deepest.estimate.h > 0.55 && deepest.estimate.h < 1.0,
+        "WVU Ĥ(m={}) = {}",
+        deepest.m,
+        deepest.estimate.h
+    );
+
+    // (1) Raw ≥ stationary on average (trend/periodicity inflate Ĥ).
+    let over = busy
+        .request_level
+        .raw_overestimation()
+        .expect("both suites ran");
+    assert!(over > -0.05, "raw-vs-stationary ΔH = {over}");
+
+    // Degree of self-similarity increases with workload intensity.
+    let h_busy = busy.request_level.hurst_stationary.mean_h().unwrap();
+    let h_quiet = quiet.request_level.hurst_stationary.mean_h().unwrap();
+    assert!(
+        h_busy > h_quiet,
+        "H(WVU) = {h_busy} should exceed H(NASA) = {h_quiet}"
+    );
+}
+
+#[test]
+fn figure_7_8_shape_h_stable_under_aggregation() {
+    let model = model_for(ServerProfile::wvu().with_scale(0.05), 3);
+    let sweep = &model.request_level.whittle_sweep;
+    assert!(sweep.len() >= 3, "need several aggregation levels");
+    let hs: Vec<f64> = sweep.iter().map(|p| p.estimate.h).collect();
+    let max = hs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = hs.iter().cloned().fold(f64::INFINITY, f64::min);
+    // The paper's WVU range spans ~0.22 (0.768..0.986); require the sweep
+    // to stay coherent rather than collapse toward 0.5.
+    assert!(max - min < 0.3, "Ĥ(m) range too wide: {hs:?}");
+    assert!(min > 0.55, "Ĥ(m) fell out of the LRD band: {hs:?}");
+    // CIs widen with m (footnote 2).
+    let first = sweep.first().unwrap().estimate.ci95.unwrap();
+    let last = sweep.last().unwrap().estimate.ci95.unwrap();
+    assert!(last.1 - last.0 > first.1 - first.0);
+}
+
+#[test]
+fn table_2_3_4_shape_heavy_tails_in_the_right_places() {
+    let wvu = model_for(ServerProfile::wvu().with_scale(0.05), 4);
+    let csee = model_for(ServerProfile::csee().with_scale(0.5), 4);
+
+    // Table 2 shape: WVU session length heavy-tailed (α < 2.4, R² high).
+    let dur = wvu.intra_session_week.duration.llcd.expect("duration fits");
+    assert!(dur.alpha < 2.4, "WVU duration α = {}", dur.alpha);
+    assert!(dur.r_squared > 0.95);
+
+    // Table 4 shape: CSEE bytes/session have the heaviest tail of all —
+    // α near or below 1 (infinite mean).
+    let csee_bytes = csee.intra_session_week.bytes.llcd.expect("bytes fit");
+    assert!(csee_bytes.alpha < 1.45, "CSEE bytes α = {}", csee_bytes.alpha);
+
+    // Bytes tail heavier than the request-count tail (Table 4 < Table 3)
+    // for both servers.
+    for m in [&wvu, &csee] {
+        let req = m.intra_session_week.requests.llcd.expect("requests fit");
+        let bytes = m.intra_session_week.bytes.llcd.expect("bytes fit");
+        assert!(
+            bytes.alpha < req.alpha + 0.2,
+            "{}: bytes α {} vs requests α {}",
+            m.server,
+            bytes.alpha,
+            req.alpha
+        );
+    }
+}
+
+#[test]
+fn sec_4_2_shape_requests_reject_poisson_under_load() {
+    let model = model_for(ServerProfile::clarknet().with_scale(0.1), 5);
+    // The busiest interval must reject at both granularities.
+    let high = &model.levels[2];
+    use webpuzzle::core::PoissonVerdict;
+    assert_eq!(
+        high.request_poisson.hourly_verdict(),
+        PoissonVerdict::Rejected
+    );
+    assert_eq!(
+        high.request_poisson.ten_min_verdict(),
+        PoissonVerdict::Rejected
+    );
+}
