@@ -40,9 +40,7 @@ fn bench_periodogram(c: &mut Criterion) {
 
 fn bench_fft_real(c: &mut Criterion) {
     let x: Vec<f64> = (0..65_536).map(|i| (i as f64 * 0.2).cos()).collect();
-    c.bench_function("fft_real/65536", |b| {
-        b.iter(|| fft_real(black_box(&x)))
-    });
+    c.bench_function("fft_real/65536", |b| b.iter(|| fft_real(black_box(&x))));
 }
 
 criterion_group!(benches, bench_fft, bench_periodogram, bench_fft_real);

@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use webpuzzle_workload::{
-    generate_session_starts, ArrivalModel, ServerProfile, WorkloadGenerator,
-};
+use webpuzzle_workload::{generate_session_starts, ArrivalModel, ServerProfile, WorkloadGenerator};
 
 fn bench_profiles(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate");

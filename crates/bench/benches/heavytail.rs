@@ -34,16 +34,10 @@ fn bench_curvature(c: &mut Criterion) {
     group.sample_size(10);
     let data = pareto_sample(10_000);
     group.bench_function("pareto/10000x29", |b| {
-        b.iter(|| {
-            curvature_test(black_box(&data), CurvatureModel::Pareto, 0.14, 29, 5)
-                .unwrap()
-        })
+        b.iter(|| curvature_test(black_box(&data), CurvatureModel::Pareto, 0.14, 29, 5).unwrap())
     });
     group.bench_function("lognormal/10000x29", |b| {
-        b.iter(|| {
-            curvature_test(black_box(&data), CurvatureModel::LogNormal, 0.14, 29, 5)
-                .unwrap()
-        })
+        b.iter(|| curvature_test(black_box(&data), CurvatureModel::LogNormal, 0.14, 29, 5).unwrap())
     });
     group.finish();
 }

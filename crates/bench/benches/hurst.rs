@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use webpuzzle_lrd::{
-    abry_veitch, fgn::FgnGenerator, periodogram_hurst, rescaled_range, variance_time,
-    whittle, HurstSuite,
+    abry_veitch, fgn::FgnGenerator, periodogram_hurst, rescaled_range, variance_time, whittle,
+    HurstSuite,
 };
 
 fn bench_estimators(c: &mut Criterion) {

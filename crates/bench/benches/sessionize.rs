@@ -20,17 +20,13 @@ fn bench_sessionize(c: &mut Criterion) {
     group.sample_size(20);
     for &scale in &[0.01f64, 0.05, 0.2] {
         let recs = records(scale);
-        group.bench_with_input(
-            BenchmarkId::new("sessionize", recs.len()),
-            &recs,
-            |b, r| b.iter(|| sessionize(black_box(r), 1800.0).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("sessionize", recs.len()), &recs, |b, r| {
+            b.iter(|| sessionize(black_box(r), 1800.0).unwrap())
+        });
         group.bench_with_input(
             BenchmarkId::new("week_dataset", recs.len()),
             &recs,
-            |b, r| {
-                b.iter(|| WeekDataset::from_records(black_box(r.clone()), 1800.0).unwrap())
-            },
+            |b, r| b.iter(|| WeekDataset::from_records(black_box(r.clone()), 1800.0).unwrap()),
         );
     }
     group.finish();

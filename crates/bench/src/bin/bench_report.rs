@@ -1,0 +1,130 @@
+//! Aggregate criterion-lite benchmark samples into a dated report.
+//!
+//! `cargo bench` appends one JSON line per benchmark to
+//! `target/criterion-lite/results.jsonl`. This tool folds those lines
+//! into a single `BENCH_<YYYY-MM-DD>.json` at the repo root (later runs
+//! of the same benchmark id win), so benchmark snapshots can be
+//! committed and diffed across PRs.
+//!
+//! Usage: `bench-report [--input PATH] [--out PATH]`
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// One benchmark's aggregated timing, as written by criterion-lite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BenchSample {
+    /// Benchmark id (`group/function/parameter`).
+    id: String,
+    /// Timed iterations.
+    samples: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    mean_ns: f64,
+    /// Fastest iteration.
+    min_ns: f64,
+    /// Slowest iteration.
+    max_ns: f64,
+}
+
+/// The committed benchmark artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BenchReport {
+    /// Emitting tool.
+    tool: String,
+    /// UTC date of the run (`YYYY-MM-DD`).
+    date: String,
+    /// Unix timestamp of report generation.
+    created_unix: u64,
+    /// Per-benchmark results, sorted by id.
+    benchmarks: Vec<BenchSample>,
+}
+
+/// Civil date from a unix timestamp (days-since-epoch algorithm of
+/// Howard Hinnant's `civil_from_days`). Avoids a chrono dependency.
+fn utc_date(unix: u64) -> String {
+    let z = (unix / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let mut input = PathBuf::from("target/criterion-lite/results.jsonl");
+    let mut out: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--input" => input = it.next().map(PathBuf::from).expect("--input needs a path"),
+            "--out" => out = Some(it.next().map(PathBuf::from).expect("--out needs a path")),
+            other => {
+                eprintln!("usage: bench-report [--input PATH] [--out PATH]");
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let raw = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "bench-report: cannot read {} ({e}); run `cargo bench` first",
+                input.display()
+            );
+            std::process::exit(1);
+        }
+    };
+
+    // Last line per id wins: reruns supersede stale samples.
+    let mut by_id: BTreeMap<String, BenchSample> = BTreeMap::new();
+    let mut skipped = 0usize;
+    for line in raw.lines().filter(|l| !l.trim().is_empty()) {
+        match serde_json::from_str::<BenchSample>(line) {
+            Ok(s) => {
+                by_id.insert(s.id.clone(), s);
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        eprintln!("bench-report: skipped {skipped} malformed line(s)");
+    }
+    if by_id.is_empty() {
+        eprintln!(
+            "bench-report: no samples in {}; run `cargo bench` first",
+            input.display()
+        );
+        std::process::exit(1);
+    }
+
+    let created_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let date = utc_date(created_unix);
+    let report = BenchReport {
+        tool: "bench-report".to_string(),
+        date: date.clone(),
+        created_unix,
+        benchmarks: by_id.into_values().collect(),
+    };
+    let path = out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{date}.json")));
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&path, json + "\n") {
+        eprintln!("bench-report: cannot write {} ({e})", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "bench-report: {} benchmark(s) -> {}",
+        report.benchmarks.len(),
+        path.display()
+    );
+}

@@ -6,14 +6,17 @@
 //!
 //! ```text
 //! genlog --profile wvu|clarknet|csee|nasa [--scale S] [--seed N]
-//!        [--base-epoch SECS] [--out PATH]
+//!        [--base-epoch SECS] [--out PATH] [--quiet] [--json]
 //! ```
 //!
-//! Writes CLF lines to `--out` (default stdout).
+//! Writes CLF lines to `--out` (default stdout). Progress and status go
+//! through the observability sink on stderr: human lines by default,
+//! JSON lines with `--json`, nothing with `--quiet`.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 
+use webpuzzle_obs as obs;
 use webpuzzle_weblog::clf::format_line;
 use webpuzzle_workload::{ServerProfile, WorkloadGenerator};
 
@@ -26,6 +29,8 @@ fn main() {
     let mut seed = 0u64;
     let mut base_epoch = DEFAULT_BASE_EPOCH;
     let mut out_path: Option<String> = None;
+    let mut quiet = false;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -35,27 +40,34 @@ fn main() {
         };
         match a.as_str() {
             "--profile" => profile_name = value("--profile"),
-            "--scale" => {
-                scale = value("--scale").parse().expect("--scale must be a number")
-            }
-            "--seed" => {
-                seed = value("--seed").parse().expect("--seed must be an integer")
-            }
+            "--scale" => scale = value("--scale").parse().expect("--scale must be a number"),
+            "--seed" => seed = value("--seed").parse().expect("--seed must be an integer"),
             "--base-epoch" => {
                 base_epoch = value("--base-epoch")
                     .parse()
                     .expect("--base-epoch must be an integer")
             }
             "--out" => out_path = Some(value("--out")),
+            "--quiet" => quiet = true,
+            "--json" => json = true,
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: genlog --profile wvu|clarknet|csee|nasa \
-                     [--scale S] [--seed N] [--base-epoch SECS] [--out PATH]"
+                     [--scale S] [--seed N] [--base-epoch SECS] [--out PATH] \
+                     [--quiet] [--json]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    if quiet {
+        // NullSink is the default: nothing reaches stderr.
+    } else if json {
+        obs::set_sink(Box::new(obs::JsonSink));
+    } else {
+        obs::set_sink(Box::new(obs::StderrSink::default()));
     }
 
     let profile = match profile_name.to_ascii_lowercase().as_str() {
@@ -69,15 +81,15 @@ fn main() {
         }
     };
 
-    eprintln!(
-        "[genlog] generating {} at scale {scale}, seed {seed}…",
+    obs::info(&format!(
+        "genlog: generating {} at scale {scale}, seed {seed}",
         profile.name()
-    );
+    ));
     let records = WorkloadGenerator::new(profile.with_scale(scale))
         .seed(seed)
         .generate()
         .expect("built-in profiles generate cleanly");
-    eprintln!("[genlog] {} records", records.len());
+    obs::info(&format!("genlog: {} records", records.len()));
 
     let stdout = io::stdout();
     let mut sink: Box<dyn Write> = match out_path {
@@ -86,9 +98,11 @@ fn main() {
         )),
         None => Box::new(BufWriter::new(stdout.lock())),
     };
+    let mut progress = obs::ProgressMeter::new("genlog/write", Some(records.len() as u64));
     for record in &records {
-        writeln!(sink, "{}", format_line(record, base_epoch))
-            .expect("write failed");
+        writeln!(sink, "{}", format_line(record, base_epoch)).expect("write failed");
+        progress.tick(1);
     }
+    progress.finish();
     sink.flush().expect("flush failed");
 }

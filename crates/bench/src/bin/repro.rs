@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [--fast] <experiment>...
+//! repro [--scale S] [--seed N] [--fast] [--quiet] [--json] \
+//!       [--report PATH] <experiment>...
 //! repro all
 //! ```
 //!
@@ -14,19 +15,37 @@
 //! `--scale` multiplies the paper's Table 1 volumes (default 0.05 = 1/20 of
 //! the real traffic; `--scale 1.0` reproduces full volumes but needs ~1 GB
 //! of RAM for WVU). `--fast` switches to 60-second analysis bins.
+//!
+//! Observability flags: `--quiet` silences all stdout tables and stderr
+//! progress; `--json` switches stderr to JSON-line events and writes a
+//! machine-readable run report (span tree + metrics + config) to
+//! `report.json` (or the `--report PATH` override) on exit.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use webpuzzle_bench::cell;
 use webpuzzle_core::{AnalysisConfig, FullWebModel, PoissonVerdict};
 use webpuzzle_heavytail::{hill_plot, llcd_fit, EmpiricalCcdf};
 use webpuzzle_lrd::SweepEstimator;
+use webpuzzle_obs as obs;
 use webpuzzle_timeseries::{acf, CountSeries};
 use webpuzzle_weblog::{WeekDataset, SECONDS_PER_WEEK};
 use webpuzzle_workload::{ServerProfile, WorkloadGenerator};
 
 const SERVER_ORDER: [&str; 4] = ["WVU", "ClarkNet", "CSEE", "NASA-Pub2"];
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Print a stdout table line unless `--quiet` was given.
+macro_rules! say {
+    ($($arg:tt)*) => {
+        if !QUIET.load(Ordering::Relaxed) {
+            println!($($arg)*);
+        }
+    };
+}
 
 /// Paper values for Tables 2–4 (α_LLCD per Low/Med/High/Week) so the output
 /// can show paper-vs-measured side by side. `None` marks the paper's NA.
@@ -79,7 +98,9 @@ impl Ctx {
         } else {
             AnalysisConfig::default()
         };
-        eprintln!("[repro] generating 4 synthetic weeks at scale {scale} (seed {seed})…");
+        obs::info(&format!(
+            "generating 4 synthetic weeks at scale {scale} (seed {seed})"
+        ));
         let t0 = Instant::now();
         let mut datasets = Vec::new();
         for profile in ServerProfile::all() {
@@ -90,14 +111,14 @@ impl Ctx {
                 .expect("built-in profiles generate cleanly");
             let ds = WeekDataset::from_records(records, 1800.0)
                 .expect("generated records fit the week window");
-            eprintln!(
-                "[repro]   {name}: {} requests, {} sessions",
+            obs::info(&format!(
+                "{name}: {} requests, {} sessions",
                 ds.records().len(),
                 ds.sessions().len()
-            );
+            ));
             datasets.push((name, ds));
         }
-        eprintln!("[repro] generation took {:.1?}", t0.elapsed());
+        obs::info(&format!("generation took {:.1?}", t0.elapsed()));
         Ctx {
             scale,
             cfg,
@@ -117,11 +138,11 @@ impl Ctx {
 
     fn model(&mut self, name: &'static str) -> &FullWebModel {
         if !self.models.contains_key(name) {
-            eprintln!("[repro] running FULL-Web pipeline for {name}…");
+            obs::info(&format!("running FULL-Web pipeline for {name}"));
             let t0 = Instant::now();
             let model = FullWebModel::analyze(name, self.dataset(name), &self.cfg)
                 .expect("pipeline runs on generated datasets");
-            eprintln!("[repro]   {name} analyzed in {:.1?}", t0.elapsed());
+            obs::info(&format!("{name} analyzed in {:.1?}", t0.elapsed()));
             self.models.insert(name, model);
         }
         &self.models[name]
@@ -129,12 +150,15 @@ impl Ctx {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.05;
     let mut seed = 1u64;
     let mut fast = false;
+    let mut quiet = false;
+    let mut json = false;
+    let mut report_path = std::path::PathBuf::from("report.json");
     let mut experiments: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
+    let mut it = raw_args.clone().into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
@@ -150,30 +174,47 @@ fn main() {
                     .expect("--seed needs an integer")
             }
             "--fast" => fast = true,
+            "--quiet" => quiet = true,
+            "--json" => json = true,
+            "--report" => {
+                report_path = it
+                    .next()
+                    .map(std::path::PathBuf::from)
+                    .expect("--report needs a path")
+            }
             other => experiments.push(other.to_string()),
         }
     }
     if experiments.is_empty() {
         eprintln!(
-            "usage: repro [--scale S] [--seed N] [--fast] \
-             <table1|fig2|…|table4|curv|all>"
+            "usage: repro [--scale S] [--seed N] [--fast] [--quiet] [--json] \
+             [--report PATH] <table1|fig2|…|table4|curv|all>"
         );
         std::process::exit(2);
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
-            "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "sec42", "fig9", "fig10", "sec512", "fig11", "fig12", "table2",
-            "fig13", "table3", "table4", "curv",
+            "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "sec42", "fig9",
+            "fig10", "sec512", "fig11", "fig12", "table2", "fig13", "table3", "table4", "curv",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
 
+    QUIET.store(quiet, Ordering::Relaxed);
+    if quiet {
+        // NullSink is already the default; nothing reaches stderr either.
+    } else if json {
+        obs::set_sink(Box::new(obs::JsonSink));
+    } else {
+        obs::set_sink(Box::new(obs::StderrSink::default()));
+    }
+    obs::reset();
+
     let mut ctx = Ctx::new(scale, seed, fast);
     for exp in &experiments {
-        println!("\n################ {exp} ################");
+        say!("\n################ {exp} ################");
         match exp.as_str() {
             "table1" => table1(&ctx),
             "fig2" => fig2(&ctx),
@@ -195,7 +236,24 @@ fn main() {
             "table4" => table234(&mut ctx, Metric::Bytes),
             "curv" => curvature_section(&mut ctx),
             "ablate" => ablate_arrivals(seed),
-            other => eprintln!("[repro] unknown experiment `{other}` (skipped)"),
+            other => obs::warn(&format!("unknown experiment `{other}` (skipped)")),
+        }
+    }
+
+    if json {
+        use serde::Serialize;
+        let config = serde::Value::Object(vec![
+            ("scale".to_string(), scale.to_value()),
+            ("fast".to_string(), fast.to_value()),
+            ("analysis".to_string(), ctx.cfg.to_value()),
+        ]);
+        let report = obs::RunReport::collect("repro", Some(seed), config, raw_args);
+        match report.save(&report_path) {
+            Ok(()) => obs::info(&format!("run report written to {}", report_path.display())),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", report_path.display());
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -203,34 +261,39 @@ fn main() {
 // ---------------------------------------------------------------- table 1
 
 fn table1(ctx: &Ctx) {
-    println!("Table 1: raw data summary (scale {})", ctx.scale);
-    println!(
+    say!("Table 1: raw data summary (scale {})", ctx.scale);
+    say!(
         "paper (scale 1.0): WVU 15,785,164/188,213/34,485 | ClarkNet 1,654,882/139,745/13,785 | \
          CSEE 396,743/34,343/10,138 | NASA-Pub2 39,137/3,723/311"
     );
-    println!("{:<10} {:>10} {:>10} {:>10}", "Data set", "Requests", "Sessions", "MB");
+    say!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "Data set",
+        "Requests",
+        "Sessions",
+        "MB"
+    );
     for (name, ds) in &ctx.datasets {
         let (req, sess, mb) = ds.summary();
-        println!("{name:<10} {req:>10} {sess:>10} {mb:>10.0}");
+        say!("{name:<10} {req:>10} {sess:>10} {mb:>10.0}");
     }
-    println!("shape check: volumes must span ~3 orders of magnitude top to bottom.");
+    say!("shape check: volumes must span ~3 orders of magnitude top to bottom.");
 }
 
 // ------------------------------------------------------- figures 2 / 3 / 5
 
 fn fig2(ctx: &Ctx) {
-    println!("Figure 2: requests per second, WVU, one week (hourly means shown)");
+    say!("Figure 2: requests per second, WVU, one week (hourly means shown)");
     let ds = ctx.dataset("WVU");
     let times = ds.request_times();
-    let hourly =
-        CountSeries::from_event_times_in_window(&times, 3600.0, 0.0, 168).unwrap();
+    let hourly = CountSeries::from_event_times_in_window(&times, 3600.0, 0.0, 168).unwrap();
     for day in 0..7 {
         let row: Vec<String> = (0..24)
             .map(|h| format!("{:5.1}", hourly.counts()[day * 24 + h] / 3600.0))
             .collect();
-        println!("day {day}: {}", row.join(" "));
+        say!("day {day}: {}", row.join(" "));
     }
-    println!("expected shape: clear diurnal cycle, busiest around hour 15.");
+    say!("expected shape: clear diurnal cycle, busiest around hour 15.");
 }
 
 fn fig3(ctx: &Ctx, stationary: bool) {
@@ -239,7 +302,7 @@ fn fig3(ctx: &Ctx, stationary: bool) {
     } else {
         "Figure 3: ACF of raw requests/s"
     };
-    println!("{which} — WVU");
+    say!("{which} — WVU");
     let ds = ctx.dataset("WVU");
     let times = ds.request_times();
     let series = CountSeries::from_event_times_in_window(
@@ -262,13 +325,13 @@ fn fig3(ctx: &Ctx, stationary: bool) {
     };
     let max_lag = 512.min(counts.len() / 4);
     let r = acf(&counts, max_lag).unwrap();
-    println!("{:>6} {:>8}", "lag", "acf");
+    say!("{:>6} {:>8}", "lag", "acf");
     let mut lag = 1;
     while lag <= max_lag {
-        println!("{lag:>6} {:>8.4}", r[lag]);
+        say!("{lag:>6} {:>8.4}", r[lag]);
         lag *= 2;
     }
-    println!(
+    say!(
         "expected shape: raw ACF decays slowly (Fig 3); stationary ACF smaller \
          but still slowly decaying (Fig 5)."
     );
@@ -283,10 +346,15 @@ fn hurst_figure(ctx: &mut Ctx, request_level: bool, raw: bool) {
         (false, true) => ("Figure 9", "sessions initiated/s, raw data"),
         (false, false) => ("Figure 10", "sessions initiated/s, stationary data"),
     };
-    println!("{fig}: Hurst exponent for {what}");
-    println!(
+    say!("{fig}: Hurst exponent for {what}");
+    say!(
         "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "server", "Variance", "R/S", "Pgram", "Whittle", "AbryV"
+        "server",
+        "Variance",
+        "R/S",
+        "Pgram",
+        "Whittle",
+        "AbryV"
     );
     for name in SERVER_ORDER {
         let model = ctx.model(name);
@@ -309,9 +377,9 @@ fn hurst_figure(ctx: &mut Ctx, request_level: bool, raw: bool) {
             cell(suite.whittle.map(|e| e.h)),
             cell(suite.abry_veitch.map(|e| e.h)),
         );
-        println!("{row}");
+        say!("{row}");
     }
-    println!(
+    say!(
         "expected shape: all H > 0.5; raw ≥ stationary in most cells; H grows \
          with workload intensity (WVU highest) at request level."
     );
@@ -324,21 +392,32 @@ fn sweep_figure(ctx: &mut Ctx, estimator: SweepEstimator) {
         SweepEstimator::Whittle => "Figure 7 (Whittle)",
         SweepEstimator::AbryVeitch => "Figure 8 (Abry-Veitch)",
     };
-    println!("{fig}: Ĥ(m) vs aggregation level, stationary requests/s, WVU");
+    say!("{fig}: Ĥ(m) vs aggregation level, stationary requests/s, WVU");
     let model = ctx.model("WVU");
     let sweep = match estimator {
         SweepEstimator::Whittle => &model.request_level.whittle_sweep,
         SweepEstimator::AbryVeitch => &model.request_level.abry_veitch_sweep,
     };
-    println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "m", "points", "H", "lo95", "hi95");
+    say!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8}",
+        "m",
+        "points",
+        "H",
+        "lo95",
+        "hi95"
+    );
     for p in sweep {
         let (lo, hi) = p.estimate.ci95.unwrap_or((f64::NAN, f64::NAN));
-        println!(
+        say!(
             "{:>6} {:>8} {:>8.3} {:>8.3} {:>8.3}",
-            p.m, p.len, p.estimate.h, lo, hi
+            p.m,
+            p.len,
+            p.estimate.h,
+            lo,
+            hi
         );
     }
-    println!(
+    say!(
         "paper: WVU Whittle Ĥ(m) ∈ [0.768, 0.986], Abry-Veitch ∈ [0.748, 0.925]; \
          expected shape: Ĥ(m) roughly constant, CIs widening with m."
     );
@@ -360,10 +439,14 @@ fn poisson_section(ctx: &mut Ctx, request_level: bool) {
     } else {
         ("§5.1.2", "session")
     };
-    println!("{sec}: Poisson tests for {what} arrivals (Low/Med/High intervals)");
-    println!(
+    say!("{sec}: Poisson tests for {what} arrivals (Low/Med/High intervals)");
+    say!(
         "{:<10} {:<5} {:>8} {:>10} {:>10}",
-        "server", "level", "events", "hourly", "10-min"
+        "server",
+        "level",
+        "events",
+        "hourly",
+        "10-min"
     );
     for name in SERVER_ORDER {
         let model = ctx.model(name);
@@ -384,16 +467,16 @@ fn poisson_section(ctx: &mut Ctx, request_level: bool) {
             ));
         }
         for r in rows {
-            println!("{r}");
+            say!("{r}");
         }
     }
     if request_level {
-        println!(
+        say!(
             "paper: request arrivals reject Poisson everywhere (both rates, both \
              tie-spreading assumptions)."
         );
     } else {
-        println!(
+        say!(
             "paper: only the quietest intervals (< ~1000 sessions / 4 h: CSEE \
              Low/Med) are indistinguishable from Poisson; NASA-Pub2 is NA."
         );
@@ -403,7 +486,7 @@ fn poisson_section(ctx: &mut Ctx, request_level: bool) {
 // --------------------------------------------------- figures 11 / 12 / 13
 
 fn fig11(ctx: &Ctx) {
-    println!("Figure 11: LLCD plot, WVU session length, High interval");
+    say!("Figure 11: LLCD plot, WVU session length, High interval");
     let ds = ctx.dataset("WVU");
     let (_, _, high) = ds.select_low_med_high();
     let durations: Vec<f64> = ds
@@ -414,17 +497,21 @@ fn fig11(ctx: &Ctx) {
         .collect();
     print_llcd(&durations);
     match llcd_fit(&durations, 0.14) {
-        Ok(fit) => println!(
+        Ok(fit) => say!(
             "fit above θ={:.0}s: α_LLCD = {:.3} (σ = {:.3}, R² = {:.3}, n_tail = {})",
-            fit.threshold, fit.alpha, fit.std_err, fit.r_squared, fit.n_tail
+            fit.threshold,
+            fit.alpha,
+            fit.std_err,
+            fit.r_squared,
+            fit.n_tail
         ),
-        Err(e) => println!("fit failed: {e}"),
+        Err(e) => say!("fit failed: {e}"),
     }
-    println!("paper: α_LLCD = 1.67, σ = 0.004, R² = 0.993 (linear above ~1000 s).");
+    say!("paper: α_LLCD = 1.67, σ = 0.004, R² = 0.993 (linear above ~1000 s).");
 }
 
 fn fig12(ctx: &Ctx) {
-    println!("Figure 12: Hill plot, WVU session length, High interval (upper 14%)");
+    say!("Figure 12: Hill plot, WVU session length, High interval (upper 14%)");
     let ds = ctx.dataset("WVU");
     let (_, _, high) = ds.select_low_med_high();
     let durations: Vec<f64> = ds
@@ -435,25 +522,22 @@ fn fig12(ctx: &Ctx) {
         .collect();
     match hill_plot(&durations, 0.14) {
         Ok(plot) => {
-            println!("{:>6} {:>8}", "k", "alpha_k");
+            say!("{:>6} {:>8}", "k", "alpha_k");
             let step = (plot.len() / 20).max(1);
             for (k, a) in plot.iter().step_by(step) {
-                println!("{k:>6} {a:>8.3}");
+                say!("{k:>6} {a:>8.3}");
             }
-            let tail_mean: f64 = plot[plot.len() / 2..]
-                .iter()
-                .map(|(_, a)| a)
-                .sum::<f64>()
+            let tail_mean: f64 = plot[plot.len() / 2..].iter().map(|(_, a)| a).sum::<f64>()
                 / (plot.len() - plot.len() / 2) as f64;
-            println!("outer-half mean α_Hill ≈ {tail_mean:.3}");
+            say!("outer-half mean α_Hill ≈ {tail_mean:.3}");
         }
-        Err(e) => println!("Hill plot failed: {e}"),
+        Err(e) => say!("Hill plot failed: {e}"),
     }
-    println!("paper: Hill plot settles near α ≈ 1.58.");
+    say!("paper: Hill plot settles near α ≈ 1.58.");
 }
 
 fn fig13(ctx: &Ctx) {
-    println!("Figure 13: LLCD, ClarkNet requests per session, one week");
+    say!("Figure 13: LLCD, ClarkNet requests per session, one week");
     let ds = ctx.dataset("ClarkNet");
     let counts: Vec<f64> = ds
         .sessions()
@@ -462,25 +546,22 @@ fn fig13(ctx: &Ctx) {
         .collect();
     print_llcd(&counts);
     match llcd_fit(&counts, 0.14) {
-        Ok(fit) => println!(
-            "fit: α_LLCD = {:.3} (R² = {:.3})",
-            fit.alpha, fit.r_squared
-        ),
-        Err(e) => println!("fit failed: {e}"),
+        Ok(fit) => say!("fit: α_LLCD = {:.3} (R² = {:.3})", fit.alpha, fit.r_squared),
+        Err(e) => say!("fit failed: {e}"),
     }
-    println!("paper: α_LLCD = 2.586, slope steepens in extreme tail.");
+    say!("paper: α_LLCD = 2.586, slope steepens in extreme tail.");
 }
 
 fn print_llcd(values: &[f64]) {
     let Ok(ccdf) = EmpiricalCcdf::new(values) else {
-        println!("(no positive values)");
+        say!("(no positive values)");
         return;
     };
     let pts = ccdf.llcd_points();
-    println!("{:>10} {:>10}", "log10 x", "log10 P[X>x]");
+    say!("{:>10} {:>10}", "log10 x", "log10 P[X>x]");
     let step = (pts.len() / 24).max(1);
     for (lx, ly) in pts.iter().step_by(step) {
-        println!("{lx:>10.3} {ly:>10.3}");
+        say!("{lx:>10.3} {ly:>10.3}");
     }
 }
 
@@ -499,10 +580,14 @@ fn table234(ctx: &mut Ctx, metric: Metric) {
         Metric::Requests => &PAPER_TABLE3,
         Metric::Bytes => &PAPER_TABLE4,
     };
-    println!("{} — measured (paper)", paper.caption);
-    println!(
+    say!("{} — measured (paper)", paper.caption);
+    say!(
         "{:<6} {:>22} {:>22} {:>22} {:>22}",
-        "", SERVER_ORDER[0], SERVER_ORDER[1], SERVER_ORDER[2], SERVER_ORDER[3]
+        "",
+        SERVER_ORDER[0],
+        SERVER_ORDER[1],
+        SERVER_ORDER[2],
+        SERVER_ORDER[3]
     );
     for (row_idx, (row_name, paper_vals)) in paper.rows.iter().enumerate() {
         let mut cells = Vec::new();
@@ -532,21 +617,29 @@ fn table234(ctx: &mut Ctx, metric: Metric) {
             };
             cells.push(format!("{measured}/{hill} ({paper_cell})"));
         }
-        println!(
+        say!(
             "{:<6} {:>22} {:>22} {:>22} {:>22}",
-            row_name, cells[0], cells[1], cells[2], cells[3]
+            row_name,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
         );
     }
-    println!("cell format: α_LLCD/α_Hill (paper α_LLCD); NS = Hill did not stabilize.");
+    say!("cell format: α_LLCD/α_Hill (paper α_LLCD); NS = Hill did not stabilize.");
 }
 
 // ------------------------------------------------------------- curvature
 
 fn curvature_section(ctx: &mut Ctx) {
-    println!("§5.2 curvature tests: Pareto and lognormal p-values (week, all metrics)");
-    println!(
+    say!("§5.2 curvature tests: Pareto and lognormal p-values (week, all metrics)");
+    say!(
         "{:<10} {:<22} {:>10} {:>10} {:>12}",
-        "server", "metric", "p(Pareto)", "p(logN)", "verdicts"
+        "server",
+        "metric",
+        "p(Pareto)",
+        "p(logN)",
+        "verdicts"
     );
     for name in SERVER_ORDER {
         let model = ctx.model(name);
@@ -573,10 +666,10 @@ fn curvature_section(ctx: &mut Ctx) {
             ));
         }
         for r in rows {
-            println!("{r}");
+            say!("{r}");
         }
     }
-    println!(
+    say!(
         "paper: neither Pareto nor lognormal rejected for any interval \
          (p > 0.05 everywhere); p-values are sensitive to α̂ and the MC sample."
     );
@@ -592,11 +685,14 @@ fn ablate_arrivals(seed: u64) {
     use webpuzzle_lrd::{abry_veitch, whittle};
     use webpuzzle_workload::{generate_session_starts, ArrivalModel};
 
-    println!("arrival-model ablation: 300k events/week, flat envelope, 60 s bins");
-    println!("{:<28} {:>10} {:>10}", "model", "Whittle H", "AbryV H");
+    say!("arrival-model ablation: 300k events/week, flat envelope, 60 s bins");
+    say!("{:<28} {:>10} {:>10}", "model", "Whittle H", "AbryV H");
     let models = [
         ("Poisson (negative control)", ArrivalModel::Poisson),
-        ("fGn-Cox H=0.85 cv=0.7", ArrivalModel::FgnCox { h: 0.85, cv: 0.7 }),
+        (
+            "fGn-Cox H=0.85 cv=0.7",
+            ArrivalModel::FgnCox { h: 0.85, cv: 0.7 },
+        ),
         (
             "ON/OFF a=1.3 x12 sources",
             ArrivalModel::OnOff {
@@ -620,9 +716,9 @@ fn ablate_arrivals(seed: u64) {
         .into_counts();
         let w = whittle(&counts).map(|e| e.h);
         let av = abry_veitch(&counts).map(|e| e.h);
-        println!("{:<28} {:>10} {:>10}", name, cell(w.ok()), cell(av.ok()));
+        say!("{:<28} {:>10} {:>10}", name, cell(w.ok()), cell(av.ok()));
     }
-    println!(
+    say!(
         "expected shape: Poisson ~0.5; both LRD substrates well above 0.65 — \
          the pipeline's LRD verdicts track the planted ground truth."
     );

@@ -21,10 +21,7 @@ use webpuzzle_workload::{ServerProfile, WorkloadGenerator};
 /// assert_eq!(sets.len(), 4);
 /// assert_eq!(sets[0].0, "WVU");
 /// ```
-pub fn standard_datasets(
-    scale: f64,
-    seed: u64,
-) -> Result<Vec<(&'static str, WeekDataset)>> {
+pub fn standard_datasets(scale: f64, seed: u64) -> Result<Vec<(&'static str, WeekDataset)>> {
     let mut out = Vec::with_capacity(4);
     for profile in ServerProfile::all() {
         let name = profile.name();

@@ -4,8 +4,8 @@ use crate::config::AnalysisConfig;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 use webpuzzle_heavytail::{
-    curvature_test, hill_estimate, llcd_fit, moment_estimator, CurvatureModel,
-    CurvatureTest, HillEstimate, LlcdFit, MomentEstimate, TailRegime,
+    curvature_test, hill_estimate, llcd_fit, moment_estimator, CurvatureModel, CurvatureTest,
+    HillEstimate, LlcdFit, MomentEstimate, TailRegime,
 };
 use webpuzzle_weblog::Session;
 
@@ -91,8 +91,7 @@ impl TailAnalysis {
         sessions: &[Session],
         cfg: &AnalysisConfig,
     ) -> Result<Self> {
-        let values: Vec<f64> =
-            sessions.iter().filter_map(|s| metric.extract(s)).collect();
+        let values: Vec<f64> = sessions.iter().filter_map(|s| metric.extract(s)).collect();
         if values.len() < cfg.min_tail_sample {
             return Ok(TailAnalysis {
                 metric,
@@ -171,18 +170,11 @@ impl IntraSessionAnalysis {
     ///
     /// Propagates [`TailAnalysis::analyze`] failures.
     pub fn analyze(sessions: &[Session], cfg: &AnalysisConfig) -> Result<Self> {
+        let _span = webpuzzle_obs::span!("tail/intra_session");
         Ok(IntraSessionAnalysis {
-            duration: TailAnalysis::analyze(
-                SessionMetric::DurationSeconds,
-                sessions,
-                cfg,
-            )?,
+            duration: TailAnalysis::analyze(SessionMetric::DurationSeconds, sessions, cfg)?,
             requests: TailAnalysis::analyze(SessionMetric::RequestCount, sessions, cfg)?,
-            bytes: TailAnalysis::analyze(
-                SessionMetric::BytesTransferred,
-                sessions,
-                cfg,
-            )?,
+            bytes: TailAnalysis::analyze(SessionMetric::BytesTransferred, sessions, cfg)?,
         })
     }
 
@@ -246,16 +238,14 @@ mod tests {
             curvature_replicates: 29,
             ..AnalysisConfig::default()
         };
-        let a = TailAnalysis::analyze(SessionMetric::DurationSeconds, &sessions, &cfg)
-            .unwrap();
+        let a = TailAnalysis::analyze(SessionMetric::DurationSeconds, &sessions, &cfg).unwrap();
         assert_eq!(a.estimates_consistent(0.25), Some(true), "{a:?}");
     }
 
     #[test]
     fn small_sample_is_na() {
         let sessions = pareto_sessions(1.5, 1.8, 1.3, 20, 3);
-        let a = IntraSessionAnalysis::analyze(&sessions, &AnalysisConfig::default())
-            .unwrap();
+        let a = IntraSessionAnalysis::analyze(&sessions, &AnalysisConfig::default()).unwrap();
         assert!(a.duration.is_na());
         assert!(a.requests.is_na());
         assert_eq!(a.duration.n, 20);
@@ -284,10 +274,13 @@ mod tests {
             curvature_replicates: 49,
             ..AnalysisConfig::default()
         };
-        let a = TailAnalysis::analyze(SessionMetric::DurationSeconds, &sessions, &cfg)
-            .unwrap();
+        let a = TailAnalysis::analyze(SessionMetric::DurationSeconds, &sessions, &cfg).unwrap();
         let p = a.curvature_pareto.unwrap();
-        assert!(!p.reject_5pct(), "true Pareto rejected with p = {}", p.p_value);
+        assert!(
+            !p.reject_5pct(),
+            "true Pareto rejected with p = {}",
+            p.p_value
+        );
     }
 
     #[test]

@@ -58,19 +58,21 @@ impl FullWebModel {
     ///
     /// Propagates analysis failures; datasets with at least a few thousand
     /// requests spread over the week analyze cleanly.
-    pub fn analyze(
-        server: &str,
-        dataset: &WeekDataset,
-        cfg: &AnalysisConfig,
-    ) -> Result<Self> {
+    pub fn analyze(server: &str, dataset: &WeekDataset, cfg: &AnalysisConfig) -> Result<Self> {
+        let _span = webpuzzle_obs::span!("pipeline/analyze");
+        webpuzzle_obs::metrics::counter("pipeline/analyses").incr();
         let (total_requests, total_sessions, megabytes) = dataset.summary();
 
         let request_times = dataset.request_times();
-        let request_level =
-            ArrivalAnalysis::analyze(&request_times, SECONDS_PER_WEEK, cfg)?;
+        let request_level = {
+            let _span = webpuzzle_obs::span!("pipeline/request_arrivals");
+            ArrivalAnalysis::analyze(&request_times, SECONDS_PER_WEEK, cfg)?
+        };
         let session_times = dataset.session_start_times();
-        let inter_session =
-            ArrivalAnalysis::analyze(&session_times, SECONDS_PER_WEEK, cfg)?;
+        let inter_session = {
+            let _span = webpuzzle_obs::span!("pipeline/session_arrivals");
+            ArrivalAnalysis::analyze(&session_times, SECONDS_PER_WEEK, cfg)?
+        };
 
         let (low, med, high) = dataset.select_low_med_high();
         let mut levels = Vec::with_capacity(3);
@@ -105,8 +107,10 @@ impl FullWebModel {
             });
         }
 
-        let intra_session_week =
-            IntraSessionAnalysis::analyze(dataset.sessions(), cfg)?;
+        let intra_session_week = {
+            let _span = webpuzzle_obs::span!("pipeline/intra_session_week");
+            IntraSessionAnalysis::analyze(dataset.sessions(), cfg)?
+        };
 
         Ok(FullWebModel {
             server: server.to_string(),
@@ -156,9 +160,17 @@ impl fmt::Display for FullWebModel {
                 f,
                 "KPSS raw {:.3}{}  stationary {:.3}{}  trend/bin {:+.2e}  period {}",
                 a.kpss_raw.statistic,
-                if a.kpss_raw.nonstationary_5pct() { "*" } else { "" },
+                if a.kpss_raw.nonstationary_5pct() {
+                    "*"
+                } else {
+                    ""
+                },
                 a.kpss_stationary.statistic,
-                if a.kpss_stationary.nonstationary_5pct() { "*" } else { "" },
+                if a.kpss_stationary.nonstationary_5pct() {
+                    "*"
+                } else {
+                    ""
+                },
                 a.trend_slope,
                 match a.period_seconds {
                     Some(p) => format!("{:.0} s", p),
@@ -176,7 +188,11 @@ impl fmt::Display for FullWebModel {
             writeln!(
                 f,
                 "LRD consensus: {}",
-                if a.long_range_dependent() { "yes" } else { "no" }
+                if a.long_range_dependent() {
+                    "yes"
+                } else {
+                    "no"
+                }
             )?;
         }
         writeln!(f, "--- Poisson tests (hourly rates) ---")?;
@@ -238,7 +254,11 @@ mod tests {
         assert!(m.total_requests > m.total_sessions);
         assert_eq!(m.levels.len(), 3);
         // Request arrivals on an fGn-Cox workload must come out LRD.
-        assert!(m.request_level.long_range_dependent(), "{}", m.request_level.hurst_stationary);
+        assert!(
+            m.request_level.long_range_dependent(),
+            "{}",
+            m.request_level.hurst_stationary
+        );
     }
 
     #[test]
@@ -256,7 +276,10 @@ mod tests {
             "Intra-session",
             "bytes per session",
         ] {
-            assert!(report.contains(needle), "missing {needle} in report:\n{report}");
+            assert!(
+                report.contains(needle),
+                "missing {needle} in report:\n{report}"
+            );
         }
     }
 

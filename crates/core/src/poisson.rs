@@ -22,8 +22,8 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use webpuzzle_stats::descriptive::autocorrelation;
 use webpuzzle_stats::htest::{
-    anderson_darling_exponential, binomial_count_test, ljung_box,
-    sign_balance_test, BinomialCountResult, SignBalance,
+    anderson_darling_exponential, binomial_count_test, ljung_box, sign_balance_test,
+    BinomialCountResult, SignBalance,
 };
 
 /// How same-second timestamp ties are spread within their second (§4.2
@@ -106,8 +106,7 @@ pub fn spread_ties(times: &[f64], spreading: TieSpreading, seed: u64) -> Vec<f64
     // and replaying the identical StdRng stream would correlate the uniform
     // offsets with the arrival gaps (turning a true Poisson stream into an
     // apparently dependent one).
-    let mut rng =
-        StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5_DEEC_E66D);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5_DEEC_E66D);
     let mut floored: Vec<f64> = times.iter().map(|t| t.floor()).collect();
     floored.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
     let mut out = Vec::with_capacity(floored.len());
@@ -126,8 +125,7 @@ pub fn spread_ties(times: &[f64], spreading: TieSpreading, seed: u64) -> Vec<f64
                 }
             }
             TieSpreading::Uniform => {
-                let mut offsets: Vec<f64> =
-                    (0..k).map(|_| rng.random::<f64>()).collect();
+                let mut offsets: Vec<f64> = (0..k).map(|_| rng.random::<f64>()).collect();
                 offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 for o in offsets {
                     out.push(sec + o);
@@ -287,6 +285,8 @@ impl PoissonBattery {
         min_arrivals: usize,
         seed: u64,
     ) -> Result<Self> {
+        let _span = webpuzzle_obs::span!("poisson/battery");
+        webpuzzle_obs::metrics::counter("poisson/batteries_run").incr();
         let run = |subs: usize, spreading: TieSpreading| {
             poisson_arrival_test(
                 times,
@@ -326,10 +326,7 @@ impl PoissonBattery {
     }
 }
 
-fn combine(
-    a: Option<&PoissonTestOutcome>,
-    b: Option<&PoissonTestOutcome>,
-) -> PoissonVerdict {
+fn combine(a: Option<&PoissonTestOutcome>, b: Option<&PoissonTestOutcome>) -> PoissonVerdict {
     match (a, b) {
         (Some(x), Some(y)) => {
             if x.verdict() == PoissonVerdict::ConsistentWithPoisson
@@ -397,18 +394,14 @@ mod tests {
         // gaps onto a lattice and legitimately fails exponentiality, which
         // is why the pipeline runs both.
         let times = renewal_times(0.5, false, 1);
-        let out = poisson_arrival_test(
-            &times,
-            0.0,
-            FOUR_HOURS,
-            4,
-            TieSpreading::Uniform,
-            50,
-            1,
-        )
-        .unwrap()
-        .unwrap();
-        assert_eq!(out.verdict(), PoissonVerdict::ConsistentWithPoisson, "{out:?}");
+        let out = poisson_arrival_test(&times, 0.0, FOUR_HOURS, 4, TieSpreading::Uniform, 50, 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            out.verdict(),
+            PoissonVerdict::ConsistentWithPoisson,
+            "{out:?}"
+        );
     }
 
     #[test]
@@ -449,11 +442,7 @@ mod tests {
 
     #[test]
     fn spread_ties_deterministic_layout() {
-        let spread = spread_ties(
-            &[2.9, 2.1, 2.5, 7.0],
-            TieSpreading::Deterministic,
-            0,
-        );
+        let spread = spread_ties(&[2.9, 2.1, 2.5, 7.0], TieSpreading::Deterministic, 0);
         assert_eq!(spread, vec![2.0, 2.0 + 1.0 / 3.0, 2.0 + 2.0 / 3.0, 7.0]);
     }
 
@@ -468,17 +457,9 @@ mod tests {
     #[test]
     fn outcome_details_recorded() {
         let times = renewal_times(0.5, false, 6);
-        let out = poisson_arrival_test(
-            &times,
-            0.0,
-            FOUR_HOURS,
-            4,
-            TieSpreading::Uniform,
-            50,
-            6,
-        )
-        .unwrap()
-        .unwrap();
+        let out = poisson_arrival_test(&times, 0.0, FOUR_HOURS, 4, TieSpreading::Uniform, 50, 6)
+            .unwrap()
+            .unwrap();
         assert_eq!(out.lag1_autocorrelations.len(), 4);
         assert_eq!(out.ad_statistics.len(), 4);
         assert_eq!(out.subintervals, 4);
@@ -486,25 +467,7 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(poisson_arrival_test(
-            &[1.0],
-            0.0,
-            -5.0,
-            4,
-            TieSpreading::Uniform,
-            10,
-            0
-        )
-        .is_err());
-        assert!(poisson_arrival_test(
-            &[1.0],
-            0.0,
-            100.0,
-            0,
-            TieSpreading::Uniform,
-            10,
-            0
-        )
-        .is_err());
+        assert!(poisson_arrival_test(&[1.0], 0.0, -5.0, 4, TieSpreading::Uniform, 10, 0).is_err());
+        assert!(poisson_arrival_test(&[1.0], 0.0, 100.0, 0, TieSpreading::Uniform, 10, 0).is_err());
     }
 }

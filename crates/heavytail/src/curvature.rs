@@ -86,6 +86,7 @@ pub fn curvature_test(
     replicates: usize,
     seed: u64,
 ) -> Result<CurvatureTest> {
+    let _span = webpuzzle_obs::span!("tail/curvature");
     if !(tail_fraction > 0.0 && tail_fraction < 1.0) {
         return Err(StatsError::InvalidParameter {
             name: "tail_fraction",
@@ -105,26 +106,25 @@ pub fn curvature_test(
     let n = data.len();
 
     type ReplicateSampler = Box<dyn FnMut(&mut StdRng) -> Vec<f64>>;
-    let (fitted_param, sample_fn): (f64, ReplicateSampler) =
-        match model {
-            CurvatureModel::Pareto => {
-                let ccdf = EmpiricalCcdf::new(data)?;
-                let threshold = ccdf.quantile(1.0 - tail_fraction);
-                let pareto = fit_pareto_tail(data, threshold)?;
-                let n_tail = data.iter().filter(|&&x| x >= threshold).count();
-                // Replicate only the tail: draw n_tail points from the
-                // fitted Pareto, whose curvature is then compared over the
-                // full replicate (it IS a tail sample).
-                (
-                    pareto.alpha(),
-                    Box::new(move |rng| pareto.sample_n(rng, n_tail)),
-                )
-            }
-            CurvatureModel::LogNormal => {
-                let ln = fit_lognormal(data)?;
-                (ln.sigma(), Box::new(move |rng| ln.sample_n(rng, n)))
-            }
-        };
+    let (fitted_param, sample_fn): (f64, ReplicateSampler) = match model {
+        CurvatureModel::Pareto => {
+            let ccdf = EmpiricalCcdf::new(data)?;
+            let threshold = ccdf.quantile(1.0 - tail_fraction);
+            let pareto = fit_pareto_tail(data, threshold)?;
+            let n_tail = data.iter().filter(|&&x| x >= threshold).count();
+            // Replicate only the tail: draw n_tail points from the
+            // fitted Pareto, whose curvature is then compared over the
+            // full replicate (it IS a tail sample).
+            (
+                pareto.alpha(),
+                Box::new(move |rng| pareto.sample_n(rng, n_tail)),
+            )
+        }
+        CurvatureModel::LogNormal => {
+            let ln = fit_lognormal(data)?;
+            (ln.sigma(), Box::new(move |rng| ln.sample_n(rng, n)))
+        }
+    };
 
     let mut sample_fn = sample_fn;
     let mut more_extreme_low = 0usize;
@@ -149,6 +149,7 @@ pub fn curvature_test(
             used += 1;
         }
     }
+    webpuzzle_obs::metrics::counter("heavytail/curvature_replicates").add(used as u64);
     if used < 19 {
         return Err(StatsError::NoConvergence {
             what: "curvature Monte Carlo (too many degenerate replicates)",
@@ -290,8 +291,7 @@ mod tests {
     #[test]
     fn true_lognormal_not_rejected_under_lognormal() {
         let sample = lognormal_sample(1.8, 5_000, 34);
-        let t =
-            curvature_test(&sample, CurvatureModel::LogNormal, 0.3, 99, 2).unwrap();
+        let t = curvature_test(&sample, CurvatureModel::LogNormal, 0.3, 99, 2).unwrap();
         assert!(!t.reject_5pct(), "p = {}", t.p_value);
     }
 

@@ -118,6 +118,7 @@ pub fn hill_plot(data: &[f64], tail_fraction: f64) -> Result<Vec<(usize, f64)>> 
 ///
 /// Same conditions as [`hill_plot`].
 pub fn hill_estimate(data: &[f64], tail_fraction: f64) -> Result<HillEstimate> {
+    let _span = webpuzzle_obs::span!("tail/hill");
     const CV_THRESHOLD: f64 = 0.075;
     let plot = hill_plot(data, tail_fraction)?;
     let k_max = plot.last().expect("plot non-empty").0;
@@ -129,9 +130,12 @@ pub fn hill_estimate(data: &[f64], tail_fraction: f64) -> Result<HillEstimate> {
         .map(|(_, a)| *a)
         .collect();
     let mean = window.iter().sum::<f64>() / window.len() as f64;
-    let var = window.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>()
-        / window.len() as f64;
-    let cv = if mean > 0.0 { var.sqrt() / mean } else { f64::INFINITY };
+    let var = window.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / window.len() as f64;
+    let cv = if mean > 0.0 {
+        var.sqrt() / mean
+    } else {
+        f64::INFINITY
+    };
     Ok(HillEstimate {
         alpha: if cv < CV_THRESHOLD { Some(mean) } else { None },
         plateau_cv: cv,
@@ -153,10 +157,7 @@ mod tests {
             let sample = Pareto::new(alpha, 1.0).unwrap().sample_n(&mut rng, 20_000);
             let est = hill_estimate(&sample, 0.14).unwrap();
             let got = est.alpha.expect("pure Pareto must stabilize");
-            assert!(
-                (got - alpha).abs() < 0.15,
-                "α = {alpha}, estimated {got}"
-            );
+            assert!((got - alpha).abs() < 0.15, "α = {alpha}, estimated {got}");
         }
     }
 

@@ -49,6 +49,7 @@ pub struct LlcdFit {
 /// # }
 /// ```
 pub fn llcd_fit(data: &[f64], tail_fraction: f64) -> Result<LlcdFit> {
+    let _span = webpuzzle_obs::span!("tail/llcd");
     if !(tail_fraction > 0.0 && tail_fraction <= 1.0) {
         return Err(StatsError::InvalidParameter {
             name: "tail_fraction",

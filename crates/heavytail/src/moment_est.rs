@@ -60,6 +60,7 @@ impl MomentEstimate {
 /// # }
 /// ```
 pub fn moment_estimator(data: &[f64], tail_fraction: f64) -> Result<MomentEstimate> {
+    let _span = webpuzzle_obs::span!("tail/moment");
     if !(tail_fraction > 0.0 && tail_fraction <= 1.0) {
         return Err(StatsError::InvalidParameter {
             name: "tail_fraction",

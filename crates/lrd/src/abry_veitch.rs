@@ -80,8 +80,7 @@ pub fn abry_veitch_with_scales(
         if j < j1 || j > j2 || nj < 8 {
             continue;
         }
-        let mu: f64 =
-            level.details[..usable].iter().map(|d| d * d).sum::<f64>() / nj as f64;
+        let mu: f64 = level.details[..usable].iter().map(|d| d * d).sum::<f64>() / nj as f64;
         if mu <= 0.0 {
             continue;
         }
@@ -121,7 +120,11 @@ mod tests {
     #[test]
     fn recovers_h_for_fgn() {
         for &h in &[0.6, 0.75, 0.9] {
-            let x = FgnGenerator::new(h).unwrap().seed(55).generate(32_768).unwrap();
+            let x = FgnGenerator::new(h)
+                .unwrap()
+                .seed(55)
+                .generate(32_768)
+                .unwrap();
             let est = abry_veitch(&x).unwrap();
             assert!(
                 (est.h - h).abs() < 0.08,
@@ -133,7 +136,11 @@ mod tests {
 
     #[test]
     fn white_noise_near_half() {
-        let x = FgnGenerator::new(0.5).unwrap().seed(56).generate(32_768).unwrap();
+        let x = FgnGenerator::new(0.5)
+            .unwrap()
+            .seed(56)
+            .generate(32_768)
+            .unwrap();
         let est = abry_veitch(&x).unwrap();
         assert!((est.h - 0.5).abs() < 0.05, "H = {}", est.h);
     }
@@ -144,7 +151,11 @@ mod tests {
         let mut covered = 0;
         let trials = 20;
         for seed in 100..100 + trials {
-            let x = FgnGenerator::new(h).unwrap().seed(seed).generate(8192).unwrap();
+            let x = FgnGenerator::new(h)
+                .unwrap()
+                .seed(seed)
+                .generate(8192)
+                .unwrap();
             let est = abry_veitch(&x).unwrap();
             let (lo, hi) = est.ci95.unwrap();
             if lo <= h && h <= hi {
@@ -159,7 +170,11 @@ mod tests {
         // The 2 vanishing moments of db2 should absorb a linear trend —
         // the property that makes Abry-Veitch attractive for raw traffic.
         let h = 0.7;
-        let clean = FgnGenerator::new(h).unwrap().seed(57).generate(16_384).unwrap();
+        let clean = FgnGenerator::new(h)
+            .unwrap()
+            .seed(57)
+            .generate(16_384)
+            .unwrap();
         let trended: Vec<f64> = clean
             .iter()
             .enumerate()
@@ -171,7 +186,11 @@ mod tests {
 
     #[test]
     fn explicit_scale_range() {
-        let x = FgnGenerator::new(0.8).unwrap().seed(58).generate(16_384).unwrap();
+        let x = FgnGenerator::new(0.8)
+            .unwrap()
+            .seed(58)
+            .generate(16_384)
+            .unwrap();
         let est = abry_veitch_with_scales(&x, Wavelet::Daubechies4, 3, 9).unwrap();
         assert!((est.h - 0.8).abs() < 0.12, "H = {}", est.h);
     }
@@ -179,7 +198,11 @@ mod tests {
     #[test]
     fn errors() {
         assert!(abry_veitch(&[1.0; 16]).is_err());
-        let x = FgnGenerator::new(0.7).unwrap().seed(59).generate(1024).unwrap();
+        let x = FgnGenerator::new(0.7)
+            .unwrap()
+            .seed(59)
+            .generate(1024)
+            .unwrap();
         assert!(abry_veitch_with_scales(&x, Wavelet::Daubechies2, 0, 5).is_err());
         // j1 beyond available octaves.
         assert!(abry_veitch_with_scales(&x, Wavelet::Daubechies2, 20, 25).is_err());

@@ -96,7 +96,11 @@ mod tests {
     #[test]
     fn sweep_stable_for_fgn() {
         let h = 0.8;
-        let x = FgnGenerator::new(h).unwrap().seed(300).generate(65_536).unwrap();
+        let x = FgnGenerator::new(h)
+            .unwrap()
+            .seed(300)
+            .generate(65_536)
+            .unwrap();
         let sweep = aggregated_hurst_sweep(&x, SweepEstimator::Whittle, 512).unwrap();
         assert!(sweep.len() >= 5, "{} levels", sweep.len());
         for p in &sweep {
@@ -117,7 +121,11 @@ mod tests {
     #[test]
     fn ci_widens_with_aggregation() {
         // Footnote 2 of the paper: fewer points at larger m → wider CIs.
-        let x = FgnGenerator::new(0.75).unwrap().seed(301).generate(65_536).unwrap();
+        let x = FgnGenerator::new(0.75)
+            .unwrap()
+            .seed(301)
+            .generate(65_536)
+            .unwrap();
         let sweep = aggregated_hurst_sweep(&x, SweepEstimator::Whittle, 256).unwrap();
         let width = |p: &AggregatedEstimate| {
             let (lo, hi) = p.estimate.ci95.unwrap();
@@ -128,12 +136,20 @@ mod tests {
 
     #[test]
     fn abry_veitch_sweep_runs() {
-        let x = FgnGenerator::new(0.7).unwrap().seed(302).generate(32_768).unwrap();
-        let sweep =
-            aggregated_hurst_sweep(&x, SweepEstimator::AbryVeitch, 512).unwrap();
+        let x = FgnGenerator::new(0.7)
+            .unwrap()
+            .seed(302)
+            .generate(32_768)
+            .unwrap();
+        let sweep = aggregated_hurst_sweep(&x, SweepEstimator::AbryVeitch, 512).unwrap();
         assert!(!sweep.is_empty());
         for p in &sweep {
-            assert!((p.estimate.h - 0.7).abs() < 0.2, "m={}: {}", p.m, p.estimate.h);
+            assert!(
+                (p.estimate.h - 0.7).abs() < 0.2,
+                "m={}: {}",
+                p.m,
+                p.estimate.h
+            );
         }
     }
 

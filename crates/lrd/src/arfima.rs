@@ -147,14 +147,26 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = FarimaGenerator::new(0.3).unwrap().seed(1).generate(512).unwrap();
-        let b = FarimaGenerator::new(0.3).unwrap().seed(1).generate(512).unwrap();
+        let a = FarimaGenerator::new(0.3)
+            .unwrap()
+            .seed(1)
+            .generate(512)
+            .unwrap();
+        let b = FarimaGenerator::new(0.3)
+            .unwrap()
+            .seed(1)
+            .generate(512)
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn d_zero_is_white_noise() {
-        let x = FarimaGenerator::new(0.0).unwrap().seed(2).generate(32_768).unwrap();
+        let x = FarimaGenerator::new(0.0)
+            .unwrap()
+            .seed(2)
+            .generate(32_768)
+            .unwrap();
         let est = whittle(&x).unwrap();
         assert!((est.h - 0.5).abs() < 0.04, "H = {}", est.h);
     }

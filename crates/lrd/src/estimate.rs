@@ -53,7 +53,11 @@ pub struct HurstEstimate {
 impl HurstEstimate {
     /// Create an estimate without a confidence interval.
     pub fn new(kind: EstimatorKind, h: f64) -> Self {
-        HurstEstimate { kind, h, ci95: None }
+        HurstEstimate {
+            kind,
+            h,
+            ci95: None,
+        }
     }
 
     /// Create an estimate with a 95 % confidence interval.

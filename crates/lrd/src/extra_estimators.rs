@@ -44,8 +44,7 @@ pub fn absolute_moments(data: &[f64]) -> Result<HurstEstimate> {
     for &m in &levels {
         let agg = aggregate(data, m)?;
         let mean = agg.iter().sum::<f64>() / agg.len() as f64;
-        let am =
-            agg.iter().map(|x| (x - mean).abs()).sum::<f64>() / agg.len() as f64;
+        let am = agg.iter().map(|x| (x - mean).abs()).sum::<f64>() / agg.len() as f64;
         if am > 0.0 {
             log_m.push((m as f64).ln());
             log_am.push(am.ln());
@@ -87,7 +86,10 @@ pub fn absolute_moments(data: &[f64]) -> Result<HurstEstimate> {
 pub fn variance_of_residuals(data: &[f64]) -> Result<HurstEstimate> {
     let n = data.len();
     if n < 512 {
-        return Err(StatsError::InsufficientData { needed: 512, got: n });
+        return Err(StatsError::InsufficientData {
+            needed: 512,
+            got: n,
+        });
     }
     if data.iter().any(|x| !x.is_finite()) {
         return Err(StatsError::NonFiniteData);
@@ -166,7 +168,11 @@ mod tests {
     use crate::fgn::FgnGenerator;
 
     fn fgn(h: f64, n: usize, seed: u64) -> Vec<f64> {
-        FgnGenerator::new(h).unwrap().seed(seed).generate(n).unwrap()
+        FgnGenerator::new(h)
+            .unwrap()
+            .seed(seed)
+            .generate(n)
+            .unwrap()
     }
 
     #[test]

@@ -126,11 +126,7 @@ impl FgnGenerator {
     /// # Errors
     ///
     /// Returns [`StatsError::InsufficientData`] for `n < 2`.
-    pub fn generate_with<R: rand::Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        n: usize,
-    ) -> Result<Vec<f64>> {
+    pub fn generate_with<R: rand::Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Result<Vec<f64>> {
         if n < 2 {
             return Err(StatsError::InsufficientData { needed: 2, got: n });
         }
@@ -193,10 +189,22 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let a = FgnGenerator::new(0.7).unwrap().seed(9).generate(256).unwrap();
-        let b = FgnGenerator::new(0.7).unwrap().seed(9).generate(256).unwrap();
+        let a = FgnGenerator::new(0.7)
+            .unwrap()
+            .seed(9)
+            .generate(256)
+            .unwrap();
+        let b = FgnGenerator::new(0.7)
+            .unwrap()
+            .seed(9)
+            .generate(256)
+            .unwrap();
         assert_eq!(a, b);
-        let c = FgnGenerator::new(0.7).unwrap().seed(10).generate(256).unwrap();
+        let c = FgnGenerator::new(0.7)
+            .unwrap()
+            .seed(10)
+            .generate(256)
+            .unwrap();
         assert_ne!(a, c);
     }
 
@@ -227,8 +235,7 @@ mod tests {
             .generate(65_536)
             .unwrap();
         let mean = x.iter().sum::<f64>() / x.len() as f64;
-        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / x.len() as f64;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / x.len() as f64;
         // LRD sample means converge slowly: sd(x̄) = σ·n^{H−1} ≈ 0.22 here,
         // so allow a ±3 sd band.
         assert!(mean.abs() < 0.7, "mean = {mean}");
@@ -238,7 +245,11 @@ mod tests {
     #[test]
     fn empirical_acf_matches_theory() {
         let h = 0.85;
-        let x = FgnGenerator::new(h).unwrap().seed(4).generate(131_072).unwrap();
+        let x = FgnGenerator::new(h)
+            .unwrap()
+            .seed(4)
+            .generate(131_072)
+            .unwrap();
         for lag in [1usize, 2, 5, 10] {
             let emp = sample_acf(&x, lag);
             let theo = autocovariance(h, lag);
@@ -251,7 +262,11 @@ mod tests {
 
     #[test]
     fn h_half_is_uncorrelated() {
-        let x = FgnGenerator::new(0.5).unwrap().seed(5).generate(65_536).unwrap();
+        let x = FgnGenerator::new(0.5)
+            .unwrap()
+            .seed(5)
+            .generate(65_536)
+            .unwrap();
         for lag in [1usize, 5, 20] {
             assert!(sample_acf(&x, lag).abs() < 0.02, "lag {lag}");
         }
@@ -259,7 +274,11 @@ mod tests {
 
     #[test]
     fn antipersistent_h_below_half() {
-        let x = FgnGenerator::new(0.2).unwrap().seed(6).generate(65_536).unwrap();
+        let x = FgnGenerator::new(0.2)
+            .unwrap()
+            .seed(6)
+            .generate(65_536)
+            .unwrap();
         assert!(sample_acf(&x, 1) < -0.2, "lag-1 acf should be negative");
     }
 

@@ -69,19 +69,23 @@ mod tests {
     #[test]
     fn recovers_h_for_fgn() {
         for &h in &[0.6, 0.75, 0.9] {
-            let x = FgnGenerator::new(h).unwrap().seed(99).generate(65_536).unwrap();
+            let x = FgnGenerator::new(h)
+                .unwrap()
+                .seed(99)
+                .generate(65_536)
+                .unwrap();
             let est = periodogram_hurst(&x).unwrap();
-            assert!(
-                (est.h - h).abs() < 0.1,
-                "true H = {h}, estimated {}",
-                est.h
-            );
+            assert!((est.h - h).abs() < 0.1, "true H = {h}, estimated {}", est.h);
         }
     }
 
     #[test]
     fn white_noise_near_half() {
-        let x = FgnGenerator::new(0.5).unwrap().seed(100).generate(65_536).unwrap();
+        let x = FgnGenerator::new(0.5)
+            .unwrap()
+            .seed(100)
+            .generate(65_536)
+            .unwrap();
         let est = periodogram_hurst(&x).unwrap();
         assert!((est.h - 0.5).abs() < 0.1, "H = {}", est.h);
     }
@@ -93,7 +97,11 @@ mod tests {
 
     #[test]
     fn kind_is_periodogram() {
-        let x = FgnGenerator::new(0.7).unwrap().seed(101).generate(1024).unwrap();
+        let x = FgnGenerator::new(0.7)
+            .unwrap()
+            .seed(101)
+            .generate(1024)
+            .unwrap();
         assert_eq!(
             periodogram_hurst(&x).unwrap().kind,
             EstimatorKind::Periodogram

@@ -34,7 +34,10 @@ use webpuzzle_stats::StatsError;
 pub fn rescaled_range(data: &[f64]) -> Result<HurstEstimate> {
     let n = data.len();
     if n < 256 {
-        return Err(StatsError::InsufficientData { needed: 256, got: n });
+        return Err(StatsError::InsufficientData {
+            needed: 256,
+            got: n,
+        });
     }
     if data.iter().any(|x| !x.is_finite()) {
         return Err(StatsError::NonFiniteData);
@@ -97,7 +100,11 @@ mod tests {
     fn recovers_h_for_fgn() {
         // R/S is known to be biased toward the middle; use loose bands.
         for &(h, lo, hi) in &[(0.6, 0.5, 0.75), (0.85, 0.68, 0.95)] {
-            let x = FgnGenerator::new(h).unwrap().seed(88).generate(65_536).unwrap();
+            let x = FgnGenerator::new(h)
+                .unwrap()
+                .seed(88)
+                .generate(65_536)
+                .unwrap();
             let est = rescaled_range(&x).unwrap();
             assert!(
                 est.h > lo && est.h < hi,
@@ -109,7 +116,11 @@ mod tests {
 
     #[test]
     fn white_noise_near_half() {
-        let x = FgnGenerator::new(0.5).unwrap().seed(89).generate(65_536).unwrap();
+        let x = FgnGenerator::new(0.5)
+            .unwrap()
+            .seed(89)
+            .generate(65_536)
+            .unwrap();
         let est = rescaled_range(&x).unwrap();
         // R/S has a well-known small-sample upward bias at H = 0.5.
         assert!((est.h - 0.55).abs() < 0.1, "H = {}", est.h);
@@ -117,8 +128,16 @@ mod tests {
 
     #[test]
     fn distinguishes_low_from_high_h() {
-        let low = FgnGenerator::new(0.55).unwrap().seed(90).generate(32_768).unwrap();
-        let high = FgnGenerator::new(0.9).unwrap().seed(90).generate(32_768).unwrap();
+        let low = FgnGenerator::new(0.55)
+            .unwrap()
+            .seed(90)
+            .generate(32_768)
+            .unwrap();
+        let high = FgnGenerator::new(0.9)
+            .unwrap()
+            .seed(90)
+            .generate(32_768)
+            .unwrap();
         let h_low = rescaled_range(&low).unwrap().h;
         let h_high = rescaled_range(&high).unwrap().h;
         assert!(h_high > h_low + 0.15, "low {h_low}, high {h_high}");
@@ -133,10 +152,7 @@ mod tests {
         ));
         let mut x = vec![1.0; 1000];
         x[5] = f64::NAN;
-        assert!(matches!(
-            rescaled_range(&x),
-            Err(StatsError::NonFiniteData)
-        ));
+        assert!(matches!(rescaled_range(&x), Err(StatsError::NonFiniteData)));
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Run all five Hurst estimators on one series (the Figure 4/6/9/10 rows).
 
 use crate::{
-    abry_veitch, periodogram_hurst, rescaled_range, variance_time, whittle,
-    HurstEstimate, Result,
+    abry_veitch, periodogram_hurst, rescaled_range, variance_time, whittle, HurstEstimate, Result,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -53,16 +52,21 @@ impl HurstSuite {
         let mut run = |r: Result<HurstEstimate>| match r {
             Ok(e) => Some(e),
             Err(e) => {
+                webpuzzle_obs::metrics::counter("lrd/estimator_failures").incr();
                 last_err = Some(e);
                 None
             }
         };
+        let timed = |name: &'static str, r: fn(&[f64]) -> Result<HurstEstimate>| {
+            let _span = webpuzzle_obs::spans::enter(name);
+            r(data)
+        };
         let suite = HurstSuite {
-            variance_time: run(variance_time(data)),
-            rescaled_range: run(rescaled_range(data)),
-            periodogram: run(periodogram_hurst(data)),
-            whittle: run(whittle(data)),
-            abry_veitch: run(abry_veitch(data)),
+            variance_time: run(timed("hurst/variance_time", variance_time)),
+            rescaled_range: run(timed("hurst/rs", rescaled_range)),
+            periodogram: run(timed("hurst/periodogram", periodogram_hurst)),
+            whittle: run(timed("hurst/whittle", whittle)),
+            abry_veitch: run(timed("hurst/abry_veitch", abry_veitch)),
         };
         if suite.iter().next().is_none() {
             Err(last_err.expect("all estimators failed so an error exists"))
@@ -147,7 +151,11 @@ mod tests {
 
     #[test]
     fn all_five_run_on_long_fgn() {
-        let x = FgnGenerator::new(0.8).unwrap().seed(200).generate(16_384).unwrap();
+        let x = FgnGenerator::new(0.8)
+            .unwrap()
+            .seed(200)
+            .generate(16_384)
+            .unwrap();
         let s = HurstSuite::estimate(&x).unwrap();
         assert_eq!(s.iter().count(), 5);
         assert!(s.consensus_lrd());
@@ -155,7 +163,11 @@ mod tests {
 
     #[test]
     fn white_noise_not_lrd() {
-        let x = FgnGenerator::new(0.5).unwrap().seed(201).generate(16_384).unwrap();
+        let x = FgnGenerator::new(0.5)
+            .unwrap()
+            .seed(201)
+            .generate(16_384)
+            .unwrap();
         let s = HurstSuite::estimate(&x).unwrap();
         // At least one estimator should land at or below 0.5 + noise;
         // consensus LRD must fail for white noise.
@@ -165,7 +177,11 @@ mod tests {
     #[test]
     fn estimators_consistent_on_fgn() {
         // Paper observation (4): estimators are consistent on clean data.
-        let x = FgnGenerator::new(0.75).unwrap().seed(202).generate(32_768).unwrap();
+        let x = FgnGenerator::new(0.75)
+            .unwrap()
+            .seed(202)
+            .generate(32_768)
+            .unwrap();
         let s = HurstSuite::estimate(&x).unwrap();
         assert!(
             s.max_disagreement().unwrap() < 0.25,
@@ -178,7 +194,11 @@ mod tests {
     fn partial_failure_tolerated() {
         // 200 points: variance-time and R/S need 256 and fail, periodogram
         // (needs 128) still runs.
-        let x = FgnGenerator::new(0.7).unwrap().seed(203).generate(200).unwrap();
+        let x = FgnGenerator::new(0.7)
+            .unwrap()
+            .seed(203)
+            .generate(200)
+            .unwrap();
         let s = HurstSuite::estimate(&x).unwrap();
         assert!(s.variance_time.is_none());
         assert!(s.rescaled_range.is_none());
@@ -192,7 +212,11 @@ mod tests {
 
     #[test]
     fn display_lists_estimators() {
-        let x = FgnGenerator::new(0.7).unwrap().seed(204).generate(8192).unwrap();
+        let x = FgnGenerator::new(0.7)
+            .unwrap()
+            .seed(204)
+            .generate(8192)
+            .unwrap();
         let s = HurstSuite::estimate(&x).unwrap().to_string();
         for name in ["Variance", "R/S", "Periodogram", "Whittle", "Abry-Veitch"] {
             assert!(s.contains(name), "missing {name} in {s}");

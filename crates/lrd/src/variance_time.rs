@@ -45,8 +45,7 @@ pub fn variance_time(data: &[f64]) -> Result<HurstEstimate> {
     for &m in &levels {
         let agg = aggregate(data, m)?;
         let mean = agg.iter().sum::<f64>() / agg.len() as f64;
-        let var =
-            agg.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / agg.len() as f64;
+        let var = agg.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / agg.len() as f64;
         if var > 0.0 {
             log_m.push((m as f64).ln());
             log_var.push(var.ln());
@@ -72,20 +71,24 @@ mod tests {
     #[test]
     fn recovers_h_for_fgn() {
         for &(h, tol) in &[(0.6, 0.1), (0.8, 0.12), (0.9, 0.15)] {
-            let x = FgnGenerator::new(h).unwrap().seed(77).generate(65_536).unwrap();
+            let x = FgnGenerator::new(h)
+                .unwrap()
+                .seed(77)
+                .generate(65_536)
+                .unwrap();
             let est = variance_time(&x).unwrap();
             assert_eq!(est.kind, EstimatorKind::VarianceTime);
-            assert!(
-                (est.h - h).abs() < tol,
-                "true H = {h}, estimated {}",
-                est.h
-            );
+            assert!((est.h - h).abs() < tol, "true H = {h}, estimated {}", est.h);
         }
     }
 
     #[test]
     fn white_noise_near_half() {
-        let x = FgnGenerator::new(0.5).unwrap().seed(78).generate(65_536).unwrap();
+        let x = FgnGenerator::new(0.5)
+            .unwrap()
+            .seed(78)
+            .generate(65_536)
+            .unwrap();
         let est = variance_time(&x).unwrap();
         assert!((est.h - 0.5).abs() < 0.08, "H = {}", est.h);
     }
@@ -105,7 +108,11 @@ mod tests {
 
     #[test]
     fn no_ci_reported() {
-        let x = FgnGenerator::new(0.7).unwrap().seed(79).generate(4096).unwrap();
+        let x = FgnGenerator::new(0.7)
+            .unwrap()
+            .seed(79)
+            .generate(4096)
+            .unwrap();
         assert!(variance_time(&x).unwrap().ci95.is_none());
     }
 }

@@ -233,7 +233,11 @@ mod tests {
     #[test]
     fn errors() {
         assert!(dwt(&[1.0, 2.0], Wavelet::Daubechies2, 2).is_err());
-        assert!(dwt(&[1.0, f64::NAN, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
-            Wavelet::Daubechies2, 1).is_err());
+        assert!(dwt(
+            &[1.0, f64::NAN, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            Wavelet::Daubechies2,
+            1
+        )
+        .is_err());
     }
 }

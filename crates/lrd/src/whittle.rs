@@ -50,8 +50,7 @@ pub fn fgn_spectral_density(lambda: f64, h: f64) -> f64 {
     // Tail: ∫_{J+1/2}^{∞} [(2πx+λ)^e + (2πx−λ)^e] dx
     //     = [(2π(J+1/2)+λ)^{e+1} + (2π(J+1/2)−λ)^{e+1}] / (2H · 2π).
     let edge = two_pi * (ALIAS_TERMS as f64 + 0.5);
-    b += ((edge + lambda).powf(e + 1.0) + (edge - lambda).powf(e + 1.0))
-        / (2.0 * h * two_pi);
+    b += ((edge + lambda).powf(e + 1.0) + (edge - lambda).powf(e + 1.0)) / (2.0 * h * two_pi);
     2.0 * (1.0 - lambda.cos()) * b
 }
 
@@ -85,7 +84,10 @@ pub fn fgn_spectral_density(lambda: f64, h: f64) -> f64 {
 pub fn whittle(data: &[f64]) -> Result<HurstEstimate> {
     let n = data.len();
     if n < 128 {
-        return Err(StatsError::InsufficientData { needed: 128, got: n });
+        return Err(StatsError::InsufficientData {
+            needed: 128,
+            got: n,
+        });
     }
     let p = periodogram(data)?;
     // Exclude the Nyquist ordinate when n is even (it has a different
@@ -159,12 +161,7 @@ fn whittle_asymptotic_variance(h: f64, n: usize) -> f64 {
 }
 
 // Golden-section minimization of a unimodal function on [a, b].
-fn golden_section_min<F: Fn(f64) -> f64>(
-    f: F,
-    mut a: f64,
-    mut b: f64,
-    tol: f64,
-) -> Result<f64> {
+fn golden_section_min<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64) -> Result<f64> {
     const INV_PHI: f64 = 0.618_033_988_749_894_8;
     let mut c = b - INV_PHI * (b - a);
     let mut d = a + INV_PHI * (b - a);
@@ -192,6 +189,7 @@ fn golden_section_min<F: Fn(f64) -> f64>(
             });
         }
     }
+    webpuzzle_obs::metrics::counter("lrd/whittle_iterations").add(iterations);
     let x = (a + b) / 2.0;
     if !f(x).is_finite() {
         return Err(StatsError::NoConvergence {
@@ -230,15 +228,19 @@ mod tests {
         let h = 0.8;
         let l1 = 1e-3;
         let l2 = 2e-3;
-        let slope = (fgn_spectral_density(l2, h) / fgn_spectral_density(l1, h)).ln()
-            / (l2 / l1).ln();
+        let slope =
+            (fgn_spectral_density(l2, h) / fgn_spectral_density(l1, h)).ln() / (l2 / l1).ln();
         assert!((slope - (1.0 - 2.0 * h)).abs() < 0.02, "slope = {slope}");
     }
 
     #[test]
     fn recovers_h_for_fgn() {
         for &h in &[0.6, 0.75, 0.9] {
-            let x = FgnGenerator::new(h).unwrap().seed(111).generate(16_384).unwrap();
+            let x = FgnGenerator::new(h)
+                .unwrap()
+                .seed(111)
+                .generate(16_384)
+                .unwrap();
             let est = whittle(&x).unwrap();
             assert!(
                 (est.h - h).abs() < 0.05,
@@ -254,7 +256,11 @@ mod tests {
         let mut covered = 0;
         let trials = 20;
         for seed in 0..trials {
-            let x = FgnGenerator::new(h).unwrap().seed(seed).generate(4096).unwrap();
+            let x = FgnGenerator::new(h)
+                .unwrap()
+                .seed(seed)
+                .generate(4096)
+                .unwrap();
             let est = whittle(&x).unwrap();
             let (lo, hi) = est.ci95.unwrap();
             if lo <= h && h <= hi {
@@ -284,7 +290,11 @@ mod tests {
 
     #[test]
     fn white_noise_near_half() {
-        let x = FgnGenerator::new(0.5).unwrap().seed(113).generate(16_384).unwrap();
+        let x = FgnGenerator::new(0.5)
+            .unwrap()
+            .seed(113)
+            .generate(16_384)
+            .unwrap();
         let est = whittle(&x).unwrap();
         assert!((est.h - 0.5).abs() < 0.04, "H = {}", est.h);
     }
@@ -296,8 +306,7 @@ mod tests {
 
     #[test]
     fn golden_section_finds_parabola_min() {
-        let min = golden_section_min(|x| (x - 0.37) * (x - 0.37), 0.0, 1.0, 1e-8)
-            .unwrap();
+        let min = golden_section_min(|x| (x - 0.37) * (x - 0.37), 0.0, 1.0, 1e-8).unwrap();
         assert!((min - 0.37).abs() < 1e-6);
     }
 }

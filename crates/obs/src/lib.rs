@@ -1,0 +1,51 @@
+//! # webpuzzle-obs
+//!
+//! Instrumentation layer for the webpuzzle workspace:
+//!
+//! - **Spans** ([`spans`], [`span!`]): nested wall-clock timing with an
+//!   allocation-free hot path. Repeated entries aggregate, so the span
+//!   tree stays small even for per-interval loops.
+//! - **Metrics** ([`metrics`]): a thread-safe registry of named
+//!   counters, gauges, and base-2 log-scale histograms.
+//! - **Sinks** ([`sink`]): pluggable live-output backends. The default
+//!   is silence; binaries install [`sink::StderrSink`] (human lines) or
+//!   [`sink::JsonSink`] (JSON lines) per their flags.
+//! - **Progress** ([`progress::ProgressMeter`]): rate-limited progress
+//!   events for long loops.
+//! - **Reports** ([`report::RunReport`]): a serializable snapshot of
+//!   the span tree + metrics + run configuration, written as
+//!   `report.json` by `repro --json`.
+//!
+//! ```
+//! use webpuzzle_obs as obs;
+//!
+//! {
+//!     let _span = obs::span!("hurst/whittle");
+//!     obs::metrics::counter("lrd/whittle_iterations").add(17);
+//! } // span recorded here
+//!
+//! let report = obs::report::RunReport::collect(
+//!     "example", Some(42), serde::Value::Null, vec![]);
+//! assert!(report.find_span("hurst/whittle").is_some());
+//! ```
+
+pub mod metrics;
+pub mod progress;
+pub mod report;
+pub mod sink;
+pub mod spans;
+
+pub use progress::ProgressMeter;
+pub use report::RunReport;
+pub use sink::{
+    clear_sink, info, set_sink, warn, Event, EventSink, JsonSink, Level, NullSink, StderrSink,
+};
+
+/// Reset spans and metrics (sink is left installed).
+///
+/// For tests and tools that run several independent analyses in one
+/// process.
+pub fn reset() {
+    spans::reset();
+    metrics::reset();
+}

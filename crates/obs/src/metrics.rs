@@ -1,0 +1,244 @@
+//! Thread-safe metrics registry: named counters, gauges, and log-scale
+//! histograms.
+//!
+//! Handles are `Arc`-backed and lock-free after the first lookup, so
+//! hot loops should fetch a handle once and increment it directly:
+//!
+//! ```
+//! let parsed = webpuzzle_obs::metrics::counter("weblog/records_parsed");
+//! parsed.add(1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point measurement.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: bucket 0 for the value 0, then one
+/// bucket per power of two up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Base-2 log-scale histogram over `u64` observations.
+///
+/// Bucket 0 holds exactly the value 0; bucket `b >= 1` holds values in
+/// `[2^(b-1), 2^b)` (the last bucket's upper bound saturates).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for an observation.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Exclusive upper bound of a bucket (saturating at `u64::MAX`).
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        1
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        1u64 << bucket
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    counters: BTreeMap::new(),
+    gauges: BTreeMap::new(),
+    histograms: BTreeMap::new(),
+});
+
+/// Fetch (creating on first use) the counter named `name`.
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    Arc::clone(reg.counters.entry(name).or_default())
+}
+
+/// Fetch (creating on first use) the gauge named `name`.
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    Arc::clone(reg.gauges.entry(name).or_default())
+}
+
+/// Fetch (creating on first use) the histogram named `name`.
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    Arc::clone(reg.histograms.entry(name).or_default())
+}
+
+/// Snapshot of every registered metric, sorted by name.
+pub struct MetricsSnapshot {
+    /// `(name, value)` for each counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for each gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, count, sum, bucket counts)` for each histogram.
+    pub histograms: Vec<(String, u64, u64, Vec<u64>)>,
+}
+
+/// Read a consistent-enough snapshot of the registry.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = REGISTRY.lock().expect("metrics registry poisoned");
+    MetricsSnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(name, c)| (name.to_string(), c.get()))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(name, g)| (name.to_string(), g.get()))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(name, h)| (name.to_string(), h.count(), h.sum(), h.buckets()))
+            .collect(),
+    }
+}
+
+/// Drop every registered metric. Existing handles keep working but are
+/// no longer reported; intended for tests and multi-run tools.
+pub fn reset() {
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    reg.counters.clear();
+    reg.gauges.clear();
+    reg.histograms.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 1..64 {
+            let lo = 1u64 << (b - 1);
+            let hi = (1u64 << b) - 1;
+            assert_eq!(bucket_index(lo), b, "lower edge of bucket {b}");
+            assert_eq!(bucket_index(hi), b, "upper edge of bucket {b}");
+            assert!(lo < bucket_upper_bound(b));
+            assert!(hi < bucket_upper_bound(b));
+        }
+    }
+
+    #[test]
+    fn histogram_records_count_and_sum() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 1); // the zero
+        assert_eq!(buckets[1], 1); // 1
+        assert_eq!(buckets[2], 2); // 2, 3
+        assert_eq!(buckets[11], 1); // 1024 = 2^10 -> bucket 11
+    }
+
+    #[test]
+    fn gauge_round_trips_f64() {
+        let g = Gauge::default();
+        g.set(0.8432);
+        assert_eq!(g.get(), 0.8432);
+        g.set(-1.5e300);
+        assert_eq!(g.get(), -1.5e300);
+    }
+}

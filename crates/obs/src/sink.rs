@@ -1,0 +1,180 @@
+//! Pluggable event sinks.
+//!
+//! Instrumented code emits [`Event`]s; the process-wide sink decides how
+//! they surface. The default sink is [`NullSink`] (silence), so library
+//! code can emit freely without polluting test output; binaries install
+//! [`StderrSink`] (human lines) or [`JsonSink`] (one JSON object per
+//! line, machine-readable) according to their flags.
+
+use std::sync::Mutex;
+
+use serde::{Number, Value};
+
+/// Severity of a [`Event::Message`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Routine progress information.
+    Info,
+    /// Something surprising but recoverable.
+    Warn,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// One instrumentation event.
+#[derive(Debug)]
+pub enum Event<'a> {
+    /// A span finished; `depth` is its nesting level (0 = root).
+    SpanClose {
+        /// Span name.
+        name: &'a str,
+        /// Nesting depth at entry.
+        depth: usize,
+        /// Wall-clock duration.
+        nanos: u64,
+    },
+    /// Rate-limited progress from a long-running stage.
+    Progress {
+        /// Stage name, e.g. `"genlog/records"`.
+        stage: &'a str,
+        /// Units completed so far.
+        done: u64,
+        /// Expected total, when known.
+        total: Option<u64>,
+    },
+    /// Free-form diagnostic line.
+    Message {
+        /// Severity.
+        level: Level,
+        /// The text.
+        text: &'a str,
+    },
+}
+
+/// Destination for instrumentation events.
+pub trait EventSink: Send {
+    /// Handle one event.
+    fn event(&self, event: &Event<'_>);
+}
+
+/// Discards everything (the default).
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn event(&self, _event: &Event<'_>) {}
+}
+
+/// Human-readable lines on stderr.
+pub struct StderrSink {
+    /// Only spans at depth `< span_depth_limit` are printed
+    /// (0 silences spans entirely); progress and messages always print.
+    pub span_depth_limit: usize,
+}
+
+impl Default for StderrSink {
+    fn default() -> Self {
+        StderrSink {
+            span_depth_limit: 2,
+        }
+    }
+}
+
+impl EventSink for StderrSink {
+    fn event(&self, event: &Event<'_>) {
+        match event {
+            Event::SpanClose { name, depth, nanos } => {
+                if *depth < self.span_depth_limit {
+                    eprintln!(
+                        "[span] {:indent$}{name} {:.1} ms",
+                        "",
+                        *nanos as f64 / 1e6,
+                        indent = depth * 2,
+                    );
+                }
+            }
+            Event::Progress { stage, done, total } => match total {
+                Some(total) => eprintln!("[progress] {stage}: {done}/{total}"),
+                None => eprintln!("[progress] {stage}: {done}"),
+            },
+            Event::Message { level, text } => {
+                eprintln!("[{}] {text}", level.as_str());
+            }
+        }
+    }
+}
+
+/// One JSON object per event on stderr, for log scrapers.
+pub struct JsonSink;
+
+impl EventSink for JsonSink {
+    fn event(&self, event: &Event<'_>) {
+        let value = match event {
+            Event::SpanClose { name, depth, nanos } => Value::Object(vec![
+                ("type".into(), Value::Str("span".into())),
+                ("name".into(), Value::Str((*name).into())),
+                ("depth".into(), Value::Num(Number::U(*depth as u64))),
+                ("nanos".into(), Value::Num(Number::U(*nanos))),
+            ]),
+            Event::Progress { stage, done, total } => Value::Object(vec![
+                ("type".into(), Value::Str("progress".into())),
+                ("stage".into(), Value::Str((*stage).into())),
+                ("done".into(), Value::Num(Number::U(*done))),
+                (
+                    "total".into(),
+                    match total {
+                        Some(t) => Value::Num(Number::U(*t)),
+                        None => Value::Null,
+                    },
+                ),
+            ]),
+            Event::Message { level, text } => Value::Object(vec![
+                ("type".into(), Value::Str("message".into())),
+                ("level".into(), Value::Str(level.as_str().into())),
+                ("text".into(), Value::Str((*text).into())),
+            ]),
+        };
+        eprintln!("{}", serde_json::to_string(&value).unwrap_or_default());
+    }
+}
+
+static SINK: Mutex<Option<Box<dyn EventSink>>> = Mutex::new(None);
+
+/// Install the process-wide sink.
+pub fn set_sink(sink: Box<dyn EventSink>) {
+    *SINK.lock().expect("sink poisoned") = Some(sink);
+}
+
+/// Restore the default [`NullSink`].
+pub fn clear_sink() {
+    *SINK.lock().expect("sink poisoned") = None;
+}
+
+/// Deliver an event to the current sink (no-op under the default).
+pub fn emit(event: &Event<'_>) {
+    if let Some(sink) = SINK.lock().expect("sink poisoned").as_ref() {
+        sink.event(event);
+    }
+}
+
+/// Emit an informational message.
+pub fn info(text: &str) {
+    emit(&Event::Message {
+        level: Level::Info,
+        text,
+    });
+}
+
+/// Emit a warning message.
+pub fn warn(text: &str) {
+    emit(&Event::Message {
+        level: Level::Warn,
+        text,
+    });
+}

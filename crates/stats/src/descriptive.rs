@@ -91,7 +91,10 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
 ///
 /// Panics if `sorted` is empty.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "quantile_sorted requires a non-empty slice");
+    assert!(
+        !sorted.is_empty(),
+        "quantile_sorted requires a non-empty slice"
+    );
     let n = sorted.len();
     if n == 1 {
         return sorted[0];
@@ -150,7 +153,9 @@ pub fn autocorrelation(data: &[f64], lag: usize) -> Result<f64> {
             what: "zero-variance series has undefined autocorrelation",
         });
     }
-    let num: f64 = (0..n - lag).map(|t| (data[t] - m) * (data[t + lag] - m)).sum();
+    let num: f64 = (0..n - lag)
+        .map(|t| (data[t] - m) * (data[t + lag] - m))
+        .sum();
     Ok(num / denom)
 }
 

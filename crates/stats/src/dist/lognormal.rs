@@ -69,8 +69,7 @@ impl ContinuousDistribution for LogNormal {
             return 0.0;
         }
         let z = (x.ln() - self.mu) / self.sigma;
-        (-0.5 * z * z).exp()
-            / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
     }
 
     fn cdf(&self, x: f64) -> f64 {
@@ -144,11 +143,12 @@ mod tests {
         // lognormal's LLCD slope becomes steeper (more negative) deeper in
         // the tail.
         let d = LogNormal::new(0.0, 2.0).unwrap();
-        let slope = |x1: f64, x2: f64| {
-            (d.ccdf(x2).ln() - d.ccdf(x1).ln()) / (x2.ln() - x1.ln())
-        };
+        let slope = |x1: f64, x2: f64| (d.ccdf(x2).ln() - d.ccdf(x1).ln()) / (x2.ln() - x1.ln());
         let body = slope(1.0, 10.0);
         let tail = slope(100.0, 1000.0);
-        assert!(tail < body, "tail slope {tail} should be steeper than body {body}");
+        assert!(
+            tail < body,
+            "tail slope {tail} should be steeper than body {body}"
+        );
     }
 }

@@ -53,7 +53,10 @@ impl Normal {
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Normal { mu: 0.0, sigma: 1.0 }
+        Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// Mean parameter `μ`.

@@ -80,8 +80,7 @@ impl ContinuousDistribution for Weibull {
             };
         }
         let z = x / self.scale;
-        (self.shape / self.scale) * z.powf(self.shape - 1.0)
-            * (-z.powf(self.shape)).exp()
+        (self.shape / self.scale) * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
     }
 
     fn cdf(&self, x: f64) -> f64 {
@@ -138,9 +137,7 @@ mod tests {
     fn rayleigh_moments_at_shape_two() {
         // k = 2 is the Rayleigh distribution: mean = λ√π/2.
         let w = Weibull::new(2.0, 3.0).unwrap();
-        assert!(
-            (w.mean() - 3.0 * std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-9
-        );
+        assert!((w.mean() - 3.0 * std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -160,9 +157,7 @@ mod tests {
         // For k < 1 the LLCD slope keeps steepening — no straight-line
         // (power-law) regime exists.
         let w = Weibull::new(0.5, 1.0).unwrap();
-        let slope = |x1: f64, x2: f64| {
-            (w.ccdf(x2).ln() - w.ccdf(x1).ln()) / (x2.ln() - x1.ln())
-        };
+        let slope = |x1: f64, x2: f64| (w.ccdf(x2).ln() - w.ccdf(x1).ln()) / (x2.ln() - x1.ln());
         let body = slope(1.0, 10.0);
         let tail = slope(10.0, 100.0);
         assert!(tail < body, "tail slope {tail} vs body {body}");

@@ -280,7 +280,11 @@ mod tests {
             let truth = Weibull::new(k, lam).unwrap();
             let sample = truth.sample_n(&mut rng, 20_000);
             let fit = fit_weibull(&sample).unwrap();
-            assert!((fit.shape() - k).abs() < 0.05, "k = {k}: got {}", fit.shape());
+            assert!(
+                (fit.shape() - k).abs() < 0.05,
+                "k = {k}: got {}",
+                fit.shape()
+            );
             assert!(
                 (fit.scale() / lam - 1.0).abs() < 0.05,
                 "λ = {lam}: got {}",

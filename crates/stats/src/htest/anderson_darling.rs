@@ -163,9 +163,7 @@ mod tests {
     fn input_validation() {
         assert!(anderson_darling_exponential(&[1.0, 2.0]).is_err());
         assert!(anderson_darling_exponential(&[1.0, -2.0, 3.0, 4.0, 5.0]).is_err());
-        assert!(
-            anderson_darling_exponential(&[1.0, f64::NAN, 3.0, 4.0, 5.0]).is_err()
-        );
+        assert!(anderson_darling_exponential(&[1.0, f64::NAN, 3.0, 4.0, 5.0]).is_err());
         assert!(anderson_darling_exponential(&[0.0; 10]).is_err());
     }
 

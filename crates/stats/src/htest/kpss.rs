@@ -82,6 +82,8 @@ pub fn kpss_test_with_bandwidth(
     kind: KpssType,
     bandwidth: usize,
 ) -> Result<KpssResult> {
+    let _span = webpuzzle_obs::span!("stats/kpss");
+    webpuzzle_obs::metrics::counter("stats/kpss_tests").incr();
     let n = data.len();
     if n < 10 {
         return Err(StatsError::InsufficientData { needed: 10, got: n });
@@ -134,8 +136,7 @@ pub fn kpss_test_with_bandwidth(
     let mut s2 = ss_res / n as f64;
     for s in 1..=bandwidth {
         let w = 1.0 - s as f64 / (bandwidth as f64 + 1.0);
-        let gamma: f64 = (s..n).map(|t| residuals[t] * residuals[t - s]).sum::<f64>()
-            / n as f64;
+        let gamma: f64 = (s..n).map(|t| residuals[t] * residuals[t - s]).sum::<f64>() / n as f64;
         s2 += 2.0 * w * gamma;
     }
     if s2 <= 0.0 {

@@ -14,8 +14,6 @@ mod kpss;
 mod ljung_box;
 
 pub use anderson_darling::{anderson_darling_exponential, AndersonDarlingResult};
-pub use binom::{
-    binomial_count_test, sign_balance_test, BinomialCountResult, SignBalance,
-};
+pub use binom::{binomial_count_test, sign_balance_test, BinomialCountResult, SignBalance};
 pub use kpss::{kpss_test, kpss_test_with_bandwidth, KpssResult, KpssType};
 pub use ljung_box::{ljung_box, LjungBoxResult};

@@ -239,7 +239,10 @@ mod tests {
     #[test]
     fn wls_equal_weights_matches_ols() {
         let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let y: Vec<f64> = x.iter().map(|xi| 1.5 * xi - 2.0 + (xi * 0.7).sin()).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|xi| 1.5 * xi - 2.0 + (xi * 0.7).sin())
+            .collect();
         let w = vec![2.0; 50];
         let o = ols(&x, &y).unwrap();
         let wfit = wls(&x, &y, &w).unwrap();

@@ -90,10 +90,9 @@ pub fn digamma(x: f64) -> f64 {
     // Asymptotic expansion.
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result += x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))));
+    result += x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))));
     result
 }
 
@@ -248,7 +247,10 @@ pub fn normal_cdf(x: f64) -> f64 {
 /// assert!((z - 1.959964).abs() < 1e-5);
 /// ```
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires p in (0,1), got {p}"
+    );
     // Acklam's coefficients.
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
@@ -425,7 +427,10 @@ pub fn ln_binomial(n: u64, k: u64) -> f64 {
 /// assert!((pmf - 0.81450625).abs() < 1e-10);
 /// ```
 pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "binomial_pmf requires p in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "binomial_pmf requires p in [0,1], got {p}"
+    );
     if k > n {
         return 0.0;
     }
@@ -440,7 +445,10 @@ pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
 
 /// Cumulative distribution function of the binomial `B(n, p)`: `P(X ≤ k)`.
 pub fn binomial_cdf(n: u64, p: f64, k: u64) -> f64 {
-    (0..=k.min(n)).map(|i| binomial_pmf(n, p, i)).sum::<f64>().min(1.0)
+    (0..=k.min(n))
+        .map(|i| binomial_pmf(n, p, i))
+        .sum::<f64>()
+        .min(1.0)
 }
 
 #[cfg(test)]
@@ -473,7 +481,7 @@ mod tests {
     #[test]
     fn ln_gamma_reflection_region() {
         // Γ(0.25) = 3.6256099082...
-        assert!((gamma(0.25) - 3.625_609_908_221_908_4).abs() < 1e-8);
+        assert!((gamma(0.25) - 3.625_609_908_221_908).abs() < 1e-8);
     }
 
     #[test]
@@ -516,7 +524,7 @@ mod tests {
     fn erfc_deep_tail() {
         // erfc(5) = 1.5374597944280349e-12; relative accuracy matters here.
         let v = erfc(5.0);
-        assert!((v / 1.537_459_794_428_034_9e-12 - 1.0).abs() < 1e-10, "{v}");
+        assert!((v / 1.537_459_794_428_035e-12 - 1.0).abs() < 1e-10, "{v}");
         assert_eq!(erfc(30.0), 0.0);
         assert!((erfc(-5.0) - 2.0).abs() < 1e-11);
     }

@@ -62,10 +62,7 @@ pub fn acf(data: &[f64], max_lag: usize) -> Result<Vec<f64>> {
 /// # Errors
 ///
 /// Same conditions as [`acf`].
-pub fn acf_summability_diagnostic(
-    data: &[f64],
-    max_lag: usize,
-) -> Result<(Vec<usize>, Vec<f64>)> {
+pub fn acf_summability_diagnostic(data: &[f64], max_lag: usize) -> Result<(Vec<usize>, Vec<f64>)> {
     let r = acf(data, max_lag)?;
     let mut lags = Vec::new();
     let mut sums = Vec::new();

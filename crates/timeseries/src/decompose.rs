@@ -140,6 +140,7 @@ pub fn decompose(
     max_period: f64,
     snr_threshold: f64,
 ) -> Result<Decomposition> {
+    let _span = webpuzzle_obs::span!("timeseries/detrend");
     let (detrended, slope, intercept) = remove_linear_trend(data)?;
     let period = dominant_period(&detrended, min_period, max_period, snr_threshold)?;
     match period {

@@ -123,6 +123,12 @@ pub fn fft(data: &mut [Complex]) {
     if n <= 1 {
         return;
     }
+    // Handle cached once: the registry mutex stays off the hot path.
+    use std::sync::OnceLock;
+    static SIZES: OnceLock<std::sync::Arc<webpuzzle_obs::metrics::Histogram>> = OnceLock::new();
+    SIZES
+        .get_or_init(|| webpuzzle_obs::metrics::histogram("fft/size"))
+        .record(n as u64);
     if n.is_power_of_two() {
         fft_pow2(data, false);
     } else {
@@ -260,10 +266,8 @@ mod tests {
             .map(|k| {
                 let mut acc = Complex::ZERO;
                 for (t, &xt) in x.iter().enumerate() {
-                    acc += xt
-                        * Complex::cis(
-                            -2.0 * std::f64::consts::PI * (t * k) as f64 / n as f64,
-                        );
+                    acc +=
+                        xt * Complex::cis(-2.0 * std::f64::consts::PI * (t * k) as f64 / n as f64);
                 }
                 acc
             })
@@ -324,8 +328,7 @@ mod tests {
         let x: Vec<Complex> = (0..n)
             .map(|t| {
                 Complex::from_real(
-                    (2.0 * std::f64::consts::PI * freq as f64 * t as f64 / n as f64)
-                        .cos(),
+                    (2.0 * std::f64::consts::PI * freq as f64 * t as f64 / n as f64).cos(),
                 )
             })
             .collect();

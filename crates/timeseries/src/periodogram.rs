@@ -150,13 +150,11 @@ mod tests {
         let x: Vec<f64> = (0..4096).map(|_| rng.random::<f64>() - 0.5).collect();
         let p = periodogram(&x).unwrap();
         let mean = x.iter().sum::<f64>() / x.len() as f64;
-        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / x.len() as f64;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / x.len() as f64;
         // Two-sided spectrum integrates to var; one-sided sum times 2·(2π/n)
         // approximates it.
         let approx: f64 =
-            p.power().iter().sum::<f64>() * 2.0 * (2.0 * std::f64::consts::PI)
-                / x.len() as f64;
+            p.power().iter().sum::<f64>() * 2.0 * (2.0 * std::f64::consts::PI) / x.len() as f64;
         assert!((approx - var).abs() / var < 0.05, "{approx} vs {var}");
     }
 
@@ -167,8 +165,7 @@ mod tests {
         let n = 24 * 21;
         let x: Vec<f64> = (0..n)
             .map(|t| {
-                5.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
-                    + rng.random::<f64>()
+                5.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin() + rng.random::<f64>()
             })
             .collect();
         let period = dominant_period(&x, 4.0, 100.0, 10.0).unwrap();

@@ -168,8 +168,7 @@ mod tests {
 
     #[test]
     fn binning_basic() {
-        let s = CountSeries::from_event_times(&[0.0, 0.9, 1.0, 2.5, 2.6, 2.7], 1.0)
-            .unwrap();
+        let s = CountSeries::from_event_times(&[0.0, 0.9, 1.0, 2.5, 2.6, 2.7], 1.0).unwrap();
         assert_eq!(s.counts(), &[2.0, 1.0, 3.0]);
         assert_eq!(s.bin_width(), 1.0);
     }
@@ -189,13 +188,8 @@ mod tests {
 
     #[test]
     fn windowed_binning_drops_outside() {
-        let s = CountSeries::from_event_times_in_window(
-            &[-1.0, 0.5, 1.5, 99.0],
-            1.0,
-            0.0,
-            3,
-        )
-        .unwrap();
+        let s =
+            CountSeries::from_event_times_in_window(&[-1.0, 0.5, 1.5, 99.0], 1.0, 0.0, 3).unwrap();
         assert_eq!(s.counts(), &[1.0, 1.0, 0.0]);
         assert_eq!(s.total_events(), 2.0);
     }

@@ -16,8 +16,7 @@ use crate::{Result, WeblogError};
 use std::fmt::Write as _;
 
 const MONTHS: [&str; 12] = [
-    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov",
-    "Dec",
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
 ];
 
 /// Format one record as a CLF line anchored at `base_epoch` (Unix seconds).
@@ -148,6 +147,8 @@ pub fn parse_line(line: &str, base_epoch: i64) -> Result<LogRecord> {
 /// Returns [`WeblogError::ParseLine`] with the 1-based line number of the
 /// first malformed line. Blank lines are skipped.
 pub fn parse_log(text: &str, base_epoch: i64) -> Result<Vec<LogRecord>> {
+    let _span = webpuzzle_obs::span!("weblog/parse");
+    let parsed = webpuzzle_obs::metrics::counter("weblog/records_parsed");
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -164,6 +165,7 @@ pub fn parse_log(text: &str, base_epoch: i64) -> Result<Vec<LogRecord>> {
             Err(e) => return Err(e),
         }
     }
+    parsed.add(out.len() as u64);
     Ok(out)
 }
 
@@ -242,7 +244,10 @@ fn civil_from_days(z: i64) -> (i64, i64, i64) {
 fn split_epoch(epoch: i64) -> ((i64, i64, i64), (i64, i64, i64)) {
     let days = epoch.div_euclid(86_400);
     let secs = epoch.rem_euclid(86_400);
-    (civil_from_days(days), (secs / 3_600, (secs / 60) % 60, secs % 60))
+    (
+        civil_from_days(days),
+        (secs / 3_600, (secs / 60) % 60, secs % 60),
+    )
 }
 
 // FNV-1a hash for non-numeric URIs so foreign logs can still be interned.
@@ -328,12 +333,17 @@ mod tests {
             0
         )
         .is_err());
-        assert!(parse_line("300.2.3.4 - - [12/Jan/2004:00:00:07 +0000] \"GET / HTTP/1.0\" 200 1", 0).is_err());
+        assert!(parse_line(
+            "300.2.3.4 - - [12/Jan/2004:00:00:07 +0000] \"GET / HTTP/1.0\" 200 1",
+            0
+        )
+        .is_err());
     }
 
     #[test]
     fn parse_log_reports_line_numbers() {
-        let text = "10.0.0.1 - - [12/Jan/2004:00:00:07 +0000] \"GET /r/1 HTTP/1.0\" 200 10\n\ngarbage\n";
+        let text =
+            "10.0.0.1 - - [12/Jan/2004:00:00:07 +0000] \"GET /r/1 HTTP/1.0\" 200 10\n\ngarbage\n";
         let err = parse_log(text, BASE).unwrap_err();
         match err {
             WeblogError::ParseLine { line, .. } => assert_eq!(line, 3),

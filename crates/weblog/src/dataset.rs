@@ -84,6 +84,10 @@ impl WeekDataset {
     /// [`WeblogError::InvalidParameter`] for records outside the week window
     /// or a bad threshold.
     pub fn from_records(mut records: Vec<LogRecord>, threshold: f64) -> Result<Self> {
+        // Record intake (validation + sort) is the "parse" stage of the
+        // pipeline when records arrive pre-structured from the generator;
+        // CLF text ingestion reports under the same span in clf::parse_log.
+        let parse_span = webpuzzle_obs::span!("weblog/parse");
         if records.is_empty() {
             return Err(WeblogError::Empty);
         }
@@ -97,15 +101,18 @@ impl WeekDataset {
             });
         }
         records.sort_by(|a, b| {
-            a.timestamp.partial_cmp(&b.timestamp).expect("finite timestamps")
+            a.timestamp
+                .partial_cmp(&b.timestamp)
+                .expect("finite timestamps")
         });
+        webpuzzle_obs::metrics::counter("weblog/records_ingested").add(records.len() as u64);
+        drop(parse_span);
         let sessions = sessionize(&records, threshold)?;
 
         let n_intervals = (SECONDS_PER_WEEK / SECONDS_PER_INTERVAL) as usize;
         let mut counts = vec![0usize; n_intervals];
         for r in &records {
-            let idx = ((r.timestamp / SECONDS_PER_INTERVAL) as usize)
-                .min(n_intervals - 1);
+            let idx = ((r.timestamp / SECONDS_PER_INTERVAL) as usize).min(n_intervals - 1);
             counts[idx] += 1;
         }
         let intervals = counts

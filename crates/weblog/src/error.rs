@@ -44,7 +44,10 @@ impl fmt::Display for WeblogError {
             }
             WeblogError::Empty => write!(f, "no log records provided"),
             WeblogError::Unsorted { at } => {
-                write!(f, "records not sorted by timestamp (first violation at index {at})")
+                write!(
+                    f,
+                    "records not sorted by timestamp (first violation at index {at})"
+                )
             }
         }
     }

@@ -62,6 +62,7 @@ impl Session {
 /// assert_eq!(sessions[0].bytes, 300);
 /// ```
 pub fn sessionize(records: &[LogRecord], threshold: f64) -> Result<Vec<Session>> {
+    let _span = webpuzzle_obs::span!("weblog/sessionize");
     if !threshold.is_finite() || threshold <= 0.0 {
         return Err(WeblogError::InvalidParameter {
             name: "threshold",
@@ -110,6 +111,7 @@ pub fn sessionize(records: &[LogRecord], threshold: f64) -> Result<Vec<Session>>
         sessions.push(current);
     }
     sessions.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
+    webpuzzle_obs::metrics::counter("weblog/sessions_built").add(sessions.len() as u64);
     Ok(sessions)
 }
 
@@ -194,9 +196,7 @@ mod tests {
     #[test]
     fn threshold_sensitivity() {
         // Smaller threshold → at least as many sessions (the [12] study).
-        let recs: Vec<LogRecord> = (0..100)
-            .map(|i| rec(i as f64 * 60.0, 1, 1))
-            .collect();
+        let recs: Vec<LogRecord> = (0..100).map(|i| rec(i as f64 * 60.0, 1, 1)).collect();
         let coarse = sessionize(&recs, 1800.0).unwrap().len();
         let fine = sessionize(&recs, 30.0).unwrap().len();
         assert!(fine >= coarse);

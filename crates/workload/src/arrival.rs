@@ -134,9 +134,7 @@ pub fn generate_session_starts(
         let day_phase = 2.0 * std::f64::consts::PI * (tf / 86_400.0 - PEAK_HOUR / 24.0);
         let diurnal = 1.0 + diurnal_amplitude * day_phase.cos();
         let trend = 1.0 + weekly_trend * (tf / SECONDS_PER_WEEK - 0.5);
-        let r = diurnal.max(0.0)
-            * trend.max(0.0)
-            * modulation[(tf / FGN_STEP) as usize];
+        let r = diurnal.max(0.0) * trend.max(0.0) * modulation[(tf / FGN_STEP) as usize];
         total += r;
         rate.push(r);
     }
@@ -197,7 +195,11 @@ fn on_off_active_counts(
         let mut pos = -(rng.random::<f64>() * horizon * 0.5);
         let mut is_on = rng.random::<f64>() < 0.5;
         while pos < horizon {
-            let len = if is_on { on.sample(rng) } else { off.sample(rng) };
+            let len = if is_on {
+                on.sample(rng)
+            } else {
+                off.sample(rng)
+            };
             if is_on {
                 let a = pos.max(0.0) as usize;
                 let b = ((pos + len).min(horizon)).max(0.0) as usize;
@@ -226,22 +228,16 @@ mod tests {
     use webpuzzle_timeseries::CountSeries;
 
     fn counts_per_second(starts: &[f64], bin: f64) -> Vec<f64> {
-        CountSeries::from_event_times_in_window(
-            starts,
-            bin,
-            0.0,
-            (SECONDS_PER_WEEK / bin) as usize,
-        )
-        .unwrap()
-        .into_counts()
+        CountSeries::from_event_times_in_window(starts, bin, 0.0, (SECONDS_PER_WEEK / bin) as usize)
+            .unwrap()
+            .into_counts()
     }
 
     #[test]
     fn poisson_total_near_target() {
         let mut rng = StdRng::seed_from_u64(1);
         let starts =
-            generate_session_starts(&ArrivalModel::Poisson, 10_000, 0.5, 0.1, &mut rng)
-                .unwrap();
+            generate_session_starts(&ArrivalModel::Poisson, 10_000, 0.5, 0.1, &mut rng).unwrap();
         assert!(
             (starts.len() as f64 - 10_000.0).abs() < 400.0,
             "{} events",
@@ -253,8 +249,7 @@ mod tests {
     fn diurnal_cycle_visible() {
         let mut rng = StdRng::seed_from_u64(2);
         let starts =
-            generate_session_starts(&ArrivalModel::Poisson, 50_000, 0.6, 0.0, &mut rng)
-                .unwrap();
+            generate_session_starts(&ArrivalModel::Poisson, 50_000, 0.6, 0.0, &mut rng).unwrap();
         // Hourly counts: peak hour (15:00) should be far busier than 03:00.
         let hourly = counts_per_second(&starts, 3600.0);
         let peak: f64 = (0..7).map(|d| hourly[d * 24 + 15]).sum();
@@ -266,10 +261,12 @@ mod tests {
     fn trend_visible() {
         let mut rng = StdRng::seed_from_u64(3);
         let starts =
-            generate_session_starts(&ArrivalModel::Poisson, 50_000, 0.0, 0.4, &mut rng)
-                .unwrap();
+            generate_session_starts(&ArrivalModel::Poisson, 50_000, 0.0, 0.4, &mut rng).unwrap();
         let n = starts.len();
-        let first_half = starts.iter().filter(|&&t| t < SECONDS_PER_WEEK / 2.0).count();
+        let first_half = starts
+            .iter()
+            .filter(|&&t| t < SECONDS_PER_WEEK / 2.0)
+            .count();
         let second_half = n - first_half;
         assert!(
             second_half as f64 > first_half as f64 * 1.1,
@@ -290,8 +287,7 @@ mod tests {
         )
         .unwrap();
         let poi_starts =
-            generate_session_starts(&ArrivalModel::Poisson, 200_000, 0.0, 0.0, &mut rng)
-                .unwrap();
+            generate_session_starts(&ArrivalModel::Poisson, 200_000, 0.0, 0.0, &mut rng).unwrap();
         // 60-second bins keep the series length manageable for Whittle.
         let h_lrd = whittle(&counts_per_second(&lrd_starts, 60.0)).unwrap().h;
         let h_poi = whittle(&counts_per_second(&poi_starts, 60.0)).unwrap().h;
@@ -338,8 +334,7 @@ mod tests {
     #[test]
     fn validation() {
         let mut rng = StdRng::seed_from_u64(7);
-        assert!(generate_session_starts(&ArrivalModel::Poisson, 0, 0.0, 0.0, &mut rng)
-            .is_err());
+        assert!(generate_session_starts(&ArrivalModel::Poisson, 0, 0.0, 0.0, &mut rng).is_err());
         assert!(generate_session_starts(
             &ArrivalModel::FgnCox { h: 1.5, cv: 0.5 },
             100,

@@ -59,8 +59,7 @@ impl Cbmg {
     /// 1, which would make sessions immortal).
     pub fn new(entry: Vec<f64>, transitions: Vec<Vec<f64>>) -> Result<Self> {
         let n = entry.len();
-        if n == 0 || transitions.len() != n || transitions.iter().any(|r| r.len() != n)
-        {
+        if n == 0 || transitions.len() != n || transitions.iter().any(|r| r.len() != n) {
             return Err(StatsError::InvalidParameter {
                 name: "transitions",
                 value: transitions.len() as f64,
@@ -68,9 +67,7 @@ impl Cbmg {
             });
         }
         let bad_prob = |p: &f64| !p.is_finite() || *p < 0.0 || *p > 1.0;
-        if entry.iter().any(bad_prob)
-            || transitions.iter().flatten().any(bad_prob)
-        {
+        if entry.iter().any(bad_prob) || transitions.iter().flatten().any(bad_prob) {
             return Err(StatsError::InvalidParameter {
                 name: "probability",
                 value: f64::NAN,
@@ -175,8 +172,7 @@ impl Cbmg {
         if sessions == 0 {
             return Err(StatsError::InsufficientData { needed: 1, got: 0 });
         }
-        let entry: Vec<f64> =
-            entry_counts.iter().map(|c| c / sessions as f64).collect();
+        let entry: Vec<f64> = entry_counts.iter().map(|c| c / sessions as f64).collect();
         let transitions: Vec<Vec<f64>> = trans_counts
             .iter()
             .enumerate()
@@ -197,11 +193,7 @@ impl Cbmg {
     /// # Panics
     ///
     /// Panics if `max_len == 0`.
-    pub fn generate_session<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        max_len: usize,
-    ) -> Vec<usize> {
+    pub fn generate_session<R: Rng + ?Sized>(&self, rng: &mut R, max_len: usize) -> Vec<usize> {
         assert!(max_len > 0, "max_len must be >= 1");
         let mut state = sample_categorical(rng, &self.entry);
         let mut seq = vec![state];
@@ -368,16 +360,13 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 assert!(
-                    (fitted.transitions()[i][j] - truth.transitions()[i][j]).abs()
-                        < 0.02,
+                    (fitted.transitions()[i][j] - truth.transitions()[i][j]).abs() < 0.02,
                     "transition {i}→{j}: {} vs {}",
                     fitted.transitions()[i][j],
                     truth.transitions()[i][j]
                 );
             }
-            assert!(
-                (fitted.exit_probability(i) - truth.exit_probability(i)).abs() < 0.02
-            );
+            assert!((fitted.exit_probability(i) - truth.exit_probability(i)).abs() < 0.02);
         }
         assert!((fitted.entry()[0] - 0.8).abs() < 0.02);
     }

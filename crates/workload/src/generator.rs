@@ -65,6 +65,7 @@ impl WorkloadGenerator {
     /// Propagates arrival-process and distribution errors (an ill-configured
     /// custom profile); the built-in presets cannot fail.
     pub fn generate(&self) -> Result<Vec<LogRecord>> {
+        let _span = webpuzzle_obs::span!("workload/generate");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let p = &self.profile;
         let starts = generate_session_starts(
@@ -75,8 +76,9 @@ impl WorkloadGenerator {
             &mut rng,
         )?;
 
-        let mut records =
-            Vec::with_capacity((p.expected_requests() * 1.05) as usize);
+        let mut progress =
+            webpuzzle_obs::ProgressMeter::new("workload/sessions", Some(starts.len() as u64));
+        let mut records = Vec::with_capacity((p.expected_requests() * 1.05) as usize);
         for (session_idx, &start) in starts.iter().enumerate() {
             // Unique client per generated session, mapped into 10.0.0.0/8 so
             // CLF output renders as plausible private addresses. The paper's
@@ -94,10 +96,16 @@ impl WorkloadGenerator {
                 }
                 records.push(self.make_record(&mut rng, t, client));
             }
+            progress.tick(1);
         }
+        progress.finish();
         records.sort_by(|a, b| {
-            a.timestamp.partial_cmp(&b.timestamp).expect("finite timestamps")
+            a.timestamp
+                .partial_cmp(&b.timestamp)
+                .expect("finite timestamps")
         });
+        webpuzzle_obs::metrics::counter("workload/sessions_generated").add(starts.len() as u64);
+        webpuzzle_obs::metrics::counter("workload/records_generated").add(records.len() as u64);
         Ok(records)
     }
 
@@ -141,12 +149,21 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = WorkloadGenerator::new(small_profile()).seed(9).generate().unwrap();
-        let b = WorkloadGenerator::new(small_profile()).seed(9).generate().unwrap();
+        let a = WorkloadGenerator::new(small_profile())
+            .seed(9)
+            .generate()
+            .unwrap();
+        let b = WorkloadGenerator::new(small_profile())
+            .seed(9)
+            .generate()
+            .unwrap();
         assert_eq!(a.len(), b.len());
         assert_eq!(a[0], b[0]);
         assert_eq!(a[a.len() - 1], b[b.len() - 1]);
-        let c = WorkloadGenerator::new(small_profile()).seed(10).generate().unwrap();
+        let c = WorkloadGenerator::new(small_profile())
+            .seed(10)
+            .generate()
+            .unwrap();
         assert_ne!(a.len(), c.len());
     }
 
@@ -218,8 +235,7 @@ mod tests {
         let profile = small_profile();
         let expected_per_200 = profile.bytes_per_request().mean();
         let records = WorkloadGenerator::new(profile).seed(6).generate().unwrap();
-        let ok: Vec<&LogRecord> =
-            records.iter().filter(|r| r.status == 200).collect();
+        let ok: Vec<&LogRecord> = records.iter().filter(|r| r.status == 200).collect();
         let mean = ok.iter().map(|r| r.bytes as f64).sum::<f64>() / ok.len() as f64;
         // Heavy tail (α < 1 for CSEE) ⇒ the sample mean is volatile; this
         // is a sanity check, not a precision claim.

@@ -56,10 +56,8 @@ impl ServerProfile {
             arrival: ArrivalModel::FgnCox { h: 0.85, cv: 0.6 },
             diurnal_amplitude: 0.55,
             weekly_trend: 0.22,
-            requests_per_session: RequestCountDist::new(
-                15.0, 0.45, 2.15, 80.0, 2_000.0,
-            )
-            .expect("static WVU request-count parameters are valid"),
+            requests_per_session: RequestCountDist::new(15.0, 0.45, 2.15, 80.0, 2_000.0)
+                .expect("static WVU request-count parameters are valid"),
             // Think-time tail index 1.35: heavy enough for bursty in-session
             // activity, light enough that the emergent request-level H stays
             // inside the paper's (0.77, 0.99) Whittle band instead of
@@ -254,8 +252,7 @@ mod tests {
     #[test]
     fn presets_ordered_by_volume() {
         let profiles = ServerProfile::all();
-        let sessions: Vec<usize> =
-            profiles.iter().map(|p| p.target_sessions()).collect();
+        let sessions: Vec<usize> = profiles.iter().map(|p| p.target_sessions()).collect();
         assert!(sessions.windows(2).all(|w| w[0] >= w[1]));
         // Three orders of magnitude between WVU and NASA (Table 1).
         assert!(sessions[0] / sessions[3] > 30);
@@ -266,14 +263,21 @@ mod tests {
         // Mean requests/session: WVU ~84 (15.8M/188k), others ~10-12.
         let wvu = ServerProfile::wvu();
         let ratio = wvu.expected_requests() / wvu.target_sessions() as f64;
-        assert!((ratio - 83.9).abs() < 25.0, "WVU requests/session = {ratio}");
+        assert!(
+            (ratio - 83.9).abs() < 25.0,
+            "WVU requests/session = {ratio}"
+        );
         for p in [
             ServerProfile::clarknet(),
             ServerProfile::csee(),
             ServerProfile::nasa_pub2(),
         ] {
             let r = p.expected_requests() / p.target_sessions() as f64;
-            assert!((9.0..14.0).contains(&r), "{}: requests/session = {r}", p.name());
+            assert!(
+                (9.0..14.0).contains(&r),
+                "{}: requests/session = {r}",
+                p.name()
+            );
         }
     }
 
@@ -321,7 +325,9 @@ mod tests {
     #[test]
     fn seasonality_validation() {
         assert!(ServerProfile::wvu().with_seasonality(1.5, 0.0).is_err());
-        assert!(ServerProfile::wvu().with_seasonality(0.5, f64::NAN).is_err());
+        assert!(ServerProfile::wvu()
+            .with_seasonality(0.5, f64::NAN)
+            .is_err());
         let p = ServerProfile::wvu().with_seasonality(0.0, 0.0).unwrap();
         assert_eq!(p.diurnal_amplitude(), 0.0);
         assert_eq!(p.weekly_trend(), 0.0);

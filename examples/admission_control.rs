@@ -40,8 +40,7 @@ const CAPACITY: usize = 60;
 /// Mean session duration in seconds (all duration models share it).
 const MEAN_DURATION: f64 = 600.0;
 /// Offered sessions per week, sized for ~90% nominal utilization.
-const SESSIONS: usize =
-    (0.9 * CAPACITY as f64 / MEAN_DURATION * SECONDS_PER_WEEK) as usize;
+const SESSIONS: usize = (0.9 * CAPACITY as f64 / MEAN_DURATION * SECONDS_PER_WEEK) as usize;
 
 #[derive(Debug, Default)]
 struct Outcome {
@@ -50,11 +49,7 @@ struct Outcome {
     longest_blockade: f64,
 }
 
-fn simulate(
-    arrivals: &[f64],
-    duration: &mut dyn FnMut(&mut StdRng) -> f64,
-    seed: u64,
-) -> Outcome {
+fn simulate(arrivals: &[f64], duration: &mut dyn FnMut(&mut StdRng) -> f64, seed: u64) -> Outcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut active: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
     let mut out = Outcome::default();
@@ -110,10 +105,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "scenario (arrivals × durations)", "rejected", "rej %", "worst blockade(s)"
     );
     let scenarios: [(&str, &[f64], bool); 4] = [
-        ("Poisson × exponential (the [5,6] model)", &poisson_arrivals, false),
-        ("Poisson × Pareto α=1.67 (insensitivity)", &poisson_arrivals, true),
+        (
+            "Poisson × exponential (the [5,6] model)",
+            &poisson_arrivals,
+            false,
+        ),
+        (
+            "Poisson × Pareto α=1.67 (insensitivity)",
+            &poisson_arrivals,
+            true,
+        ),
         ("LRD H=0.85 × exponential", &lrd_arrivals, false),
-        ("LRD H=0.85 × Pareto α=1.67 (measured reality)", &lrd_arrivals, true),
+        (
+            "LRD H=0.85 × Pareto α=1.67 (measured reality)",
+            &lrd_arrivals,
+            true,
+        ),
     ];
     for (name, arrivals, heavy) in scenarios {
         let mut dur: Box<dyn FnMut(&mut StdRng) -> f64> = if heavy {

@@ -45,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut rng = StdRng::seed_from_u64(9);
-    let poisson =
-        generate_session_starts(&ArrivalModel::Poisson, REQUESTS, 0.0, 0.0, &mut rng)?;
+    let poisson = generate_session_starts(&ArrivalModel::Poisson, REQUESTS, 0.0, 0.0, &mut rng)?;
     let lrd = generate_session_starts(
         &ArrivalModel::FgnCox { h: 0.85, cv: 0.7 },
         REQUESTS,

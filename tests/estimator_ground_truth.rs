@@ -4,8 +4,8 @@
 //! achieve near-nominal coverage.
 
 use webpuzzle::lrd::{
-    abry_veitch, fgn::FgnGenerator, periodogram_hurst, rescaled_range, variance_time,
-    whittle, EstimatorKind, HurstEstimate, HurstSuite,
+    abry_veitch, fgn::FgnGenerator, periodogram_hurst, rescaled_range, variance_time, whittle,
+    EstimatorKind, HurstEstimate, HurstSuite,
 };
 
 fn fgn(h: f64, n: usize, seed: u64) -> Vec<f64> {
@@ -100,8 +100,14 @@ fn abry_veitch_ci_coverage_near_nominal() {
 fn estimator_kinds_are_labeled_correctly() {
     let x = fgn(0.7, 4_096, 1);
     assert_eq!(variance_time(&x).unwrap().kind, EstimatorKind::VarianceTime);
-    assert_eq!(rescaled_range(&x).unwrap().kind, EstimatorKind::RescaledRange);
-    assert_eq!(periodogram_hurst(&x).unwrap().kind, EstimatorKind::Periodogram);
+    assert_eq!(
+        rescaled_range(&x).unwrap().kind,
+        EstimatorKind::RescaledRange
+    );
+    assert_eq!(
+        periodogram_hurst(&x).unwrap().kind,
+        EstimatorKind::Periodogram
+    );
     assert_eq!(whittle(&x).unwrap().kind, EstimatorKind::Whittle);
     assert_eq!(abry_veitch(&x).unwrap().kind, EstimatorKind::AbryVeitch);
 }

@@ -20,7 +20,11 @@ fn seven_estimators_agree_on_fgn() {
     // The paper's five (via the suite) plus the two extensions must tell
     // one coherent story on clean synthetic LRD data.
     let h = 0.8;
-    let x = FgnGenerator::new(h).unwrap().seed(900).generate(65_536).unwrap();
+    let x = FgnGenerator::new(h)
+        .unwrap()
+        .seed(900)
+        .generate(65_536)
+        .unwrap();
     let suite = HurstSuite::estimate(&x).unwrap();
     let am = absolute_moments(&x).unwrap().h;
     let vr = variance_of_residuals(&x).unwrap().h;
@@ -42,7 +46,11 @@ fn farima_and_fgn_same_h_same_verdict() {
     // Cross-family: two different exactly-LRD processes with the same H
     // should give matching suite conclusions.
     let h = 0.75;
-    let fgn = FgnGenerator::new(h).unwrap().seed(901).generate(32_768).unwrap();
+    let fgn = FgnGenerator::new(h)
+        .unwrap()
+        .seed(901)
+        .generate(32_768)
+        .unwrap();
     let farima = FarimaGenerator::new(h - 0.5)
         .unwrap()
         .seed(901)

@@ -4,14 +4,14 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use webpuzzle::heavytail::{
-    curvature_test, hill_estimate, llcd_fit, CurvatureModel, TailRegime,
-};
+use webpuzzle::heavytail::{curvature_test, hill_estimate, llcd_fit, CurvatureModel, TailRegime};
 use webpuzzle::stats::dist::{Exponential, LogNormal, Pareto, Sampler};
 
 fn pareto(alpha: f64, n: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    Pareto::new(alpha, 1.0).expect("valid").sample_n(&mut rng, n)
+    Pareto::new(alpha, 1.0)
+        .expect("valid")
+        .sample_n(&mut rng, n)
 }
 
 #[test]
@@ -25,7 +25,11 @@ fn llcd_and_hill_track_alpha_across_table_range() {
             "LLCD: planted α = {alpha}, got {}",
             llcd.alpha
         );
-        assert!(llcd.r_squared > 0.97, "R² = {} at α = {alpha}", llcd.r_squared);
+        assert!(
+            llcd.r_squared > 0.97,
+            "R² = {} at α = {alpha}",
+            llcd.r_squared
+        );
 
         let hill = hill_estimate(&data, 0.14).expect("hill runs");
         let got = hill.alpha.expect("pure Pareto stabilizes");
@@ -66,7 +70,10 @@ fn regimes_match_table_conclusions() {
     // CSEE week session length: α ≈ 2.33 → finite variance.
     let light = pareto(2.33, 30_000, 52);
     let fit = llcd_fit(&light, 0.14).unwrap();
-    assert_eq!(TailRegime::from_alpha(fit.alpha), TailRegime::FiniteVariance);
+    assert_eq!(
+        TailRegime::from_alpha(fit.alpha),
+        TailRegime::FiniteVariance
+    );
 }
 
 #[test]
@@ -76,7 +83,11 @@ fn exponential_produces_ns_hill_plot() {
     let mut rng = StdRng::seed_from_u64(60);
     let data = Exponential::new(0.1).unwrap().sample_n(&mut rng, 30_000);
     let hill = hill_estimate(&data, 0.5).expect("hill runs");
-    assert!(!hill.stabilized(), "exponential stabilized at {:?}", hill.alpha);
+    assert!(
+        !hill.stabilized(),
+        "exponential stabilized at {:?}",
+        hill.alpha
+    );
 }
 
 #[test]
@@ -109,7 +120,10 @@ fn curvature_test_ambiguous_when_tail_is_thin_discriminating_when_thick() {
     let p_ln_thick = curvature_test(&thick, CurvatureModel::LogNormal, 0.14, 99, 4)
         .unwrap()
         .p_value;
-    assert!(p_ln_thick > 0.05, "true lognormal rejected: p = {p_ln_thick}");
+    assert!(
+        p_ln_thick > 0.05,
+        "true lognormal rejected: p = {p_ln_thick}"
+    );
     assert!(
         p_par_thick < 0.05,
         "thick tail should discriminate, Pareto p = {p_par_thick}"
@@ -127,10 +141,7 @@ fn curvature_pvalue_sensitive_to_replicate_seed() {
                 .p_value
         })
         .collect();
-    let distinct = ps
-        .iter()
-        .filter(|&&p| (p - ps[0]).abs() > 1e-12)
-        .count();
+    let distinct = ps.iter().filter(|&&p| (p - ps[0]).abs() > 1e-12).count();
     assert!(distinct >= 1, "p-values identical across seeds: {ps:?}");
 }
 
@@ -140,5 +151,9 @@ fn curvature_rejects_exponential_under_pareto_model() {
     let mut rng = StdRng::seed_from_u64(90);
     let data = Exponential::new(1.0).unwrap().sample_n(&mut rng, 10_000);
     let t = curvature_test(&data, CurvatureModel::Pareto, 0.3, 99, 3).unwrap();
-    assert!(t.reject_5pct(), "exponential accepted as Pareto: p = {}", t.p_value);
+    assert!(
+        t.reject_5pct(),
+        "exponential accepted as Pareto: p = {}",
+        t.p_value
+    );
 }

@@ -153,8 +153,7 @@ fn fgn_autocovariance_is_positive_definite_in_practice() {
                 .generate(4_096)
                 .unwrap();
             assert!(x.iter().all(|v| v.is_finite()), "H = {h}");
-            second_moment +=
-                x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64;
+            second_moment += x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64;
         }
         second_moment /= paths as f64;
         assert!(

@@ -13,8 +13,8 @@ fn model_for(profile: ServerProfile, seed: u64) -> FullWebModel {
         .seed(seed)
         .generate()
         .expect("generation succeeds");
-    let ds = WeekDataset::from_records(records, DEFAULT_SESSION_THRESHOLD)
-        .expect("records fit week");
+    let ds =
+        WeekDataset::from_records(records, DEFAULT_SESSION_THRESHOLD).expect("records fit week");
     FullWebModel::analyze(name, &ds, &AnalysisConfig::fast()).expect("pipeline runs")
 }
 
@@ -111,7 +111,11 @@ fn table_2_3_4_shape_heavy_tails_in_the_right_places() {
     // Table 4 shape: CSEE bytes/session have the heaviest tail of all —
     // α near or below 1 (infinite mean).
     let csee_bytes = csee.intra_session_week.bytes.llcd.expect("bytes fit");
-    assert!(csee_bytes.alpha < 1.45, "CSEE bytes α = {}", csee_bytes.alpha);
+    assert!(
+        csee_bytes.alpha < 1.45,
+        "CSEE bytes α = {}",
+        csee_bytes.alpha
+    );
 
     // Bytes tail heavier than the request-count tail (Table 4 < Table 3)
     // for both servers.

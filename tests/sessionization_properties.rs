@@ -8,11 +8,7 @@ use webpuzzle::weblog::{merge_sorted, sessionize, LogRecord, Method};
 const BASE_EPOCH: i64 = 1_073_865_600;
 
 fn arb_method() -> impl Strategy<Value = Method> {
-    prop_oneof![
-        Just(Method::Get),
-        Just(Method::Post),
-        Just(Method::Head),
-    ]
+    prop_oneof![Just(Method::Get), Just(Method::Post), Just(Method::Head),]
 }
 
 fn arb_record() -> impl Strategy<Value = LogRecord> {

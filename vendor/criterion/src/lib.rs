@@ -1,0 +1,315 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the webpuzzle benches use
+//! (`benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!`, `black_box`) with a deliberately simple
+//! measurement loop: one warm-up call, then `sample_size` timed samples.
+//!
+//! Results are printed to stderr and appended as JSON lines to
+//! `target/criterion-lite/results.jsonl` (override the path with the
+//! `CRITERION_LITE_OUT` environment variable). The workspace's
+//! `bench-report` binary aggregates those lines into a committed
+//! `BENCH_<date>.json` artifact.
+
+use std::fmt::Display;
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// `target/criterion-lite/results.jsonl` under the *workspace* root.
+///
+/// Cargo runs bench binaries with the package directory as cwd, so a
+/// plain relative path would scatter results across member crates. The
+/// workspace root is found as the outermost ancestor of
+/// `CARGO_MANIFEST_DIR` that contains a `Cargo.toml`.
+fn default_results_path() -> PathBuf {
+    let rel = PathBuf::from("target/criterion-lite/results.jsonl");
+    let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") else {
+        return rel;
+    };
+    let mut root = None;
+    let mut dir = Some(std::path::Path::new(&manifest_dir));
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() {
+            root = Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    match root {
+        Some(r) => r.join(rel),
+        None => rel,
+    }
+}
+
+pub use std::hint::black_box;
+
+/// Identifier combining a function name and a parameter, rendered as
+/// `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Accepted id forms for `bench_function` (`&str`, `String`, or
+/// [`BenchmarkId`]), mirroring criterion's `IntoBenchmarkId`.
+pub trait IntoBenchmarkId {
+    /// Render the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    /// `group/function/param` path.
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Mean nanoseconds per sample.
+    pub mean_ns: f64,
+    /// Minimum nanoseconds over samples.
+    pub min_ns: f64,
+    /// Maximum nanoseconds over samples.
+    pub max_ns: f64,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    results: Vec<Sampled>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+            default_sample_size: 10,
+        }
+    }
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measured: Option<(usize, f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Run `f` once to warm up, then time `sample_size` executions.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            let ns = t0.elapsed().as_nanos() as f64;
+            total += ns;
+            min = min.min(ns);
+            max = max.max(ns);
+        }
+        self.measured = Some((self.sample_size, total / self.sample_size as f64, min, max));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        let Some((samples, mean_ns, min_ns, max_ns)) = bencher.measured else {
+            return;
+        };
+        let full = format!("{}/{}", self.name, id);
+        eprintln!(
+            "bench {full}: mean {:.1} µs (min {:.1}, max {:.1}, n={samples})",
+            mean_ns / 1e3,
+            min_ns / 1e3,
+            max_ns / 1e3,
+        );
+        self.criterion.results.push(Sampled {
+            id: full,
+            samples,
+            mean_ns,
+            min_ns,
+            max_ns,
+        });
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into_id(), f);
+        self
+    }
+
+    /// Benchmark a closure that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Benchmark a stand-alone closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into_id();
+        let group = self.benchmark_group("");
+        let mut bencher = Bencher {
+            sample_size: group.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        if let Some((samples, mean_ns, min_ns, max_ns)) = bencher.measured {
+            group.criterion.results.push(Sampled {
+                id: id.to_string(),
+                samples,
+                mean_ns,
+                min_ns,
+                max_ns,
+            });
+        }
+        self
+    }
+
+    /// Append all recorded results as JSON lines.
+    pub fn finalize(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = std::env::var("CRITERION_LITE_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| default_results_path());
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) else {
+            eprintln!("criterion-lite: cannot open {}", path.display());
+            return;
+        };
+        for r in &self.results {
+            // Escape only quotes/backslashes: ids are plain identifiers.
+            let id = r.id.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = writeln!(
+                file,
+                "{{\"id\":\"{id}\",\"samples\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                r.samples, r.mean_ns, r.min_ns, r.max_ns
+            );
+        }
+        eprintln!(
+            "criterion-lite: appended {} results to {}",
+            self.results.len(),
+            path.display()
+        );
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups and writing results.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.bench_function("busy", |b| {
+            b.iter(|| (0..1000u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns > 0.0);
+        assert_eq!(c.results[0].samples, 3);
+        assert_eq!(c.results[0].id, "t/busy");
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! supplies the subset of serde that webpuzzle relies on: derivable
+//! [`Serialize`] / [`Deserialize`] traits over an in-memory JSON
+//! [`Value`] tree. The companion `serde_json` crate renders and parses
+//! the tree as JSON text.
+//!
+//! Differences from upstream serde, none of which matter to this
+//! workspace:
+//!
+//! * serialization goes through [`Value`] rather than a streaming
+//!   `Serializer` visitor (simpler, and report-sized data is small);
+//! * object key order is *declaration* order, not alphabetical;
+//! * non-finite floats serialize as `null` and deserialize back as NaN;
+//! * derive supports plain structs with named fields and enums with
+//!   unit / named-field / tuple variants — no generics, no attributes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// JSON number: integers keep full 64-bit precision, everything else is
+/// an `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Lossy view as `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+}
+
+/// In-memory JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(Number),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer value, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(Number::U(v)) => Some(*v),
+            Value::Num(Number::I(v)) if *v >= 0 => Some(*v as u64),
+            Value::Num(Number::F(f)) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed integer value, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(Number::I(v)) => Some(*v),
+            Value::Num(Number::U(v)) if *v <= i64::MAX as u64 => Some(*v as i64),
+            Value::Num(Number::F(f)) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Look up an object key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Convert to a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from a JSON value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Derive-macro helper: extract and deserialize one object field.
+/// Missing keys deserialize from `null`, so `Option` fields default to
+/// `None` while required fields produce a type error naming the field.
+pub fn from_field<T: Deserialize>(obj: &[(String, Value)], name: &'static str) -> Result<T, Error> {
+    let v = obj
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null);
+    T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+}
+
+// ------------------------------------------------------------ primitives
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Num(Number::F(*self))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Num(n) => Ok(n.as_f64()),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom("expected unsigned integer"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Num(Number::U(v as u64))
+                } else {
+                    Value::Num(Number::I(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom("expected integer"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+                let expect = [$($idx),+].len();
+                if arr.len() != expect {
+                    return Err(Error::custom("tuple arity mismatch"));
+                }
+                Ok(($($t::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_tuple_roundtrip() {
+        let v: Option<(f64, f64)> = Some((1.5, -2.25));
+        let val = v.to_value();
+        let back: Option<(f64, f64)> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(v, back);
+        let none: Option<(f64, f64)> = None;
+        assert_eq!(none.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn missing_field_is_null_for_option() {
+        let obj: Vec<(String, Value)> = vec![];
+        let got: Option<f64> = from_field(&obj, "absent").unwrap();
+        assert_eq!(got, None);
+        let err = from_field::<u32>(&obj, "absent").unwrap_err();
+        assert!(err.to_string().contains("absent"));
+    }
+
+    #[test]
+    fn integer_precision_preserved() {
+        let big: u64 = (1 << 60) + 12345;
+        let v = big.to_value();
+        let back = u64::from_value(&v).unwrap();
+        assert_eq!(big, back);
+    }
+}

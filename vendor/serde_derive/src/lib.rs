@@ -1,0 +1,382 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Supports the shapes used in this workspace:
+//!
+//! * structs with named fields,
+//! * enums with unit, named-field, and tuple variants.
+//!
+//! No generics and no `#[serde(...)]` attributes. Parsing walks the raw
+//! token stream (syn/quote are unavailable offline); code generation
+//! builds a source string and re-parses it, which is entirely adequate
+//! for these restricted shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(iter: &mut TokenIter) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        iter.next(); // the bracketed attribute body
+    }
+}
+
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next(); // pub(crate) etc.
+        }
+    }
+}
+
+/// Consume tokens of one type expression, stopping after the `,` that
+/// terminates it (or at end of stream). Tracks `<...>` nesting; bracketed
+/// and parenthesized types arrive as single group tokens.
+fn skip_type(iter: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                iter.next();
+                return;
+            }
+            _ => {
+                iter.next();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+                }
+                skip_type(&mut iter);
+            }
+            None => break,
+            other => panic!("serde_derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut iter = body.into_iter().peekable();
+    let mut count = 0usize;
+    while iter.peek().is_some() {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut iter);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                let kind = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        iter.next();
+                        VariantKind::Named(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        iter.next();
+                        VariantKind::Tuple(n)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Consume through the variant-separating comma (covers
+                // explicit discriminants, which never contain top-level
+                // commas).
+                for tt in iter.by_ref() {
+                    if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push(Variant {
+                    name: id.to_string(),
+                    kind,
+                });
+            }
+            None => break,
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    let is_enum = loop {
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => continue,
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive: generic types are not supported by the vendored shim")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: expected a braced body for `{name}`"),
+        }
+    };
+    if is_enum {
+        Shape::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    } else {
+        Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (vendored Value-based flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![\n"
+            ));
+            for f in &fields {
+                out.push_str(&format!(
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            out.push_str("])\n}\n}\n");
+        }
+        Shape::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n"
+            ));
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        out.push_str(&format!("{name}::{vn} {{ {bindings} }} => "));
+                        out.push_str(
+                            "::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"",
+                        );
+                        out.push_str(vn);
+                        out.push_str("\"), ::serde::Value::Object(::std::vec![\n");
+                        for f in fields {
+                            out.push_str(&format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f})),\n"
+                            ));
+                        }
+                        out.push_str("]))]),\n");
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        out.push_str(&format!("{name}::{vn}({}) => ", binds.join(", ")));
+                        if *n == 1 {
+                            out.push_str(&format!(
+                                "::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Serialize::to_value(__x0))]),\n"
+                            ));
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            out.push_str(&format!(
+                                "::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),\n",
+                                elems.join(", ")
+                            ));
+                        }
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (vendored Value-based flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            ));
+            for f in &fields {
+                out.push_str(&format!("{f}: ::serde::from_field(__obj, \"{f}\")?,\n"));
+            }
+            out.push_str("})\n}\n}\n");
+        }
+        Shape::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 return match __s {{\n"
+            ));
+            for v in &variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    out.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant {{__other}}\"))),\n\
+                 }};\n}}\n\
+                 let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected string or object for {name}\"))?;\n\
+                 let (__tag, __inner) = match __obj {{\n\
+                 [(k, v)] => (k.as_str(), v),\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected single-key object for {name}\")),\n\
+                 }};\n\
+                 match __tag {{\n"
+            ));
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Named(fields) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __o = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        ));
+                        for f in fields {
+                            out.push_str(&format!("{f}: ::serde::from_field(__o, \"{f}\")?,\n"));
+                        }
+                        out.push_str("})\n}\n");
+                    }
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            out.push_str(&format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__inner)?)),\n"
+                            ));
+                        } else {
+                            out.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __a = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                 if __a.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"arity mismatch for {name}::{vn}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}(\n"
+                            ));
+                            for i in 0..*n {
+                                out.push_str(&format!(
+                                    "::serde::Deserialize::from_value(&__a[{i}])?,\n"
+                                ));
+                            }
+                            out.push_str("))\n}\n");
+                        }
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant {{__other}}\"))),\n\
+                 }}\n}}\n}}\n"
+            ));
+        }
+    }
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}

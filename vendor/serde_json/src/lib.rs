@@ -1,0 +1,382 @@
+//! Offline stand-in for `serde_json`: JSON text rendering and parsing for
+//! the vendored `serde` [`Value`] tree.
+//!
+//! Numbers keep 64-bit integer precision; floats are printed with Rust's
+//! shortest round-trip `Display`, so `value → text → value` is exact for
+//! every finite `f64` (the upstream `float_roundtrip` behavior).
+//! Non-finite floats serialize as `null`.
+
+pub use serde::{Error, Number, Value};
+
+/// `serde_json`-style result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value to compact JSON text.
+///
+/// # Errors
+///
+/// Currently infallible for the vendored data model; kept fallible for
+/// upstream API compatibility.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to pretty-printed JSON text (2-space indent).
+///
+/// # Errors
+///
+/// Currently infallible for the vendored data model; kept fallible for
+/// upstream API compatibility.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns a parse error (with byte offset) for malformed JSON, or a
+/// shape error when the value tree does not match `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_str(s)?;
+    T::from_value(&value)
+}
+
+/// Parse JSON text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a parse error with the byte offset of the problem.
+pub fn parse_value_str(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!("trailing data at byte {pos}")));
+    }
+    Ok(value)
+}
+
+// ------------------------------------------------------------- rendering
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_number(out, *n),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::U(v) => out.push_str(&v.to_string()),
+        Number::I(v) => out.push_str(&v.to_string()),
+        Number::F(f) => {
+            if !f.is_finite() {
+                out.push_str("null");
+                return;
+            }
+            let s = f.to_string();
+            out.push_str(&s);
+            // Keep the value re-parseable as a float (serde_json prints
+            // 1.0 as "1.0", Rust Display prints "1"); integers that fit
+            // are fine either way for our Deserialize impls.
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                out.push_str(".0");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --------------------------------------------------------------- parsing
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::custom("unexpected end of input")),
+        Some(b'n') => {
+            expect_literal(bytes, pos, "null")?;
+            Ok(Value::Null)
+        }
+        Some(b't') => {
+            expect_literal(bytes, pos, "true")?;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') => {
+            expect_literal(bytes, pos, "false")?;
+            Ok(Value::Bool(false))
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::custom(format!("expected , or ] at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(Error::custom(format!("expected : at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::custom(format!("expected , or }} at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn expect_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<()> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::custom(format!("expected `{lit}` at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::custom(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::custom("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::custom("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::custom("bad \\u escape"))?;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::custom("bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::custom("invalid UTF-8"))?;
+                let c = rest.chars().next().expect("nonempty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::custom("invalid number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::custom(format!("expected number at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Num(Number::U(u)));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Num(Number::I(i)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Num(Number::F(f)))
+        .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for &f in &[0.1f64, 1.0 / 3.0, 6.02214076e23, -0.0, 1e-300, 123456.789] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(f.to_bits(), back.to_bits(), "{f} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn integers_keep_precision() {
+        let v: u64 = (1 << 62) + 3;
+        let s = to_string(&v).unwrap();
+        let back: u64 = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn nested_value_round_trip() {
+        let text = r#"{"a": [1, 2.5, null, true], "b": {"c": "x\n\"y\""}, "d": -7}"#;
+        let v = parse_value_str(text).unwrap();
+        let rendered = to_string(&v).unwrap();
+        let again = parse_value_str(&rendered).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v = parse_value_str(r#"{"a":[1,2]}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": [\n"), "{pretty}");
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert!(from_str::<f64>("[1,").is_err());
+        assert!(from_str::<f64>("nul").is_err());
+        assert!(parse_value_str("{\"a\":1} extra").is_err());
+    }
+}
