@@ -1,4 +1,5 @@
-//! Aggregate criterion-lite benchmark samples into a dated report.
+//! Aggregate criterion-lite benchmark samples into a dated report, and
+//! diff snapshots as a perf regression sentinel.
 //!
 //! `cargo bench` appends one JSON line per benchmark to
 //! `target/criterion-lite/results.jsonl`. This tool folds those lines
@@ -6,7 +7,19 @@
 //! of the same benchmark id win), so benchmark snapshots can be
 //! committed and diffed across PRs.
 //!
-//! Usage: `bench-report [--input PATH] [--out PATH]`
+//! `--compare` switches to sentinel mode: the two newest committed
+//! snapshots (by their `created_unix` stamp) are diffed per benchmark,
+//! and any mean slowdown beyond `--threshold` (default 20%) fails the
+//! run with exit 1 naming the offending benchmarks. Benchmarks present
+//! in only one snapshot are reported but never fail the gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-report [--input PATH] [--out PATH]
+//! bench-report --compare [--dir PATH] [--threshold FRACTION]
+//! bench-report --compare --against OLD.json --latest NEW.json
+//! ```
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -56,20 +69,176 @@ fn utc_date(unix: u64) -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+/// Load and parse one committed snapshot.
+fn load_snapshot(path: &PathBuf) -> Result<BenchReport, String> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&raw).map_err(|e| format!("{} is not a bench report: {e}", path.display()))
+}
+
+/// Sentinel mode: diff the two newest snapshots; exit 1 on regression.
+fn compare(dir: &PathBuf, against: Option<PathBuf>, latest: Option<PathBuf>, threshold: f64) -> ! {
+    let (old_path, new_path) = match (against, latest) {
+        (Some(o), Some(n)) => (o, n),
+        (None, None) => {
+            // Newest two BENCH_*.json by their created_unix stamp (the
+            // filename date alone can't order same-day snapshots).
+            let mut snapshots: Vec<(u64, PathBuf)> = Vec::new();
+            let entries = match std::fs::read_dir(dir) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("bench-report: cannot list {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+            };
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().to_string();
+                if name.starts_with("BENCH_") && name.ends_with(".json") {
+                    match load_snapshot(&entry.path()) {
+                        Ok(r) => snapshots.push((r.created_unix, entry.path())),
+                        Err(e) => eprintln!("bench-report: skipping {e}"),
+                    }
+                }
+            }
+            snapshots.sort();
+            if snapshots.len() < 2 {
+                eprintln!(
+                    "bench-report: need at least two BENCH_*.json snapshots in {} to compare \
+                     (found {})",
+                    dir.display(),
+                    snapshots.len()
+                );
+                std::process::exit(2);
+            }
+            let newest = snapshots.pop().expect("len >= 2").1;
+            let previous = snapshots.pop().expect("len >= 2").1;
+            (previous, newest)
+        }
+        _ => {
+            eprintln!("bench-report: --against and --latest must be given together");
+            std::process::exit(2);
+        }
+    };
+
+    let (old, new) = match (load_snapshot(&old_path), load_snapshot(&new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-report: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "bench-report: comparing {} ({}) -> {} ({}), regression threshold {:.0}%",
+        old_path.display(),
+        old.date,
+        new_path.display(),
+        new.date,
+        threshold * 100.0
+    );
+
+    let old_by_id: BTreeMap<&str, &BenchSample> =
+        old.benchmarks.iter().map(|b| (b.id.as_str(), b)).collect();
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}",
+        "benchmark", "old mean ns", "new mean ns", "delta"
+    );
+    for b in &new.benchmarks {
+        match old_by_id.get(b.id.as_str()) {
+            Some(prev) if prev.mean_ns > 0.0 => {
+                compared += 1;
+                let delta = (b.mean_ns - prev.mean_ns) / prev.mean_ns;
+                let flag = if delta > threshold {
+                    regressions.push((b.id.clone(), delta));
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                println!(
+                    "{:<44} {:>12.0} {:>12.0} {:>+7.1}%{flag}",
+                    b.id,
+                    prev.mean_ns,
+                    b.mean_ns,
+                    delta * 100.0
+                );
+            }
+            _ => println!("{:<44} {:>12} {:>12.0}     (new)", b.id, "-", b.mean_ns),
+        }
+    }
+    for id in old_by_id.keys() {
+        if !new.benchmarks.iter().any(|b| b.id == *id) {
+            println!("{id:<44} (removed)");
+        }
+    }
+    if regressions.is_empty() {
+        println!(
+            "bench-report: no regressions beyond {:.0}% across {compared} benchmark(s)",
+            threshold * 100.0
+        );
+        std::process::exit(0);
+    }
+    for (id, delta) in &regressions {
+        eprintln!(
+            "bench-report: PERF REGRESSION {id}: {:+.1}% (threshold {:.0}%)",
+            delta * 100.0,
+            threshold * 100.0
+        );
+    }
+    eprintln!(
+        "bench-report: {}/{} benchmark(s) regressed",
+        regressions.len(),
+        compared
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let mut input = PathBuf::from("target/criterion-lite/results.jsonl");
     let mut out: Option<PathBuf> = None;
+    let mut do_compare = false;
+    let mut dir = PathBuf::from(".");
+    let mut against: Option<PathBuf> = None;
+    let mut latest: Option<PathBuf> = None;
+    let mut threshold = 0.20f64;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--input" => input = it.next().map(PathBuf::from).expect("--input needs a path"),
             "--out" => out = Some(it.next().map(PathBuf::from).expect("--out needs a path")),
+            "--compare" => do_compare = true,
+            "--dir" => dir = it.next().map(PathBuf::from).expect("--dir needs a path"),
+            "--against" => {
+                against = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .expect("--against needs a path"),
+                )
+            }
+            "--latest" => {
+                latest = Some(it.next().map(PathBuf::from).expect("--latest needs a path"))
+            }
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| *t > 0.0)
+                    .expect("--threshold needs a positive fraction, e.g. 0.2")
+            }
             other => {
-                eprintln!("usage: bench-report [--input PATH] [--out PATH]");
+                eprintln!(
+                    "usage: bench-report [--input PATH] [--out PATH] | \
+                     --compare [--dir PATH] [--threshold FRACTION] \
+                     [--against OLD --latest NEW]"
+                );
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
             }
         }
+    }
+
+    if do_compare {
+        compare(&dir, against, latest, threshold);
     }
 
     let raw = match std::fs::read_to_string(&input) {

@@ -7,6 +7,7 @@
 //! ```text
 //! genlog --profile wvu|clarknet|csee|nasa [--scale S] [--seed N]
 //!        [--base-epoch SECS] [--out PATH] [--quiet] [--json]
+//!        [--telemetry-addr HOST:PORT]
 //! ```
 //!
 //! Writes CLF lines to `--out` (default stdout). Progress and status go
@@ -31,6 +32,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut quiet = false;
     let mut json = false;
+    let mut telemetry_addr: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,12 +52,13 @@ fn main() {
             "--out" => out_path = Some(value("--out")),
             "--quiet" => quiet = true,
             "--json" => json = true,
+            "--telemetry-addr" => telemetry_addr = Some(value("--telemetry-addr")),
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: genlog --profile wvu|clarknet|csee|nasa \
                      [--scale S] [--seed N] [--base-epoch SECS] [--out PATH] \
-                     [--quiet] [--json]"
+                     [--quiet] [--json] [--telemetry-addr HOST:PORT]"
                 );
                 std::process::exit(2);
             }
@@ -69,6 +72,29 @@ fn main() {
     } else {
         obs::set_sink(Box::new(obs::StderrSink::default()));
     }
+
+    let _telemetry = telemetry_addr.as_ref().map(|addr| {
+        let server = obs::serve(
+            addr,
+            obs::ReportContext {
+                tool: "genlog".to_string(),
+                seed: Some(seed),
+                config: serde::Value::Null,
+                args: std::env::args().skip(1).collect(),
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("genlog: cannot bind telemetry endpoint {addr}: {e}");
+            std::process::exit(2);
+        });
+        if !quiet {
+            eprintln!(
+                "genlog: telemetry listening on http://{} (/metrics /healthz /report)",
+                server.local_addr()
+            );
+        }
+        server
+    });
 
     let profile = match profile_name.to_ascii_lowercase().as_str() {
         "wvu" => ServerProfile::wvu(),

@@ -19,7 +19,10 @@
 //! Observability flags: `--quiet` silences all stdout tables and stderr
 //! progress; `--json` switches stderr to JSON-line events and writes a
 //! machine-readable run report (span tree + metrics + config) to
-//! `report.json` (or the `--report PATH` override) on exit.
+//! `report.json` (or the `--report PATH` override) on exit;
+//! `--telemetry-addr HOST:PORT` serves live `/metrics` (Prometheus text
+//! format), `/healthz`, and `/report` over HTTP for the whole run (port
+//! 0 picks an ephemeral port; the bound address is printed to stderr).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -92,12 +95,7 @@ struct Ctx {
 }
 
 impl Ctx {
-    fn new(scale: f64, seed: u64, fast: bool) -> Self {
-        let cfg = if fast {
-            AnalysisConfig::fast()
-        } else {
-            AnalysisConfig::default()
-        };
+    fn new(scale: f64, seed: u64, cfg: AnalysisConfig) -> Self {
         obs::info(&format!(
             "generating 4 synthetic weeks at scale {scale} (seed {seed})"
         ));
@@ -157,6 +155,7 @@ fn main() {
     let mut quiet = false;
     let mut json = false;
     let mut report_path = std::path::PathBuf::from("report.json");
+    let mut telemetry_addr: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = raw_args.clone().into_iter();
     while let Some(a) = it.next() {
@@ -182,13 +181,20 @@ fn main() {
                     .map(std::path::PathBuf::from)
                     .expect("--report needs a path")
             }
+            "--telemetry-addr" => {
+                telemetry_addr = Some(
+                    it.next()
+                        .expect("--telemetry-addr needs HOST:PORT (port 0 = ephemeral)"),
+                )
+            }
             other => experiments.push(other.to_string()),
         }
     }
     if experiments.is_empty() {
         eprintln!(
             "usage: repro [--scale S] [--seed N] [--fast] [--quiet] [--json] \
-             [--report PATH] <table1|fig2|…|table4|curv|all>"
+             [--report PATH] [--telemetry-addr HOST:PORT] \
+             <table1|fig2|…|table4|curv|all>"
         );
         std::process::exit(2);
     }
@@ -212,7 +218,44 @@ fn main() {
     }
     obs::reset();
 
-    let mut ctx = Ctx::new(scale, seed, fast);
+    let cfg = if fast {
+        AnalysisConfig::fast()
+    } else {
+        AnalysisConfig::default()
+    };
+    use serde::Serialize;
+    let config = serde::Value::Object(vec![
+        ("scale".to_string(), scale.to_value()),
+        ("fast".to_string(), fast.to_value()),
+        ("analysis".to_string(), cfg.to_value()),
+    ]);
+
+    // Bring the telemetry endpoint up before any work so the whole run
+    // is scrapeable; the handle is held to the end of main.
+    let _telemetry = telemetry_addr.as_ref().map(|addr| {
+        let server = obs::serve(
+            addr,
+            obs::ReportContext {
+                tool: "repro".to_string(),
+                seed: Some(seed),
+                config: config.clone(),
+                args: raw_args.clone(),
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("repro: cannot bind telemetry endpoint {addr}: {e}");
+            std::process::exit(2);
+        });
+        if !quiet {
+            eprintln!(
+                "repro: telemetry listening on http://{} (/metrics /healthz /report)",
+                server.local_addr()
+            );
+        }
+        server
+    });
+
+    let mut ctx = Ctx::new(scale, seed, cfg);
     for exp in &experiments {
         say!("\n################ {exp} ################");
         match exp.as_str() {
@@ -240,13 +283,15 @@ fn main() {
         }
     }
 
+    if !quiet && !json {
+        // End-of-run metrics summary on stderr (counters, gauges, and
+        // histogram p50/p95/p99).
+        for line in obs::metrics::snapshot().summary_lines() {
+            obs::info(&line);
+        }
+    }
+
     if json {
-        use serde::Serialize;
-        let config = serde::Value::Object(vec![
-            ("scale".to_string(), scale.to_value()),
-            ("fast".to_string(), fast.to_value()),
-            ("analysis".to_string(), ctx.cfg.to_value()),
-        ]);
         let report = obs::RunReport::collect("repro", Some(seed), config, raw_args);
         match report.save(&report_path) {
             Ok(()) => obs::info(&format!("run report written to {}", report_path.display())),

@@ -3,7 +3,7 @@
 
 use crate::arrival_analysis::ArrivalAnalysis;
 use crate::config::AnalysisConfig;
-use crate::intra_session::IntraSessionAnalysis;
+use crate::intra_session::{IntraSessionAnalysis, SessionMetric};
 use crate::poisson::{PoissonBattery, PoissonVerdict};
 use crate::Result;
 use serde::{Deserialize, Serialize};
@@ -112,7 +112,7 @@ impl FullWebModel {
             IntraSessionAnalysis::analyze(dataset.sessions(), cfg)?
         };
 
-        Ok(FullWebModel {
+        let model = FullWebModel {
             server: server.to_string(),
             total_requests,
             total_sessions,
@@ -121,7 +121,84 @@ impl FullWebModel {
             inter_session,
             levels,
             intra_session_week,
-        })
+        };
+        model.record_fidelity();
+        Ok(model)
+    }
+
+    /// Publish the model's headline statistics as `fidelity/...` gauges,
+    /// the contract consumed by `paper-check` / `paper_targets.toml`:
+    ///
+    /// - `fidelity/h/<server>/<estimator>` — stationary request-level
+    ///   Hurst exponents (the paper's Figure 6 cells);
+    /// - `fidelity/h_session/<server>/<estimator>` — stationary
+    ///   session-level Hurst exponents (Figure 10);
+    /// - `fidelity/alpha/<server>/<metric>/<llcd|hill>` — week-level tail
+    ///   indices (Tables 2–4 Week rows);
+    /// - `fidelity/poisson/<server>/<request|session>_reject_rate` —
+    ///   fraction of applicable Poisson verdicts that reject (§4.2 /
+    ///   §5.1.2).
+    ///
+    /// Estimates that did not compute record no gauge (targets treat an
+    /// absent gauge as drift).
+    fn record_fidelity(&self) {
+        use webpuzzle_obs::metrics::gauge;
+        let server = &self.server;
+        for (prefix, analysis) in [
+            ("fidelity/h", &self.request_level),
+            ("fidelity/h_session", &self.inter_session),
+        ] {
+            let suite = &analysis.hurst_stationary;
+            for (est, e) in [
+                ("variance", &suite.variance_time),
+                ("rs", &suite.rescaled_range),
+                ("periodogram", &suite.periodogram),
+                ("whittle", &suite.whittle),
+                ("abry_veitch", &suite.abry_veitch),
+            ] {
+                if let Some(e) = e {
+                    gauge(&format!("{prefix}/{server}/{est}")).set(e.h);
+                }
+            }
+        }
+        for tail in self.intra_session_week.iter() {
+            let metric = match tail.metric {
+                SessionMetric::DurationSeconds => "duration",
+                SessionMetric::RequestCount => "requests",
+                SessionMetric::BytesTransferred => "bytes",
+            };
+            if let Some(fit) = tail.llcd {
+                gauge(&format!("fidelity/alpha/{server}/{metric}/llcd")).set(fit.alpha);
+            }
+            if let Some(alpha) = tail.hill.as_ref().and_then(|h| h.alpha) {
+                gauge(&format!("fidelity/alpha/{server}/{metric}/hill")).set(alpha);
+            }
+        }
+        for (kind, pick) in [("request", true), ("session", false)] {
+            let mut applicable = 0u32;
+            let mut rejected = 0u32;
+            for lvl in &self.levels {
+                let battery = if pick {
+                    &lvl.request_poisson
+                } else {
+                    &lvl.session_poisson
+                };
+                for verdict in [battery.hourly_verdict(), battery.ten_min_verdict()] {
+                    match verdict {
+                        PoissonVerdict::Rejected => {
+                            applicable += 1;
+                            rejected += 1;
+                        }
+                        PoissonVerdict::ConsistentWithPoisson => applicable += 1,
+                        PoissonVerdict::NotApplicable => {}
+                    }
+                }
+            }
+            if applicable > 0 {
+                gauge(&format!("fidelity/poisson/{server}/{kind}_reject_rate"))
+                    .set(f64::from(rejected) / f64::from(applicable));
+            }
+        }
     }
 
     /// Serialize the model as pretty JSON.

@@ -286,7 +286,7 @@ impl PoissonBattery {
         seed: u64,
     ) -> Result<Self> {
         let _span = webpuzzle_obs::span!("poisson/battery");
-        webpuzzle_obs::metrics::counter("poisson/batteries_run").incr();
+        webpuzzle_obs::metrics::sharded_counter("poisson/batteries_run").incr();
         let run = |subs: usize, spreading: TieSpreading| {
             poisson_arrival_test(
                 times,

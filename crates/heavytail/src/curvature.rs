@@ -149,7 +149,7 @@ pub fn curvature_test(
             used += 1;
         }
     }
-    webpuzzle_obs::metrics::counter("heavytail/curvature_replicates").add(used as u64);
+    webpuzzle_obs::metrics::sharded_counter("heavytail/curvature_replicates").add(used as u64);
     if used < 19 {
         return Err(StatsError::NoConvergence {
             what: "curvature Monte Carlo (too many degenerate replicates)",

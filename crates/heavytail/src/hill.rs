@@ -105,6 +105,7 @@ pub fn hill_plot(data: &[f64], tail_fraction: f64) -> Result<Vec<(usize, f64)>> 
             what: "Hill plot degenerate (too many tied order statistics)",
         });
     }
+    webpuzzle_obs::metrics::sharded_counter("heavytail/hill_order_stats").add(k_max as u64);
     Ok(out)
 }
 

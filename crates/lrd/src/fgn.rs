@@ -163,6 +163,7 @@ impl FgnGenerator {
 
         fft(&mut spec);
         let norm = self.sigma / (m as f64).sqrt();
+        webpuzzle_obs::metrics::sharded_counter("lrd/fgn_samples").add(n as u64);
         Ok(spec.into_iter().take(n).map(|z| z.re * norm).collect())
     }
 }

@@ -189,7 +189,7 @@ fn golden_section_min<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64)
             });
         }
     }
-    webpuzzle_obs::metrics::counter("lrd/whittle_iterations").add(iterations);
+    webpuzzle_obs::metrics::sharded_counter("lrd/whittle_iterations").add(iterations);
     let x = (a + b) / 2.0;
     if !f(x).is_finite() {
         return Err(StatsError::NoConvergence {

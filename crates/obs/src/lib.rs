@@ -15,6 +15,15 @@
 //! - **Reports** ([`report::RunReport`]): a serializable snapshot of
 //!   the span tree + metrics + run configuration, written as
 //!   `report.json` by `repro --json`.
+//! - **Live telemetry** ([`server::serve`]): a std-only HTTP endpoint
+//!   exposing `/metrics` (Prometheus text format), `/healthz`, and
+//!   `/report` while a run executes (`--telemetry-addr` in the
+//!   binaries).
+//! - **Sharded counters** ([`sharded::ShardedCounter`]): per-thread
+//!   cache-line-sharded counters for contended hot loops.
+//! - **Fidelity** ([`fidelity`]): paper-fidelity scoreboard comparing a
+//!   run report's `fidelity/...` gauges against `paper_targets.toml`
+//!   (the `paper-check` binary).
 //!
 //! ```
 //! use webpuzzle_obs as obs;
@@ -29,14 +38,19 @@
 //! assert!(report.find_span("hurst/whittle").is_some());
 //! ```
 
+pub mod fidelity;
 pub mod metrics;
 pub mod progress;
 pub mod report;
+pub mod server;
+pub mod sharded;
 pub mod sink;
 pub mod spans;
 
 pub use progress::ProgressMeter;
 pub use report::RunReport;
+pub use server::{serve, ReportContext, TelemetryServer};
+pub use sharded::ShardedCounter;
 pub use sink::{
     clear_sink, info, set_sink, warn, Event, EventSink, JsonSink, Level, NullSink, StderrSink,
 };

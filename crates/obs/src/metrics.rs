@@ -8,10 +8,17 @@
 //! let parsed = webpuzzle_obs::metrics::counter("weblog/records_parsed");
 //! parsed.add(1);
 //! ```
+//!
+//! Names may be built dynamically (e.g. `fidelity/h/WVU/whittle`); the
+//! registry clones them on first registration. For counters bumped from
+//! tight multi-threaded loops, prefer [`crate::sharded::ShardedCounter`]
+//! via [`sharded_counter`], which spreads increments across cache lines.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crate::sharded::ShardedCounter;
 
 /// Monotonically increasing event count.
 #[derive(Debug, Default)]
@@ -35,6 +42,18 @@ impl Counter {
 }
 
 /// Last-write-wins floating-point measurement.
+///
+/// # Atomicity and ordering
+///
+/// The value is stored as the `f64` bit pattern (`f64::to_bits`) inside a
+/// single `AtomicU64`, so every load observes a bit pattern that some
+/// store wrote in full — torn reads are impossible by construction: the
+/// hardware atomic covers all 64 bits at once, and no operation ever
+/// writes a partial word. All operations use `Ordering::Relaxed`: a gauge
+/// is a standalone monitoring value, never used to publish other memory,
+/// so no acquire/release edges are required. `Relaxed` still guarantees a
+/// single total modification order per gauge, which is what
+/// [`Gauge::add`]'s CAS loop relies on.
 #[derive(Debug, Default)]
 pub struct Gauge(AtomicU64);
 
@@ -47,6 +66,34 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Add `delta` to the gauge atomically (CAS loop over the bit
+    /// pattern), returning the updated value.
+    ///
+    /// Lost updates are impossible: a concurrent `add` makes the
+    /// compare-exchange fail and the loop re-reads. A concurrent [`set`]
+    /// linearizes before or after this `add` in the gauge's modification
+    /// order.
+    ///
+    /// [`set`]: Gauge::set
+    pub fn add(&self, delta: f64) -> f64 {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return f64::from_bits(next),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Subtract `delta` atomically, returning the updated value.
+    pub fn sub(&self, delta: f64) -> f64 {
+        self.add(-delta)
     }
 }
 
@@ -95,6 +142,51 @@ pub fn bucket_upper_bound(bucket: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of a bucket.
+pub fn bucket_lower_bound(bucket: usize) -> u64 {
+    if bucket <= 1 {
+        (bucket as u64).min(1)
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+/// Interpolated quantile from per-bucket counts (full 65-bucket layout).
+///
+/// Within the bucket containing rank `q·n`, the value is linearly
+/// interpolated between the bucket's bounds — exact for bucket 0 (which
+/// holds only the value 0), within a factor of two otherwise, which is
+/// the histogram's intrinsic resolution. Returns `None` for an empty
+/// histogram or a `q` outside `[0, 1]`.
+pub fn quantile_from_buckets(buckets: &[u64], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = q * total as f64;
+    let mut cumulative = 0u64;
+    for (b, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let below = cumulative as f64;
+        cumulative += c;
+        if cumulative as f64 >= rank {
+            if b == 0 {
+                return Some(0.0);
+            }
+            let lo = bucket_lower_bound(b) as f64;
+            let hi = bucket_upper_bound(b) as f64;
+            let frac = ((rank - below) / c as f64).clamp(0.0, 1.0);
+            return Some(lo + frac * (hi - lo));
+        }
+    }
+    Some(bucket_upper_bound(buckets.len().saturating_sub(1)) as f64)
+}
+
 impl Histogram {
     /// Record one observation.
     pub fn record(&self, value: u64) {
@@ -120,67 +212,156 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Interpolated quantile `q ∈ [0, 1]` (see [`quantile_from_buckets`]).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.buckets(), q)
+    }
 }
 
 #[derive(Default)]
 struct Registry {
-    counters: BTreeMap<&'static str, Arc<Counter>>,
-    gauges: BTreeMap<&'static str, Arc<Gauge>>,
-    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+    counters: BTreeMap<String, Arc<Counter>>,
+    sharded: BTreeMap<String, Arc<ShardedCounter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
 }
 
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
     counters: BTreeMap::new(),
+    sharded: BTreeMap::new(),
     gauges: BTreeMap::new(),
     histograms: BTreeMap::new(),
 });
 
+fn fetch<T: Default>(map: &mut BTreeMap<String, Arc<T>>, name: &str) -> Arc<T> {
+    if let Some(existing) = map.get(name) {
+        return Arc::clone(existing);
+    }
+    let fresh = Arc::new(T::default());
+    map.insert(name.to_string(), Arc::clone(&fresh));
+    fresh
+}
+
 /// Fetch (creating on first use) the counter named `name`.
-pub fn counter(name: &'static str) -> Arc<Counter> {
+pub fn counter(name: &str) -> Arc<Counter> {
     let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
-    Arc::clone(reg.counters.entry(name).or_default())
+    fetch(&mut reg.counters, name)
+}
+
+/// Fetch (creating on first use) the sharded counter named `name`.
+///
+/// Sharded and plain counters share a namespace in snapshots (values are
+/// summed if a name is reused across both kinds, which callers should
+/// avoid).
+pub fn sharded_counter(name: &str) -> Arc<ShardedCounter> {
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    fetch(&mut reg.sharded, name)
 }
 
 /// Fetch (creating on first use) the gauge named `name`.
-pub fn gauge(name: &'static str) -> Arc<Gauge> {
+pub fn gauge(name: &str) -> Arc<Gauge> {
     let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
-    Arc::clone(reg.gauges.entry(name).or_default())
+    fetch(&mut reg.gauges, name)
 }
 
 /// Fetch (creating on first use) the histogram named `name`.
-pub fn histogram(name: &'static str) -> Arc<Histogram> {
+pub fn histogram(name: &str) -> Arc<Histogram> {
     let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
-    Arc::clone(reg.histograms.entry(name).or_default())
+    fetch(&mut reg.histograms, name)
+}
+
+/// Snapshot of one histogram, including interpolated quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// All 65 per-bucket counts.
+    pub buckets: Vec<u64>,
+    /// Interpolated median.
+    pub p50: Option<f64>,
+    /// Interpolated 95th percentile.
+    pub p95: Option<f64>,
+    /// Interpolated 99th percentile.
+    pub p99: Option<f64>,
 }
 
 /// Snapshot of every registered metric, sorted by name.
 pub struct MetricsSnapshot {
-    /// `(name, value)` for each counter.
+    /// `(name, value)` for each counter (plain and sharded merged).
     pub counters: Vec<(String, u64)>,
     /// `(name, value)` for each gauge.
     pub gauges: Vec<(String, f64)>,
-    /// `(name, count, sum, bucket counts)` for each histogram.
-    pub histograms: Vec<(String, u64, u64, Vec<u64>)>,
+    /// One entry per histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Human-readable one-line-per-metric summary, used by the stderr
+    /// sink path at the end of a run.
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (name, value) in &self.counters {
+            lines.push(format!("counter {name} = {value}"));
+        }
+        for (name, value) in &self.gauges {
+            lines.push(format!("gauge {name} = {value:.6}"));
+        }
+        for h in &self.histograms {
+            let fmt = |q: Option<f64>| match q {
+                Some(v) => format!("{v:.0}"),
+                None => "-".to_string(),
+            };
+            lines.push(format!(
+                "histogram {} count={} sum={} p50={} p95={} p99={}",
+                h.name,
+                h.count,
+                h.sum,
+                fmt(h.p50),
+                fmt(h.p95),
+                fmt(h.p99),
+            ));
+        }
+        lines
+    }
 }
 
 /// Read a consistent-enough snapshot of the registry.
 pub fn snapshot() -> MetricsSnapshot {
     let reg = REGISTRY.lock().expect("metrics registry poisoned");
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    for (name, c) in &reg.counters {
+        *counters.entry(name.clone()).or_insert(0) += c.get();
+    }
+    for (name, c) in &reg.sharded {
+        *counters.entry(name.clone()).or_insert(0) += c.get();
+    }
     MetricsSnapshot {
-        counters: reg
-            .counters
-            .iter()
-            .map(|(name, c)| (name.to_string(), c.get()))
-            .collect(),
+        counters: counters.into_iter().collect(),
         gauges: reg
             .gauges
             .iter()
-            .map(|(name, g)| (name.to_string(), g.get()))
+            .map(|(name, g)| (name.clone(), g.get()))
             .collect(),
         histograms: reg
             .histograms
             .iter()
-            .map(|(name, h)| (name.to_string(), h.count(), h.sum(), h.buckets()))
+            .map(|(name, h)| {
+                let buckets = h.buckets();
+                HistogramSnapshot {
+                    name: name.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    p50: quantile_from_buckets(&buckets, 0.50),
+                    p95: quantile_from_buckets(&buckets, 0.95),
+                    p99: quantile_from_buckets(&buckets, 0.99),
+                    buckets,
+                }
+            })
             .collect(),
     }
 }
@@ -190,6 +371,7 @@ pub fn snapshot() -> MetricsSnapshot {
 pub fn reset() {
     let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
     reg.counters.clear();
+    reg.sharded.clear();
     reg.gauges.clear();
     reg.histograms.clear();
 }
@@ -215,6 +397,7 @@ mod tests {
             assert_eq!(bucket_index(hi), b, "upper edge of bucket {b}");
             assert!(lo < bucket_upper_bound(b));
             assert!(hi < bucket_upper_bound(b));
+            assert_eq!(bucket_lower_bound(b), lo);
         }
     }
 
@@ -240,5 +423,93 @@ mod tests {
         assert_eq!(g.get(), 0.8432);
         g.set(-1.5e300);
         assert_eq!(g.get(), -1.5e300);
+    }
+
+    #[test]
+    fn gauge_add_sub_accumulate() {
+        let g = Gauge::default();
+        g.set(1.0);
+        assert_eq!(g.add(2.5), 3.5);
+        assert_eq!(g.sub(1.5), 2.0);
+        assert_eq!(g.get(), 2.0);
+    }
+
+    #[test]
+    fn gauge_concurrent_adds_are_lossless() {
+        use std::sync::Arc;
+        let g = Arc::new(Gauge::default());
+        g.set(0.0);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        g.add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 80_000.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::default();
+        // 100 observations of exactly 0 -> every quantile is 0.
+        for _ in 0..100 {
+            h.record(0);
+        }
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert_eq!(h.quantile(0.99), Some(0.0));
+
+        // Uniform-ish spread: quantiles must be monotone in q and land
+        // inside the right power-of-two band.
+        let h = Histogram::default();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // The true p50 is ~512: bucket [512, 1024) must contain it.
+        assert!((256.0..=1024.0).contains(&p50), "p50 = {p50}");
+        assert!((512.0..=1024.0).contains(&p95), "p95 = {p95}");
+        // Out-of-range q and empty histograms answer None.
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(Histogram::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_merges_sharded_and_plain_counters() {
+        // Distinct names so parallel tests in this binary don't interfere.
+        counter("unit/snapshot_plain").add(3);
+        sharded_counter("unit/snapshot_sharded").add(4);
+        let snap = snapshot();
+        let get = |n: &str| {
+            snap.counters
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get("unit/snapshot_plain"), Some(3));
+        assert_eq!(get("unit/snapshot_sharded"), Some(4));
+    }
+
+    #[test]
+    fn dynamic_names_are_supported() {
+        let name = format!("unit/dyn/{}", 42);
+        gauge(&name).set(0.5);
+        gauge(&name).add(0.25);
+        let snap = snapshot();
+        let v = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v);
+        assert_eq!(v, Some(0.75));
     }
 }

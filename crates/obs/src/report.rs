@@ -62,6 +62,13 @@ pub struct HistogramReport {
     pub count: u64,
     /// Sum of observations.
     pub sum: u64,
+    /// Interpolated median (absent for empty histograms and in reports
+    /// written before quantiles existed).
+    pub p50: Option<f64>,
+    /// Interpolated 95th percentile.
+    pub p95: Option<f64>,
+    /// Interpolated 99th percentile.
+    pub p99: Option<f64>,
     /// Non-empty buckets in ascending bound order.
     pub buckets: Vec<BucketReport>,
 }
@@ -134,11 +141,15 @@ impl RunReport {
             histograms: snapshot
                 .histograms
                 .into_iter()
-                .map(|(name, count, sum, buckets)| HistogramReport {
-                    name,
-                    count,
-                    sum,
-                    buckets: buckets
+                .map(|h| HistogramReport {
+                    name: h.name,
+                    count: h.count,
+                    sum: h.sum,
+                    p50: h.p50,
+                    p95: h.p95,
+                    p99: h.p99,
+                    buckets: h
+                        .buckets
                         .iter()
                         .enumerate()
                         .filter(|(_, &c)| c > 0)

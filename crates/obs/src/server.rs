@@ -1,0 +1,309 @@
+//! Std-only live telemetry endpoint.
+//!
+//! [`serve`] binds a `TcpListener` and answers three routes from a
+//! background thread, so a long `repro` / `genlog` run can be observed
+//! while it executes:
+//!
+//! - `GET /metrics` — the metrics registry in Prometheus text
+//!   exposition format (counters, gauges, histograms with cumulative
+//!   buckets);
+//! - `GET /healthz` — `200 ok` liveness probe;
+//! - `GET /report` — the current [`RunReport`] as JSON, collected at
+//!   request time.
+//!
+//! The server is deliberately minimal: one handler thread, one request
+//! per connection (`Connection: close`), no TLS, no keep-alive — it
+//! exists to be scraped by `curl` or a Prometheus agent on localhost,
+//! not to face the internet.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::metrics::{self, MetricsSnapshot};
+use crate::report::RunReport;
+
+/// Identity baked into `/report` responses (the report itself is
+/// re-collected from the live span arena and metrics registry on every
+/// request).
+#[derive(Debug, Clone)]
+pub struct ReportContext {
+    /// Producing tool, e.g. `"repro"`.
+    pub tool: String,
+    /// RNG seed of the run, when one applies.
+    pub seed: Option<u64>,
+    /// Tool-specific configuration.
+    pub config: Value,
+    /// Command-line arguments after the program name.
+    pub args: Vec<String>,
+}
+
+impl Default for ReportContext {
+    fn default() -> Self {
+        ReportContext {
+            tool: "unknown".to_string(),
+            seed: None,
+            config: Value::Null,
+            args: Vec::new(),
+        }
+    }
+}
+
+/// Handle to a running telemetry server.
+///
+/// Dropping the handle does **not** stop the server (binaries hold it
+/// until process exit); call [`TelemetryServer::shutdown`] for an
+/// orderly stop (used by tests).
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// The actually bound address — resolves port 0 requests
+    /// (`127.0.0.1:0`) to the ephemeral port the OS picked.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the handler thread and release the listener.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Start the telemetry server on `addr` (e.g. `"127.0.0.1:9184"`; use
+/// port `0` for an ephemeral port, then read it back via
+/// [`TelemetryServer::local_addr`]).
+///
+/// # Errors
+///
+/// Propagates bind failures (port in use, bad address).
+pub fn serve(addr: &str, ctx: ReportContext) -> io::Result<TelemetryServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("webpuzzle-telemetry".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(mut stream) = conn {
+                    let _ = handle_connection(&mut stream, &ctx);
+                }
+            }
+        })?;
+    Ok(TelemetryServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_connection(stream: &mut TcpStream, ctx: &ReportContext) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request headers (or a small cap — we
+    // never care about bodies).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                prometheus_text(&metrics::snapshot()),
+            ),
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/report" => {
+                let report =
+                    RunReport::collect(&ctx.tool, ctx.seed, ctx.config.clone(), ctx.args.clone());
+                (
+                    "200 OK",
+                    "application/json; charset=utf-8",
+                    report.to_json_pretty() + "\n",
+                )
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found: try /metrics, /healthz, or /report\n".to_string(),
+            ),
+        }
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Prometheus metric name: `webpuzzle_` prefix, every character outside
+/// `[a-zA-Z0-9_]` mapped to `_` (our registry names use `/` separators).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("webpuzzle_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' {
+            c
+        } else {
+            '_'
+        });
+    }
+    out
+}
+
+/// Prometheus float formatting: `f64::to_string` except for the
+/// non-finite spellings the exposition format requires.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a metrics snapshot in Prometheus text exposition format.
+///
+/// Histograms are exported with *cumulative* bucket counts and an
+/// explicit `le="+Inf"` bucket, as the format requires; our log-2 bucket
+/// upper bounds are exclusive while `le` is inclusive, a half-open
+/// discrepancy of at most one integer value that the HELP line records.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let prom = prom_name(name) + "_total";
+        out.push_str(&format!("# HELP {prom} Counter {name}\n"));
+        out.push_str(&format!("# TYPE {prom} counter\n"));
+        out.push_str(&format!("{prom} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let prom = prom_name(name);
+        out.push_str(&format!("# HELP {prom} Gauge {name}\n"));
+        out.push_str(&format!("# TYPE {prom} gauge\n"));
+        out.push_str(&format!("{prom} {}\n", prom_f64(*value)));
+    }
+    for h in &snap.histograms {
+        let prom = prom_name(&h.name);
+        out.push_str(&format!(
+            "# HELP {prom} Histogram {} (log-2 buckets, upper bounds exclusive)\n",
+            h.name
+        ));
+        out.push_str(&format!("# TYPE {prom} histogram\n"));
+        let mut cumulative = 0u64;
+        for (b, &c) in h.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            out.push_str(&format!(
+                "{prom}_bucket{{le=\"{}\"}} {cumulative}\n",
+                metrics::bucket_upper_bound(b)
+            ));
+        }
+        out.push_str(&format!("{prom}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{prom}_sum {}\n", h.sum));
+        out.push_str(&format!("{prom}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(
+            prom_name("weblog/records_parsed"),
+            "webpuzzle_weblog_records_parsed"
+        );
+        assert_eq!(
+            prom_name("fidelity/h/NASA-Pub2"),
+            "webpuzzle_fidelity_h_NASA_Pub2"
+        );
+    }
+
+    #[test]
+    fn prom_floats_spell_non_finite_values() {
+        assert_eq!(prom_f64(1.5), "1.5");
+        assert_eq!(prom_f64(f64::NAN), "NaN");
+        assert_eq!(prom_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prom_f64(f64::NEG_INFINITY), "-Inf");
+    }
+
+    #[test]
+    fn histogram_buckets_render_cumulatively() {
+        let mut buckets = vec![0u64; crate::metrics::HISTOGRAM_BUCKETS];
+        buckets[0] = 2; // two zeros
+        buckets[2] = 3; // three values in [2, 4)
+        let snap = MetricsSnapshot {
+            counters: vec![("unit/c".to_string(), 7)],
+            gauges: vec![("unit/g".to_string(), 0.5)],
+            histograms: vec![HistogramSnapshot {
+                name: "unit/h".to_string(),
+                count: 5,
+                sum: 8,
+                buckets,
+                p50: Some(2.0),
+                p95: Some(3.5),
+                p99: Some(3.9),
+            }],
+        };
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE webpuzzle_unit_c_total counter"));
+        assert!(text.contains("webpuzzle_unit_c_total 7"));
+        assert!(text.contains("# TYPE webpuzzle_unit_g gauge"));
+        assert!(text.contains("webpuzzle_unit_h_bucket{le=\"1\"} 2"));
+        assert!(text.contains("webpuzzle_unit_h_bucket{le=\"4\"} 5"));
+        assert!(text.contains("webpuzzle_unit_h_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("webpuzzle_unit_h_sum 8"));
+        assert!(text.contains("webpuzzle_unit_h_count 5"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-thread sharded counters for contended hot loops.
+//!
+//! A plain [`crate::metrics::Counter`] is a single `AtomicU64`: correct,
+//! but when several threads bump the same counter from a tight loop
+//! (sessionizer, fGn generator, Hill estimator), every increment bounces
+//! the same cache line between cores. [`ShardedCounter`] spreads the
+//! count over [`SHARDS`] cache-line-aligned slots; each thread is pinned
+//! to one slot by a thread-local index, so the hot path stays a single
+//! `Relaxed` `fetch_add` that (with enough shards) no other core is
+//! writing. Reads sum the shards — reads are rare (snapshots, scrapes),
+//! writes are hot, so the asymmetry is the right trade.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of shards. A small power of two: enough to separate the
+/// handful of analysis threads a pipeline run spawns, small enough that
+/// summing on scrape stays trivial.
+pub const SHARDS: usize = 16;
+
+/// One cache line worth of counter. 128-byte alignment covers the
+/// adjacent-line prefetcher on modern x86 as well as the 64-byte line.
+#[repr(align(128))]
+#[derive(Default)]
+struct Shard(AtomicU64);
+
+/// Monotonically increasing event count, sharded across cache lines.
+///
+/// The API mirrors [`crate::metrics::Counter`] (`add` / `incr` / `get`)
+/// so call sites can switch by changing the constructor only. `get` is a
+/// sum over shards and, like the plain counter, is monotone but not a
+/// linearizable point-in-time read under concurrent writers.
+#[derive(Default)]
+pub struct ShardedCounter {
+    shards: [Shard; SHARDS],
+}
+
+impl std::fmt::Debug for ShardedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCounter")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Shard index for the current thread: threads are assigned
+    /// round-robin at first use, so up to `SHARDS` concurrent threads
+    /// never share a slot.
+    static SHARD_INDEX: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+impl ShardedCounter {
+    /// Add `n` to the calling thread's shard.
+    pub fn add(&self, n: u64) {
+        let i = SHARD_INDEX.with(|i| *i);
+        self.shards[i].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value: the sum over all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_counts_exactly() {
+        let c = ShardedCounter::default();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 50_000;
+        let c = Arc::new(ShardedCounter::default());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn threads_spread_across_shards() {
+        // Two fresh threads writing the same counter must not collapse
+        // into one shard *sum*-wise; we can only check the total, plus
+        // that the shard assignment machinery hands out differing indices
+        // across the first SHARDS threads.
+        let mut seen = std::collections::HashSet::new();
+        let handles: Vec<_> = (0..SHARDS)
+            .map(|_| std::thread::spawn(|| SHARD_INDEX.with(|i| *i)))
+            .collect();
+        for h in handles {
+            seen.insert(h.join().unwrap());
+        }
+        // Round-robin assignment interleaves with other concurrently
+        // running tests, so we can't demand all SHARDS distinct values —
+        // but more than one must appear.
+        assert!(seen.len() > 1, "all threads landed on one shard: {seen:?}");
+    }
+}

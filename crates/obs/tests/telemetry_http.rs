@@ -1,0 +1,140 @@
+//! End-to-end test of the telemetry HTTP endpoint: start `obs::serve`
+//! on an ephemeral port, scrape it with a raw `TcpStream` (no HTTP
+//! client in the tree), and validate the Prometheus exposition rules a
+//! real scraper depends on.
+//!
+//! Metrics are process-global; this file is its own test binary (own
+//! process), and the tests here share one `#[test]` so the snapshot the
+//! server renders is exactly what the test recorded.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use webpuzzle_obs as obs;
+
+/// Issue one `GET path` against the server and return (status line, body).
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to telemetry server");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw.lines().next().unwrap_or_default().to_string();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serve_scrape_and_shutdown() {
+    obs::reset();
+    obs::metrics::counter("scrape/events").add(7);
+    obs::metrics::sharded_counter("scrape/hot_loop").add(1000);
+    obs::metrics::gauge("scrape/h_estimate").set(0.83);
+    let hist = obs::metrics::histogram("scrape/latency");
+    for v in [1u64, 3, 9, 100, 5000] {
+        hist.record(v);
+    }
+
+    let server =
+        obs::serve("127.0.0.1:0", obs::ReportContext::default()).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // /healthz is a plain liveness probe.
+    let (status, body) = get(addr, "/healthz");
+    assert!(status.contains("200"), "healthz status: {status}");
+    assert_eq!(body, "ok\n");
+
+    // /metrics follows the Prometheus text exposition rules.
+    let (status, text) = get(addr, "/metrics");
+    assert!(status.contains("200"), "metrics status: {status}");
+    assert!(text.contains("# HELP webpuzzle_scrape_events_total"));
+    assert!(text.contains("# TYPE webpuzzle_scrape_events_total counter"));
+    assert!(text.contains("webpuzzle_scrape_events_total 7"));
+    // Sharded counters export as one summed series.
+    assert!(text.contains("webpuzzle_scrape_hot_loop_total 1000"));
+    assert!(text.contains("webpuzzle_scrape_h_estimate 0.83"));
+
+    // Every series has HELP and TYPE lines preceding its samples.
+    for family in ["webpuzzle_scrape_events_total", "webpuzzle_scrape_latency"] {
+        let help = text
+            .lines()
+            .position(|l| l.starts_with(&format!("# HELP {family}")))
+            .unwrap_or_else(|| panic!("missing HELP for {family}"));
+        let ty = text
+            .lines()
+            .position(|l| l.starts_with(&format!("# TYPE {family}")))
+            .unwrap_or_else(|| panic!("missing TYPE for {family}"));
+        let first_sample = text
+            .lines()
+            .position(|l| l.starts_with(family) && !l.starts_with('#'))
+            .unwrap_or_else(|| panic!("missing samples for {family}"));
+        assert!(help < ty && ty < first_sample, "{family} ordering");
+    }
+
+    // Histogram buckets must be cumulative (monotone non-decreasing in
+    // `le` order) and end with le="+Inf" equal to _count.
+    let bucket_counts: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with("webpuzzle_scrape_latency_bucket"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().expect("bucket count"))
+        .collect();
+    assert!(bucket_counts.len() >= 2, "expected several buckets: {text}");
+    assert!(
+        bucket_counts.windows(2).all(|w| w[0] <= w[1]),
+        "buckets not cumulative: {bucket_counts:?}"
+    );
+    let inf_line = text
+        .lines()
+        .find(|l| l.contains("le=\"+Inf\""))
+        .expect("+Inf bucket");
+    assert!(
+        inf_line.ends_with(" 5"),
+        "+Inf bucket should be total count: {inf_line}"
+    );
+    assert!(text.contains("webpuzzle_scrape_latency_count 5"));
+
+    // Unknown paths 404; non-GET methods 405.
+    let (status, _) = get(addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+
+    // /report returns the current RunReport as JSON and round-trips.
+    let (status, body) = get(addr, "/report");
+    assert!(status.contains("200"), "{status}");
+    let report: obs::RunReport = serde_json::from_str(&body).expect("report parses");
+    assert!(report
+        .counters
+        .iter()
+        .any(|c| c.name == "scrape/events" && c.value == 7));
+
+    // Shutdown joins the listener thread; the port must stop answering.
+    server.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // A TIME_WAIT race can still accept the connect; a request
+            // must at least get no response.
+            let mut s = TcpStream::connect(addr).unwrap();
+            let _ = write!(
+                s,
+                "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+            );
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap_or(0) == 0
+        },
+        "server still answering after shutdown"
+    );
+}

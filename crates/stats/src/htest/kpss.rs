@@ -83,7 +83,7 @@ pub fn kpss_test_with_bandwidth(
     bandwidth: usize,
 ) -> Result<KpssResult> {
     let _span = webpuzzle_obs::span!("stats/kpss");
-    webpuzzle_obs::metrics::counter("stats/kpss_tests").incr();
+    webpuzzle_obs::metrics::sharded_counter("stats/kpss_tests").incr();
     let n = data.len();
     if n < 10 {
         return Err(StatsError::InsufficientData { needed: 10, got: n });

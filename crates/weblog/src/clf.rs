@@ -148,7 +148,7 @@ pub fn parse_line(line: &str, base_epoch: i64) -> Result<LogRecord> {
 /// first malformed line. Blank lines are skipped.
 pub fn parse_log(text: &str, base_epoch: i64) -> Result<Vec<LogRecord>> {
     let _span = webpuzzle_obs::span!("weblog/parse");
-    let parsed = webpuzzle_obs::metrics::counter("weblog/records_parsed");
+    let parsed = webpuzzle_obs::metrics::sharded_counter("weblog/records_parsed");
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {

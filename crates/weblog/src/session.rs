@@ -111,7 +111,7 @@ pub fn sessionize(records: &[LogRecord], threshold: f64) -> Result<Vec<Session>>
         sessions.push(current);
     }
     sessions.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
-    webpuzzle_obs::metrics::counter("weblog/sessions_built").add(sessions.len() as u64);
+    webpuzzle_obs::metrics::sharded_counter("weblog/sessions_built").add(sessions.len() as u64);
     Ok(sessions)
 }
 
