@@ -111,11 +111,8 @@ fn main() {
         "genlog: generating {} at scale {scale}, seed {seed}",
         profile.name()
     ));
-    let records = WorkloadGenerator::new(profile.with_scale(scale))
-        .seed(seed)
-        .generate()
-        .expect("built-in profiles generate cleanly");
-    obs::info(&format!("genlog: {} records", records.len()));
+    let generator = WorkloadGenerator::new(profile.with_scale(scale)).seed(seed);
+    let expected = generator.profile().expected_requests() as u64;
 
     let stdout = io::stdout();
     let mut sink: Box<dyn Write> = match out_path {
@@ -124,11 +121,16 @@ fn main() {
         )),
         None => Box::new(BufWriter::new(stdout.lock())),
     };
-    let mut progress = obs::ProgressMeter::new("genlog/write", Some(records.len() as u64));
-    for record in &records {
-        writeln!(sink, "{}", format_line(record, base_epoch)).expect("write failed");
-        progress.tick(1);
-    }
+    // Records stream straight from the generator's bounded merge to the
+    // writer — the whole synthetic week is never resident in memory.
+    let mut progress = obs::ProgressMeter::new("genlog/write", Some(expected));
+    let written = generator
+        .generate_with(|record| {
+            writeln!(sink, "{}", format_line(&record, base_epoch)).expect("write failed");
+            progress.tick(1);
+        })
+        .expect("built-in profiles generate cleanly");
     progress.finish();
     sink.flush().expect("flush failed");
+    obs::info(&format!("genlog: {written} records"));
 }

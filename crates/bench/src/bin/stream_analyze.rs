@@ -1,0 +1,597 @@
+//! One-pass, bounded-memory analysis of a Common Log Format access log.
+//!
+//! The streaming counterpart to `repro`: where `repro` materializes
+//! whole synthetic weeks and runs the batch FULL-Web pipeline, this
+//! binary pulls records straight off a file (or stdin), sessionizes
+//! them through a TTL map, and keeps only fixed-memory online
+//! estimators — Welford moments, top-k Hill tails, and per-window
+//! variance-time / Poisson-battery analyses.
+//!
+//! ```text
+//! stream-analyze [FILE|-] [--base-epoch SECS] [--threshold SECS]
+//!                [--window SECS] [--tail-k N] [--lenient]
+//!                [--quiet] [--json] [--report PATH] [--snapshot-every N]
+//!                [--telemetry-addr HOST:PORT] [--verify-batch]
+//! ```
+//!
+//! `FILE` defaults to `-` (stdin). `--lenient` skips and counts
+//! malformed lines instead of aborting. `--snapshot-every N` rewrites
+//! the `--report` file with a partial [`obs::RunReport`] (including the
+//! mid-stream summary) every N records, so long runs are inspectable
+//! while in flight; `--telemetry-addr` serves the same live state over
+//! HTTP. `--verify-batch` re-reads `FILE` through the batch pipeline
+//! (`parse_log` → `sessionize` → `hill_plot` / `variance_time` /
+//! `poisson_arrival_test`) and exits nonzero if the streaming results
+//! drift outside the DESIGN.md §9 tolerance bands — counts must match
+//! exactly, estimators within tolerance.
+
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use serde::Serialize;
+use webpuzzle_core::{poisson_arrival_test, PoissonVerdict, TieSpreading};
+use webpuzzle_heavytail::hill_plot;
+use webpuzzle_lrd::variance_time;
+use webpuzzle_obs as obs;
+use webpuzzle_stream::{
+    ClfSource, Source, StreamAnalyzer, StreamConfig, StreamSummary, TailSnapshot, WindowConfig,
+    WindowReport,
+};
+use webpuzzle_timeseries::CountSeries;
+use webpuzzle_weblog::clf::{parse_log, parse_log_lenient};
+use webpuzzle_weblog::{sessionize, Session, DEFAULT_SESSION_THRESHOLD};
+
+/// 2004-01-12 00:00:00 UTC, the paper's WVU log start (genlog default).
+const DEFAULT_BASE_EPOCH: i64 = 1_073_865_600;
+
+/// DESIGN.md §9 tolerance band on Hill tail indices.
+const HILL_TOLERANCE: f64 = 0.15;
+/// DESIGN.md §9 tolerance band on per-window variance-time H (the
+/// computations are bit-identical; the band only absorbs round-off).
+const H_TOLERANCE: f64 = 1e-9;
+/// DESIGN.md §9 relative tolerance on Welford vs two-pass moments.
+const MOMENT_RTOL: f64 = 1e-6;
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+macro_rules! say {
+    ($($arg:tt)*) => {
+        if !QUIET.load(Ordering::Relaxed) {
+            println!($($arg)*);
+        }
+    };
+}
+
+struct Args {
+    input: Option<String>,
+    base_epoch: i64,
+    threshold: f64,
+    window_len: f64,
+    tail_k: usize,
+    lenient: bool,
+    quiet: bool,
+    json: bool,
+    report_path: std::path::PathBuf,
+    snapshot_every: u64,
+    telemetry_addr: Option<String>,
+    verify_batch: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stream-analyze [FILE|-] [--base-epoch SECS] [--threshold SECS] \
+         [--window SECS] [--tail-k N] [--lenient] [--quiet] [--json] \
+         [--report PATH] [--snapshot-every N] [--telemetry-addr HOST:PORT] \
+         [--verify-batch]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        input: None,
+        base_epoch: DEFAULT_BASE_EPOCH,
+        threshold: DEFAULT_SESSION_THRESHOLD,
+        window_len: WindowConfig::default().window_len,
+        tail_k: StreamConfig::default().tail_k,
+        lenient: false,
+        quiet: false,
+        json: false,
+        report_path: std::path::PathBuf::from("report.json"),
+        snapshot_every: 0,
+        telemetry_addr: None,
+        verify_batch: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--base-epoch" => {
+                parsed.base_epoch = value("--base-epoch")
+                    .parse()
+                    .expect("--base-epoch: integer")
+            }
+            "--threshold" => {
+                parsed.threshold = value("--threshold").parse().expect("--threshold: seconds")
+            }
+            "--window" => parsed.window_len = value("--window").parse().expect("--window: seconds"),
+            "--tail-k" => parsed.tail_k = value("--tail-k").parse().expect("--tail-k: integer"),
+            "--lenient" => parsed.lenient = true,
+            "--quiet" => parsed.quiet = true,
+            "--json" => parsed.json = true,
+            "--report" => parsed.report_path = value("--report").into(),
+            "--snapshot-every" => {
+                parsed.snapshot_every = value("--snapshot-every")
+                    .parse()
+                    .expect("--snapshot-every: record count")
+            }
+            "--telemetry-addr" => parsed.telemetry_addr = Some(value("--telemetry-addr")),
+            "--verify-batch" => parsed.verify_batch = true,
+            other if !other.starts_with('-') || other == "-" => {
+                if parsed.input.is_some() {
+                    usage();
+                }
+                parsed.input = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+fn stream_config(args: &Args) -> StreamConfig {
+    StreamConfig {
+        session_threshold: args.threshold,
+        request_window: WindowConfig {
+            window_len: args.window_len,
+            ..WindowConfig::default()
+        },
+        session_window: WindowConfig {
+            window_len: args.window_len,
+            fine_bin_width: None,
+            ..WindowConfig::default()
+        },
+        tail_k: args.tail_k,
+        ..StreamConfig::default()
+    }
+}
+
+fn config_value(args: &Args, summary: Option<&StreamSummary>, records: u64) -> serde::Value {
+    let mut fields = vec![
+        ("base_epoch".to_string(), args.base_epoch.to_value()),
+        ("threshold".to_string(), args.threshold.to_value()),
+        ("window_len".to_string(), args.window_len.to_value()),
+        ("tail_k".to_string(), (args.tail_k as u64).to_value()),
+        ("lenient".to_string(), args.lenient.to_value()),
+        ("records".to_string(), records.to_value()),
+        ("partial".to_string(), summary.is_some().to_value()),
+    ];
+    if let Some(s) = summary {
+        fields.push(("summary".to_string(), s.to_value()));
+    }
+    serde::Value::Object(fields)
+}
+
+fn main() {
+    let args = parse_args();
+    QUIET.store(args.quiet, Ordering::Relaxed);
+    if args.quiet {
+        // NullSink is the default: nothing reaches stderr.
+    } else if args.json {
+        obs::set_sink(Box::new(obs::JsonSink));
+    } else {
+        obs::set_sink(Box::new(obs::StderrSink::default()));
+    }
+    obs::reset();
+
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    let _telemetry = args.telemetry_addr.as_ref().map(|addr| {
+        let server = obs::serve(
+            addr,
+            obs::ReportContext {
+                tool: "stream-analyze".to_string(),
+                seed: None,
+                config: config_value(&args, None, 0),
+                args: raw_args.clone(),
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("stream-analyze: cannot bind telemetry endpoint {addr}: {e}");
+            std::process::exit(2);
+        });
+        if !args.quiet {
+            eprintln!(
+                "stream-analyze: telemetry listening on http://{} (/metrics /healthz /report)",
+                server.local_addr()
+            );
+        }
+        server
+    });
+
+    let input = args.input.clone().unwrap_or_else(|| "-".to_string());
+    if args.verify_batch && input == "-" {
+        eprintln!("stream-analyze: --verify-batch needs a FILE (stdin cannot be re-read)");
+        std::process::exit(2);
+    }
+
+    let mut engine = StreamAnalyzer::new(stream_config(&args)).unwrap_or_else(|e| {
+        eprintln!("stream-analyze: {e}");
+        std::process::exit(2);
+    });
+
+    let reader: Box<dyn io::BufRead> = if input == "-" {
+        Box::new(io::stdin().lock())
+    } else {
+        Box::new(BufReader::new(File::open(&input).unwrap_or_else(|e| {
+            eprintln!("stream-analyze: cannot open {input}: {e}");
+            std::process::exit(2);
+        })))
+    };
+    let mut source = ClfSource::new(reader, args.base_epoch).lenient(args.lenient);
+
+    let t0 = std::time::Instant::now();
+    let mut progress = obs::ProgressMeter::new("stream/records", None);
+    while let Some(item) = source.next_item() {
+        let record = item.unwrap_or_else(|e| {
+            eprintln!("stream-analyze: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = engine.push(&record) {
+            eprintln!("stream-analyze: {e}");
+            std::process::exit(1);
+        }
+        progress.tick(1);
+        if args.snapshot_every > 0 && engine.records().is_multiple_of(args.snapshot_every) {
+            let partial = engine.summary();
+            let report = obs::RunReport::collect(
+                "stream-analyze",
+                None,
+                config_value(&args, Some(&partial), engine.records()),
+                raw_args.clone(),
+            );
+            if let Err(e) = report.save(&args.report_path) {
+                obs::warn(&format!("snapshot write failed: {e}"));
+            } else {
+                obs::info(&format!(
+                    "partial report ({} records) written to {}",
+                    engine.records(),
+                    args.report_path.display()
+                ));
+            }
+        }
+    }
+    let summary = engine.finish().unwrap_or_else(|e| {
+        eprintln!("stream-analyze: {e}");
+        std::process::exit(1);
+    });
+    let elapsed = t0.elapsed();
+    obs::info(&format!(
+        "{} records ({} skipped) in {elapsed:.1?} ({:.0} rec/s)",
+        summary.records,
+        source.skipped(),
+        summary.records as f64 / elapsed.as_secs_f64().max(1e-9)
+    ));
+
+    print_summary(&summary, source.skipped());
+
+    if args.json {
+        let report = obs::RunReport::collect(
+            "stream-analyze",
+            None,
+            config_value(&args, Some(&summary), summary.records),
+            raw_args,
+        );
+        match report.save(&args.report_path) {
+            Ok(()) => obs::info(&format!(
+                "run report written to {}",
+                args.report_path.display()
+            )),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", args.report_path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if args.verify_batch {
+        let drift = verify_batch(&args, &input, &summary, source.skipped());
+        if drift > 0 {
+            eprintln!("stream-analyze: {drift} drift(s) from the batch pipeline");
+            std::process::exit(1);
+        }
+        say!("verify-batch: streaming and batch pipelines agree");
+    }
+}
+
+fn verdict_str(v: PoissonVerdict) -> &'static str {
+    match v {
+        PoissonVerdict::ConsistentWithPoisson => "Poisson",
+        PoissonVerdict::Rejected => "REJECT",
+        PoissonVerdict::NotApplicable => "NA",
+    }
+}
+
+fn print_summary(summary: &StreamSummary, skipped: u64) {
+    say!("stream summary");
+    say!(
+        "  records {}  skipped {}  sessions {}  peak open {}  MB {:.1}",
+        summary.records,
+        skipped,
+        summary.sessions,
+        summary.peak_open_sessions,
+        summary.bytes as f64 / 1e6
+    );
+    say!(
+        "  {:<22} {:>12} {:>14} {:>10}",
+        "metric",
+        "mean",
+        "variance",
+        "hill α"
+    );
+    let rows: [(&str, f64, f64, &TailSnapshot); 3] = [
+        (
+            "session duration (s)",
+            summary.session_duration.mean,
+            summary.session_duration.variance,
+            &summary.duration_tail,
+        ),
+        (
+            "requests/session",
+            summary.session_requests.mean,
+            summary.session_requests.variance,
+            &summary.requests_tail,
+        ),
+        (
+            "bytes/session",
+            summary.session_bytes.mean,
+            summary.session_bytes.variance,
+            &summary.bytes_tail,
+        ),
+    ];
+    for (name, mean, var, tail) in rows {
+        let alpha = tail
+            .alpha
+            .map(|a| format!("{a:.3}"))
+            .unwrap_or_else(|| "NA".to_string());
+        say!("  {name:<22} {mean:>12.3} {var:>14.3} {alpha:>10}");
+    }
+    for (what, windows) in [
+        ("request", &summary.request_windows),
+        ("session", &summary.session_windows),
+    ] {
+        say!("  {what} arrival windows:");
+        say!(
+            "  {:>4} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            "win",
+            "events",
+            "H(1s)",
+            "H(10ms)",
+            "hourly",
+            "10-min"
+        );
+        for w in windows.iter() {
+            let h = |v: Option<f64>| {
+                v.map(|x| format!("{x:.3}"))
+                    .unwrap_or_else(|| "NA".to_string())
+            };
+            say!(
+                "  {:>4} {:>10} {:>8} {:>8} {:>8} {:>8}",
+                w.index,
+                w.events,
+                h(w.h_variance_time),
+                h(w.h_variance_time_fine),
+                verdict_str(w.poisson_hourly),
+                verdict_str(w.poisson_ten_min)
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------ batch check
+
+/// One drift check: prints PASS/DRIFT and returns 1 on drift.
+fn check(label: &str, ok: bool, detail: String) -> u32 {
+    if ok {
+        say!("  PASS  {label:<28} {detail}");
+        0
+    } else {
+        // Drifts always print, even under --quiet: they are the verdict.
+        println!("  DRIFT {label:<28} {detail}");
+        1
+    }
+}
+
+fn close_rel(a: f64, b: f64, rtol: f64) -> bool {
+    (a - b).abs() <= rtol * a.abs().max(b.abs()).max(1.0)
+}
+
+fn check_optional(label: &str, stream: Option<f64>, batch: Option<f64>, tol: f64) -> u32 {
+    match (stream, batch) {
+        (Some(s), Some(b)) => check(
+            label,
+            (s - b).abs() <= tol,
+            format!("stream {s:.4} batch {b:.4} (tol {tol})"),
+        ),
+        (None, None) => check(label, true, "both NA".to_string()),
+        (s, b) => check(label, false, format!("stream {s:?} batch {b:?}")),
+    }
+}
+
+/// Outer-half Hill plot mean — the same assessment the streaming top-k
+/// estimator computes, without the plateau CV gate (which only decides
+/// whether the batch pipeline *reports* the value).
+fn batch_hill_mean(values: &[f64], tail_fraction: f64) -> Option<f64> {
+    let positive: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    let plot = hill_plot(&positive, tail_fraction).ok()?;
+    let k_max = plot.last()?.0;
+    let window: Vec<f64> = plot
+        .iter()
+        .filter(|(k, _)| *k >= k_max / 2)
+        .map(|(_, a)| *a)
+        .collect();
+    Some(window.iter().sum::<f64>() / window.len() as f64)
+}
+
+fn batch_windows(times: &[f64], reports: &[WindowReport], cfg: &WindowConfig, label: &str) -> u32 {
+    let mut drift = 0;
+    for report in reports {
+        let start = report.start;
+        let in_window: Vec<f64> = times
+            .iter()
+            .copied()
+            .filter(|&t| t >= start && t < start + cfg.window_len)
+            .collect();
+        drift += check(
+            &format!("{label} win{} events", report.index),
+            in_window.len() as u64 == report.events,
+            format!("stream {} batch {}", report.events, in_window.len()),
+        );
+        let n_bins = (cfg.window_len / cfg.bin_width).ceil().max(1.0) as usize;
+        let batch_h =
+            CountSeries::from_event_times_in_window(&in_window, cfg.bin_width, start, n_bins)
+                .ok()
+                .and_then(|s| variance_time(s.counts()).ok())
+                .map(|e| e.h);
+        drift += check_optional(
+            &format!("{label} win{} H", report.index),
+            report.h_variance_time,
+            batch_h,
+            H_TOLERANCE,
+        );
+        for (name, subs, got) in [
+            ("hourly", 3_600.0, report.poisson_hourly),
+            ("10-min", 600.0, report.poisson_ten_min),
+        ] {
+            let subintervals = ((cfg.window_len / subs).round() as usize).max(2);
+            let batch_verdict = if in_window.is_empty() {
+                PoissonVerdict::NotApplicable
+            } else {
+                poisson_arrival_test(
+                    &in_window,
+                    start,
+                    cfg.window_len,
+                    subintervals,
+                    TieSpreading::Uniform,
+                    cfg.min_poisson_arrivals,
+                    cfg.seed,
+                )
+                .ok()
+                .flatten()
+                .map_or(PoissonVerdict::NotApplicable, |o| o.verdict())
+            };
+            drift += check(
+                &format!("{label} win{} poisson {name}", report.index),
+                got == batch_verdict,
+                format!(
+                    "stream {} batch {}",
+                    verdict_str(got),
+                    verdict_str(batch_verdict)
+                ),
+            );
+        }
+    }
+    drift
+}
+
+fn verify_batch(args: &Args, path: &str, summary: &StreamSummary, stream_skipped: u64) -> u32 {
+    say!("verify-batch: re-running the batch pipeline on {path}");
+    let mut text = String::new();
+    // Batch verification is inherently un-streamed: it exists to check
+    // the one-pass path against the reference, so it may buffer.
+    let mut file = File::open(path).expect("verify-batch: reopen input");
+    file.read_to_string(&mut text)
+        .expect("verify-batch: read input");
+    let (records, batch_skipped) = if args.lenient {
+        let lenient = parse_log_lenient(&text, args.base_epoch);
+        (lenient.records, lenient.skipped)
+    } else {
+        (
+            parse_log(&text, args.base_epoch).expect("strict batch parse"),
+            0,
+        )
+    };
+    let sessions: Vec<Session> = sessionize(&records, args.threshold).expect("batch sessionize");
+
+    let mut drift = 0;
+    drift += check(
+        "records",
+        summary.records == records.len() as u64,
+        format!("stream {} batch {}", summary.records, records.len()),
+    );
+    drift += check(
+        "skipped lines",
+        stream_skipped == batch_skipped,
+        format!("stream {stream_skipped} batch {batch_skipped}"),
+    );
+    drift += check(
+        "sessions",
+        summary.sessions == sessions.len() as u64,
+        format!("stream {} batch {}", summary.sessions, sessions.len()),
+    );
+    let batch_bytes: u64 = records.iter().map(|r| r.bytes).sum();
+    drift += check(
+        "bytes",
+        summary.bytes == batch_bytes,
+        format!("stream {} batch {batch_bytes}", summary.bytes),
+    );
+
+    let durations: Vec<f64> = sessions.iter().map(|s| s.duration()).collect();
+    let request_counts: Vec<f64> = sessions.iter().map(|s| s.request_count as f64).collect();
+    let session_bytes: Vec<f64> = sessions.iter().map(|s| s.bytes as f64).collect();
+    for (label, stream_mean, values) in [
+        ("duration mean", summary.session_duration.mean, &durations),
+        (
+            "requests mean",
+            summary.session_requests.mean,
+            &request_counts,
+        ),
+        (
+            "bytes/session mean",
+            summary.session_bytes.mean,
+            &session_bytes,
+        ),
+    ] {
+        let batch_mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+        drift += check(
+            label,
+            close_rel(stream_mean, batch_mean, MOMENT_RTOL),
+            format!("stream {stream_mean:.6} batch {batch_mean:.6}"),
+        );
+    }
+
+    let tail_fraction = StreamConfig::default().tail_fraction;
+    for (label, tail, values) in [
+        ("hill α duration", &summary.duration_tail, &durations),
+        ("hill α requests", &summary.requests_tail, &request_counts),
+        ("hill α bytes", &summary.bytes_tail, &session_bytes),
+    ] {
+        drift += check_optional(
+            label,
+            tail.alpha,
+            batch_hill_mean(values, tail_fraction),
+            HILL_TOLERANCE,
+        );
+    }
+
+    let request_times: Vec<f64> = records.iter().map(|r| r.timestamp).collect();
+    let mut session_starts: Vec<f64> = sessions.iter().map(|s| s.start).collect();
+    session_starts.sort_by(|a, b| a.partial_cmp(b).expect("finite starts"));
+    let cfg = stream_config(args);
+    drift += batch_windows(
+        &request_times,
+        &summary.request_windows,
+        &cfg.request_window,
+        "req",
+    );
+    drift += batch_windows(
+        &session_starts,
+        &summary.session_windows,
+        &cfg.session_window,
+        "sess",
+    );
+    drift
+}

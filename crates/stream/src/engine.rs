@@ -1,0 +1,442 @@
+//! The wired-up streaming engine: one [`StreamAnalyzer::push`] per log
+//! record in, one [`StreamSummary`] out, bounded memory throughout.
+//!
+//! The analyzer composes the crate's pieces the way the batch pipeline
+//! composes its phases: records flow into the TTL
+//! [`StreamSessionizer`]; evicted sessions update Welford moments and
+//! top-k Hill tails for the paper's three intra-session metrics
+//! (§5.2: duration, requests, bytes); request and session-start
+//! timestamps feed two [`WindowedArrivals`] accumulators whose
+//! completed windows run the variance-time estimator and the §4.2
+//! Poisson battery. Everything is also mirrored into `stream/*`
+//! counters, gauges, and histograms in the `webpuzzle-obs` registry, so
+//! a live `--telemetry-addr` endpoint sees progress mid-stream.
+
+use crate::online::{LogHistogram, Moments, TopK, Welford};
+use crate::sessionizer::StreamSessionizer;
+use crate::window::{WindowConfig, WindowReport, WindowedArrivals};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use webpuzzle_obs::metrics;
+use webpuzzle_weblog::{LogRecord, Session, DEFAULT_SESSION_THRESHOLD};
+
+/// Configuration of the streaming engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Session inactivity threshold, seconds (paper: 30 minutes).
+    pub session_threshold: f64,
+    /// Windowing of the request arrival process.
+    pub request_window: WindowConfig,
+    /// Windowing of the session arrival process (fine ring is pointless
+    /// at session rates, so it defaults to off here).
+    pub session_window: WindowConfig,
+    /// Order statistics retained per tail metric. Memory is
+    /// `O(tail_k)`; when `tail_k` exceeds `⌊tail_fraction·n⌋` the Hill
+    /// assessment window coincides with the batch pipeline's.
+    pub tail_k: usize,
+    /// Tail fraction for the Hill assessment cap (paper/batch: 0.14).
+    pub tail_fraction: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            session_threshold: DEFAULT_SESSION_THRESHOLD,
+            request_window: WindowConfig::default(),
+            session_window: WindowConfig {
+                fine_bin_width: None,
+                ..WindowConfig::default()
+            },
+            tail_k: 8_192,
+            tail_fraction: 0.14,
+        }
+    }
+}
+
+/// State of one top-k Hill tail estimate at summary time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TailSnapshot {
+    /// Positive observations offered to the heap.
+    pub seen: u64,
+    /// Order statistics retained (`min(seen, tail_k)`).
+    pub retained: usize,
+    /// Hill tail index α, assessed over the batch window
+    /// `[k_max/2, k_max]`, `k_max = ⌊tail_fraction·seen⌋` (capped at
+    /// what the heap retains). `None` with too little data.
+    pub alpha: Option<f64>,
+}
+
+/// One-pass summary of a log stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSummary {
+    /// Records pushed.
+    pub records: u64,
+    /// Sessions completed (after [`StreamAnalyzer::finish`], all of
+    /// them).
+    pub sessions: u64,
+    /// Sessions still open (zero after [`StreamAnalyzer::finish`]).
+    pub open_sessions: usize,
+    /// Peak simultaneously-open sessions — the memory high-water mark
+    /// of the TTL map.
+    pub peak_open_sessions: usize,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Per-request transfer size moments.
+    pub response_bytes: Moments,
+    /// Session duration moments, seconds (§5.2.1).
+    pub session_duration: Moments,
+    /// Requests-per-session moments (§5.2.2).
+    pub session_requests: Moments,
+    /// Bytes-per-session moments (§5.2.3).
+    pub session_bytes: Moments,
+    /// Hill tail of session durations.
+    pub duration_tail: TailSnapshot,
+    /// Hill tail of requests per session.
+    pub requests_tail: TailSnapshot,
+    /// Hill tail of bytes per session.
+    pub bytes_tail: TailSnapshot,
+    /// Per-window analysis of the request arrival process.
+    pub request_windows: Vec<WindowReport>,
+    /// Per-window analysis of the session arrival process.
+    pub session_windows: Vec<WindowReport>,
+}
+
+/// The one-pass analysis engine. See the crate docs for an example.
+#[derive(Debug)]
+pub struct StreamAnalyzer {
+    cfg: StreamConfig,
+    sessionizer: StreamSessionizer,
+    session_buf: Vec<Session>,
+    window_buf: Vec<WindowReport>,
+    request_arrivals: WindowedArrivals,
+    session_arrivals: WindowedArrivals,
+    request_windows: Vec<WindowReport>,
+    session_windows: Vec<WindowReport>,
+    response_bytes: Welford,
+    bytes_hist: LogHistogram,
+    session_duration: Welford,
+    session_requests: Welford,
+    session_bytes: Welford,
+    duration_tail: TopK,
+    requests_tail: TopK,
+    bytes_tail: TopK,
+    records: u64,
+    bytes: u64,
+    finished: bool,
+    records_counter: Arc<webpuzzle_obs::ShardedCounter>,
+    bytes_counter: Arc<metrics::Counter>,
+    sessions_counter: Arc<metrics::Counter>,
+    windows_counter: Arc<metrics::Counter>,
+    open_gauge: Arc<metrics::Gauge>,
+    peak_gauge: Arc<metrics::Gauge>,
+    live_bytes_hist: Arc<metrics::Histogram>,
+    live_duration_hist: Arc<metrics::Histogram>,
+}
+
+impl StreamAnalyzer {
+    /// Build an engine.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-finite or non-positive session threshold, exactly
+    /// as batch [`webpuzzle_weblog::sessionize`] would.
+    pub fn new(cfg: StreamConfig) -> Result<Self> {
+        let sessionizer = StreamSessionizer::new(cfg.session_threshold)?;
+        let request_arrivals = WindowedArrivals::new(cfg.request_window.clone());
+        let session_arrivals = WindowedArrivals::new(cfg.session_window.clone());
+        Ok(StreamAnalyzer {
+            sessionizer,
+            request_arrivals,
+            session_arrivals,
+            session_buf: Vec::new(),
+            window_buf: Vec::new(),
+            request_windows: Vec::new(),
+            session_windows: Vec::new(),
+            response_bytes: Welford::new(),
+            bytes_hist: LogHistogram::new(),
+            session_duration: Welford::new(),
+            session_requests: Welford::new(),
+            session_bytes: Welford::new(),
+            duration_tail: TopK::new(cfg.tail_k),
+            requests_tail: TopK::new(cfg.tail_k),
+            bytes_tail: TopK::new(cfg.tail_k),
+            records: 0,
+            bytes: 0,
+            finished: false,
+            records_counter: metrics::sharded_counter("stream/records"),
+            bytes_counter: metrics::counter("stream/bytes"),
+            sessions_counter: metrics::counter("stream/sessions_completed"),
+            windows_counter: metrics::counter("stream/windows_closed"),
+            open_gauge: metrics::gauge("stream/open_sessions"),
+            peak_gauge: metrics::gauge("stream/peak_open_sessions"),
+            live_bytes_hist: metrics::histogram("stream/response_bytes"),
+            live_duration_hist: metrics::histogram("stream/session_duration_secs"),
+            cfg,
+        })
+    }
+
+    /// Feed one record (timestamps must be nondecreasing).
+    ///
+    /// # Errors
+    ///
+    /// [`webpuzzle_weblog::WeblogError::Unsorted`] on out-of-order
+    /// input; estimator errors from a window that closed on this push.
+    pub fn push(&mut self, record: &LogRecord) -> Result<()> {
+        let started = self.sessionizer.push(record, &mut self.session_buf)?;
+        self.records += 1;
+        self.bytes += record.bytes;
+        self.records_counter.incr();
+        self.bytes_counter.add(record.bytes);
+        self.response_bytes.push(record.bytes as f64);
+        self.bytes_hist.record(record.bytes);
+        self.live_bytes_hist.record(record.bytes);
+
+        self.request_arrivals
+            .push(record.timestamp, &mut self.window_buf)?;
+        Self::drain_windows(
+            &mut self.window_buf,
+            &mut self.request_windows,
+            &self.windows_counter,
+        );
+        if started {
+            self.session_arrivals
+                .push(record.timestamp, &mut self.window_buf)?;
+            Self::drain_windows(
+                &mut self.window_buf,
+                &mut self.session_windows,
+                &self.windows_counter,
+            );
+        }
+
+        if !self.session_buf.is_empty() {
+            let evicted = std::mem::take(&mut self.session_buf);
+            for session in &evicted {
+                self.absorb_session(session);
+            }
+        }
+        self.open_gauge.set(self.sessionizer.open_sessions() as f64);
+        self.peak_gauge
+            .set(self.sessionizer.peak_open_sessions() as f64);
+        Ok(())
+    }
+
+    /// Close all open sessions and the trailing window, and return the
+    /// final summary. Further [`StreamAnalyzer::push`] calls are
+    /// rejected as unsorted by the sessionizer's watermark only if they
+    /// go backwards; calling `finish` twice is harmless.
+    ///
+    /// # Errors
+    ///
+    /// Estimator errors from the trailing window analysis.
+    pub fn finish(&mut self) -> Result<StreamSummary> {
+        if !self.finished {
+            self.finished = true;
+            let mut drained = std::mem::take(&mut self.session_buf);
+            self.sessionizer.finish(&mut drained);
+            for session in &drained {
+                self.absorb_session(session);
+            }
+            self.request_arrivals.finish(&mut self.window_buf)?;
+            Self::drain_windows(
+                &mut self.window_buf,
+                &mut self.request_windows,
+                &self.windows_counter,
+            );
+            self.session_arrivals.finish(&mut self.window_buf)?;
+            Self::drain_windows(
+                &mut self.window_buf,
+                &mut self.session_windows,
+                &self.windows_counter,
+            );
+            self.open_gauge.set(0.0);
+        }
+        Ok(self.summary())
+    }
+
+    /// A snapshot of everything estimated so far — valid mid-stream
+    /// (open sessions and the current partial window are *not*
+    /// included) and after [`StreamAnalyzer::finish`] (everything is).
+    pub fn summary(&self) -> StreamSummary {
+        StreamSummary {
+            records: self.records,
+            sessions: self.sessionizer.emitted(),
+            open_sessions: self.sessionizer.open_sessions(),
+            peak_open_sessions: self.sessionizer.peak_open_sessions(),
+            bytes: self.bytes,
+            response_bytes: self.response_bytes.snapshot(),
+            session_duration: self.session_duration.snapshot(),
+            session_requests: self.session_requests.snapshot(),
+            session_bytes: self.session_bytes.snapshot(),
+            duration_tail: self.tail_snapshot(&self.duration_tail),
+            requests_tail: self.tail_snapshot(&self.requests_tail),
+            bytes_tail: self.tail_snapshot(&self.bytes_tail),
+            request_windows: self.request_windows.clone(),
+            session_windows: self.session_windows.clone(),
+        }
+    }
+
+    /// The per-request transfer-size histogram (log-bucketed).
+    pub fn bytes_histogram(&self) -> &LogHistogram {
+        &self.bytes_hist
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Records pushed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    fn tail_snapshot(&self, tail: &TopK) -> TailSnapshot {
+        TailSnapshot {
+            seen: tail.seen(),
+            retained: tail.retained(),
+            alpha: tail.hill_with_k_max(tail.batch_k_max(self.cfg.tail_fraction)),
+        }
+    }
+
+    fn absorb_session(&mut self, session: &Session) {
+        self.sessions_counter.incr();
+        let duration = session.duration();
+        self.session_duration.push(duration);
+        self.session_requests.push(session.request_count as f64);
+        self.session_bytes.push(session.bytes as f64);
+        self.duration_tail.push(duration);
+        self.requests_tail.push(session.request_count as f64);
+        self.bytes_tail.push(session.bytes as f64);
+        self.live_duration_hist.record(duration.max(0.0) as u64);
+    }
+
+    fn drain_windows(
+        buf: &mut Vec<WindowReport>,
+        into: &mut Vec<WindowReport>,
+        counter: &metrics::Counter,
+    ) {
+        if !buf.is_empty() {
+            counter.add(buf.len() as u64);
+            into.append(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webpuzzle_weblog::{sessionize, Method};
+
+    fn record(t: f64, client: u32, bytes: u64) -> LogRecord {
+        LogRecord::new(t, client, Method::Get, client, 200, bytes)
+    }
+
+    fn small_config() -> StreamConfig {
+        StreamConfig {
+            session_threshold: 100.0,
+            request_window: WindowConfig {
+                window_len: 600.0,
+                fine_bin_width: None,
+                min_poisson_arrivals: 5,
+                ..WindowConfig::default()
+            },
+            session_window: WindowConfig {
+                window_len: 600.0,
+                fine_bin_width: None,
+                min_poisson_arrivals: 5,
+                ..WindowConfig::default()
+            },
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn counts_match_batch_pipeline() {
+        let records: Vec<LogRecord> = (0..2_000)
+            .map(|i| {
+                record(
+                    i as f64 * 1.7,
+                    (i % 37) as u32,
+                    100 + (i * 13) as u64 % 5_000,
+                )
+            })
+            .collect();
+        let mut engine = StreamAnalyzer::new(small_config()).unwrap();
+        for r in &records {
+            engine.push(r).unwrap();
+        }
+        let summary = engine.finish().unwrap();
+        let batch = sessionize(&records, 100.0).unwrap();
+        assert_eq!(summary.records, 2_000);
+        assert_eq!(summary.sessions, batch.len() as u64);
+        assert_eq!(summary.bytes, records.iter().map(|r| r.bytes).sum::<u64>());
+        assert_eq!(summary.open_sessions, 0);
+        assert_eq!(
+            summary.session_requests.count + summary.session_duration.count,
+            2 * batch.len() as u64
+        );
+    }
+
+    #[test]
+    fn moments_match_batch_sessions() {
+        let records: Vec<LogRecord> = (0..5_000)
+            .map(|i| record(i as f64 * 0.9, (i % 113) as u32, (i * 7) as u64 % 9_000 + 1))
+            .collect();
+        let mut engine = StreamAnalyzer::new(small_config()).unwrap();
+        for r in &records {
+            engine.push(r).unwrap();
+        }
+        let summary = engine.finish().unwrap();
+        let batch = sessionize(&records, 100.0).unwrap();
+        let durations: Vec<f64> = batch.iter().map(|s| s.duration()).collect();
+        let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+        assert!((summary.session_duration.mean - mean).abs() < 1e-9);
+        let bytes_mean = batch.iter().map(|s| s.bytes as f64).sum::<f64>() / batch.len() as f64;
+        assert!((summary.session_bytes.mean - bytes_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn windows_appear_in_the_summary() {
+        let mut engine = StreamAnalyzer::new(small_config()).unwrap();
+        // 0.5 s spacing over 310 clients: each client recurs every
+        // 155 s — past the 100 s threshold — so sessions start (and
+        // complete) throughout the stream, not just at the front.
+        for i in 0..3_100u32 {
+            engine.push(&record(i as f64 * 0.5, i % 310, 256)).unwrap();
+        }
+        let summary = engine.finish().unwrap();
+        // 1549.5 s of traffic over 600 s windows: 2 full windows plus a
+        // more-than-half-covered trailing stub.
+        assert_eq!(summary.request_windows.len(), 3);
+        assert!(summary.request_windows[0].events > 0);
+        assert_eq!(summary.session_windows.len(), 3);
+    }
+
+    #[test]
+    fn mid_stream_summary_is_partial_but_consistent() {
+        let mut engine = StreamAnalyzer::new(small_config()).unwrap();
+        for i in 0..500u32 {
+            engine.push(&record(i as f64 * 2.0, i % 7, 64)).unwrap();
+        }
+        let partial = engine.summary();
+        assert_eq!(partial.records, 500);
+        assert_eq!(partial.open_sessions, 7);
+        assert!(partial.sessions < 500);
+        let fin = engine.finish().unwrap();
+        assert_eq!(fin.open_sessions, 0);
+        assert!(fin.sessions >= partial.sessions);
+        // finish() is idempotent.
+        let again = engine.finish().unwrap();
+        assert_eq!(again, fin);
+    }
+
+    #[test]
+    fn rejects_invalid_threshold() {
+        let cfg = StreamConfig {
+            session_threshold: 0.0,
+            ..StreamConfig::default()
+        };
+        assert!(StreamAnalyzer::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Chunked Common Log Format reading.
+//!
+//! [`ClfSource`] pulls lines from any [`BufRead`] — a file, stdin, a
+//! socket — through a reusable byte buffer, so memory is one line at a
+//! time no matter how long the log is. Malformed lines either abort
+//! (strict mode, mirroring [`webpuzzle_weblog::clf::parse_log`]) or are
+//! skipped and counted (lenient mode, mirroring
+//! [`webpuzzle_weblog::clf::parse_log_lenient`]).
+
+use crate::pipeline::Source;
+use crate::Result;
+use std::io::BufRead;
+use std::sync::Arc;
+use webpuzzle_obs::metrics;
+use webpuzzle_weblog::clf::{parse_line, MALFORMED_SKIPPED_COUNTER};
+use webpuzzle_weblog::{LogRecord, WeblogError};
+
+/// A pull-based CLF record source over any buffered reader.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_stream::{ClfSource, Source};
+///
+/// let log = "10.0.0.1 - - [12/Jan/2004:00:00:07 +0000] \"GET /r/1 HTTP/1.0\" 200 10\n\
+///            garbage\n\
+///            10.0.0.2 - - [12/Jan/2004:00:00:09 +0000] \"GET /r/2 HTTP/1.0\" 200 20\n";
+/// let mut source = ClfSource::new(log.as_bytes(), 1_073_865_600).lenient(true);
+/// let mut n = 0;
+/// while let Some(rec) = source.next_item() {
+///     rec.unwrap();
+///     n += 1;
+/// }
+/// assert_eq!(n, 2);
+/// assert_eq!(source.skipped(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ClfSource<R> {
+    reader: R,
+    base_epoch: i64,
+    lenient: bool,
+    buf: Vec<u8>,
+    line_no: usize,
+    parsed: u64,
+    skipped: u64,
+    done: bool,
+    parsed_counter: Arc<webpuzzle_obs::ShardedCounter>,
+    skip_counter: Arc<metrics::Counter>,
+}
+
+impl<R: BufRead> ClfSource<R> {
+    /// Wrap a buffered reader; record timestamps come out relative to
+    /// `base_epoch` (Unix seconds).
+    pub fn new(reader: R, base_epoch: i64) -> Self {
+        ClfSource {
+            reader,
+            base_epoch,
+            lenient: false,
+            buf: Vec::with_capacity(256),
+            line_no: 0,
+            parsed: 0,
+            skipped: 0,
+            done: false,
+            parsed_counter: metrics::sharded_counter("weblog/records_parsed"),
+            skip_counter: metrics::counter(MALFORMED_SKIPPED_COUNTER),
+        }
+    }
+
+    /// Skip (and count) malformed lines instead of aborting the stream.
+    /// Invalid UTF-8 bytes are always replaced, never fatal.
+    pub fn lenient(mut self, lenient: bool) -> Self {
+        self.lenient = lenient;
+        self
+    }
+
+    /// Records successfully parsed so far.
+    pub fn parsed(&self) -> u64 {
+        self.parsed
+    }
+
+    /// Malformed lines skipped so far (always 0 in strict mode).
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// 1-based number of the last line read.
+    pub fn line_number(&self) -> usize {
+        self.line_no
+    }
+}
+
+impl<R: BufRead> Source for ClfSource<R> {
+    type Item = LogRecord;
+
+    fn next_item(&mut self) -> Option<Result<LogRecord>> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            match self.reader.read_until(b'\n', &mut self.buf) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+            }
+            self.line_no += 1;
+            let line = String::from_utf8_lossy(&self.buf);
+            let line = line.trim_end_matches(['\n', '\r']);
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_line(line, self.base_epoch) {
+                Ok(rec) => {
+                    self.parsed += 1;
+                    self.parsed_counter.incr();
+                    return Some(Ok(rec));
+                }
+                Err(WeblogError::ParseLine { .. }) if self.lenient => {
+                    self.skipped += 1;
+                    self.skip_counter.incr();
+                }
+                Err(WeblogError::ParseLine { reason, .. }) => {
+                    self.done = true;
+                    return Some(Err(WeblogError::ParseLine {
+                        line: self.line_no,
+                        reason,
+                    }
+                    .into()));
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webpuzzle_weblog::clf::format_line;
+    use webpuzzle_weblog::Method;
+
+    const BASE: i64 = 1_073_865_600;
+
+    fn log_text(n: usize) -> String {
+        (0..n)
+            .map(|i| {
+                let rec = LogRecord::new(i as f64, i as u32, Method::Get, 1, 200, 10);
+                format_line(&rec, BASE) + "\n"
+            })
+            .collect()
+    }
+
+    fn drain<R: BufRead>(mut src: ClfSource<R>) -> (Vec<LogRecord>, ClfSource<R>) {
+        let mut out = Vec::new();
+        while let Some(item) = src.next_item() {
+            out.push(item.expect("parse ok"));
+        }
+        (out, src)
+    }
+
+    #[test]
+    fn streams_all_records() {
+        let text = log_text(100);
+        let (records, src) = drain(ClfSource::new(text.as_bytes(), BASE));
+        assert_eq!(records.len(), 100);
+        assert_eq!(src.parsed(), 100);
+        assert_eq!(records[7].timestamp, 7.0);
+    }
+
+    #[test]
+    fn matches_batch_parse() {
+        let text = log_text(50);
+        let batch = webpuzzle_weblog::clf::parse_log(&text, BASE).unwrap();
+        let (streamed, _) = drain(ClfSource::new(text.as_bytes(), BASE));
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn strict_mode_reports_line_number() {
+        let text = format!("{}garbage here\n{}", log_text(2), log_text(1));
+        let mut src = ClfSource::new(text.as_bytes(), BASE);
+        assert!(src.next_item().unwrap().is_ok());
+        assert!(src.next_item().unwrap().is_ok());
+        match src.next_item().unwrap() {
+            Err(crate::StreamError::Weblog(WeblogError::ParseLine { line, .. })) => {
+                assert_eq!(line, 3)
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // A failed strict source is exhausted.
+        assert!(src.next_item().is_none());
+    }
+
+    #[test]
+    fn lenient_mode_skips_garbage_and_bad_utf8() {
+        let mut bytes = log_text(3).into_bytes();
+        bytes.extend_from_slice(b"\xFF\xFE broken bytes\n");
+        bytes.extend_from_slice(log_text(2).as_bytes());
+        let (records, src) = drain(ClfSource::new(&bytes[..], BASE).lenient(true));
+        assert_eq!(records.len(), 5);
+        assert_eq!(src.skipped(), 1);
+    }
+
+    #[test]
+    fn blank_lines_are_free() {
+        let text = format!("\n\n{}\n\n", log_text(2));
+        let (records, src) = drain(ClfSource::new(text.as_bytes(), BASE));
+        assert_eq!(records.len(), 2);
+        assert_eq!(src.skipped(), 0);
+    }
+
+    #[test]
+    fn missing_trailing_newline_still_parses() {
+        let text = log_text(2);
+        let text = text.trim_end();
+        let (records, _) = drain(ClfSource::new(text.as_bytes(), BASE));
+        assert_eq!(records.len(), 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! Incremental sessionization with TTL eviction.
+//!
+//! The batch [`webpuzzle_weblog::sessionize`] takes the whole record
+//! slice; [`StreamSessionizer`] consumes records one at a time (they
+//! must arrive in nondecreasing timestamp order, as real logs do) and
+//! keeps only the *open* sessions in a hash map. A session is closed —
+//! and emitted — in exactly two situations, both of which the paper's
+//! §2 definition forces:
+//!
+//! 1. its own client issues a request at or beyond the inactivity
+//!    threshold (the gap rule: `gap >= threshold` starts a new session);
+//! 2. the stream watermark (max timestamp seen) passes
+//!    `end + threshold` — no future record can extend the session, so
+//!    it is evicted from the TTL map during a periodic sweep.
+//!
+//! The two rules produce the same multiset of sessions as the batch
+//! sessionizer on any time-sorted input (property-tested in
+//! `tests/streaming_equivalence.rs`); only the emission *order*
+//! differs, because bounded memory forbids a global sort by start time.
+
+use crate::pipeline::Stage;
+use crate::Result;
+use std::collections::HashMap;
+use webpuzzle_weblog::{LogRecord, Session, WeblogError};
+
+/// Default eviction sweep interval, in event-time seconds. A sweep
+/// costs `O(open sessions)`, so sweeping every 60 s of log time keeps
+/// the amortized per-record cost negligible while bounding eviction
+/// latency well below the threshold itself.
+pub const DEFAULT_SWEEP_INTERVAL: f64 = 60.0;
+
+/// Streaming sessionizer over a TTL hash map of open sessions.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_stream::StreamSessionizer;
+/// use webpuzzle_weblog::{LogRecord, Method, DEFAULT_SESSION_THRESHOLD};
+///
+/// # fn main() -> Result<(), webpuzzle_stream::StreamError> {
+/// let mut s = StreamSessionizer::new(DEFAULT_SESSION_THRESHOLD)?;
+/// let mut out = Vec::new();
+/// s.push(&LogRecord::new(0.0, 1, Method::Get, 1, 200, 100), &mut out)?;
+/// s.push(&LogRecord::new(10.0, 1, Method::Get, 2, 200, 50), &mut out)?;
+/// // 1800 s later the gap rule splits client 1's session.
+/// s.push(&LogRecord::new(1810.0, 1, Method::Get, 3, 200, 1), &mut out)?;
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out[0].request_count, 2);
+/// assert_eq!(out[0].bytes, 150);
+/// s.finish(&mut out);
+/// assert_eq!(out.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamSessionizer {
+    threshold: f64,
+    sweep_interval: f64,
+    open: HashMap<u32, Session>,
+    watermark: f64,
+    last_sweep: f64,
+    records_seen: u64,
+    emitted: u64,
+    peak_open: usize,
+}
+
+impl StreamSessionizer {
+    /// Create a sessionizer with the given inactivity `threshold`
+    /// (seconds; the paper uses 1800).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeblogError::InvalidParameter`] for a non-positive or
+    /// non-finite threshold, matching the batch sessionizer.
+    pub fn new(threshold: f64) -> Result<Self> {
+        if !threshold.is_finite() || threshold <= 0.0 {
+            return Err(WeblogError::InvalidParameter {
+                name: "threshold",
+                constraint: "must be finite and > 0",
+            }
+            .into());
+        }
+        Ok(StreamSessionizer {
+            threshold,
+            sweep_interval: DEFAULT_SWEEP_INTERVAL,
+            open: HashMap::new(),
+            watermark: f64::NEG_INFINITY,
+            last_sweep: f64::NEG_INFINITY,
+            records_seen: 0,
+            emitted: 0,
+            peak_open: 0,
+        })
+    }
+
+    /// Override the eviction sweep interval (event-time seconds).
+    /// Smaller values tighten eviction latency at higher sweep cost;
+    /// the emitted sessions are identical either way.
+    pub fn with_sweep_interval(mut self, interval: f64) -> Self {
+        self.sweep_interval = interval.max(0.0);
+        self
+    }
+
+    /// Feed one record; completed sessions (if any) are appended to
+    /// `out`. Returns `true` when the record *started* a new session —
+    /// the signal the engine's session-arrival window counts consume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeblogError::Unsorted`] if `record.timestamp` is below
+    /// the stream watermark: streaming sessionization requires
+    /// time-sorted input (access logs are written in arrival order).
+    pub fn push(&mut self, record: &LogRecord, out: &mut Vec<Session>) -> Result<bool> {
+        if record.timestamp < self.watermark {
+            return Err(WeblogError::Unsorted {
+                at: self.records_seen as usize,
+            }
+            .into());
+        }
+        self.records_seen += 1;
+        self.watermark = record.timestamp;
+        if self.watermark - self.last_sweep >= self.sweep_interval {
+            self.sweep(out);
+            self.last_sweep = self.watermark;
+        }
+
+        let t = record.timestamp;
+        let started = match self.open.get_mut(&record.client) {
+            Some(session) if t - session.end < self.threshold => {
+                session.end = t;
+                session.request_count += 1;
+                session.bytes += record.bytes;
+                false
+            }
+            Some(session) => {
+                // Gap at or beyond the threshold: close and restart.
+                let done = *session;
+                *session = Session {
+                    client: record.client,
+                    start: t,
+                    end: t,
+                    request_count: 1,
+                    bytes: record.bytes,
+                };
+                self.emitted += 1;
+                out.push(done);
+                true
+            }
+            None => {
+                self.open.insert(
+                    record.client,
+                    Session {
+                        client: record.client,
+                        start: t,
+                        end: t,
+                        request_count: 1,
+                        bytes: record.bytes,
+                    },
+                );
+                true
+            }
+        };
+        self.peak_open = self.peak_open.max(self.open.len());
+        Ok(started)
+    }
+
+    /// Evict every open session whose TTL elapsed: the watermark passed
+    /// `end + threshold`, so no future record can extend it. Eviction
+    /// order is made deterministic by sorting the evicted batch.
+    fn sweep(&mut self, out: &mut Vec<Session>) {
+        let deadline = self.watermark - self.threshold;
+        if self.open.is_empty() || deadline == f64::NEG_INFINITY {
+            return;
+        }
+        let before = out.len();
+        self.open.retain(|_, session| {
+            if session.end <= deadline {
+                out.push(*session);
+                false
+            } else {
+                true
+            }
+        });
+        sort_batch(&mut out[before..]);
+        self.emitted += (out.len() - before) as u64;
+    }
+
+    /// Flush every still-open session at end-of-stream, sorted by
+    /// `(start, client)` for determinism.
+    pub fn finish(&mut self, out: &mut Vec<Session>) {
+        let before = out.len();
+        out.extend(self.open.drain().map(|(_, s)| s));
+        sort_batch(&mut out[before..]);
+        self.emitted += (out.len() - before) as u64;
+    }
+
+    /// Number of currently open (in-memory) sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.open.len()
+    }
+
+    /// High-water mark of simultaneously open sessions — the memory
+    /// bound actually reached on this stream.
+    pub fn peak_open_sessions(&self) -> usize {
+        self.peak_open
+    }
+
+    /// Sessions emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Records consumed so far.
+    pub fn records_seen(&self) -> u64 {
+        self.records_seen
+    }
+
+    /// Max timestamp seen so far (`-inf` before the first record).
+    pub fn watermark(&self) -> f64 {
+        self.watermark
+    }
+}
+
+/// Deterministic order for an eviction batch: by start, then client.
+fn sort_batch(batch: &mut [Session]) {
+    batch.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .expect("finite starts")
+            .then(a.client.cmp(&b.client))
+    });
+}
+
+impl Stage for StreamSessionizer {
+    type In = LogRecord;
+    type Out = Session;
+
+    fn process(&mut self, item: LogRecord, out: &mut Vec<Session>) -> Result<()> {
+        self.push(&item, out).map(|_| ())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Session>) -> Result<()> {
+        StreamSessionizer::finish(self, out);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webpuzzle_weblog::Method;
+
+    fn rec(t: f64, client: u32, bytes: u64) -> LogRecord {
+        LogRecord::new(t, client, Method::Get, 0, 200, bytes)
+    }
+
+    fn run(records: &[LogRecord], threshold: f64) -> Vec<Session> {
+        let mut s = StreamSessionizer::new(threshold).unwrap();
+        let mut out = Vec::new();
+        for r in records {
+            s.push(r, &mut out).unwrap();
+        }
+        s.finish(&mut out);
+        out
+    }
+
+    #[test]
+    fn gap_below_threshold_stays_one_session() {
+        let out = run(
+            &[rec(0.0, 1, 1), rec(1799.0, 1, 1), rec(3598.0, 1, 1)],
+            1800.0,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].request_count, 3);
+        assert_eq!(out[0].duration(), 3598.0);
+    }
+
+    #[test]
+    fn gap_exactly_at_threshold_splits() {
+        let out = run(&[rec(0.0, 1, 1), rec(1800.0, 1, 1)], 1800.0);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn ttl_eviction_at_exact_threshold_boundary() {
+        let mut s = StreamSessionizer::new(1800.0)
+            .unwrap()
+            .with_sweep_interval(0.0);
+        let mut out = Vec::new();
+        s.push(&rec(0.0, 1, 1), &mut out).unwrap();
+        // Watermark 1799.999…: client 1's TTL has not elapsed yet.
+        s.push(&rec(1799.0, 2, 1), &mut out).unwrap();
+        assert!(out.is_empty(), "evicted before the threshold elapsed");
+        assert_eq!(s.open_sessions(), 2);
+        // Watermark exactly end + threshold: the gap rule says a request
+        // at 1800.0 would start a NEW session, so eviction at exactly the
+        // boundary is correct — and must fire.
+        s.push(&rec(1800.0, 3, 1), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].client, 1);
+        assert_eq!(s.open_sessions(), 2);
+    }
+
+    #[test]
+    fn eviction_does_not_lose_late_same_client_splits() {
+        // Client 1 goes idle past the threshold, then returns: the old
+        // session must be emitted once and the new one opened.
+        let out = run(&[rec(0.0, 1, 5), rec(5000.0, 1, 7)], 1800.0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].bytes, 5);
+        assert_eq!(out[1].bytes, 7);
+    }
+
+    #[test]
+    fn rejects_out_of_order_input() {
+        let mut s = StreamSessionizer::new(1800.0).unwrap();
+        let mut out = Vec::new();
+        s.push(&rec(10.0, 1, 1), &mut out).unwrap();
+        let err = s.push(&rec(9.0, 1, 1), &mut out).unwrap_err();
+        match err {
+            crate::StreamError::Weblog(WeblogError::Unsorted { at }) => assert_eq!(at, 1),
+            other => panic!("expected Unsorted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equal_timestamps_are_fine() {
+        let out = run(&[rec(5.0, 1, 1), rec(5.0, 1, 1), rec(5.0, 2, 1)], 1800.0);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn matches_batch_on_a_dense_stream() {
+        let records: Vec<LogRecord> = (0..2000)
+            .map(|i| rec(i as f64 * 700.0, (i % 7) as u32, 1 + (i % 13) as u64))
+            .collect();
+        let mut streamed = run(&records, 1800.0);
+        let mut batch = webpuzzle_weblog::sessionize(&records, 1800.0).unwrap();
+        sort_batch(&mut streamed);
+        sort_batch(&mut batch);
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn peak_open_tracks_memory_bound() {
+        let mut s = StreamSessionizer::new(1800.0).unwrap();
+        let mut out = Vec::new();
+        for i in 0..100u32 {
+            s.push(&rec(i as f64, i, 1), &mut out).unwrap();
+        }
+        // All 100 clients are active within one threshold: all open.
+        assert_eq!(s.peak_open_sessions(), 100);
+        // A far-future record sweeps everything out.
+        s.push(&rec(1e7, 0, 1), &mut out).unwrap();
+        assert_eq!(s.open_sessions(), 1);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn started_flag_marks_session_starts() {
+        let mut s = StreamSessionizer::new(1800.0).unwrap();
+        let mut out = Vec::new();
+        assert!(s.push(&rec(0.0, 1, 1), &mut out).unwrap());
+        assert!(!s.push(&rec(1.0, 1, 1), &mut out).unwrap());
+        assert!(s.push(&rec(2.0, 2, 1), &mut out).unwrap());
+        assert!(s.push(&rec(9000.0, 1, 1), &mut out).unwrap());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(StreamSessionizer::new(0.0).is_err());
+        assert!(StreamSessionizer::new(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Windowed arrival analysis: bounded rings of per-second / per-10-ms
+//! counts that feed the existing variance-time estimator and §4.2
+//! Poisson battery, window by window.
+//!
+//! The batch pipeline bins a whole week of arrivals at once; here a
+//! fixed analysis window (default: the paper's 4-hour interval) is
+//! accumulated in two count rings plus the raw arrival times of the
+//! *current window only*, and when the stream crosses a window
+//! boundary the completed window is analyzed and the rings recycle.
+//! Memory is `O(window bins + window arrivals)` — nothing outlives its
+//! window except the small [`WindowReport`] per window.
+
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use webpuzzle_core::{poisson_arrival_test, PoissonVerdict, TieSpreading};
+use webpuzzle_lrd::variance_time;
+
+/// Configuration of the per-window analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Window length in seconds (paper: 4-hour intervals).
+    pub window_len: f64,
+    /// Coarse ring bin width, seconds (paper: 1 s arrival counts).
+    pub bin_width: f64,
+    /// Optional fine ring bin width, seconds (default 10 ms) for a
+    /// sub-second variance-time reading; `None` disables the fine ring.
+    pub fine_bin_width: Option<f64>,
+    /// Minimum arrivals per Poisson subinterval; below it the window
+    /// verdict is NA (the paper's NASA-Pub2 situation).
+    pub min_poisson_arrivals: usize,
+    /// Seed for the Poisson battery's uniform tie-spreading.
+    pub seed: u64,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            window_len: 14_400.0,
+            bin_width: 1.0,
+            fine_bin_width: Some(0.01),
+            min_poisson_arrivals: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// Analysis of one completed window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowReport {
+    /// Zero-based window index (window `i` covers
+    /// `[i·window_len, (i+1)·window_len)`).
+    pub index: u64,
+    /// Window start time, seconds.
+    pub start: f64,
+    /// Arrivals in the window.
+    pub events: u64,
+    /// Variance-time Hurst estimate over the coarse (per-second) ring;
+    /// `None` when the window is too quiet for the estimator.
+    pub h_variance_time: Option<f64>,
+    /// Variance-time Hurst estimate over the fine (per-10-ms) ring.
+    pub h_variance_time_fine: Option<f64>,
+    /// §4.2 Poisson verdict at hourly subinterval rates.
+    pub poisson_hourly: PoissonVerdict,
+    /// §4.2 Poisson verdict at 10-minute subinterval rates.
+    pub poisson_ten_min: PoissonVerdict,
+}
+
+/// Streaming window accumulator over one arrival process.
+///
+/// Feed event times in nondecreasing order via
+/// [`WindowedArrivals::push`]; completed [`WindowReport`]s are appended
+/// to the supplied buffer as boundaries are crossed. The trailing
+/// partial window is analyzed by [`WindowedArrivals::finish`] only if
+/// it is at least half covered (a 10-minute stub of a 4-hour window
+/// would produce noise, not measurement).
+#[derive(Debug)]
+pub struct WindowedArrivals {
+    cfg: WindowConfig,
+    coarse: Vec<f64>,
+    fine: Vec<f64>,
+    times: Vec<f64>,
+    window_index: u64,
+    last_time: f64,
+    total_events: u64,
+}
+
+impl WindowedArrivals {
+    /// Create an accumulator with the given window configuration.
+    pub fn new(cfg: WindowConfig) -> Self {
+        let coarse_bins = (cfg.window_len / cfg.bin_width).ceil().max(1.0) as usize;
+        let fine_bins = cfg
+            .fine_bin_width
+            .map(|w| (cfg.window_len / w).ceil().max(1.0) as usize)
+            .unwrap_or(0);
+        WindowedArrivals {
+            cfg,
+            coarse: vec![0.0; coarse_bins],
+            fine: vec![0.0; fine_bins],
+            times: Vec::new(),
+            window_index: 0,
+            last_time: f64::NEG_INFINITY,
+            total_events: 0,
+        }
+    }
+
+    /// Feed one arrival time (seconds, nondecreasing). Completed
+    /// windows are analyzed and appended to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator failures other than the expected
+    /// too-little-data cases (which map to `None`/NA in the report).
+    pub fn push(&mut self, t: f64, out: &mut Vec<WindowReport>) -> Result<()> {
+        debug_assert!(t >= self.last_time, "arrival times must be nondecreasing");
+        self.last_time = t;
+        // Close every window the stream has moved past (quiet stretches
+        // produce empty windows, which are reported as such).
+        while t >= (self.window_index + 1) as f64 * self.cfg.window_len {
+            let report = self.close_window()?;
+            out.push(report);
+        }
+        let start = self.window_index as f64 * self.cfg.window_len;
+        let offset = t - start;
+        if offset >= 0.0 {
+            let c = ((offset / self.cfg.bin_width) as usize).min(self.coarse.len() - 1);
+            self.coarse[c] += 1.0;
+            if let Some(w) = self.cfg.fine_bin_width {
+                let f = ((offset / w) as usize).min(self.fine.len().saturating_sub(1));
+                self.fine[f] += 1.0;
+            }
+            self.times.push(t);
+            self.total_events += 1;
+        }
+        Ok(())
+    }
+
+    /// Analyze the trailing partial window if it is at least half
+    /// covered, then reset. Returns the final report, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected estimator failures, as in
+    /// [`WindowedArrivals::push`].
+    pub fn finish(&mut self, out: &mut Vec<WindowReport>) -> Result<()> {
+        let start = self.window_index as f64 * self.cfg.window_len;
+        let covered = self.last_time - start;
+        if !self.times.is_empty() && covered >= self.cfg.window_len / 2.0 {
+            let report = self.close_window()?;
+            out.push(report);
+        }
+        Ok(())
+    }
+
+    /// Total arrivals accepted so far.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Memory footprint of the rings, in bins (diagnostic).
+    pub fn ring_bins(&self) -> usize {
+        self.coarse.len() + self.fine.len()
+    }
+
+    fn close_window(&mut self) -> Result<WindowReport> {
+        let _span = webpuzzle_obs::span!("stream/window_analysis");
+        let start = self.window_index as f64 * self.cfg.window_len;
+        let events = self.times.len() as u64;
+
+        let h_variance_time = variance_time(&self.coarse).ok().map(|e| e.h);
+        let h_variance_time_fine = if self.fine.is_empty() {
+            None
+        } else {
+            variance_time(&self.fine).ok().map(|e| e.h)
+        };
+
+        let subs_hourly = ((self.cfg.window_len / 3_600.0).round() as usize).max(2);
+        let subs_ten_min = ((self.cfg.window_len / 600.0).round() as usize).max(2);
+        let poisson_hourly = self.poisson_verdict(start, subs_hourly)?;
+        let poisson_ten_min = self.poisson_verdict(start, subs_ten_min)?;
+
+        let report = WindowReport {
+            index: self.window_index,
+            start,
+            events,
+            h_variance_time,
+            h_variance_time_fine,
+            poisson_hourly,
+            poisson_ten_min,
+        };
+
+        self.coarse.fill(0.0);
+        self.fine.fill(0.0);
+        self.times.clear();
+        self.window_index += 1;
+        Ok(report)
+    }
+
+    fn poisson_verdict(&self, start: f64, subintervals: usize) -> Result<PoissonVerdict> {
+        if self.times.is_empty() {
+            return Ok(PoissonVerdict::NotApplicable);
+        }
+        let outcome = poisson_arrival_test(
+            &self.times,
+            start,
+            self.cfg.window_len,
+            subintervals,
+            TieSpreading::Uniform,
+            self.cfg.min_poisson_arrivals,
+            self.cfg.seed,
+        )?;
+        Ok(outcome.map_or(PoissonVerdict::NotApplicable, |o| o.verdict()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use webpuzzle_stats::dist::{Exponential, Sampler};
+
+    fn cfg(window_len: f64) -> WindowConfig {
+        WindowConfig {
+            window_len,
+            bin_width: 1.0,
+            fine_bin_width: None,
+            min_poisson_arrivals: 20,
+            seed: 3,
+        }
+    }
+
+    /// Poisson arrivals at `rate`/s over `[0, horizon)`.
+    fn poisson_times(rate: f64, horizon: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let exp = Exponential::new(rate).unwrap();
+        let mut t = 0.0;
+        let mut out = Vec::new();
+        loop {
+            t += exp.sample(&mut rng);
+            if t >= horizon {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+
+    #[test]
+    fn windows_close_at_boundaries() {
+        let mut w = WindowedArrivals::new(cfg(3_600.0));
+        let mut out = Vec::new();
+        for t in poisson_times(2.0, 9_000.0, 1) {
+            w.push(t, &mut out).unwrap();
+        }
+        // 9000 s = 2 full hours + a 0.5-hour stub (< half: dropped).
+        w.finish(&mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].index, 0);
+        assert_eq!(out[1].start, 3_600.0);
+        assert!(out.iter().all(|r| r.events > 6_000));
+    }
+
+    #[test]
+    fn true_poisson_stream_passes_the_battery() {
+        let mut w = WindowedArrivals::new(cfg(14_400.0));
+        let mut out = Vec::new();
+        for t in poisson_times(1.5, 14_400.0, 17) {
+            w.push(t, &mut out).unwrap();
+        }
+        w.finish(&mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].poisson_hourly, PoissonVerdict::ConsistentWithPoisson);
+        // Poisson counts are i.i.d.: variance-time H near 1/2.
+        let h = out[0].h_variance_time.expect("14400 bins is plenty");
+        assert!((h - 0.5).abs() < 0.12, "H = {h}");
+    }
+
+    #[test]
+    fn quiet_windows_are_na_and_empty_windows_report_zero() {
+        let mut w = WindowedArrivals::new(cfg(600.0));
+        let mut out = Vec::new();
+        w.push(5.0, &mut out).unwrap();
+        w.push(10.0, &mut out).unwrap();
+        // Jump three windows ahead: windows 0..=2 close, 1 and 2 empty.
+        w.push(1_900.0, &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].events, 2);
+        assert_eq!(out[0].poisson_hourly, PoissonVerdict::NotApplicable);
+        assert_eq!(out[1].events, 0);
+        assert_eq!(out[2].events, 0);
+    }
+
+    #[test]
+    fn fine_ring_reports_when_enabled() {
+        let mut w = WindowedArrivals::new(WindowConfig {
+            window_len: 600.0,
+            bin_width: 1.0,
+            fine_bin_width: Some(0.1),
+            min_poisson_arrivals: 20,
+            seed: 0,
+        });
+        let mut out = Vec::new();
+        for t in poisson_times(5.0, 1_200.0, 9) {
+            w.push(t, &mut out).unwrap();
+        }
+        w.finish(&mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].h_variance_time_fine.is_some());
+        assert_eq!(w.ring_bins(), 600 + 6_000);
+    }
+}

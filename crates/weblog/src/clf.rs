@@ -140,6 +140,20 @@ pub fn parse_line(line: &str, base_epoch: i64) -> Result<LogRecord> {
     })
 }
 
+/// Metrics-registry name of the counter tracking malformed lines skipped
+/// by lenient parsing (here and in the streaming reader).
+pub const MALFORMED_SKIPPED_COUNTER: &str = "weblog/malformed_lines_skipped";
+
+/// A leniently parsed CLF stream: the good records plus the count of
+/// garbage lines that were skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientParse {
+    /// Successfully parsed records, in input order.
+    pub records: Vec<LogRecord>,
+    /// Number of malformed (non-blank, unparseable) lines skipped.
+    pub skipped: u64,
+}
+
 /// Parse a whole CLF stream; line numbers are reported in errors.
 ///
 /// # Errors
@@ -167,6 +181,46 @@ pub fn parse_log(text: &str, base_epoch: i64) -> Result<Vec<LogRecord>> {
     }
     parsed.add(out.len() as u64);
     Ok(out)
+}
+
+/// Parse a whole CLF stream, skipping (and counting) malformed lines
+/// instead of aborting — week-long real-world logs always contain a few
+/// garbage lines (truncated writes, embedded control bytes, scanner
+/// noise), and losing the whole week to one of them is the wrong trade.
+///
+/// Skips are surfaced on the [`MALFORMED_SKIPPED_COUNTER`] metrics
+/// counter as well as in the returned [`LenientParse::skipped`] tally.
+/// Blank lines are ignored and not counted as malformed.
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_weblog::clf::parse_log_lenient;
+///
+/// let text = "10.0.0.1 - - [12/Jan/2004:00:00:07 +0000] \"GET /r/1 HTTP/1.0\" 200 10\n\
+///             total garbage line\n";
+/// let parsed = parse_log_lenient(text, 1_073_865_600);
+/// assert_eq!(parsed.records.len(), 1);
+/// assert_eq!(parsed.skipped, 1);
+/// ```
+pub fn parse_log_lenient(text: &str, base_epoch: i64) -> LenientParse {
+    let _span = webpuzzle_obs::span!("weblog/parse");
+    let parsed = webpuzzle_obs::metrics::sharded_counter("weblog/records_parsed");
+    let skip_counter = webpuzzle_obs::metrics::counter(MALFORMED_SKIPPED_COUNTER);
+    let mut records = Vec::new();
+    let mut skipped = 0u64;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line, base_epoch) {
+            Ok(r) => records.push(r),
+            Err(_) => skipped += 1,
+        }
+    }
+    parsed.add(records.len() as u64);
+    skip_counter.add(skipped);
+    LenientParse { records, skipped }
 }
 
 fn parse_ipv4(s: &str) -> Option<u32> {
@@ -362,6 +416,20 @@ mod tests {
         let records = parse_log(&text, BASE).unwrap();
         assert_eq!(records.len(), 50);
         assert_eq!(records[49].bytes, 149);
+    }
+
+    #[test]
+    fn lenient_skips_and_counts_garbage() {
+        let good = format_line(&LogRecord::new(3.0, 9, Method::Get, 1, 200, 64), BASE);
+        let text = format!("{good}\nnot a log line\n\n1.2.3.4 incomplete\n{good}\n");
+        let parsed = parse_log_lenient(&text, BASE);
+        assert_eq!(parsed.records.len(), 2);
+        assert_eq!(parsed.skipped, 2);
+        assert_eq!(parsed.records[0], parsed.records[1]);
+        // A fully clean stream skips nothing.
+        let clean = parse_log_lenient(&good, BASE);
+        assert_eq!(clean.skipped, 0);
+        assert_eq!(clean.records.len(), 1);
     }
 
     #[test]

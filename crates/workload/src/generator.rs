@@ -5,8 +5,46 @@ use crate::profile::ServerProfile;
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use webpuzzle_stats::dist::Sampler;
 use webpuzzle_weblog::{LogRecord, Method, SECONDS_PER_WEEK};
+
+/// Heap entry for the bounded streaming merge: min-ordered by
+/// `(timestamp, seq)` where `seq` is the global generation order, so the
+/// emitted order is exactly the stable timestamp sort the batch path
+/// used to produce.
+struct Pending {
+    record: LogRecord,
+    seq: u64,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest
+        // (timestamp, seq) on top.
+        other
+            .record
+            .timestamp
+            .partial_cmp(&self.record.timestamp)
+            .expect("finite timestamps")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
 
 /// Number of distinct resources (URIs) in the synthetic site.
 const RESOURCE_SPACE: u32 = 50_000;
@@ -60,11 +98,37 @@ impl WorkloadGenerator {
 
     /// Generate the week of records, sorted by timestamp.
     ///
+    /// Collects the stream produced by [`WorkloadGenerator::generate_with`];
+    /// the two paths yield byte-identical records in identical order.
+    ///
     /// # Errors
     ///
     /// Propagates arrival-process and distribution errors (an ill-configured
     /// custom profile); the built-in presets cannot fail.
     pub fn generate(&self) -> Result<Vec<LogRecord>> {
+        let mut records = Vec::with_capacity((self.profile.expected_requests() * 1.05) as usize);
+        self.generate_with(|r| records.push(r))?;
+        Ok(records)
+    }
+
+    /// Generate the week of records, emitting each one — in global
+    /// timestamp order — through `emit` instead of materializing a
+    /// `Vec`. Returns the number of records emitted.
+    ///
+    /// Sessions are generated in start order, so a record can be released
+    /// as soon as the next session's start time passes it: only records of
+    /// *currently overlapping* sessions are buffered (a min-heap ordered
+    /// by `(timestamp, generation seq)`), keeping memory proportional to
+    /// the concurrency of the workload rather than the length of the week.
+    /// The RNG draw order is identical to the batch path, so output is
+    /// deterministic per seed and matches [`WorkloadGenerator::generate`]
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arrival-process and distribution errors (an ill-configured
+    /// custom profile); the built-in presets cannot fail.
+    pub fn generate_with<F: FnMut(LogRecord)>(&self, mut emit: F) -> Result<u64> {
         let _span = webpuzzle_obs::span!("workload/generate");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let p = &self.profile;
@@ -78,8 +142,18 @@ impl WorkloadGenerator {
 
         let mut progress =
             webpuzzle_obs::ProgressMeter::new("workload/sessions", Some(starts.len() as u64));
-        let mut records = Vec::with_capacity((p.expected_requests() * 1.05) as usize);
+        let mut pending: BinaryHeap<Pending> = BinaryHeap::new();
+        let mut peak_pending = 0usize;
+        let mut emitted = 0u64;
+        let mut seq = 0u64;
         for (session_idx, &start) in starts.iter().enumerate() {
+            // Every record generated from here on has timestamp >= start,
+            // and ties sort after already-buffered records (larger seq), so
+            // anything buffered at or before `start` is safe to release.
+            while pending.peek().is_some_and(|p| p.record.timestamp <= start) {
+                emit(pending.pop().expect("peeked").record);
+                emitted += 1;
+            }
             // Unique client per generated session, mapped into 10.0.0.0/8 so
             // CLF output renders as plausible private addresses. The paper's
             // volumes stay far below the 2^24 host space, so uniqueness (and
@@ -94,19 +168,24 @@ impl WorkloadGenerator {
                         break;
                     }
                 }
-                records.push(self.make_record(&mut rng, t, client));
+                pending.push(Pending {
+                    record: self.make_record(&mut rng, t, client),
+                    seq,
+                });
+                seq += 1;
             }
+            peak_pending = peak_pending.max(pending.len());
             progress.tick(1);
         }
+        while let Some(p) = pending.pop() {
+            emit(p.record);
+            emitted += 1;
+        }
         progress.finish();
-        records.sort_by(|a, b| {
-            a.timestamp
-                .partial_cmp(&b.timestamp)
-                .expect("finite timestamps")
-        });
         webpuzzle_obs::metrics::counter("workload/sessions_generated").add(starts.len() as u64);
-        webpuzzle_obs::metrics::counter("workload/records_generated").add(records.len() as u64);
-        Ok(records)
+        webpuzzle_obs::metrics::counter("workload/records_generated").add(emitted);
+        webpuzzle_obs::metrics::gauge("workload/peak_pending_records").set(peak_pending as f64);
+        Ok(emitted)
     }
 
     fn make_record(&self, rng: &mut StdRng, t: f64, client: u32) -> LogRecord {
@@ -165,6 +244,26 @@ mod tests {
             .generate()
             .unwrap();
         assert_ne!(a.len(), c.len());
+    }
+
+    #[test]
+    fn streamed_generation_matches_batch_and_stays_bounded() {
+        let gen = WorkloadGenerator::new(small_profile()).seed(9);
+        let batch = gen.generate().unwrap();
+        let mut streamed = Vec::new();
+        let emitted = gen.generate_with(|r| streamed.push(r)).unwrap();
+        assert_eq!(emitted as usize, batch.len());
+        assert_eq!(streamed, batch);
+        assert!(streamed
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+        // The merge heap must hold far fewer records than the whole week.
+        let peak = webpuzzle_obs::metrics::gauge("workload/peak_pending_records").get();
+        assert!(
+            peak > 0.0 && peak < batch.len() as f64 / 2.0,
+            "peak pending {peak} vs total {}",
+            batch.len()
+        );
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! * [`workload`] — synthetic workload generation calibrated to the paper's
 //!   four server profiles.
 //! * [`core`] — the FULL-Web analysis pipeline tying it all together.
+//! * [`stream`] — one-pass, bounded-memory streaming analysis: chunked CLF
+//!   reading, TTL sessionization, and online estimators.
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@ pub use webpuzzle_core as core;
 pub use webpuzzle_heavytail as heavytail;
 pub use webpuzzle_lrd as lrd;
 pub use webpuzzle_stats as stats;
+pub use webpuzzle_stream as stream;
 pub use webpuzzle_timeseries as timeseries;
 pub use webpuzzle_weblog as weblog;
 pub use webpuzzle_workload as workload;
