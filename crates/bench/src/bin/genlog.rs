@@ -7,19 +7,28 @@
 //! ```text
 //! genlog --profile wvu|clarknet|csee|nasa [--scale S] [--seed N]
 //!        [--base-epoch SECS] [--out PATH] [--quiet] [--json]
-//!        [--telemetry-addr HOST:PORT]
+//!        [--telemetry-addr HOST:PORT] [--stationary]
+//!        [--inject-shift level|trend|diurnal:AT:MAGNITUDE]
 //! ```
 //!
 //! Writes CLF lines to `--out` (default stdout). Progress and status go
 //! through the observability sink on stderr: human lines by default,
 //! JSON lines with `--json`, nothing with `--quiet`.
+//!
+//! `--stationary` zeroes the profile's diurnal cycle and weekly trend —
+//! the negative-control fixture for drift detection. `--inject-shift`
+//! warps timestamps after `AT` (stream seconds) so the arrival rate
+//! changes by a known amount: `level:432000:2` doubles the rate from
+//! day 5, `trend:259200:1` ramps it +100 %/day from day 3,
+//! `diurnal:259200:0.5` adds a ±50 % daily modulation. Detection
+//! latency is then measurable against exact ground truth.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 
 use webpuzzle_obs as obs;
 use webpuzzle_weblog::clf::format_line;
-use webpuzzle_workload::{ServerProfile, WorkloadGenerator};
+use webpuzzle_workload::{ServerProfile, ShiftInjector, ShiftSpec, WorkloadGenerator};
 
 /// 2004-01-12 00:00:00 UTC, the paper's WVU log start.
 const DEFAULT_BASE_EPOCH: i64 = 1_073_865_600;
@@ -33,6 +42,8 @@ fn main() {
     let mut quiet = false;
     let mut json = false;
     let mut telemetry_addr: Option<String> = None;
+    let mut stationary = false;
+    let mut inject_shift: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -53,12 +64,15 @@ fn main() {
             "--quiet" => quiet = true,
             "--json" => json = true,
             "--telemetry-addr" => telemetry_addr = Some(value("--telemetry-addr")),
+            "--stationary" => stationary = true,
+            "--inject-shift" => inject_shift = Some(value("--inject-shift")),
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: genlog --profile wvu|clarknet|csee|nasa \
                      [--scale S] [--seed N] [--base-epoch SECS] [--out PATH] \
-                     [--quiet] [--json] [--telemetry-addr HOST:PORT]"
+                     [--quiet] [--json] [--telemetry-addr HOST:PORT] \
+                     [--stationary] [--inject-shift KIND:AT:MAGNITUDE]"
                 );
                 std::process::exit(2);
             }
@@ -96,7 +110,7 @@ fn main() {
         server
     });
 
-    let profile = match profile_name.to_ascii_lowercase().as_str() {
+    let mut profile = match profile_name.to_ascii_lowercase().as_str() {
         "wvu" => ServerProfile::wvu(),
         "clarknet" => ServerProfile::clarknet(),
         "csee" => ServerProfile::csee(),
@@ -106,10 +120,29 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if stationary {
+        profile = profile
+            .with_seasonality(0.0, 0.0)
+            .expect("zero seasonality is always valid");
+    }
+    let mut injector = inject_shift.as_deref().map(|spec| {
+        let spec = ShiftSpec::parse(spec).unwrap_or_else(|e| {
+            eprintln!("genlog: bad --inject-shift: {e}");
+            std::process::exit(2);
+        });
+        obs::info(&format!(
+            "genlog: injecting {} shift at t={} s, magnitude {}",
+            spec.kind.as_str(),
+            spec.at,
+            spec.magnitude
+        ));
+        ShiftInjector::new(spec)
+    });
 
     obs::info(&format!(
-        "genlog: generating {} at scale {scale}, seed {seed}",
-        profile.name()
+        "genlog: generating {} at scale {scale}, seed {seed}{}",
+        profile.name(),
+        if stationary { " (stationary)" } else { "" }
     ));
     let generator = WorkloadGenerator::new(profile.with_scale(scale)).seed(seed);
     let expected = generator.profile().expected_requests() as u64;
@@ -126,6 +159,10 @@ fn main() {
     let mut progress = obs::ProgressMeter::new("genlog/write", Some(expected));
     let written = generator
         .generate_with(|record| {
+            let mut record = record;
+            if let Some(inj) = injector.as_mut() {
+                record.timestamp = inj.warp(record.timestamp);
+            }
             writeln!(sink, "{}", format_line(&record, base_epoch)).expect("write failed");
             progress.tick(1);
         })

@@ -12,6 +12,8 @@
 //!                [--window SECS] [--tail-k N] [--lenient]
 //!                [--quiet] [--json] [--report PATH] [--snapshot-every N]
 //!                [--telemetry-addr HOST:PORT] [--verify-batch]
+//!                [--events PATH] [--alert-on info|warn|critical]
+//!                [--seasonal-period WINDOWS]
 //! ```
 //!
 //! `FILE` defaults to `-` (stdin). `--lenient` skips and counts
@@ -19,11 +21,20 @@
 //! the `--report` file with a partial [`obs::RunReport`] (including the
 //! mid-stream summary) every N records, so long runs are inspectable
 //! while in flight; `--telemetry-addr` serves the same live state over
-//! HTTP. `--verify-batch` re-reads `FILE` through the batch pipeline
-//! (`parse_log` → `sessionize` → `hill_plot` / `variance_time` /
-//! `poisson_arrival_test`) and exits nonzero if the streaming results
-//! drift outside the DESIGN.md §9 tolerance bands — counts must match
-//! exactly, estimators within tolerance.
+//! HTTP (including `/events?since=` for the drift ring). The drift
+//! observatory (DESIGN.md §10) watches every closed window;
+//! `--events PATH` appends each alarm as one JSON line, and
+//! `--alert-on SEV` turns alarms into an exit status: **3** when any
+//! event at or above SEV fired, 0 otherwise — distinct from 1 (runtime
+//! error) and 2 (usage), so CI gates can tell "drift detected" from
+//! "tool broke". `--seasonal-period N` overrides the observatory's
+//! automatic 24 h differencing lag on the rate channel (`0` disables
+//! differencing — more sensitive, only sound for streams known to have
+//! no daily cycle). `--verify-batch` re-reads `FILE` through the batch
+//! pipeline (`parse_log` → `sessionize` → `hill_plot` /
+//! `variance_time` / `poisson_arrival_test`) and exits nonzero if the
+//! streaming results drift outside the DESIGN.md §9 tolerance bands —
+//! counts must match exactly, estimators within tolerance.
 
 use std::fs::File;
 use std::io::{self, BufReader, Read};
@@ -76,6 +87,9 @@ struct Args {
     snapshot_every: u64,
     telemetry_addr: Option<String>,
     verify_batch: bool,
+    events_path: Option<std::path::PathBuf>,
+    alert_on: Option<obs::events::Severity>,
+    seasonal_period: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -83,7 +97,8 @@ fn usage() -> ! {
         "usage: stream-analyze [FILE|-] [--base-epoch SECS] [--threshold SECS] \
          [--window SECS] [--tail-k N] [--lenient] [--quiet] [--json] \
          [--report PATH] [--snapshot-every N] [--telemetry-addr HOST:PORT] \
-         [--verify-batch]"
+         [--verify-batch] [--events PATH] [--alert-on info|warn|critical] \
+         [--seasonal-period WINDOWS]"
     );
     std::process::exit(2);
 }
@@ -102,6 +117,9 @@ fn parse_args() -> Args {
         snapshot_every: 0,
         telemetry_addr: None,
         verify_batch: false,
+        events_path: None,
+        alert_on: None,
+        seasonal_period: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -131,6 +149,23 @@ fn parse_args() -> Args {
             }
             "--telemetry-addr" => parsed.telemetry_addr = Some(value("--telemetry-addr")),
             "--verify-batch" => parsed.verify_batch = true,
+            "--events" => parsed.events_path = Some(value("--events").into()),
+            "--seasonal-period" => {
+                let token = value("--seasonal-period");
+                parsed.seasonal_period = Some(token.parse().unwrap_or_else(|_| {
+                    eprintln!(
+                        "stream-analyze: bad --seasonal-period {token} (windows; 0 disables)"
+                    );
+                    std::process::exit(2);
+                }))
+            }
+            "--alert-on" => {
+                let token = value("--alert-on");
+                parsed.alert_on = Some(obs::events::Severity::parse(&token).unwrap_or_else(|| {
+                    eprintln!("stream-analyze: bad --alert-on {token} (info|warn|critical)");
+                    std::process::exit(2);
+                }))
+            }
             other if !other.starts_with('-') || other == "-" => {
                 if parsed.input.is_some() {
                     usage();
@@ -156,6 +191,10 @@ fn stream_config(args: &Args) -> StreamConfig {
             ..WindowConfig::default()
         },
         tail_k: args.tail_k,
+        observatory: webpuzzle_stream::ObservatoryConfig {
+            seasonal_period: args.seasonal_period,
+            ..webpuzzle_stream::ObservatoryConfig::default()
+        },
         ..StreamConfig::default()
     }
 }
@@ -187,6 +226,16 @@ fn main() {
         obs::set_sink(Box::new(obs::StderrSink::default()));
     }
     obs::reset();
+    if let Some(path) = &args.events_path {
+        let sink = obs::events::JsonlEventSink::create(path).unwrap_or_else(|e| {
+            eprintln!(
+                "stream-analyze: cannot open events log {}: {e}",
+                path.display()
+            );
+            std::process::exit(2);
+        });
+        obs::events::set_jsonl_sink(sink);
+    }
 
     let raw_args: Vec<String> = std::env::args().skip(1).collect();
     let _telemetry = args.telemetry_addr.as_ref().map(|addr| {
@@ -305,6 +354,19 @@ fn main() {
         }
         say!("verify-batch: streaming and batch pipelines agree");
     }
+
+    if let Some(min_sev) = args.alert_on {
+        let alarms = obs::events::total_at_or_above(min_sev);
+        if alarms > 0 {
+            // The verdict must reach CI logs even under --quiet.
+            eprintln!(
+                "stream-analyze: {alarms} drift alarm(s) at or above {}",
+                min_sev.as_str()
+            );
+            std::process::exit(3);
+        }
+        say!("alert-on: no drift alarms at or above {}", min_sev.as_str());
+    }
 }
 
 fn verdict_str(v: PoissonVerdict) -> &'static str {
@@ -388,6 +450,26 @@ fn print_summary(summary: &StreamSummary, skipped: u64) {
                 verdict_str(w.poisson_ten_min)
             );
         }
+    }
+    let drift = &summary.drift;
+    say!(
+        "  drift observatory: {} windows, {} alarms ({} warn, {} critical){}",
+        drift.windows,
+        drift.alarms,
+        drift.warn,
+        drift.critical,
+        drift
+            .first_alarm_window
+            .map(|w| format!(", first at window {w}"))
+            .unwrap_or_default()
+    );
+    for ch in &drift.by_channel {
+        say!(
+            "    {:<12} {:<28} {:>6} alarm(s)",
+            ch.detector,
+            ch.metric,
+            ch.alarms
+        );
     }
 }
 

@@ -1,0 +1,437 @@
+//! Typed drift/anomaly events: a bounded in-memory ring, per-severity
+//! counters, and an append-only JSONL sink.
+//!
+//! Detectors (the `webpuzzle-stream` drift observatory) publish
+//! [`Event`]s through [`publish`]; the subsystem then
+//!
+//! 1. assigns a monotonically increasing sequence number and stores the
+//!    event in a bounded ring (oldest events drop first), which the
+//!    `/events?since=<seq>` endpoint on [`crate::server`] polls;
+//! 2. bumps the `events/total/<severity>` counter family (exported to
+//!    Prometheus as `webpuzzle_events_total{severity="..."}`);
+//! 3. appends one schema-versioned JSON line to the installed
+//!    [`JsonlEventSink`], if any (`stream-analyze --events <path>`).
+//!
+//! The JSONL append is atomic at the line level: the file is opened in
+//! append mode and each event is written with a single `write_all` of a
+//! complete line, so concurrent readers never observe a torn record.
+//!
+//! # Schema
+//!
+//! Every serialized event carries `"schema": 1`
+//! ([`EVENT_SCHEMA_VERSION`]); consumers should ignore unknown fields
+//! and reject unknown major versions. See DESIGN.md §10 for the field
+//! table.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics;
+
+/// Version stamped into every serialized event (`schema` field). Bump on
+/// breaking field changes only; additive fields keep the version.
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
+/// Default capacity of the in-memory event ring.
+pub const DEFAULT_RING_CAPACITY: usize = 1_024;
+
+/// Prefix of the counter-family names fed by [`publish`]; the
+/// Prometheus exporter folds `events/total/<severity>` counters into a
+/// single `webpuzzle_events_total{severity="..."}` family.
+pub const EVENTS_TOTAL_PREFIX: &str = "events/total/";
+
+/// Severity of a drift event, ordered `Info < Warn < Critical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: a detector re-baselined or a watched quantity
+    /// moved without crossing an alarm threshold.
+    Info,
+    /// A detector fired: the watched statistic left its control region.
+    Warn,
+    /// A detector fired far beyond its threshold (score at or above
+    /// twice the alarm bar).
+    Critical,
+}
+
+impl Severity {
+    /// Lower-case token used in counter names and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Parse a CLI token (case-insensitive).
+    pub fn parse(token: &str) -> Option<Severity> {
+        match token.to_ascii_lowercase().as_str() {
+            "info" => Some(Severity::Info),
+            "warn" | "warning" => Some(Severity::Warn),
+            "critical" | "crit" => Some(Severity::Critical),
+            _ => None,
+        }
+    }
+
+    /// All severities, ascending.
+    pub const ALL: [Severity; 3] = [Severity::Info, Severity::Warn, Severity::Critical];
+}
+
+/// One drift event. Timestamps are split: `unix_time` is wall-clock
+/// publication time; `window_start`/`window_index` locate the alarm in
+/// *event time* (stream seconds), which is what detection-latency
+/// measurements compare against injected ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Serialization schema version ([`EVENT_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Monotonic sequence number, assigned by [`publish`] (0 before).
+    pub seq: u64,
+    /// Unix seconds when the event was published.
+    pub unix_time: u64,
+    /// Event severity.
+    pub severity: Severity,
+    /// Detector that fired, e.g. `"cusum"`, `"page_hinkley"`, `"ewma"`.
+    pub detector: String,
+    /// Watched metric key, e.g. `"request_rate"`, `"hill_alpha/bytes"`.
+    pub metric: String,
+    /// Zero-based analysis-window index at which the alarm fired.
+    pub window_index: u64,
+    /// Start of that window, stream seconds.
+    pub window_start: f64,
+    /// Baseline statistic before the change (detector's calibrated mean).
+    pub before: f64,
+    /// Observed statistic that triggered the alarm.
+    pub after: f64,
+    /// Detector decision statistic at alarm time.
+    pub score: f64,
+    /// Alarm threshold the score crossed.
+    pub threshold: f64,
+    /// Human-readable one-liner.
+    pub message: String,
+}
+
+struct Ring {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring {
+    buf: VecDeque::new(),
+    capacity: DEFAULT_RING_CAPACITY,
+    next_seq: 1,
+});
+
+/// Published-event totals per severity (index = `Severity as usize`),
+/// immune to ring overflow.
+static TOTALS: [AtomicU64; 3] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+static SINK: Mutex<Option<JsonlEventSink>> = Mutex::new(None);
+
+/// Append-only JSONL event log. One complete line per event, written
+/// with a single `write_all` against a file opened in append mode, so
+/// external `tail -f` readers and crash-time inspection never see a
+/// partial record.
+#[derive(Debug)]
+pub struct JsonlEventSink {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl JsonlEventSink {
+    /// Open (creating if absent) the JSONL log at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlEventSink {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one event as a single JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn append(&mut self, event: &Event) -> io::Result<()> {
+        let mut line = serde_json::to_string(event)
+            .map_err(|e| io::Error::other(format!("event serialization failed: {e}")))?;
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+}
+
+/// Parse a JSONL event log back into events (newest last). Lines that
+/// fail to parse are skipped and counted — a crashed writer can leave at
+/// most a torn *final* line, and schema-foreign files shouldn't abort
+/// inspection tooling.
+pub fn parse_jsonl(text: &str) -> (Vec<Event>, usize) {
+    let mut events = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match serde_json::from_str::<Event>(line) {
+            Ok(e) => events.push(e),
+            Err(_) => skipped += 1,
+        }
+    }
+    (events, skipped)
+}
+
+/// Install a JSONL sink; every subsequent [`publish`] appends to it.
+/// Replaces (and closes) any previously installed sink.
+pub fn set_jsonl_sink(sink: JsonlEventSink) {
+    *SINK.lock().expect("event sink poisoned") = Some(sink);
+}
+
+/// Remove the installed JSONL sink, if any.
+pub fn clear_jsonl_sink() {
+    *SINK.lock().expect("event sink poisoned") = None;
+}
+
+/// Override the ring capacity (existing overflow drops oldest-first).
+pub fn set_ring_capacity(capacity: usize) {
+    let mut ring = RING.lock().expect("event ring poisoned");
+    ring.capacity = capacity.max(1);
+    while ring.buf.len() > ring.capacity {
+        ring.buf.pop_front();
+    }
+}
+
+/// Publish one event: assign its sequence number and wall-clock stamp,
+/// store it in the ring, bump `events/total/<severity>`, and append to
+/// the JSONL sink when one is installed. Returns the assigned sequence
+/// number.
+pub fn publish(mut event: Event) -> u64 {
+    event.schema = EVENT_SCHEMA_VERSION;
+    if event.unix_time == 0 {
+        event.unix_time = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+    }
+    let seq = {
+        let mut ring = RING.lock().expect("event ring poisoned");
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        event.seq = seq;
+        if ring.buf.len() == ring.capacity {
+            ring.buf.pop_front();
+        }
+        ring.buf.push_back(event.clone());
+        seq
+    };
+    TOTALS[event.severity as usize].fetch_add(1, Ordering::Relaxed);
+    metrics::counter(&format!(
+        "{}{}",
+        EVENTS_TOTAL_PREFIX,
+        event.severity.as_str()
+    ))
+    .incr();
+    if let Some(sink) = SINK.lock().expect("event sink poisoned").as_mut() {
+        if let Err(e) = sink.append(&event) {
+            crate::sink::warn(&format!("event log append failed: {e}"));
+        }
+    }
+    seq
+}
+
+/// Events with `seq > cursor`, oldest first. A cursor of 0 returns the
+/// whole ring. Events older than the ring capacity are gone — pollers
+/// that fall behind resynchronize from whatever remains.
+pub fn since(cursor: u64) -> Vec<Event> {
+    let ring = RING.lock().expect("event ring poisoned");
+    ring.buf
+        .iter()
+        .filter(|e| e.seq > cursor)
+        .cloned()
+        .collect()
+}
+
+/// Highest sequence number assigned so far (0 before the first event).
+pub fn latest_seq() -> u64 {
+    RING.lock().expect("event ring poisoned").next_seq - 1
+}
+
+/// Total events published at `severity` (ring overflow does not lower
+/// this).
+pub fn total(severity: Severity) -> u64 {
+    TOTALS[severity as usize].load(Ordering::Relaxed)
+}
+
+/// Total events published at or above `severity`.
+pub fn total_at_or_above(severity: Severity) -> u64 {
+    Severity::ALL
+        .iter()
+        .filter(|s| **s >= severity)
+        .map(|s| total(*s))
+        .sum()
+}
+
+/// Clear the ring and severity totals (the JSONL sink stays installed).
+/// Sequence numbering restarts at 1. For tests and multi-run tools.
+pub fn reset() {
+    let mut ring = RING.lock().expect("event ring poisoned");
+    ring.buf.clear();
+    ring.next_seq = 1;
+    for t in &TOTALS {
+        t.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Event {
+    /// An event with the bookkeeping fields (schema, seq, unix_time)
+    /// zeroed for [`publish`] to fill in.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        severity: Severity,
+        detector: &str,
+        metric: &str,
+        window_index: u64,
+        window_start: f64,
+        before: f64,
+        after: f64,
+        score: f64,
+        threshold: f64,
+        message: String,
+    ) -> Self {
+        Event {
+            schema: EVENT_SCHEMA_VERSION,
+            seq: 0,
+            unix_time: 0,
+            severity,
+            detector: detector.to_string(),
+            metric: metric.to_string(),
+            window_index,
+            window_start,
+            before,
+            after,
+            score,
+            threshold,
+            message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(severity: Severity, window: u64) -> Event {
+        Event::new(
+            severity,
+            "cusum",
+            "request_rate",
+            window,
+            window as f64 * 14_400.0,
+            1.0,
+            2.0,
+            6.5,
+            5.0,
+            "unit test event".to_string(),
+        )
+    }
+
+    #[test]
+    fn severity_orders_and_parses() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Critical);
+        assert_eq!(Severity::parse("WARN"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("crit"), Some(Severity::Critical));
+        assert_eq!(Severity::parse("nope"), None);
+        assert_eq!(Severity::Critical.as_str(), "critical");
+    }
+
+    #[test]
+    fn publish_assigns_monotone_seqs_and_counts() {
+        reset();
+        let a = publish(ev(Severity::Warn, 0));
+        let b = publish(ev(Severity::Critical, 1));
+        assert!(b > a);
+        assert_eq!(latest_seq(), b);
+        assert_eq!(total(Severity::Warn), 1);
+        assert_eq!(total(Severity::Critical), 1);
+        assert_eq!(total_at_or_above(Severity::Warn), 2);
+        assert_eq!(total_at_or_above(Severity::Critical), 1);
+        let all = since(0);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].seq, a);
+        assert!(all[0].unix_time > 0);
+        assert_eq!(all[0].schema, EVENT_SCHEMA_VERSION);
+        assert_eq!(since(a).len(), 1);
+        assert_eq!(since(b).len(), 0);
+        reset();
+    }
+
+    #[test]
+    fn ring_is_bounded_oldest_first() {
+        reset();
+        set_ring_capacity(4);
+        for i in 0..10 {
+            publish(ev(Severity::Info, i));
+        }
+        let kept = since(0);
+        assert_eq!(kept.len(), 4);
+        assert_eq!(kept[0].window_index, 6);
+        assert_eq!(kept[3].window_index, 9);
+        // Totals survive the overflow.
+        assert_eq!(total(Severity::Info), 10);
+        set_ring_capacity(DEFAULT_RING_CAPACITY);
+        reset();
+    }
+
+    #[test]
+    fn event_round_trips_through_json() {
+        let event = ev(Severity::Critical, 7);
+        let line = serde_json::to_string(&event).unwrap();
+        assert!(line.contains("\"schema\""));
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn jsonl_sink_appends_parseable_lines() {
+        let dir = std::env::temp_dir().join(format!("webpuzzle-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = JsonlEventSink::create(&path).unwrap();
+        let mut first = ev(Severity::Warn, 1);
+        first.seq = 1;
+        let mut second = ev(Severity::Critical, 2);
+        second.seq = 2;
+        sink.append(&first).unwrap();
+        sink.append(&second).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let (events, skipped) = parse_jsonl(&text);
+        assert_eq!(skipped, 0);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].severity, Severity::Critical);
+        // A torn final line (crashed writer) is skipped, not fatal.
+        let torn = format!("{text}{{\"schema\": 1, \"seq\"");
+        let (events, skipped) = parse_jsonl(&torn);
+        assert_eq!(events.len(), 2);
+        assert_eq!(skipped, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -21,6 +21,9 @@
 //!   binaries).
 //! - **Sharded counters** ([`sharded::ShardedCounter`]): per-thread
 //!   cache-line-sharded counters for contended hot loops.
+//! - **Drift events** ([`events`]): typed, schema-versioned change
+//!   events in a bounded ring with per-severity counters and an
+//!   append-only JSONL log, served live at `/events?since=`.
 //! - **Fidelity** ([`fidelity`]): paper-fidelity scoreboard comparing a
 //!   run report's `fidelity/...` gauges against `paper_targets.toml`
 //!   (the `paper-check` binary).
@@ -38,6 +41,7 @@
 //! assert!(report.find_span("hurst/whittle").is_some());
 //! ```
 
+pub mod events;
 pub mod fidelity;
 pub mod metrics;
 pub mod progress;
@@ -55,11 +59,13 @@ pub use sink::{
     clear_sink, info, set_sink, warn, Event, EventSink, JsonSink, Level, NullSink, StderrSink,
 };
 
-/// Reset spans and metrics (sink is left installed).
+/// Reset spans, metrics, and the drift-event ring (the message sink and
+/// any JSONL event sink are left installed).
 ///
 /// For tests and tools that run several independent analyses in one
 /// process.
 pub fn reset() {
     spans::reset();
     metrics::reset();
+    events::reset();
 }

@@ -169,13 +169,25 @@ impl RunReport {
             .unwrap_or_else(|e| format!("{{\"error\": \"report serialization failed: {e}\"}}"))
     }
 
-    /// Write the report as pretty JSON to `path`.
+    /// Write the report as pretty JSON to `path`, atomically: the JSON
+    /// is first written to a sibling `<path>.tmp` and then renamed over
+    /// `path`, so concurrent readers (`/report` scrapers, `tail`,
+    /// external dashboards polling a `--snapshot-every` file) observe
+    /// either the previous complete report or the new one — never a
+    /// torn half-written file.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors; on failure the temp file is
+    /// removed and `path` is left untouched.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_json_pretty() + "\n")
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json_pretty() + "\n")?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
     /// Find the first span node with an exactly matching name, searching

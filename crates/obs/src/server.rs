@@ -9,12 +9,18 @@
 //!   buckets);
 //! - `GET /healthz` — `200 ok` liveness probe;
 //! - `GET /report` — the current [`RunReport`] as JSON, collected at
-//!   request time.
+//!   request time;
+//! - `GET /events?since=SEQ` — drift events published through
+//!   [`crate::events`] with sequence numbers above `SEQ` (default 0:
+//!   the whole ring), as a JSON array. Pollers pass the highest `seq`
+//!   they have seen as the next cursor.
 //!
 //! The server is deliberately minimal: one handler thread, one request
 //! per connection (`Connection: close`), no TLS, no keep-alive — it
 //! exists to be scraped by `curl` or a Prometheus agent on localhost,
-//! not to face the internet.
+//! not to face the internet. Every response (including errors) carries
+//! a correct `Content-Length`; non-GET methods get a proper `405` with
+//! an `Allow: GET` header rather than a dropped connection.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -25,6 +31,7 @@ use std::time::Duration;
 
 use serde::Value;
 
+use crate::events;
 use crate::metrics::{self, MetricsSnapshot};
 use crate::report::RunReport;
 
@@ -138,44 +145,71 @@ fn handle_connection(stream: &mut TcpStream, ctx: &ReportContext) -> io::Result<
     let request = String::from_utf8_lossy(&buf);
     let mut parts = request.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
-
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".to_string(),
-        )
-    } else {
-        match path {
-            "/metrics" => (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                prometheus_text(&metrics::snapshot()),
-            ),
-            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-            "/report" => {
-                let report =
-                    RunReport::collect(&ctx.tool, ctx.seed, ctx.config.clone(), ctx.args.clone());
-                (
-                    "200 OK",
-                    "application/json; charset=utf-8",
-                    report.to_json_pretty() + "\n",
-                )
-            }
-            _ => (
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                "not found: try /metrics, /healthz, or /report\n".to_string(),
-            ),
-        }
+    let target = parts.next().unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
     };
+
+    // HEAD gets GET's headers (Content-Length included) with no body,
+    // per RFC 9110; anything else is a 405 that names the allowed
+    // method instead of silently dropping the connection.
+    if method != "GET" && method != "HEAD" {
+        let body = "method not allowed\n";
+        write!(
+            stream,
+            "HTTP/1.1 405 Method Not Allowed\r\nAllow: GET, HEAD\r\nContent-Type: text/plain; \
+             charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        )?;
+        return stream.flush();
+    }
+
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_text(&metrics::snapshot()),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/report" => {
+            let report =
+                RunReport::collect(&ctx.tool, ctx.seed, ctx.config.clone(), ctx.args.clone());
+            (
+                "200 OK",
+                "application/json; charset=utf-8",
+                report.to_json_pretty() + "\n",
+            )
+        }
+        "/events" => {
+            let since = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("since="))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            let batch = events::since(since);
+            (
+                "200 OK",
+                "application/json; charset=utf-8",
+                serde_json::to_string_pretty(&batch).unwrap_or_else(|_| "[]".to_string()) + "\n",
+            )
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found: try /metrics, /healthz, /report, or /events\n".to_string(),
+        ),
+    };
+    // Content-Length counts body *bytes* (the body is ASCII-safe JSON /
+    // text, but len() on the String is the byte length either way).
     write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len(),
     )?;
+    if method == "GET" {
+        stream.write_all(body.as_bytes())?;
+    }
     stream.flush()
 }
 
@@ -216,7 +250,30 @@ fn prom_f64(v: f64) -> String {
 /// discrepancy of at most one integer value that the HELP line records.
 pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    // The `events/total/<severity>` counters are one logical family:
+    // export them under a single metric name with a `severity` label
+    // instead of three mangled names.
+    let family: Vec<(&str, u64)> = snap
+        .counters
+        .iter()
+        .filter_map(|(name, value)| {
+            name.strip_prefix(events::EVENTS_TOTAL_PREFIX)
+                .map(|sev| (sev, *value))
+        })
+        .collect();
+    if !family.is_empty() {
+        out.push_str("# HELP webpuzzle_events_total Drift events published, by severity\n");
+        out.push_str("# TYPE webpuzzle_events_total counter\n");
+        for (sev, value) in &family {
+            out.push_str(&format!(
+                "webpuzzle_events_total{{severity=\"{sev}\"}} {value}\n"
+            ));
+        }
+    }
     for (name, value) in &snap.counters {
+        if name.starts_with(events::EVENTS_TOTAL_PREFIX) {
+            continue;
+        }
         let prom = prom_name(name) + "_total";
         out.push_str(&format!("# HELP {prom} Counter {name}\n"));
         out.push_str(&format!("# TYPE {prom} counter\n"));
@@ -276,6 +333,28 @@ mod tests {
         assert_eq!(prom_f64(f64::NAN), "NaN");
         assert_eq!(prom_f64(f64::INFINITY), "+Inf");
         assert_eq!(prom_f64(f64::NEG_INFINITY), "-Inf");
+    }
+
+    #[test]
+    fn events_total_renders_as_one_labeled_family() {
+        let snap = MetricsSnapshot {
+            counters: vec![
+                ("events/total/critical".to_string(), 1),
+                ("events/total/warn".to_string(), 4),
+                ("other/counter".to_string(), 2),
+            ],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE webpuzzle_events_total counter"));
+        assert!(text.contains("webpuzzle_events_total{severity=\"warn\"} 4"));
+        assert!(text.contains("webpuzzle_events_total{severity=\"critical\"} 1"));
+        // No mangled per-severity metric names leak out.
+        assert!(!text.contains("webpuzzle_events_total_warn"));
+        assert!(text.contains("webpuzzle_other_counter_total 2"));
+        // TYPE appears exactly once for the family.
+        assert_eq!(text.matches("TYPE webpuzzle_events_total ").count(), 1);
     }
 
     #[test]

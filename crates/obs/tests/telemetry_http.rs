@@ -112,6 +112,34 @@ fn serve_scrape_and_shutdown() {
     stream.read_to_string(&mut raw).unwrap();
     assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
 
+    // /events serves the drift-event ring as a JSON array with a
+    // `?since=` cursor for incremental polling.
+    let seq = obs::events::publish(obs::events::Event::new(
+        obs::events::Severity::Warn,
+        "cusum",
+        "stream/arrival_rate",
+        3,
+        1_000_000.0,
+        1.0,
+        2.5,
+        6.1,
+        5.0,
+        "rate step".to_string(),
+    ));
+    let (status, body) = get(addr, "/events");
+    assert!(status.contains("200"), "events status: {status}");
+    let all: Vec<obs::events::Event> = serde_json::from_str(&body).expect("events parse");
+    assert!(all.iter().any(|e| e.seq == seq && e.detector == "cusum"));
+    let (_, body) = get(addr, &format!("/events?since={seq}"));
+    let later: Vec<obs::events::Event> = serde_json::from_str(&body).expect("events parse");
+    assert!(later.is_empty(), "cursor past newest event: {later:?}");
+    // The per-severity counter family is live on /metrics.
+    let (_, text) = get(addr, "/metrics");
+    assert!(
+        text.contains("webpuzzle_events_total{severity=\"warn\"} 1"),
+        "missing labeled events_total: {text}"
+    );
+
     // /report returns the current RunReport as JSON and round-trips.
     let (status, body) = get(addr, "/report");
     assert!(status.contains("200"), "{status}");

@@ -12,6 +12,7 @@
 //! counters, gauges, and histograms in the `webpuzzle-obs` registry, so
 //! a live `--telemetry-addr` endpoint sees progress mid-stream.
 
+use crate::observatory::{DriftObservatory, DriftSummary, ObservatoryConfig, WindowObservation};
 use crate::online::{LogHistogram, Moments, TopK, Welford};
 use crate::sessionizer::StreamSessionizer;
 use crate::window::{WindowConfig, WindowReport, WindowedArrivals};
@@ -37,6 +38,9 @@ pub struct StreamConfig {
     pub tail_k: usize,
     /// Tail fraction for the Hill assessment cap (paper/batch: 0.14).
     pub tail_fraction: f64,
+    /// Drift-observatory tuning (detectors over the per-window
+    /// estimates; see [`crate::observatory`]).
+    pub observatory: ObservatoryConfig,
 }
 
 impl Default for StreamConfig {
@@ -50,6 +54,7 @@ impl Default for StreamConfig {
             },
             tail_k: 8_192,
             tail_fraction: 0.14,
+            observatory: ObservatoryConfig::default(),
         }
     }
 }
@@ -100,6 +105,9 @@ pub struct StreamSummary {
     pub request_windows: Vec<WindowReport>,
     /// Per-window analysis of the session arrival process.
     pub session_windows: Vec<WindowReport>,
+    /// Drift-observatory results (alarms over the per-window
+    /// estimates).
+    pub drift: DriftSummary,
 }
 
 /// The one-pass analysis engine. See the crate docs for an example.
@@ -124,12 +132,20 @@ pub struct StreamAnalyzer {
     records: u64,
     bytes: u64,
     finished: bool,
+    observatory: DriftObservatory,
+    window_bytes: Welford,
+    last_emitted: u64,
+    last_evict_time: f64,
     records_counter: Arc<webpuzzle_obs::ShardedCounter>,
     bytes_counter: Arc<metrics::Counter>,
     sessions_counter: Arc<metrics::Counter>,
     windows_counter: Arc<metrics::Counter>,
     open_gauge: Arc<metrics::Gauge>,
     peak_gauge: Arc<metrics::Gauge>,
+    occupancy_gauge: Arc<metrics::Gauge>,
+    watermark_lag_gauge: Arc<metrics::Gauge>,
+    evict_rate_gauge: Arc<metrics::Gauge>,
+    backlog_gauge: Arc<metrics::Gauge>,
     live_bytes_hist: Arc<metrics::Histogram>,
     live_duration_hist: Arc<metrics::Histogram>,
 }
@@ -164,12 +180,20 @@ impl StreamAnalyzer {
             records: 0,
             bytes: 0,
             finished: false,
+            observatory: DriftObservatory::new(&cfg.observatory, cfg.request_window.window_len),
+            window_bytes: Welford::new(),
+            last_emitted: 0,
+            last_evict_time: f64::NEG_INFINITY,
             records_counter: metrics::sharded_counter("stream/records"),
             bytes_counter: metrics::counter("stream/bytes"),
             sessions_counter: metrics::counter("stream/sessions_completed"),
             windows_counter: metrics::counter("stream/windows_closed"),
             open_gauge: metrics::gauge("stream/open_sessions"),
             peak_gauge: metrics::gauge("stream/peak_open_sessions"),
+            occupancy_gauge: metrics::gauge("stream/ttl_map_occupancy"),
+            watermark_lag_gauge: metrics::gauge("stream/watermark_lag_secs"),
+            evict_rate_gauge: metrics::gauge("stream/eviction_rate_per_sec"),
+            backlog_gauge: metrics::gauge("stream/chunk_backlog"),
             live_bytes_hist: metrics::histogram("stream/response_bytes"),
             live_duration_hist: metrics::histogram("stream/session_duration_secs"),
             cfg,
@@ -192,6 +216,7 @@ impl StreamAnalyzer {
         self.bytes_hist.record(record.bytes);
         self.live_bytes_hist.record(record.bytes);
 
+        let closed_from = self.request_windows.len();
         self.request_arrivals
             .push(record.timestamp, &mut self.window_buf)?;
         Self::drain_windows(
@@ -199,6 +224,13 @@ impl StreamAnalyzer {
             &mut self.request_windows,
             &self.windows_counter,
         );
+        if self.request_windows.len() > closed_from {
+            self.observe_closed_windows(closed_from);
+        }
+        // The record that crossed a window boundary belongs to the new
+        // window, so it joins the per-window bytes accumulator *after*
+        // the closed window was observed.
+        self.window_bytes.push(record.bytes as f64);
         if started {
             self.session_arrivals
                 .push(record.timestamp, &mut self.window_buf)?;
@@ -210,14 +242,18 @@ impl StreamAnalyzer {
         }
 
         if !self.session_buf.is_empty() {
+            self.backlog_gauge.set(self.session_buf.len() as f64);
             let evicted = std::mem::take(&mut self.session_buf);
             for session in &evicted {
                 self.absorb_session(session);
             }
         }
-        self.open_gauge.set(self.sessionizer.open_sessions() as f64);
-        self.peak_gauge
-            .set(self.sessionizer.peak_open_sessions() as f64);
+        // Gauges are scraped at ≥ 1 s granularity, so refreshing them on
+        // every 64th record keeps the hot path free of per-push atomic
+        // stores without visible staleness (finish() does a final sync).
+        if self.records.is_multiple_of(64) {
+            self.update_health_gauges();
+        }
         Ok(())
     }
 
@@ -237,19 +273,25 @@ impl StreamAnalyzer {
             for session in &drained {
                 self.absorb_session(session);
             }
+            let closed_from = self.request_windows.len();
             self.request_arrivals.finish(&mut self.window_buf)?;
             Self::drain_windows(
                 &mut self.window_buf,
                 &mut self.request_windows,
                 &self.windows_counter,
             );
+            if self.request_windows.len() > closed_from {
+                self.observe_closed_windows(closed_from);
+            }
             self.session_arrivals.finish(&mut self.window_buf)?;
             Self::drain_windows(
                 &mut self.window_buf,
                 &mut self.session_windows,
                 &self.windows_counter,
             );
+            self.update_health_gauges();
             self.open_gauge.set(0.0);
+            self.occupancy_gauge.set(0.0);
         }
         Ok(self.summary())
     }
@@ -273,6 +315,7 @@ impl StreamAnalyzer {
             bytes_tail: self.tail_snapshot(&self.bytes_tail),
             request_windows: self.request_windows.clone(),
             session_windows: self.session_windows.clone(),
+            drift: self.observatory.summary(),
         }
     }
 
@@ -289,6 +332,77 @@ impl StreamAnalyzer {
     /// Records pushed so far.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Drift results so far (cheaper than a full [`StreamAnalyzer::summary`]).
+    pub fn drift_summary(&self) -> DriftSummary {
+        self.observatory.summary()
+    }
+
+    /// Feed every request window closed since `from` to the drift
+    /// observatory, publishing any alarms to the global event ring.
+    /// The per-window bytes accumulator describes the oldest closed
+    /// window (later ones, if any, were empty quiet stretches) and is
+    /// recycled here.
+    fn observe_closed_windows(&mut self, from: usize) {
+        let window_len = self.cfg.request_window.window_len;
+        let alpha = self
+            .bytes_tail
+            .hill_with_k_max(self.bytes_tail.batch_k_max(self.cfg.tail_fraction));
+        let observations: Vec<WindowObservation> = self.request_windows[from..]
+            .iter()
+            .enumerate()
+            .map(|(i, w)| WindowObservation {
+                index: w.index,
+                start: w.start,
+                rate: w.events as f64 / window_len,
+                bytes_mean: if i == 0 && self.window_bytes.count() > 0 {
+                    Some(self.window_bytes.mean())
+                } else {
+                    None
+                },
+                hill_alpha: alpha,
+                h_variance_time: w.h_variance_time,
+            })
+            .collect();
+        self.window_bytes = Welford::new();
+        for obs in &observations {
+            for event in self.observatory.observe(obs) {
+                webpuzzle_obs::events::publish(event);
+            }
+        }
+    }
+
+    /// Refresh the pipeline-health gauges: TTL-map occupancy, eviction
+    /// staleness relative to the watermark, and the eviction rate over
+    /// the stretch since sessions last left the map.
+    fn update_health_gauges(&mut self) {
+        // The eviction buffer is drained within the push that filled it,
+        // so by sync time the true backlog is always zero; the gauge
+        // holds the last batch size until this decay.
+        self.backlog_gauge.set(0.0);
+        let open = self.sessionizer.open_sessions() as f64;
+        self.open_gauge.set(open);
+        self.occupancy_gauge.set(open);
+        self.peak_gauge
+            .set(self.sessionizer.peak_open_sessions() as f64);
+        let sweep = self.sessionizer.last_sweep();
+        if sweep.is_finite() {
+            self.watermark_lag_gauge
+                .set(self.sessionizer.watermark() - sweep);
+        }
+        let emitted = self.sessionizer.emitted();
+        if emitted > self.last_emitted {
+            if self.last_evict_time.is_finite() {
+                let dt = self.sessionizer.watermark() - self.last_evict_time;
+                if dt > 0.0 {
+                    self.evict_rate_gauge
+                        .set((emitted - self.last_emitted) as f64 / dt);
+                }
+            }
+            self.last_emitted = emitted;
+            self.last_evict_time = self.sessionizer.watermark();
+        }
     }
 
     fn tail_snapshot(&self, tail: &TopK) -> TailSnapshot {

@@ -22,6 +22,10 @@
 //! * [`window`] — [`WindowedArrivals`]: per-second / per-10-ms ring
 //!   counts over fixed analysis windows, feeding the existing
 //!   variance-time estimator and §4.2 Poisson battery window by window.
+//! * [`observatory`] — [`DriftObservatory`]: online change-point
+//!   detection (CUSUM, Page–Hinkley, EWMA control bands) over the
+//!   per-window estimates, publishing typed drift events to the
+//!   `webpuzzle-obs` event ring.
 //! * [`engine`] — [`StreamAnalyzer`]: the wired-up engine behind the
 //!   `stream-analyze` binary, producing a [`StreamSummary`].
 //!
@@ -49,6 +53,7 @@
 //! ```
 
 pub mod engine;
+pub mod observatory;
 pub mod online;
 pub mod pipeline;
 pub mod reader;
@@ -56,6 +61,9 @@ pub mod sessionizer;
 pub mod window;
 
 pub use engine::{StreamAnalyzer, StreamConfig, StreamSummary, TailSnapshot};
+pub use observatory::{
+    ChannelAlarms, DriftObservatory, DriftSummary, ObservatoryConfig, WindowObservation,
+};
 pub use online::{LogHistogram, Moments, TopK, Welford};
 pub use pipeline::{IterSource, Pipe, Source, Stage};
 pub use reader::ClfSource;

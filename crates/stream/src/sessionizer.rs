@@ -218,6 +218,13 @@ impl StreamSessionizer {
     pub fn watermark(&self) -> f64 {
         self.watermark
     }
+
+    /// Event time of the last eviction sweep (`-inf` before the
+    /// first). `watermark() - last_sweep()` is the eviction staleness
+    /// the engine exports as the `stream/watermark_lag_secs` gauge.
+    pub fn last_sweep(&self) -> f64 {
+        self.last_sweep
+    }
 }
 
 /// Deterministic order for an eviction batch: by start, then client.

@@ -40,12 +40,14 @@ mod counts;
 mod generator;
 mod poisson;
 mod profile;
+pub mod shift;
 
 pub use arrival::{generate_session_starts, ArrivalModel};
 pub use counts::RequestCountDist;
 pub use generator::WorkloadGenerator;
 pub use poisson::poisson_sample;
 pub use profile::ServerProfile;
+pub use shift::{ShiftInjector, ShiftKind, ShiftSpec};
 
 pub use webpuzzle_stats::StatsError;
 

@@ -1,0 +1,302 @@
+//! Ground-truth workload-shift injection for drift-detection
+//! experiments.
+//!
+//! The drift observatory (webpuzzle-stream) needs logs with a *known*
+//! change point to measure detection latency and false-positive rate.
+//! [`ShiftInjector`] warps the timestamps of an already-generated record
+//! stream: every inter-arrival gap after the shift instant is divided
+//! by a time-varying rate multiplier `r(t)`, which multiplies the local
+//! arrival rate by `r(t)` while leaving session structure, request
+//! counts, and transfer sizes untouched. The warp is the identity
+//! before the shift and strictly increasing throughout (for `r > 0`),
+//! so a time-sorted stream stays time-sorted.
+//!
+//! Three shift shapes cover the nonstationarities in the paper's §3
+//! preprocessing discussion:
+//!
+//! * [`ShiftKind::Level`] — `r = m` after the shift: a sudden sustained
+//!   rate change (flash crowd, content migration).
+//! * [`ShiftKind::Trend`] — `r = 1 + m·(t − at)/86 400`: a trend break,
+//!   the rate ramping by a factor `m` per day.
+//! * [`ShiftKind::Diurnal`] — `r = 1 + m·sin(2π(t − at)/86 400)`: an
+//!   added 24 h rate modulation of relative amplitude `m` (denser
+//!   rising half-cycles, sparser falling ones; since gaps scale by
+//!   `1/r`, a full period stretches by `1/√(1 − m²)`).
+
+use crate::Result;
+use webpuzzle_stats::StatsError;
+
+/// Seconds per day — the period of the diurnal modulation and the unit
+/// of the trend ramp.
+const DAY: f64 = 86_400.0;
+
+/// Floor on the rate multiplier: keeps the warp strictly increasing
+/// even for extreme negative trend/diurnal magnitudes.
+const MIN_RATE: f64 = 0.05;
+
+/// Shape of an injected workload shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftKind {
+    /// Sustained rate multiplication by `magnitude`.
+    Level,
+    /// Rate ramp: ×`(1 + magnitude)` per day since the shift.
+    Trend,
+    /// Sinusoidal rate modulation of relative amplitude `magnitude`.
+    Diurnal,
+}
+
+impl ShiftKind {
+    /// Lower-case CLI token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShiftKind::Level => "level",
+            ShiftKind::Trend => "trend",
+            ShiftKind::Diurnal => "diurnal",
+        }
+    }
+}
+
+/// A fully specified shift: what, when, how strong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftSpec {
+    /// Shift shape.
+    pub kind: ShiftKind,
+    /// Shift instant, stream seconds.
+    pub at: f64,
+    /// Shape-specific magnitude (see [`ShiftKind`]).
+    pub magnitude: f64,
+}
+
+impl ShiftSpec {
+    /// Parse the CLI form `kind:at:magnitude`, e.g. `level:432000:2.0`
+    /// (double the arrival rate from day 5 on).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] on an unknown kind, a
+    /// non-finite/negative shift time, or a magnitude that would drive
+    /// the rate multiplier to zero (level shifts need `magnitude > 0`;
+    /// diurnal amplitude must satisfy `|magnitude| < 1`).
+    pub fn parse(spec: &str) -> Result<Self> {
+        let invalid = |name: &'static str, value: f64, constraint: &'static str| {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            }
+        };
+        let mut parts = spec.splitn(3, ':');
+        let kind = match parts
+            .next()
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "level" => ShiftKind::Level,
+            "trend" => ShiftKind::Trend,
+            "diurnal" => ShiftKind::Diurnal,
+            _ => {
+                return Err(invalid(
+                    "inject-shift kind",
+                    f64::NAN,
+                    "must be level|trend|diurnal",
+                ))
+            }
+        };
+        let at: f64 = parts.next().and_then(|s| s.parse().ok()).ok_or(invalid(
+            "inject-shift at",
+            f64::NAN,
+            "must be a number",
+        ))?;
+        let magnitude: f64 = parts.next().and_then(|s| s.parse().ok()).ok_or(invalid(
+            "inject-shift magnitude",
+            f64::NAN,
+            "must be a number",
+        ))?;
+        if !at.is_finite() || at < 0.0 {
+            return Err(invalid("inject-shift at", at, "must be finite and >= 0"));
+        }
+        if !magnitude.is_finite() {
+            return Err(invalid(
+                "inject-shift magnitude",
+                magnitude,
+                "must be finite",
+            ));
+        }
+        match kind {
+            ShiftKind::Level if magnitude <= 0.0 => Err(invalid(
+                "inject-shift magnitude",
+                magnitude,
+                "level shifts need a multiplier > 0",
+            )),
+            ShiftKind::Diurnal if magnitude.abs() >= 1.0 => Err(invalid(
+                "inject-shift magnitude",
+                magnitude,
+                "diurnal amplitude must satisfy |m| < 1",
+            )),
+            _ => Ok(ShiftSpec {
+                kind,
+                at,
+                magnitude,
+            }),
+        }
+    }
+
+    /// The rate multiplier `r(t)` at stream time `t` (1 before `at`).
+    pub fn rate_multiplier(&self, t: f64) -> f64 {
+        if t <= self.at {
+            return 1.0;
+        }
+        let r = match self.kind {
+            ShiftKind::Level => self.magnitude,
+            ShiftKind::Trend => 1.0 + self.magnitude * (t - self.at) / DAY,
+            ShiftKind::Diurnal => {
+                1.0 + self.magnitude * (std::f64::consts::TAU * (t - self.at) / DAY).sin()
+            }
+        };
+        r.max(MIN_RATE)
+    }
+}
+
+/// Streaming timestamp warp implementing a [`ShiftSpec`]. Feed original
+/// timestamps in nondecreasing order to [`ShiftInjector::warp`]; warped
+/// timestamps come back in nondecreasing order with the shift applied.
+#[derive(Debug, Clone)]
+pub struct ShiftInjector {
+    spec: ShiftSpec,
+    prev_in: f64,
+    prev_out: f64,
+}
+
+impl ShiftInjector {
+    /// An injector for `spec`, starting at stream time 0.
+    pub fn new(spec: ShiftSpec) -> Self {
+        ShiftInjector {
+            spec,
+            prev_in: 0.0,
+            prev_out: 0.0,
+        }
+    }
+
+    /// The spec in effect.
+    pub fn spec(&self) -> &ShiftSpec {
+        &self.spec
+    }
+
+    /// Warp one timestamp. Identity for `t <= at`; afterwards each
+    /// inter-arrival gap shrinks by the current rate multiplier, which
+    /// multiplies the local arrival rate by `r(t)`.
+    pub fn warp(&mut self, t: f64) -> f64 {
+        debug_assert!(t >= self.prev_in, "timestamps must be nondecreasing");
+        if t <= self.spec.at {
+            self.prev_in = t;
+            self.prev_out = t;
+            return t;
+        }
+        // The first post-shift gap starts at the shift instant (the
+        // warp is the identity up to exactly `at`), not at the last
+        // pre-shift record.
+        if self.prev_in <= self.spec.at {
+            self.prev_out = self.spec.at;
+        }
+        let gap = t - self.prev_in.max(self.spec.at);
+        let warped = self.prev_out + gap / self.spec.rate_multiplier(t);
+        self.prev_in = t;
+        self.prev_out = warped;
+        warped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_in(times: &[f64], lo: f64, hi: f64) -> usize {
+        times.iter().filter(|&&t| lo <= t && t < hi).count()
+    }
+
+    #[test]
+    fn parse_accepts_the_cli_forms() {
+        let s = ShiftSpec::parse("level:432000:2.0").unwrap();
+        assert_eq!(s.kind, ShiftKind::Level);
+        assert_eq!(s.at, 432_000.0);
+        assert_eq!(s.magnitude, 2.0);
+        assert_eq!(
+            ShiftSpec::parse("TREND:0:0.5").unwrap().kind,
+            ShiftKind::Trend
+        );
+        assert_eq!(
+            ShiftSpec::parse("diurnal:100:0.9").unwrap().kind,
+            ShiftKind::Diurnal
+        );
+        assert!(ShiftSpec::parse("step:0:1").is_err());
+        assert!(ShiftSpec::parse("level:432000").is_err());
+        assert!(ShiftSpec::parse("level:-5:2").is_err());
+        assert!(ShiftSpec::parse("level:0:0").is_err());
+        assert!(ShiftSpec::parse("diurnal:0:1.5").is_err());
+    }
+
+    #[test]
+    fn identity_before_the_shift() {
+        let mut inj = ShiftInjector::new(ShiftSpec::parse("level:1000:3").unwrap());
+        for i in 0..100 {
+            let t = i as f64 * 10.0; // 0..990, all at or before 1000
+            assert_eq!(inj.warp(t), t);
+        }
+    }
+
+    #[test]
+    fn level_shift_multiplies_the_rate() {
+        let mut inj = ShiftInjector::new(ShiftSpec::parse("level:500:2").unwrap());
+        let times: Vec<f64> = (0..1_000).map(|i| inj.warp(i as f64)).collect();
+        // Before: unchanged (1 arrival/s). After: gaps halve, so the
+        // 500 post-shift arrivals pack into ~250 s at 2/s.
+        assert_eq!(count_in(&times, 0.0, 500.0), 500);
+        let post = count_in(&times, 500.0, 750.5);
+        assert_eq!(post, 500, "doubled rate must fit 500 arrivals in 250 s");
+        // Monotone throughout.
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn trend_break_accelerates_over_days() {
+        let mut inj = ShiftInjector::new(ShiftSpec::parse("trend:0:1").unwrap());
+        // Unit gaps over two days: r grows 1 → 3, so warped time ends
+        // well short of the original horizon.
+        let mut last = 0.0;
+        for i in 1..(2 * 86_400) {
+            last = inj.warp(i as f64);
+        }
+        assert!(last < 1.3 * 86_400.0, "trend break should compress: {last}");
+        assert!(last > 86_400.0 * 0.9);
+    }
+
+    #[test]
+    fn diurnal_shift_modulates_the_rate() {
+        let mut inj = ShiftInjector::new(ShiftSpec::parse("diurnal:0:0.8").unwrap());
+        let times: Vec<f64> = (0..86_400).map(|i| inj.warp(i as f64)).collect();
+        // Gaps scale by 1/r, so one full period spans T/√(1 − m²):
+        // 86 400 / 0.6 = 144 000 s for m = 0.8.
+        let span = times.last().unwrap() - times.first().unwrap();
+        let expected = 86_400.0 / (1.0f64 - 0.8 * 0.8).sqrt();
+        assert!(
+            (span - expected).abs() / expected < 0.15,
+            "period should stretch to ~{expected}: {span}"
+        );
+        // The rising half-cycle (r > 1) is compressed: the first
+        // quarter-day of warped time holds more than its share.
+        let q1 = count_in(&times, 0.0, 21_600.0);
+        assert!(q1 > 24_000, "rising half-cycle must densify: {q1}");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn warp_is_monotone_even_with_negative_trend() {
+        let mut inj = ShiftInjector::new(ShiftSpec::parse("trend:0:-5").unwrap());
+        let times: Vec<f64> = (0..86_400)
+            .step_by(60)
+            .map(|i| inj.warp(i as f64))
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+}
