@@ -14,6 +14,10 @@
 //!                [--telemetry-addr HOST:PORT] [--verify-batch]
 //!                [--events PATH] [--alert-on info|warn|critical]
 //!                [--seasonal-period WINDOWS]
+//!                [--checkpoint PATH] [--checkpoint-every N]
+//!                [--checkpoint-every-secs S] [--resume PATH]
+//!                [--inject-faults SPEC] [--max-open-sessions N]
+//!                [--max-restores N] [--max-retries N]
 //! ```
 //!
 //! `FILE` defaults to `-` (stdin). `--lenient` skips and counts
@@ -35,9 +39,27 @@
 //! `variance_time` / `poisson_arrival_test`) and exits nonzero if the
 //! streaming results drift outside the DESIGN.md §9 tolerance bands —
 //! counts must match exactly, estimators within tolerance.
+//!
+//! ## Crash safety (DESIGN.md §11)
+//!
+//! Ingestion runs under a supervisor: transient I/O errors are retried
+//! with capped exponential backoff, malformed records are skipped and
+//! counted under `--lenient`, and engine panics restore the last
+//! checkpoint. `--checkpoint PATH` writes a versioned, checksummed
+//! snapshot of the full engine state every `--checkpoint-every N`
+//! records (default 100000) and/or `--checkpoint-every-secs S`;
+//! `--resume PATH` restarts from such a snapshot, re-seeks the input,
+//! and reproduces the uninterrupted run bit for bit. A corrupted or
+//! truncated snapshot is refused with a nonzero exit. `--inject-faults
+//! SPEC` (e.g. `seed=7,transient=0.01,crash=5000`) wraps the source in
+//! the deterministic fault injector for recovery drills.
+//! `--max-open-sessions N` bounds sessionizer memory by shedding (and
+//! counting) the oldest open sessions. Exit code **4** means the run
+//! survived a recovery or resume *and* shed sessions — results are
+//! complete but degraded; 3 (drift alarms) takes precedence.
 
 use std::fs::File;
-use std::io::{self, BufReader, Read};
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use serde::Serialize;
@@ -46,12 +68,13 @@ use webpuzzle_heavytail::hill_plot;
 use webpuzzle_lrd::variance_time;
 use webpuzzle_obs as obs;
 use webpuzzle_stream::{
-    ClfSource, Source, StreamAnalyzer, StreamConfig, StreamSummary, TailSnapshot, WindowConfig,
+    Checkpoint, ClfSource, FaultSource, FaultSpec, SourcePosition, StreamAnalyzer, StreamConfig,
+    StreamSummary, Supervisor, SupervisorConfig, SupervisorReport, TailSnapshot, WindowConfig,
     WindowReport,
 };
 use webpuzzle_timeseries::CountSeries;
 use webpuzzle_weblog::clf::{parse_log, parse_log_lenient};
-use webpuzzle_weblog::{sessionize, Session, DEFAULT_SESSION_THRESHOLD};
+use webpuzzle_weblog::{sessionize, MalformedKind, Session, DEFAULT_SESSION_THRESHOLD};
 
 /// 2004-01-12 00:00:00 UTC, the paper's WVU log start (genlog default).
 const DEFAULT_BASE_EPOCH: i64 = 1_073_865_600;
@@ -90,6 +113,14 @@ struct Args {
     events_path: Option<std::path::PathBuf>,
     alert_on: Option<obs::events::Severity>,
     seasonal_period: Option<u64>,
+    checkpoint: Option<std::path::PathBuf>,
+    checkpoint_every: u64,
+    checkpoint_every_secs: u64,
+    resume: Option<std::path::PathBuf>,
+    inject_faults: Option<FaultSpec>,
+    max_open_sessions: usize,
+    max_restores: u32,
+    max_retries: u32,
 }
 
 fn usage() -> ! {
@@ -98,7 +129,9 @@ fn usage() -> ! {
          [--window SECS] [--tail-k N] [--lenient] [--quiet] [--json] \
          [--report PATH] [--snapshot-every N] [--telemetry-addr HOST:PORT] \
          [--verify-batch] [--events PATH] [--alert-on info|warn|critical] \
-         [--seasonal-period WINDOWS]"
+         [--seasonal-period WINDOWS] [--checkpoint PATH] [--checkpoint-every N] \
+         [--checkpoint-every-secs S] [--resume PATH] [--inject-faults SPEC] \
+         [--max-open-sessions N] [--max-restores N] [--max-retries N]"
     );
     std::process::exit(2);
 }
@@ -120,6 +153,14 @@ fn parse_args() -> Args {
         events_path: None,
         alert_on: None,
         seasonal_period: None,
+        checkpoint: None,
+        checkpoint_every: 0,
+        checkpoint_every_secs: 0,
+        resume: None,
+        inject_faults: None,
+        max_open_sessions: 0,
+        max_restores: 3,
+        max_retries: 5,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -148,6 +189,40 @@ fn parse_args() -> Args {
                     .expect("--snapshot-every: record count")
             }
             "--telemetry-addr" => parsed.telemetry_addr = Some(value("--telemetry-addr")),
+            "--checkpoint" => parsed.checkpoint = Some(value("--checkpoint").into()),
+            "--checkpoint-every" => {
+                parsed.checkpoint_every = value("--checkpoint-every")
+                    .parse()
+                    .expect("--checkpoint-every: record count")
+            }
+            "--checkpoint-every-secs" => {
+                parsed.checkpoint_every_secs = value("--checkpoint-every-secs")
+                    .parse()
+                    .expect("--checkpoint-every-secs: seconds")
+            }
+            "--resume" => parsed.resume = Some(value("--resume").into()),
+            "--inject-faults" => {
+                let token = value("--inject-faults");
+                parsed.inject_faults = Some(FaultSpec::parse(&token).unwrap_or_else(|e| {
+                    eprintln!("stream-analyze: bad --inject-faults spec: {e}");
+                    std::process::exit(2);
+                }))
+            }
+            "--max-open-sessions" => {
+                parsed.max_open_sessions = value("--max-open-sessions")
+                    .parse()
+                    .expect("--max-open-sessions: session count")
+            }
+            "--max-restores" => {
+                parsed.max_restores = value("--max-restores")
+                    .parse()
+                    .expect("--max-restores: integer")
+            }
+            "--max-retries" => {
+                parsed.max_retries = value("--max-retries")
+                    .parse()
+                    .expect("--max-retries: integer")
+            }
             "--verify-batch" => parsed.verify_batch = true,
             "--events" => parsed.events_path = Some(value("--events").into()),
             "--seasonal-period" => {
@@ -191,6 +266,7 @@ fn stream_config(args: &Args) -> StreamConfig {
             ..WindowConfig::default()
         },
         tail_k: args.tail_k,
+        max_open_sessions: args.max_open_sessions,
         observatory: webpuzzle_stream::ObservatoryConfig {
             seasonal_period: args.seasonal_period,
             ..webpuzzle_stream::ObservatoryConfig::default()
@@ -199,13 +275,34 @@ fn stream_config(args: &Args) -> StreamConfig {
     }
 }
 
-fn config_value(args: &Args, summary: Option<&StreamSummary>, records: u64) -> serde::Value {
+/// The few `Args` fields the run report records — cloneable so the
+/// per-record snapshot callback can own a copy.
+#[derive(Clone)]
+struct ReportMeta {
+    base_epoch: i64,
+    threshold: f64,
+    window_len: f64,
+    tail_k: usize,
+    lenient: bool,
+}
+
+fn report_meta(args: &Args) -> ReportMeta {
+    ReportMeta {
+        base_epoch: args.base_epoch,
+        threshold: args.threshold,
+        window_len: args.window_len,
+        tail_k: args.tail_k,
+        lenient: args.lenient,
+    }
+}
+
+fn config_value(meta: &ReportMeta, summary: Option<&StreamSummary>, records: u64) -> serde::Value {
     let mut fields = vec![
-        ("base_epoch".to_string(), args.base_epoch.to_value()),
-        ("threshold".to_string(), args.threshold.to_value()),
-        ("window_len".to_string(), args.window_len.to_value()),
-        ("tail_k".to_string(), (args.tail_k as u64).to_value()),
-        ("lenient".to_string(), args.lenient.to_value()),
+        ("base_epoch".to_string(), meta.base_epoch.to_value()),
+        ("threshold".to_string(), meta.threshold.to_value()),
+        ("window_len".to_string(), meta.window_len.to_value()),
+        ("tail_k".to_string(), (meta.tail_k as u64).to_value()),
+        ("lenient".to_string(), meta.lenient.to_value()),
         ("records".to_string(), records.to_value()),
         ("partial".to_string(), summary.is_some().to_value()),
     ];
@@ -237,6 +334,23 @@ fn main() {
         obs::events::set_jsonl_sink(sink);
     }
 
+    // Injected crashes are recovered by the supervisor; keep their
+    // panic backtraces off stderr so drills read like operations, not
+    // bugs. Genuine panics still print through the default hook.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied());
+        if msg.is_some_and(|m| m.contains("injected crash")) {
+            return;
+        }
+        default_hook(info);
+    }));
+
+    let meta = report_meta(&args);
     let raw_args: Vec<String> = std::env::args().skip(1).collect();
     let _telemetry = args.telemetry_addr.as_ref().map(|addr| {
         let server = obs::serve(
@@ -244,7 +358,7 @@ fn main() {
             obs::ReportContext {
                 tool: "stream-analyze".to_string(),
                 seed: None,
-                config: config_value(&args, None, 0),
+                config: config_value(&meta, None, 0),
                 args: raw_args.clone(),
             },
         )
@@ -266,75 +380,145 @@ fn main() {
         eprintln!("stream-analyze: --verify-batch needs a FILE (stdin cannot be re-read)");
         std::process::exit(2);
     }
-
-    let mut engine = StreamAnalyzer::new(stream_config(&args)).unwrap_or_else(|e| {
-        eprintln!("stream-analyze: {e}");
+    if input == "-" && (args.checkpoint.is_some() || args.resume.is_some()) {
+        eprintln!(
+            "stream-analyze: --checkpoint/--resume need a FILE \
+             (stdin cannot be re-sought on restart)"
+        );
         std::process::exit(2);
-    });
-
-    let reader: Box<dyn io::BufRead> = if input == "-" {
-        Box::new(io::stdin().lock())
-    } else {
-        Box::new(BufReader::new(File::open(&input).unwrap_or_else(|e| {
+    }
+    if input != "-" {
+        if let Err(e) = File::open(&input) {
             eprintln!("stream-analyze: cannot open {input}: {e}");
             std::process::exit(2);
-        })))
-    };
-    let mut source = ClfSource::new(reader, args.base_epoch).lenient(args.lenient);
-
-    let t0 = std::time::Instant::now();
-    let mut progress = obs::ProgressMeter::new("stream/records", None);
-    while let Some(item) = source.next_item() {
-        let record = item.unwrap_or_else(|e| {
-            eprintln!("stream-analyze: {e}");
-            std::process::exit(1);
-        });
-        if let Err(e) = engine.push(&record) {
-            eprintln!("stream-analyze: {e}");
-            std::process::exit(1);
         }
+    }
+
+    // Validate the engine configuration up front so bad tuning is a
+    // usage error, not a mid-run failure.
+    let engine_cfg = stream_config(&args);
+    if let Err(e) = StreamAnalyzer::new(engine_cfg.clone()) {
+        eprintln!("stream-analyze: {e}");
+        std::process::exit(2);
+    }
+
+    // A corrupted, truncated, or version-skewed snapshot must be
+    // refused loudly — resuming from bad state would silently poison
+    // every estimate downstream.
+    let resume_ck = args.resume.as_ref().map(|path| {
+        Checkpoint::load(path).unwrap_or_else(|e| {
+            eprintln!("stream-analyze: cannot resume from {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    });
+    let resumed = resume_ck.is_some();
+
+    // `--resume` keeps checkpointing to the same file unless
+    // `--checkpoint` overrides it.
+    let checkpoint_path = args.checkpoint.clone().or_else(|| args.resume.clone());
+    let mut every_records = args.checkpoint_every;
+    if checkpoint_path.is_some() && every_records == 0 && args.checkpoint_every_secs == 0 {
+        every_records = 100_000;
+    }
+    let sup_cfg = SupervisorConfig {
+        lenient: args.lenient,
+        max_transient_retries: args.max_retries,
+        max_restores: args.max_restores,
+        checkpoint_path,
+        checkpoint_every_records: every_records,
+        checkpoint_every_secs: args.checkpoint_every_secs,
+        ..SupervisorConfig::default()
+    };
+
+    let fault_spec = args.inject_faults.clone().unwrap_or_default();
+    let base_epoch = args.base_epoch;
+    let lenient = args.lenient;
+    let factory_input = input.clone();
+    let mut stdin_taken = false;
+    let factory = move |pos: &SourcePosition| -> webpuzzle_stream::Result<
+        FaultSource<ClfSource<Box<dyn io::BufRead>>>,
+    > {
+        let reader: Box<dyn io::BufRead> = if factory_input == "-" {
+            if stdin_taken {
+                return Err(io::Error::other(
+                    "stdin cannot be reopened after a crash; use a FILE input",
+                )
+                .into());
+            }
+            stdin_taken = true;
+            Box::new(BufReader::new(io::stdin()))
+        } else {
+            let mut file = File::open(&factory_input)?;
+            if pos.byte_offset > 0 {
+                file.seek(SeekFrom::Start(pos.byte_offset))?;
+            }
+            Box::new(BufReader::new(file))
+        };
+        let clf = ClfSource::new(reader, base_epoch)
+            .lenient(lenient)
+            .with_position(pos);
+        let mut source = FaultSource::new(clf, fault_spec.clone());
+        source.set_index(pos.parsed);
+        Ok(source)
+    };
+
+    let mut supervisor = Supervisor::new(engine_cfg, sup_cfg, factory);
+    if let Some(ck) = resume_ck {
+        supervisor = supervisor.with_resume(ck);
+    }
+    let snapshot_every = args.snapshot_every;
+    let snapshot_meta = meta.clone();
+    let snapshot_path = args.report_path.clone();
+    let snapshot_args = raw_args.clone();
+    let mut progress = obs::ProgressMeter::new("stream/records", None);
+    supervisor = supervisor.on_record(Box::new(move |engine| {
         progress.tick(1);
-        if args.snapshot_every > 0 && engine.records().is_multiple_of(args.snapshot_every) {
+        if snapshot_every > 0 && engine.records().is_multiple_of(snapshot_every) {
             let partial = engine.summary();
             let report = obs::RunReport::collect(
                 "stream-analyze",
                 None,
-                config_value(&args, Some(&partial), engine.records()),
-                raw_args.clone(),
+                config_value(&snapshot_meta, Some(&partial), engine.records()),
+                snapshot_args.clone(),
             );
-            if let Err(e) = report.save(&args.report_path) {
+            if let Err(e) = report.save(&snapshot_path) {
                 obs::warn(&format!("snapshot write failed: {e}"));
             } else {
                 obs::info(&format!(
                     "partial report ({} records) written to {}",
                     engine.records(),
-                    args.report_path.display()
+                    snapshot_path.display()
                 ));
             }
         }
-    }
-    let summary = engine.finish().unwrap_or_else(|e| {
+    }));
+
+    let t0 = std::time::Instant::now();
+    let report = supervisor.run().unwrap_or_else(|e| {
         eprintln!("stream-analyze: {e}");
         std::process::exit(1);
     });
+    let summary = report.summary.clone();
+    let skipped = report.source.skipped;
     let elapsed = t0.elapsed();
     obs::info(&format!(
         "{} records ({} skipped) in {elapsed:.1?} ({:.0} rec/s)",
         summary.records,
-        source.skipped(),
+        skipped,
         summary.records as f64 / elapsed.as_secs_f64().max(1e-9)
     ));
 
-    print_summary(&summary, source.skipped());
+    print_summary(&summary, skipped);
+    print_recovery(&report, resumed);
 
     if args.json {
-        let report = obs::RunReport::collect(
+        let run_report = obs::RunReport::collect(
             "stream-analyze",
             None,
-            config_value(&args, Some(&summary), summary.records),
+            config_value(&meta, Some(&summary), summary.records),
             raw_args,
         );
-        match report.save(&args.report_path) {
+        match run_report.save(&args.report_path) {
             Ok(()) => obs::info(&format!(
                 "run report written to {}",
                 args.report_path.display()
@@ -347,7 +531,7 @@ fn main() {
     }
 
     if args.verify_batch {
-        let drift = verify_batch(&args, &input, &summary, source.skipped());
+        let drift = verify_batch(&args, &input, &summary, skipped);
         if drift > 0 {
             eprintln!("stream-analyze: {drift} drift(s) from the batch pipeline");
             std::process::exit(1);
@@ -366,6 +550,59 @@ fn main() {
             std::process::exit(3);
         }
         say!("alert-on: no drift alarms at or above {}", min_sev.as_str());
+    }
+
+    // Exit 4: the run is complete, but only because it recovered (or
+    // resumed) *and* shed sessions along the way — degraded, not clean.
+    if (report.recoveries > 0 || resumed) && report.shed_sessions > 0 {
+        eprintln!(
+            "stream-analyze: completed after recovery with {} shed session(s) \
+             ({} records) — results are complete but degraded",
+            report.shed_sessions, report.shed_records
+        );
+        std::process::exit(4);
+    }
+}
+
+/// Print what the supervisor had to do, if anything.
+fn print_recovery(report: &SupervisorReport, resumed: bool) {
+    let eventful = resumed
+        || report.recoveries > 0
+        || report.transient_retries > 0
+        || report.poison_records() > 0
+        || report.shed_sessions > 0
+        || report.checkpoints_written > 0;
+    if !eventful {
+        return;
+    }
+    say!("  supervisor:");
+    if let Some(records) = report.resumed_from_records {
+        say!("    resumed from a checkpoint at record {records}");
+    }
+    say!(
+        "    {} recovery(ies), {} transient retry(ies), {} checkpoint(s) written",
+        report.recoveries,
+        report.transient_retries,
+        report.checkpoints_written
+    );
+    if report.poison_records() > 0 {
+        let by_kind: Vec<String> = MalformedKind::ALL
+            .iter()
+            .filter(|k| report.poison.count(**k) > 0)
+            .map(|k| format!("{} {}", k.as_str(), report.poison.count(*k)))
+            .collect();
+        say!(
+            "    {} poison record(s) skipped ({})",
+            report.poison_records(),
+            by_kind.join(", ")
+        );
+    }
+    if report.shed_sessions > 0 {
+        say!(
+            "    {} session(s) ({} records) shed at the open-session cap",
+            report.shed_sessions,
+            report.shed_records
+        );
     }
 }
 

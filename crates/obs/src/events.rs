@@ -179,6 +179,18 @@ impl JsonlEventSink {
         self.file.write_all(line.as_bytes())?;
         self.file.flush()
     }
+
+    /// Force appended lines to durable storage (`fsync`). A checkpoint
+    /// that records this log's cursor must call this first, or a crash
+    /// can leave the checkpoint pointing past events the kernel never
+    /// wrote out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sync failure.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
 }
 
 /// Parse a JSONL event log back into events (newest last). Lines that
@@ -206,6 +218,29 @@ pub fn set_jsonl_sink(sink: JsonlEventSink) {
 /// Remove the installed JSONL sink, if any.
 pub fn clear_jsonl_sink() {
     *SINK.lock().expect("event sink poisoned") = None;
+}
+
+/// `fsync` the installed JSONL sink. Returns `Ok(false)` when no sink is
+/// installed (nothing to make durable). Checkpoint writers call this
+/// before persisting a cursor into the event log.
+///
+/// # Errors
+///
+/// Propagates the sync failure.
+pub fn sync_jsonl_sink() -> io::Result<bool> {
+    match SINK.lock().expect("event sink poisoned").as_mut() {
+        Some(sink) => sink.sync().map(|()| true),
+        None => Ok(false),
+    }
+}
+
+/// Fast-forward sequence numbering so the next published event gets a
+/// `seq` strictly above `seq` — used when resuming from a checkpoint
+/// whose event log already holds sequences up to `seq`. Never moves the
+/// counter backwards.
+pub fn resume_from(seq: u64) {
+    let mut ring = RING.lock().expect("event ring poisoned");
+    ring.next_seq = ring.next_seq.max(seq + 1);
 }
 
 /// Override the ring capacity (existing overflow drops oldest-first).
@@ -397,6 +432,33 @@ mod tests {
         assert_eq!(total(Severity::Info), 10);
         set_ring_capacity(DEFAULT_RING_CAPACITY);
         reset();
+    }
+
+    #[test]
+    fn resume_from_fast_forwards_but_never_rewinds() {
+        reset();
+        resume_from(41);
+        let seq = publish(ev(Severity::Info, 0));
+        assert_eq!(seq, 42);
+        // A stale (lower) cursor must not rewind numbering.
+        resume_from(7);
+        let seq = publish(ev(Severity::Info, 1));
+        assert_eq!(seq, 43);
+        reset();
+    }
+
+    #[test]
+    fn sink_sync_reports_installation_state() {
+        // No sink installed: nothing to sync, not an error.
+        clear_jsonl_sink();
+        assert!(!sync_jsonl_sink().unwrap());
+        let dir = std::env::temp_dir().join(format!("webpuzzle-evsync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        set_jsonl_sink(JsonlEventSink::create(&path).unwrap());
+        assert!(sync_jsonl_sink().unwrap());
+        clear_jsonl_sink();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

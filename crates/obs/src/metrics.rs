@@ -217,6 +217,22 @@ impl Histogram {
     pub fn quantile(&self, q: f64) -> Option<f64> {
         quantile_from_buckets(&self.buckets(), q)
     }
+
+    /// Rebuild a histogram from previously exported state. `count` and
+    /// `sum` are carried explicitly because the sum is not recoverable
+    /// from bucket counts. Bucket vectors shorter than
+    /// [`HISTOGRAM_BUCKETS`] are zero-padded; longer ones are truncated
+    /// (a future layout change would bump the checkpoint version before
+    /// this could misattribute mass).
+    pub fn from_parts(buckets: &[u64], count: u64, sum: u64) -> Self {
+        Histogram {
+            buckets: (0..HISTOGRAM_BUCKETS)
+                .map(|i| AtomicU64::new(buckets.get(i).copied().unwrap_or(0)))
+                .collect(),
+            count: AtomicU64::new(count),
+            sum: AtomicU64::new(sum),
+        }
+    }
 }
 
 #[derive(Default)]

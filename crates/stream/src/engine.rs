@@ -12,10 +12,12 @@
 //! counters, gauges, and histograms in the `webpuzzle-obs` registry, so
 //! a live `--telemetry-addr` endpoint sees progress mid-stream.
 
-use crate::observatory::{DriftObservatory, DriftSummary, ObservatoryConfig, WindowObservation};
+use crate::observatory::{
+    DriftObservatory, DriftSummary, ObservatoryConfig, ObservatoryState, WindowObservation,
+};
 use crate::online::{LogHistogram, Moments, TopK, Welford};
-use crate::sessionizer::StreamSessionizer;
-use crate::window::{WindowConfig, WindowReport, WindowedArrivals};
+use crate::sessionizer::{SessionizerState, StreamSessionizer};
+use crate::window::{ArrivalsState, WindowConfig, WindowReport, WindowedArrivals};
 use crate::Result;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -41,6 +43,13 @@ pub struct StreamConfig {
     /// Drift-observatory tuning (detectors over the per-window
     /// estimates; see [`crate::observatory`]).
     pub observatory: ObservatoryConfig,
+    /// Hard cap on simultaneously-open sessions (`0` = unbounded, the
+    /// historical behavior). Over the cap the TTL map sheds its
+    /// oldest-ending session early — counted in
+    /// [`StreamSummary::shed_sessions`] and the `stream/records_shed`
+    /// counter, never silent. This is the graceful-degradation valve
+    /// for adversarial client cardinality under memory pressure.
+    pub max_open_sessions: usize,
 }
 
 impl Default for StreamConfig {
@@ -55,6 +64,7 @@ impl Default for StreamConfig {
             tail_k: 8_192,
             tail_fraction: 0.14,
             observatory: ObservatoryConfig::default(),
+            max_open_sessions: 0,
         }
     }
 }
@@ -108,6 +118,65 @@ pub struct StreamSummary {
     /// Drift-observatory results (alarms over the per-window
     /// estimates).
     pub drift: DriftSummary,
+    /// Sessions shed early by the [`StreamConfig::max_open_sessions`]
+    /// cap (0 when unbounded). Shed sessions still reach the moment and
+    /// tail estimators — "shed" means truncated early, not dropped.
+    pub shed_sessions: u64,
+    /// Records already absorbed into sessions that were then shed.
+    pub shed_records: u64,
+}
+
+/// Complete mutable state of a [`StreamAnalyzer`], for checkpointing
+/// via [`StreamAnalyzer::export_state`] /
+/// [`StreamAnalyzer::restore`].
+///
+/// Welford accumulators travel as `(n, mean, m2)` raw parts, top-k
+/// tails as `(k, seen, retained-values)`, the log histogram as
+/// `(buckets, count, sum)`. Registry metrics (`stream/*` counters,
+/// gauges, histograms) are deliberately **not** part of this state:
+/// they have process lifetime, and a resumed process accumulates its
+/// own from zero — the summary-facing totals here are authoritative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// TTL sessionizer state (open sessions, watermark, counts).
+    pub sessionizer: SessionizerState,
+    /// Request arrival rings and window cursor.
+    pub request_arrivals: ArrivalsState,
+    /// Session arrival rings and window cursor.
+    pub session_arrivals: ArrivalsState,
+    /// Closed request-window reports so far.
+    pub request_windows: Vec<WindowReport>,
+    /// Closed session-window reports so far.
+    pub session_windows: Vec<WindowReport>,
+    /// Per-request transfer-size moments.
+    pub response_bytes: (u64, f64, f64),
+    /// Log-bucketed transfer-size histogram `(buckets, count, sum)`.
+    pub bytes_hist: (Vec<u64>, u64, u64),
+    /// Session-duration moments.
+    pub session_duration: (u64, f64, f64),
+    /// Requests-per-session moments.
+    pub session_requests: (u64, f64, f64),
+    /// Bytes-per-session moments.
+    pub session_bytes: (u64, f64, f64),
+    /// Session-duration tail heap `(k, seen, retained)`.
+    pub duration_tail: (usize, u64, Vec<f64>),
+    /// Requests-per-session tail heap.
+    pub requests_tail: (usize, u64, Vec<f64>),
+    /// Bytes-per-session tail heap.
+    pub bytes_tail: (usize, u64, Vec<f64>),
+    /// Records pushed.
+    pub records: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Drift-observatory detector positions and alarm counts.
+    pub observatory: ObservatoryState,
+    /// Current-window bytes accumulator (feeds the drift bytes
+    /// channel when the window closes).
+    pub window_bytes: (u64, f64, f64),
+    /// Eviction-rate bookkeeping: sessions emitted at last sync.
+    pub last_emitted: u64,
+    /// Eviction-rate bookkeeping: watermark at last eviction.
+    pub last_evict_time: f64,
 }
 
 /// The one-pass analysis engine. See the crate docs for an example.
@@ -136,7 +205,10 @@ pub struct StreamAnalyzer {
     window_bytes: Welford,
     last_emitted: u64,
     last_evict_time: f64,
+    shed_synced: u64,
+    shed_records_synced: u64,
     records_counter: Arc<webpuzzle_obs::ShardedCounter>,
+    shed_counter: Arc<metrics::Counter>,
     bytes_counter: Arc<metrics::Counter>,
     sessions_counter: Arc<metrics::Counter>,
     windows_counter: Arc<metrics::Counter>,
@@ -158,7 +230,8 @@ impl StreamAnalyzer {
     /// Rejects a non-finite or non-positive session threshold, exactly
     /// as batch [`webpuzzle_weblog::sessionize`] would.
     pub fn new(cfg: StreamConfig) -> Result<Self> {
-        let sessionizer = StreamSessionizer::new(cfg.session_threshold)?;
+        let sessionizer =
+            StreamSessionizer::new(cfg.session_threshold)?.with_max_open(cfg.max_open_sessions);
         let request_arrivals = WindowedArrivals::new(cfg.request_window.clone());
         let session_arrivals = WindowedArrivals::new(cfg.session_window.clone());
         Ok(StreamAnalyzer {
@@ -184,7 +257,10 @@ impl StreamAnalyzer {
             window_bytes: Welford::new(),
             last_emitted: 0,
             last_evict_time: f64::NEG_INFINITY,
+            shed_synced: 0,
+            shed_records_synced: 0,
             records_counter: metrics::sharded_counter("stream/records"),
+            shed_counter: metrics::counter("stream/records_shed"),
             bytes_counter: metrics::counter("stream/bytes"),
             sessions_counter: metrics::counter("stream/sessions_completed"),
             windows_counter: metrics::counter("stream/windows_closed"),
@@ -316,6 +392,8 @@ impl StreamAnalyzer {
             request_windows: self.request_windows.clone(),
             session_windows: self.session_windows.clone(),
             drift: self.observatory.summary(),
+            shed_sessions: self.sessionizer.shed_sessions(),
+            shed_records: self.sessionizer.shed_records(),
         }
     }
 
@@ -337,6 +415,92 @@ impl StreamAnalyzer {
     /// Drift results so far (cheaper than a full [`StreamAnalyzer::summary`]).
     pub fn drift_summary(&self) -> DriftSummary {
         self.observatory.summary()
+    }
+
+    /// Export the engine's complete mutable state for checkpointing.
+    ///
+    /// Valid at any push boundary; the internal session/window buffers
+    /// are always drained within the push that filled them, so they are
+    /// never part of the state.
+    pub fn export_state(&self) -> EngineState {
+        EngineState {
+            sessionizer: self.sessionizer.export_state(),
+            request_arrivals: self.request_arrivals.export_state(),
+            session_arrivals: self.session_arrivals.export_state(),
+            request_windows: self.request_windows.clone(),
+            session_windows: self.session_windows.clone(),
+            response_bytes: self.response_bytes.raw_parts(),
+            bytes_hist: self.bytes_hist.export_state(),
+            session_duration: self.session_duration.raw_parts(),
+            session_requests: self.session_requests.raw_parts(),
+            session_bytes: self.session_bytes.raw_parts(),
+            duration_tail: self.duration_tail.export_state(),
+            requests_tail: self.requests_tail.export_state(),
+            bytes_tail: self.bytes_tail.export_state(),
+            records: self.records,
+            bytes: self.bytes,
+            observatory: self.observatory.export_state(),
+            window_bytes: self.window_bytes.raw_parts(),
+            last_emitted: self.last_emitted,
+            last_evict_time: self.last_evict_time,
+        }
+    }
+
+    /// Rebuild an engine from a configuration plus exported state. The
+    /// restored engine produces a [`StreamSummary`] bit-identical to
+    /// the uninterrupted run when fed the remaining records.
+    ///
+    /// Registry metrics restart from zero (process lifetime, see
+    /// [`EngineState`]); the shed-event bookkeeping is seeded so a
+    /// restore never re-announces sheds already reported.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state whose sessionizer threshold is invalid, as
+    /// [`StreamAnalyzer::new`] would.
+    pub fn restore(cfg: StreamConfig, state: &EngineState) -> Result<Self> {
+        let mut engine = StreamAnalyzer::new(cfg)?;
+        engine.sessionizer = StreamSessionizer::from_state(state.sessionizer.clone())?;
+        engine.request_arrivals = WindowedArrivals::restore(
+            engine.cfg.request_window.clone(),
+            state.request_arrivals.clone(),
+        );
+        engine.session_arrivals = WindowedArrivals::restore(
+            engine.cfg.session_window.clone(),
+            state.session_arrivals.clone(),
+        );
+        engine.request_windows = state.request_windows.clone();
+        engine.session_windows = state.session_windows.clone();
+        let (n, mean, m2) = state.response_bytes;
+        engine.response_bytes = Welford::from_raw_parts(n, mean, m2);
+        let (buckets, count, sum) = &state.bytes_hist;
+        engine.bytes_hist = LogHistogram::from_state(buckets, *count, *sum);
+        let (n, mean, m2) = state.session_duration;
+        engine.session_duration = Welford::from_raw_parts(n, mean, m2);
+        let (n, mean, m2) = state.session_requests;
+        engine.session_requests = Welford::from_raw_parts(n, mean, m2);
+        let (n, mean, m2) = state.session_bytes;
+        engine.session_bytes = Welford::from_raw_parts(n, mean, m2);
+        let (k, seen, retained) = &state.duration_tail;
+        engine.duration_tail = TopK::from_state(*k, *seen, retained);
+        let (k, seen, retained) = &state.requests_tail;
+        engine.requests_tail = TopK::from_state(*k, *seen, retained);
+        let (k, seen, retained) = &state.bytes_tail;
+        engine.bytes_tail = TopK::from_state(*k, *seen, retained);
+        engine.records = state.records;
+        engine.bytes = state.bytes;
+        engine.observatory = DriftObservatory::restore(
+            &engine.cfg.observatory,
+            engine.cfg.request_window.window_len,
+            &state.observatory,
+        );
+        let (n, mean, m2) = state.window_bytes;
+        engine.window_bytes = Welford::from_raw_parts(n, mean, m2);
+        engine.last_emitted = state.last_emitted;
+        engine.last_evict_time = state.last_evict_time;
+        engine.shed_synced = engine.sessionizer.shed_sessions();
+        engine.shed_records_synced = engine.sessionizer.shed_records();
+        Ok(engine)
     }
 
     /// Feed every request window closed since `from` to the drift
@@ -390,6 +554,32 @@ impl StreamAnalyzer {
         if sweep.is_finite() {
             self.watermark_lag_gauge
                 .set(self.sessionizer.watermark() - sweep);
+        }
+        let shed = self.sessionizer.shed_sessions();
+        if shed > self.shed_synced {
+            let shed_records = self.sessionizer.shed_records();
+            self.shed_counter
+                .add(shed_records - self.shed_records_synced);
+            webpuzzle_obs::events::publish(webpuzzle_obs::events::Event::new(
+                webpuzzle_obs::events::Severity::Warn,
+                "load_shed",
+                "stream/open_sessions",
+                0,
+                self.sessionizer.watermark(),
+                self.sessionizer.max_open() as f64,
+                self.sessionizer.open_sessions() as f64,
+                shed as f64,
+                self.sessionizer.max_open() as f64,
+                format!(
+                    "load shedding: {} sessions ({} records) truncated early at \
+                     max_open_sessions = {}",
+                    shed,
+                    shed_records,
+                    self.sessionizer.max_open()
+                ),
+            ));
+            self.shed_synced = shed;
+            self.shed_records_synced = shed_records;
         }
         let emitted = self.sessionizer.emitted();
         if emitted > self.last_emitted {
@@ -543,6 +733,63 @@ mod tests {
         // finish() is idempotent.
         let again = engine.finish().unwrap();
         assert_eq!(again, fin);
+    }
+
+    #[test]
+    fn state_round_trip_reproduces_the_summary_bit_for_bit() {
+        let records: Vec<LogRecord> = (0..4_000)
+            .map(|i| {
+                record(
+                    i as f64 * 0.8,
+                    (i % 211) as u32,
+                    50 + (i * 31) as u64 % 12_000,
+                )
+            })
+            .collect();
+        let split = 1_777;
+
+        let mut whole = StreamAnalyzer::new(small_config()).unwrap();
+        for r in &records {
+            whole.push(r).unwrap();
+        }
+        let expected = whole.finish().unwrap();
+
+        let mut first = StreamAnalyzer::new(small_config()).unwrap();
+        for r in &records[..split] {
+            first.push(r).unwrap();
+        }
+        let state = first.export_state();
+        let mut second = StreamAnalyzer::restore(small_config(), &state).unwrap();
+        assert_eq!(second.export_state(), state);
+        for r in &records[split..] {
+            second.push(r).unwrap();
+        }
+        let resumed = second.finish().unwrap();
+
+        assert_eq!(resumed, expected);
+    }
+
+    #[test]
+    fn capped_engine_sheds_and_reports() {
+        let cfg = StreamConfig {
+            max_open_sessions: 20,
+            ..small_config()
+        };
+        let mut engine = StreamAnalyzer::new(cfg).unwrap();
+        // 97 clients interleaved at 0.5 s spacing: every client's
+        // session stays live (recurrence 48.5 s < 100 s threshold), so
+        // the 20-session cap must shed.
+        for i in 0..2_000u32 {
+            engine.push(&record(i as f64 * 0.5, i % 97, 128)).unwrap();
+        }
+        let summary = engine.finish().unwrap();
+        assert!(summary.shed_sessions > 0);
+        assert!(summary.shed_records > 0);
+        assert!(summary.peak_open_sessions <= 20);
+        // Shed sessions are truncated, not dropped: every record still
+        // belongs to exactly one completed session.
+        let total_requests = summary.session_requests.mean * summary.session_requests.count as f64;
+        assert!((total_requests - 2_000.0).abs() < 1e-6);
     }
 
     #[test]

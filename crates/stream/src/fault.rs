@@ -1,0 +1,531 @@
+//! Deterministic fault injection over any [`Source`].
+//!
+//! [`FaultSource`] decorates a source and injects failures a real log
+//! pipeline meets in production: transient read errors (`EINTR`-class,
+//! the source is fine on retry), truncated and corrupted records
+//! (poison input — retrying cannot help), stalls (slow NFS, throttled
+//! disk), and a hard *crash* at a chosen record (process death — the
+//! checkpoint/restore path's reason to exist).
+//!
+//! Every decision is a pure function of `(seed, record index, fault
+//! channel)` via a splitmix64-style hash — no RNG state, so a run is
+//! exactly reproducible, a resumed run re-rolls the *same* faults for
+//! the same record indices ([`FaultSource::set_index`]), and two fault
+//! channels never correlate just because their probabilities are equal.
+//!
+//! Transient faults are **item-preserving**: the record pulled from the
+//! inner source is stashed and delivered on the next call, so a
+//! retry-on-transient consumer sees the exact record stream the
+//! fault-free run would — the invariance the equivalence tests assert.
+//! Truncation/corruption *consume* the record and surface
+//! [`WeblogError::ParseLine`] — under `--lenient` the supervisor skips
+//! and counts them like any other malformed line.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::checkpoint::SourcePosition;
+use crate::pipeline::Source;
+use crate::supervisor::RecoverableSource;
+use crate::{Result, StreamError};
+use webpuzzle_obs::metrics;
+use webpuzzle_weblog::{LogRecord, WeblogError};
+
+/// What faults to inject and how often. Probabilities are per-record in
+/// `[0, 1]`; `crash_at` is an absolute record index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Hash seed: same seed, same faults, every run.
+    pub seed: u64,
+    /// Per-record probability of a transient read error
+    /// (`Interrupted`/`WouldBlock`, record preserved for retry).
+    pub transient: f64,
+    /// Per-record probability of mid-record truncation (record lost,
+    /// surfaces as a malformed-line parse error).
+    pub truncate: f64,
+    /// Per-record probability of byte corruption (record lost, surfaces
+    /// as a malformed-line parse error).
+    pub corrupt: f64,
+    /// Per-record probability of a stall of `stall_ms`.
+    pub stall: f64,
+    /// Stall duration, milliseconds.
+    pub stall_ms: u64,
+    /// Panic (simulated process crash) when this absolute record index
+    /// is reached; disarmed by [`FaultSource::disarm_crash`] on resume.
+    pub crash_at: Option<u64>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0xFA117,
+            transient: 0.0,
+            truncate: 0.0,
+            corrupt: 0.0,
+            stall: 0.0,
+            stall_ms: 5,
+            crash_at: None,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Parse a `key=value,key=value` spec, e.g.
+    /// `"seed=7,transient=0.01,crash=5000"`. Keys: `seed`, `transient`,
+    /// `truncate`, `corrupt`, `stall`, `stall_ms`, `crash`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown keys, bad numbers, or
+    /// out-of-range probabilities.
+    pub fn parse(spec: &str) -> std::result::Result<Self, String> {
+        let mut out = FaultSpec::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry {part:?} is not key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            let prob = |v: &str| -> std::result::Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("fault probability {v:?} is not a number"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault probability {p} is outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            let int = |v: &str| -> std::result::Result<u64, String> {
+                v.parse()
+                    .map_err(|_| format!("fault spec value {v:?} is not an integer"))
+            };
+            match key {
+                "seed" => out.seed = int(value)?,
+                "transient" => out.transient = prob(value)?,
+                "truncate" => out.truncate = prob(value)?,
+                "corrupt" => out.corrupt = prob(value)?,
+                "stall" => out.stall = prob(value)?,
+                "stall_ms" => out.stall_ms = int(value)?,
+                "crash" => out.crash_at = Some(int(value)?),
+                other => {
+                    return Err(format!(
+                        "unknown fault spec key {other:?} \
+                         (known: seed, transient, truncate, corrupt, stall, stall_ms, crash)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// True when every fault channel is disabled.
+    pub fn is_noop(&self) -> bool {
+        self.transient == 0.0
+            && self.truncate == 0.0
+            && self.corrupt == 0.0
+            && self.stall == 0.0
+            && self.crash_at.is_none()
+    }
+}
+
+/// How many faults of each kind a [`FaultSource`] has injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounts {
+    /// Transient read errors surfaced (record preserved).
+    pub transient: u64,
+    /// Records lost to mid-record truncation.
+    pub truncate: u64,
+    /// Records lost to byte corruption.
+    pub corrupt: u64,
+    /// Stalls slept through.
+    pub stall: u64,
+}
+
+// Channel constants keep the per-fault hash streams independent.
+const CH_TRANSIENT: u64 = 1;
+const CH_TRUNCATE: u64 = 2;
+const CH_CORRUPT: u64 = 3;
+const CH_STALL: u64 = 4;
+
+/// The message carried by an injected crash panic; the supervisor (and
+/// the `stream-analyze` panic hook) match on it to tell a simulated
+/// crash from a real engine bug.
+pub const CRASH_PAYLOAD_PREFIX: &str = "injected crash at record ";
+
+/// A fault-injecting decorator over any [`Source`]. See the module docs
+/// for semantics; probabilities and determinism come from a
+/// [`FaultSpec`].
+#[derive(Debug)]
+pub struct FaultSource<S: Source> {
+    inner: S,
+    spec: FaultSpec,
+    noop: bool,
+    index: u64,
+    pending: Option<S::Item>,
+    counts: FaultCounts,
+    transient_counter: Arc<metrics::Counter>,
+    truncate_counter: Arc<metrics::Counter>,
+    corrupt_counter: Arc<metrics::Counter>,
+    stall_counter: Arc<metrics::Counter>,
+}
+
+impl<S: Source> FaultSource<S> {
+    /// Wrap `inner` with the given fault spec.
+    pub fn new(inner: S, spec: FaultSpec) -> Self {
+        FaultSource {
+            noop: spec.is_noop(),
+            inner,
+            spec,
+            index: 0,
+            pending: None,
+            counts: FaultCounts::default(),
+            transient_counter: metrics::counter("stream/faults_injected/transient"),
+            truncate_counter: metrics::counter("stream/faults_injected/truncate"),
+            corrupt_counter: metrics::counter("stream/faults_injected/corrupt"),
+            stall_counter: metrics::counter("stream/faults_injected/stall"),
+        }
+    }
+
+    /// Fault totals so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// The active spec.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Records pulled from the inner source so far (the absolute index
+    /// the fault rolls key on).
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Fast-forward the fault clock on resume: `index` must equal the
+    /// number of records the inner source has already yielded (its
+    /// `parsed` count), so the resumed run rolls the same faults for
+    /// the same records as an uninterrupted one.
+    pub fn set_index(&mut self, index: u64) {
+        self.index = index;
+    }
+
+    /// Disarm the crash fault — called on every source rebuilt after a
+    /// recovery or resume, so one injected crash cannot loop forever.
+    pub fn disarm_crash(&mut self) {
+        self.spec.crash_at = None;
+        self.noop = self.spec.is_noop();
+    }
+
+    /// The inner source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Uniform roll in `[0, 1)` for this record on one fault channel —
+    /// splitmix64 finalizer over `(seed, index, channel)`.
+    fn roll(&self, channel: u64) -> f64 {
+        let mut x = self
+            .spec
+            .seed
+            .wrapping_add(self.index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(channel.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<S: Source> Source for FaultSource<S> {
+    type Item = S::Item;
+
+    fn next_item(&mut self) -> Option<Result<Self::Item>> {
+        // Fast path: with no faults armed the decorator must cost a
+        // branch and an increment, nothing more — it wraps every
+        // production source unconditionally.
+        if self.noop {
+            let item = self.inner.next_item();
+            if item.is_some() {
+                self.index += 1;
+            }
+            return item;
+        }
+        // A record stashed by a transient fault is delivered first —
+        // the retry sees exactly what the fault-free run would have.
+        if let Some(item) = self.pending.take() {
+            return Some(Ok(item));
+        }
+        if let Some(n) = self.spec.crash_at {
+            if self.index >= n {
+                panic!("{CRASH_PAYLOAD_PREFIX}{n}");
+            }
+        }
+        let item = match self.inner.next_item()? {
+            Ok(item) => item,
+            Err(e) => return Some(Err(e)),
+        };
+        if self.spec.stall > 0.0 && self.roll(CH_STALL) < self.spec.stall {
+            self.counts.stall += 1;
+            self.stall_counter.incr();
+            std::thread::sleep(Duration::from_millis(self.spec.stall_ms));
+        }
+        if self.spec.transient > 0.0 && self.roll(CH_TRANSIENT) < self.spec.transient {
+            self.counts.transient += 1;
+            self.transient_counter.incr();
+            // Alternate EINTR-class kinds so the supervisor's
+            // classification is exercised on both.
+            let kind = if self.roll(CH_TRANSIENT) < self.spec.transient / 2.0 {
+                io::ErrorKind::WouldBlock
+            } else {
+                io::ErrorKind::Interrupted
+            };
+            self.pending = Some(item);
+            self.index += 1;
+            return Some(Err(StreamError::Io(io::Error::new(
+                kind,
+                "injected fault: transient read error",
+            ))));
+        }
+        if self.spec.truncate > 0.0 && self.roll(CH_TRUNCATE) < self.spec.truncate {
+            self.counts.truncate += 1;
+            self.truncate_counter.incr();
+            let line = self.index;
+            self.index += 1;
+            return Some(Err(WeblogError::ParseLine {
+                line: line as usize,
+                reason: "injected fault: record truncated mid-line".to_string(),
+            }
+            .into()));
+        }
+        if self.spec.corrupt > 0.0 && self.roll(CH_CORRUPT) < self.spec.corrupt {
+            self.counts.corrupt += 1;
+            self.corrupt_counter.incr();
+            let line = self.index;
+            self.index += 1;
+            return Some(Err(WeblogError::ParseLine {
+                line: line as usize,
+                reason: "injected fault: corrupted bytes".to_string(),
+            }
+            .into()));
+        }
+        self.index += 1;
+        Some(Ok(item))
+    }
+}
+
+impl<S: RecoverableSource> RecoverableSource for FaultSource<S>
+where
+    S: Source<Item = LogRecord>,
+{
+    fn position(&self) -> SourcePosition {
+        self.inner.position()
+    }
+
+    fn disarm_crash(&mut self) {
+        FaultSource::disarm_crash(self);
+        self.inner.disarm_crash();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::IterSource;
+
+    fn records(n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    fn source_of(
+        xs: Vec<u64>,
+        spec: FaultSpec,
+    ) -> FaultSource<IterSource<std::vec::IntoIter<u64>>> {
+        FaultSource::new(IterSource(xs.into_iter()), spec)
+    }
+
+    /// Drain with retry-on-transient, collecting delivered items.
+    fn drain_lenient(src: &mut impl Source<Item = u64>) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(item) = src.next_item() {
+            if let Ok(x) = item {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn spec_parses_and_rejects() {
+        let spec = FaultSpec::parse("seed=7,transient=0.25,crash=5000,stall_ms=2").unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.transient, 0.25);
+        assert_eq!(spec.crash_at, Some(5_000));
+        assert_eq!(spec.stall_ms, 2);
+        assert_eq!(spec.truncate, 0.0);
+        assert!(FaultSpec::parse("").unwrap().is_noop());
+        assert!(FaultSpec::parse("bogus=1").is_err());
+        assert!(FaultSpec::parse("transient=1.5").is_err());
+        assert!(FaultSpec::parse("transient").is_err());
+        assert!(FaultSpec::parse("seed=x").is_err());
+    }
+
+    #[test]
+    fn noop_spec_is_transparent() {
+        let mut src = source_of(records(500), FaultSpec::default());
+        assert_eq!(drain_lenient(&mut src), records(500));
+        assert_eq!(src.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn transient_faults_preserve_every_record() {
+        let spec = FaultSpec {
+            transient: 0.3,
+            seed: 99,
+            ..FaultSpec::default()
+        };
+        let mut src = source_of(records(1_000), spec);
+        let mut delivered = Vec::new();
+        let mut transient_errors = 0;
+        while let Some(item) = src.next_item() {
+            match item {
+                Ok(x) => delivered.push(x),
+                Err(StreamError::Io(e)) => {
+                    assert!(
+                        matches!(
+                            e.kind(),
+                            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
+                        ),
+                        "unexpected kind {e:?}"
+                    );
+                    transient_errors += 1;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        // Item-preserving: the delivered stream is untouched.
+        assert_eq!(delivered, records(1_000));
+        assert!(
+            transient_errors > 200,
+            "p=0.3 over 1000: {transient_errors}"
+        );
+        assert_eq!(src.counts().transient, transient_errors);
+    }
+
+    #[test]
+    fn truncate_and_corrupt_consume_records_as_parse_errors() {
+        let spec = FaultSpec {
+            truncate: 0.1,
+            corrupt: 0.1,
+            seed: 5,
+            ..FaultSpec::default()
+        };
+        let mut src = source_of(records(1_000), spec);
+        let mut delivered = 0u64;
+        let mut poison = 0u64;
+        while let Some(item) = src.next_item() {
+            match item {
+                Ok(_) => delivered += 1,
+                Err(StreamError::Weblog(WeblogError::ParseLine { reason, .. })) => {
+                    assert!(reason.starts_with("injected fault:"), "{reason}");
+                    poison += 1;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert_eq!(delivered + poison, 1_000);
+        assert!(poison > 100, "p≈0.19 over 1000: {poison}");
+        assert_eq!(src.counts().truncate + src.counts().corrupt, poison);
+    }
+
+    #[test]
+    fn faults_are_deterministic_in_the_seed() {
+        let spec = FaultSpec {
+            transient: 0.2,
+            truncate: 0.05,
+            seed: 1234,
+            ..FaultSpec::default()
+        };
+        let run = |spec: FaultSpec| {
+            let mut src = source_of(records(400), spec);
+            let mut trace = Vec::new();
+            while let Some(item) = src.next_item() {
+                trace.push(match item {
+                    Ok(x) => format!("ok {x}"),
+                    Err(e) => format!("err {e}"),
+                });
+            }
+            (trace, src.counts())
+        };
+        let (a, ca) = run(spec.clone());
+        let (b, cb) = run(spec.clone());
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        let (c, _) = run(FaultSpec { seed: 4321, ..spec });
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn crash_fires_at_the_exact_record_and_disarms() {
+        let spec = FaultSpec {
+            crash_at: Some(100),
+            ..FaultSpec::default()
+        };
+        let mut src = source_of(records(500), spec);
+        for i in 0..100 {
+            assert_eq!(src.next_item().unwrap().unwrap(), i);
+        }
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| src.next_item()));
+        let payload = panic.expect_err("crash must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.starts_with(CRASH_PAYLOAD_PREFIX), "{msg}");
+
+        // Resume semantics: fresh decorator, same index, crash disarmed.
+        let mut resumed = source_of((100..500).collect(), FaultSpec::default());
+        resumed.set_index(100);
+        assert_eq!(drain_lenient(&mut resumed).len(), 400);
+    }
+
+    #[test]
+    fn resumed_index_rolls_identical_faults() {
+        let spec = FaultSpec {
+            truncate: 0.15,
+            seed: 77,
+            ..FaultSpec::default()
+        };
+        // Uninterrupted trace of which indices get truncated.
+        let mut whole = source_of(records(600), spec.clone());
+        let mut whole_poison = Vec::new();
+        let mut i = 0u64;
+        while let Some(item) = whole.next_item() {
+            if item.is_err() {
+                whole_poison.push(i);
+            }
+            i += 1;
+        }
+
+        // Split run: first 250 records, then a resumed source.
+        let mut poison = Vec::new();
+        let mut first = source_of(records(250), spec.clone());
+        let mut i = 0u64;
+        while let Some(item) = first.next_item() {
+            if item.is_err() {
+                poison.push(i);
+            }
+            i += 1;
+        }
+        let mut second = source_of((250..600).collect(), spec);
+        second.set_index(250);
+        while let Some(item) = second.next_item() {
+            if item.is_err() {
+                poison.push(i);
+            }
+            i += 1;
+        }
+        assert_eq!(poison, whole_poison);
+    }
+}

@@ -28,6 +28,16 @@
 //!   `webpuzzle-obs` event ring.
 //! * [`engine`] — [`StreamAnalyzer`]: the wired-up engine behind the
 //!   `stream-analyze` binary, producing a [`StreamSummary`].
+//! * [`checkpoint`] — [`Checkpoint`]: versioned, checksummed,
+//!   atomically-written snapshots of the full engine state; a resumed
+//!   run reproduces the uninterrupted summary bit for bit.
+//! * [`fault`] — [`FaultSource`]: a deterministic fault-injecting
+//!   decorator over any source (transient errors, poison records,
+//!   stalls, crash-at-record-N) for recovery testing.
+//! * [`supervisor`] — [`Supervisor`]: the retry / skip / restore loop
+//!   that classifies failures, retries transients with backoff, skips
+//!   poison under lenient, and restores from the last checkpoint when
+//!   the engine panics.
 //!
 //! Total memory is `O(open sessions + window bins + window arrivals +
 //! top-k)` — independent of log length. See DESIGN.md §9 for the
@@ -52,23 +62,33 @@
 //! # }
 //! ```
 
+pub mod checkpoint;
 pub mod engine;
+pub mod fault;
 pub mod observatory;
 pub mod online;
 pub mod pipeline;
 pub mod reader;
 pub mod sessionizer;
+pub mod supervisor;
 pub mod window;
 
-pub use engine::{StreamAnalyzer, StreamConfig, StreamSummary, TailSnapshot};
+pub use checkpoint::{Checkpoint, CheckpointError, SourcePosition};
+pub use engine::{EngineState, StreamAnalyzer, StreamConfig, StreamSummary, TailSnapshot};
+pub use fault::{FaultCounts, FaultSource, FaultSpec};
 pub use observatory::{
-    ChannelAlarms, DriftObservatory, DriftSummary, ObservatoryConfig, WindowObservation,
+    ChannelAlarms, DriftObservatory, DriftSummary, ObservatoryConfig, ObservatoryState,
+    WindowObservation,
 };
 pub use online::{LogHistogram, Moments, TopK, Welford};
 pub use pipeline::{IterSource, Pipe, Source, Stage};
 pub use reader::ClfSource;
-pub use sessionizer::StreamSessionizer;
-pub use window::{WindowConfig, WindowReport, WindowedArrivals};
+pub use sessionizer::{SessionizerState, StreamSessionizer};
+pub use supervisor::{
+    classify, ErrorClass, RecordCallback, RecoverableSource, Supervisor, SupervisorConfig,
+    SupervisorReport,
+};
+pub use window::{ArrivalsState, WindowConfig, WindowReport, WindowedArrivals};
 
 use std::error::Error;
 use std::fmt;
@@ -85,6 +105,8 @@ pub enum StreamError {
     Weblog(webpuzzle_weblog::WeblogError),
     /// A statistics error from a per-window estimator.
     Stats(webpuzzle_core::StatsError),
+    /// A checkpoint could not be written, read, or validated.
+    Checkpoint(checkpoint::CheckpointError),
 }
 
 impl fmt::Display for StreamError {
@@ -93,6 +115,7 @@ impl fmt::Display for StreamError {
             StreamError::Io(e) => write!(f, "stream IO error: {e}"),
             StreamError::Weblog(e) => write!(f, "stream log error: {e}"),
             StreamError::Stats(e) => write!(f, "stream estimator error: {e}"),
+            StreamError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -103,6 +126,7 @@ impl Error for StreamError {
             StreamError::Io(e) => Some(e),
             StreamError::Weblog(e) => Some(e),
             StreamError::Stats(e) => Some(e),
+            StreamError::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -122,6 +146,12 @@ impl From<webpuzzle_weblog::WeblogError> for StreamError {
 impl From<webpuzzle_core::StatsError> for StreamError {
     fn from(e: webpuzzle_core::StatsError) -> Self {
         StreamError::Stats(e)
+    }
+}
+
+impl From<checkpoint::CheckpointError> for StreamError {
+    fn from(e: checkpoint::CheckpointError) -> Self {
+        StreamError::Checkpoint(e)
     }
 }
 

@@ -162,6 +162,82 @@ impl DriftSummary {
     }
 }
 
+/// Checkpointed state of one [`Baseline`]: the running Welford
+/// accumulator plus the armed mean/σ snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineState {
+    /// Welford sample count.
+    pub n: u64,
+    /// Welford running mean.
+    pub mean: f64,
+    /// Welford running sum of squared deviations.
+    pub m2: f64,
+    /// Last armed baseline mean.
+    pub mu: f64,
+    /// Last armed baseline σ.
+    pub sigma: f64,
+}
+
+/// Checkpointed state of one [`Cusum`] detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CusumState {
+    /// Baseline state.
+    pub baseline: BaselineState,
+    /// Upper cumulative sum.
+    pub s_pos: f64,
+    /// Lower cumulative sum.
+    pub s_neg: f64,
+}
+
+/// Checkpointed state of one [`PageHinkley`] detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageHinkleyState {
+    /// Baseline state.
+    pub baseline: BaselineState,
+    /// Upward cumulative sum.
+    pub m_up: f64,
+    /// Running minimum of the upward sum.
+    pub min_up: f64,
+    /// Downward cumulative sum.
+    pub m_dn: f64,
+    /// Running maximum of the downward sum.
+    pub max_dn: f64,
+}
+
+/// Checkpointed state of one [`EwmaBands`] detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EwmaState {
+    /// Baseline state.
+    pub baseline: BaselineState,
+    /// Current EWMA of the standardized input.
+    pub ewma: f64,
+}
+
+/// Complete mutable state of a [`DriftObservatory`], for checkpointing.
+/// Tuning constants (thresholds, λ, the seasonal period) are *not*
+/// stored: restore rebuilds them from an [`ObservatoryConfig`], so the
+/// checkpoint stays valid across tuning-default changes while the
+/// detector positions carry over exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservatoryState {
+    /// Buffered lag values of the seasonal differencer, oldest first.
+    pub seasonal_history: Vec<f64>,
+    /// Arrival-rate CUSUM.
+    pub rate_cusum: CusumState,
+    /// Arrival-rate Page–Hinkley.
+    pub rate_ph: PageHinkleyState,
+    /// Response-bytes CUSUM.
+    pub bytes_cusum: CusumState,
+    /// Response-bytes Page–Hinkley.
+    pub bytes_ph: PageHinkleyState,
+    /// Hill-α EWMA bands.
+    pub alpha_ewma: EwmaState,
+    /// Variance-time-H EWMA bands.
+    pub hvt_ewma: EwmaState,
+    /// Aggregated alarm counts so far.
+    pub summary: DriftSummary,
+}
+
 /// One detector decision, before it becomes an [`Event`].
 struct Alarm {
     before: f64,
@@ -218,6 +294,23 @@ impl Baseline {
     fn reset(&mut self) {
         self.acc = Welford::new();
     }
+
+    fn export_state(&self) -> BaselineState {
+        let (n, mean, m2) = self.acc.raw_parts();
+        BaselineState {
+            n,
+            mean,
+            m2,
+            mu: self.mu,
+            sigma: self.sigma,
+        }
+    }
+
+    fn restore_state(&mut self, state: &BaselineState) {
+        self.acc = Welford::from_raw_parts(state.n, state.mean, state.m2);
+        self.mu = state.mu;
+        self.sigma = state.sigma;
+    }
 }
 
 /// Two-sided standardized CUSUM with re-baseline on alarm.
@@ -259,6 +352,20 @@ impl Cusum {
             return Some(alarm);
         }
         None
+    }
+
+    fn export_state(&self) -> CusumState {
+        CusumState {
+            baseline: self.baseline.export_state(),
+            s_pos: self.s_pos,
+            s_neg: self.s_neg,
+        }
+    }
+
+    fn restore_state(&mut self, state: &CusumState) {
+        self.baseline.restore_state(&state.baseline);
+        self.s_pos = state.s_pos;
+        self.s_neg = state.s_neg;
     }
 }
 
@@ -310,6 +417,24 @@ impl PageHinkley {
         }
         None
     }
+
+    fn export_state(&self) -> PageHinkleyState {
+        PageHinkleyState {
+            baseline: self.baseline.export_state(),
+            m_up: self.m_up,
+            min_up: self.min_up,
+            m_dn: self.m_dn,
+            max_dn: self.max_dn,
+        }
+    }
+
+    fn restore_state(&mut self, state: &PageHinkleyState) {
+        self.baseline.restore_state(&state.baseline);
+        self.m_up = state.m_up;
+        self.min_up = state.min_up;
+        self.m_dn = state.m_dn;
+        self.max_dn = state.max_dn;
+    }
 }
 
 /// EWMA of the standardized value against `± L·√(λ/(2−λ))` control
@@ -349,6 +474,18 @@ impl EwmaBands {
             return Some(alarm);
         }
         None
+    }
+
+    fn export_state(&self) -> EwmaState {
+        EwmaState {
+            baseline: self.baseline.export_state(),
+            ewma: self.ewma,
+        }
+    }
+
+    fn restore_state(&mut self, state: &EwmaState) {
+        self.baseline.restore_state(&state.baseline);
+        self.ewma = state.ewma;
     }
 }
 
@@ -526,6 +663,37 @@ impl DriftObservatory {
     /// Aggregated results so far.
     pub fn summary(&self) -> DriftSummary {
         self.summary.clone()
+    }
+
+    /// Export the observatory's mutable state for checkpointing.
+    pub fn export_state(&self) -> ObservatoryState {
+        ObservatoryState {
+            seasonal_history: self.seasonal.history.iter().copied().collect(),
+            rate_cusum: self.rate_cusum.export_state(),
+            rate_ph: self.rate_ph.export_state(),
+            bytes_cusum: self.bytes_cusum.export_state(),
+            bytes_ph: self.bytes_ph.export_state(),
+            alpha_ewma: self.alpha_ewma.export_state(),
+            hvt_ewma: self.hvt_ewma.export_state(),
+            summary: self.summary.clone(),
+        }
+    }
+
+    /// Rebuild an observatory from a configuration plus exported state:
+    /// tuning comes from `cfg` / `window_len` exactly as in
+    /// [`DriftObservatory::new`], then every detector position is
+    /// overwritten from `state`.
+    pub fn restore(cfg: &ObservatoryConfig, window_len: f64, state: &ObservatoryState) -> Self {
+        let mut watch = DriftObservatory::new(cfg, window_len);
+        watch.seasonal.history = state.seasonal_history.iter().copied().collect();
+        watch.rate_cusum.restore_state(&state.rate_cusum);
+        watch.rate_ph.restore_state(&state.rate_ph);
+        watch.bytes_cusum.restore_state(&state.bytes_cusum);
+        watch.bytes_ph.restore_state(&state.bytes_ph);
+        watch.alpha_ewma.restore_state(&state.alpha_ewma);
+        watch.hvt_ewma.restore_state(&state.hvt_ewma);
+        watch.summary = state.summary.clone();
+        watch
     }
 }
 
@@ -759,6 +927,39 @@ mod tests {
             );
         }
         assert!(fired, "tail-index shift missed");
+    }
+
+    #[test]
+    fn state_round_trip_resumes_detection_identically() {
+        // Same seasonal rate-step stream, run whole vs. split across an
+        // export/restore at window 25: the resumed observatory must see
+        // the shift at the same window with the same summary.
+        let cfg = ObservatoryConfig::default();
+        let stream = |i: u64| {
+            let phase = (i % 6) as f64 / 6.0 * std::f64::consts::TAU;
+            let level = if i >= 30 { 180.0 } else { 100.0 };
+            level + 30.0 * phase.sin() + noise(i)
+        };
+
+        let mut whole = DriftObservatory::new(&cfg, 14_400.0);
+        for i in 0..48u64 {
+            whole.observe(&obs_at(i, stream(i)));
+        }
+
+        let mut first = DriftObservatory::new(&cfg, 14_400.0);
+        for i in 0..25u64 {
+            first.observe(&obs_at(i, stream(i)));
+        }
+        let state = first.export_state();
+        let mut second = DriftObservatory::restore(&cfg, 14_400.0, &state);
+        assert_eq!(second.export_state(), state);
+        for i in 25..48u64 {
+            second.observe(&obs_at(i, stream(i)));
+        }
+
+        assert_eq!(second.export_state(), whole.export_state());
+        assert_eq!(second.summary(), whole.summary());
+        assert!(whole.summary().alarms >= 1, "rate step must alarm");
     }
 
     #[test]

@@ -120,6 +120,18 @@ impl Welford {
             variance: self.sample_variance(),
         }
     }
+
+    /// The raw accumulator state `(n, mean, m2)` for checkpointing.
+    /// Unlike [`Welford::snapshot`], this is lossless: rebuilding via
+    /// [`Welford::from_raw_parts`] is bit-identical.
+    pub fn raw_parts(&self) -> (u64, f64, f64) {
+        (self.n, self.mean, self.m2)
+    }
+
+    /// Rebuild an accumulator from [`Welford::raw_parts`] output.
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64) -> Self {
+        Welford { n, mean, m2 }
+    }
 }
 
 /// Streaming base-2 log-bucket histogram over `u64` observations —
@@ -160,6 +172,18 @@ impl LogHistogram {
     /// The wrapped obs histogram (for wiring into snapshots).
     pub fn inner(&self) -> &Histogram {
         &self.inner
+    }
+
+    /// Checkpoint state: `(bucket counts, count, sum)`.
+    pub fn export_state(&self) -> (Vec<u64>, u64, u64) {
+        (self.inner.buckets(), self.inner.count(), self.inner.sum())
+    }
+
+    /// Rebuild a histogram from [`LogHistogram::export_state`] output.
+    pub fn from_state(buckets: &[u64], count: u64, sum: u64) -> Self {
+        LogHistogram {
+            inner: Histogram::from_parts(buckets, count, sum),
+        }
     }
 }
 
@@ -301,6 +325,24 @@ impl TopK {
     pub fn batch_k_max(&self, tail_fraction: f64) -> usize {
         ((self.seen as f64) * tail_fraction) as usize
     }
+
+    /// Checkpoint state: `(k, seen, retained values descending)`. The
+    /// heap's internal layout is irrelevant — every consumer sorts — so
+    /// the canonical descending order keeps the snapshot deterministic.
+    pub fn export_state(&self) -> (usize, u64, Vec<f64>) {
+        (self.k, self.seen, self.descending())
+    }
+
+    /// Rebuild from [`TopK::export_state`] output by re-offering the
+    /// retained values into a fresh heap.
+    pub fn from_state(k: usize, seen: u64, retained: &[f64]) -> Self {
+        let mut top = TopK::new(k);
+        for &x in retained {
+            top.heap.push(Reverse(Finite(x)));
+        }
+        top.seen = seen;
+        top
+    }
 }
 
 #[cfg(test)]
@@ -410,6 +452,40 @@ mod tests {
             (streamed - batch).abs() < 0.25,
             "batch {batch} vs streamed {streamed}"
         );
+    }
+
+    #[test]
+    fn state_round_trips_are_lossless() {
+        let mut w = Welford::new();
+        for i in 0..777 {
+            w.push((i as f64).sin() * 1e6);
+        }
+        let (n, mean, m2) = w.raw_parts();
+        let back = Welford::from_raw_parts(n, mean, m2);
+        assert_eq!(back, w, "Welford restore must be bit-identical");
+
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 5, 1024, u64::MAX / 2] {
+            h.record(v);
+        }
+        let (buckets, count, sum) = h.export_state();
+        let back = LogHistogram::from_state(&buckets, count, sum);
+        assert_eq!(back.export_state(), (buckets, count, sum));
+        assert_eq!(back.quantile(0.5), h.quantile(0.5));
+
+        let mut top = TopK::new(64);
+        for i in 1..5_000u32 {
+            top.push(1.0 + f64::from(i % 911) * 0.37);
+        }
+        let (k, seen, retained) = top.export_state();
+        let mut back = TopK::from_state(k, seen, &retained);
+        assert_eq!(back.seen(), top.seen());
+        assert_eq!(back.descending(), top.descending());
+        assert_eq!(back.hill(), top.hill());
+        // Restored heaps keep evicting correctly as the stream continues.
+        back.push(1e9);
+        top.push(1e9);
+        assert_eq!(back.descending(), top.descending());
     }
 
     #[test]

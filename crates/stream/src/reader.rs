@@ -7,13 +7,15 @@
 //! skipped and counted (lenient mode, mirroring
 //! [`webpuzzle_weblog::clf::parse_log_lenient`]).
 
+use crate::checkpoint::SourcePosition;
 use crate::pipeline::Source;
+use crate::supervisor::RecoverableSource;
 use crate::Result;
 use std::io::BufRead;
 use std::sync::Arc;
 use webpuzzle_obs::metrics;
 use webpuzzle_weblog::clf::{parse_line, MALFORMED_SKIPPED_COUNTER};
-use webpuzzle_weblog::{LogRecord, WeblogError};
+use webpuzzle_weblog::{LogRecord, MalformedBreakdown, MalformedKind, WeblogError};
 
 /// A pull-based CLF record source over any buffered reader.
 ///
@@ -40,9 +42,11 @@ pub struct ClfSource<R> {
     base_epoch: i64,
     lenient: bool,
     buf: Vec<u8>,
+    byte_offset: u64,
     line_no: usize,
     parsed: u64,
     skipped: u64,
+    malformed: MalformedBreakdown,
     done: bool,
     parsed_counter: Arc<webpuzzle_obs::ShardedCounter>,
     skip_counter: Arc<metrics::Counter>,
@@ -57,9 +61,11 @@ impl<R: BufRead> ClfSource<R> {
             base_epoch,
             lenient: false,
             buf: Vec::with_capacity(256),
+            byte_offset: 0,
             line_no: 0,
             parsed: 0,
             skipped: 0,
+            malformed: MalformedBreakdown::default(),
             done: false,
             parsed_counter: metrics::sharded_counter("weblog/records_parsed"),
             skip_counter: metrics::counter(MALFORMED_SKIPPED_COUNTER),
@@ -87,6 +93,44 @@ impl<R: BufRead> ClfSource<R> {
     pub fn line_number(&self) -> usize {
         self.line_no
     }
+
+    /// Bytes consumed from the reader so far. After a yielded record
+    /// this is exactly the end of its line, so it doubles as the seek
+    /// target for resuming a file-backed source.
+    pub fn byte_offset(&self) -> u64 {
+        self.byte_offset
+    }
+
+    /// Breakdown of the skipped lines by cause (lenient mode).
+    pub fn malformed(&self) -> MalformedBreakdown {
+        self.malformed
+    }
+
+    /// Restore the position counters from a checkpoint. The caller is
+    /// responsible for seeking the underlying reader to
+    /// `position.byte_offset` *before* wrapping it — this source only
+    /// carries the bookkeeping forward so parse counts, line numbers,
+    /// and offsets continue instead of restarting at zero.
+    pub fn with_position(mut self, position: &SourcePosition) -> Self {
+        self.byte_offset = position.byte_offset;
+        self.line_no = position.line_no as usize;
+        self.parsed = position.parsed;
+        self.skipped = position.skipped;
+        self.malformed = position.malformed;
+        self
+    }
+}
+
+impl<R: BufRead> RecoverableSource for ClfSource<R> {
+    fn position(&self) -> SourcePosition {
+        SourcePosition {
+            byte_offset: self.byte_offset,
+            line_no: self.line_no as u64,
+            parsed: self.parsed,
+            skipped: self.skipped,
+            malformed: self.malformed,
+        }
+    }
 }
 
 impl<R: BufRead> Source for ClfSource<R> {
@@ -103,7 +147,7 @@ impl<R: BufRead> Source for ClfSource<R> {
                     self.done = true;
                     return None;
                 }
-                Ok(_) => {}
+                Ok(n) => self.byte_offset += n as u64,
                 Err(e) => {
                     self.done = true;
                     return Some(Err(e.into()));
@@ -121,8 +165,9 @@ impl<R: BufRead> Source for ClfSource<R> {
                     self.parsed_counter.incr();
                     return Some(Ok(rec));
                 }
-                Err(WeblogError::ParseLine { .. }) if self.lenient => {
+                Err(WeblogError::ParseLine { reason, .. }) if self.lenient => {
                     self.skipped += 1;
+                    self.malformed.record(MalformedKind::classify(&reason));
                     self.skip_counter.incr();
                 }
                 Err(WeblogError::ParseLine { reason, .. }) => {
@@ -224,5 +269,57 @@ mod tests {
         let text = text.trim_end();
         let (records, _) = drain(ClfSource::new(text.as_bytes(), BASE));
         assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn position_tracks_exact_end_of_line_offsets() {
+        let text = log_text(10);
+        let mut src = ClfSource::new(text.as_bytes(), BASE);
+        let mut consumed = 0usize;
+        let lines: Vec<&str> = text.split_inclusive('\n').collect();
+        for line in &lines[..6] {
+            src.next_item().unwrap().unwrap();
+            consumed += line.len();
+            assert_eq!(src.position().byte_offset, consumed as u64);
+        }
+        let pos = src.position();
+        assert_eq!(pos.parsed, 6);
+        assert_eq!(pos.line_no, 6);
+        assert_eq!(pos.skipped, 0);
+    }
+
+    #[test]
+    fn seek_and_with_position_resumes_identical_records() {
+        use std::io::{Cursor, Seek, SeekFrom};
+
+        let mut bytes = log_text(4).into_bytes();
+        bytes.extend_from_slice(b"not a log line\n");
+        bytes.extend_from_slice(log_text(8).as_bytes());
+
+        let (whole, whole_src) =
+            drain(ClfSource::new(Cursor::new(bytes.clone()), BASE).lenient(true));
+
+        // Run a prefix, capture the position, then resume from a fresh
+        // reader seeked to the recorded byte offset.
+        let mut head = ClfSource::new(Cursor::new(bytes.clone()), BASE).lenient(true);
+        for _ in 0..5 {
+            head.next_item().unwrap().unwrap();
+        }
+        let pos = head.position();
+        assert_eq!(pos.parsed, 5);
+        assert_eq!(pos.skipped, 1);
+        assert_eq!(pos.malformed.total(), 1);
+
+        let mut reader = Cursor::new(bytes);
+        reader.seek(SeekFrom::Start(pos.byte_offset)).unwrap();
+        let (tail, tail_src) = drain(
+            ClfSource::new(reader, BASE)
+                .lenient(true)
+                .with_position(&pos),
+        );
+
+        assert_eq!(tail.len(), whole.len() - 5);
+        assert_eq!(tail[..], whole[5..]);
+        assert_eq!(tail_src.position(), whole_src.position());
     }
 }

@@ -62,6 +62,38 @@ pub struct StreamSessionizer {
     records_seen: u64,
     emitted: u64,
     peak_open: usize,
+    max_open: usize,
+    shed_sessions: u64,
+    shed_records: u64,
+}
+
+/// Complete mutable state of a [`StreamSessionizer`], for checkpointing.
+/// Open sessions are exported sorted by client id so the snapshot bytes
+/// are deterministic (hash-map iteration order is not).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionizerState {
+    /// Inactivity threshold, seconds.
+    pub threshold: f64,
+    /// Eviction sweep interval, event-time seconds.
+    pub sweep_interval: f64,
+    /// Open sessions, sorted by client id.
+    pub open: Vec<Session>,
+    /// Max timestamp seen (`-inf` before the first record).
+    pub watermark: f64,
+    /// Event time of the last sweep (`-inf` before the first).
+    pub last_sweep: f64,
+    /// Records consumed.
+    pub records_seen: u64,
+    /// Sessions emitted.
+    pub emitted: u64,
+    /// High-water mark of simultaneously open sessions.
+    pub peak_open: usize,
+    /// Open-session hard cap (0 = unbounded).
+    pub max_open: usize,
+    /// Sessions force-closed by the cap.
+    pub shed_sessions: u64,
+    /// Records inside sessions that were shed.
+    pub shed_records: u64,
 }
 
 impl StreamSessionizer {
@@ -89,6 +121,9 @@ impl StreamSessionizer {
             records_seen: 0,
             emitted: 0,
             peak_open: 0,
+            max_open: 0,
+            shed_sessions: 0,
+            shed_records: 0,
         })
     }
 
@@ -97,6 +132,19 @@ impl StreamSessionizer {
     /// the emitted sessions are identical either way.
     pub fn with_sweep_interval(mut self, interval: f64) -> Self {
         self.sweep_interval = interval.max(0.0);
+        self
+    }
+
+    /// Hard-cap the TTL map at `max_open` open sessions (0 = unbounded,
+    /// the default). When a new session would exceed the cap, the
+    /// least-recently-active open session is *shed*: force-closed and
+    /// emitted early, counted in [`StreamSessionizer::shed_sessions`] /
+    /// [`StreamSessionizer::shed_records`]. Graceful degradation under
+    /// memory pressure — sheds truncate long idle sessions rather than
+    /// losing the stream, and are never silent (the engine reports and
+    /// counts them).
+    pub fn with_max_open(mut self, max_open: usize) -> Self {
+        self.max_open = max_open;
         self
     }
 
@@ -159,8 +207,35 @@ impl StreamSessionizer {
                 true
             }
         };
+        if self.max_open > 0 {
+            self.shed_over_cap(out);
+        }
         self.peak_open = self.peak_open.max(self.open.len());
         Ok(started)
+    }
+
+    /// Force-close least-recently-active sessions until the map fits
+    /// the cap. Selection is by `(end, start, client)` — a pure function
+    /// of the open set — so shedding is deterministic and replays
+    /// identically after a checkpoint restore.
+    fn shed_over_cap(&mut self, out: &mut Vec<Session>) {
+        while self.open.len() > self.max_open {
+            let victim = self
+                .open
+                .values()
+                .min_by(|a, b| {
+                    (a.end, a.start, a.client)
+                        .partial_cmp(&(b.end, b.start, b.client))
+                        .expect("finite session times")
+                })
+                .map(|s| s.client)
+                .expect("over-cap map is non-empty");
+            let session = self.open.remove(&victim).expect("victim is open");
+            self.shed_sessions += 1;
+            self.shed_records += session.request_count as u64;
+            self.emitted += 1;
+            out.push(session);
+        }
     }
 
     /// Evict every open session whose TTL elapsed: the watermark passed
@@ -224,6 +299,69 @@ impl StreamSessionizer {
     /// the engine exports as the `stream/watermark_lag_secs` gauge.
     pub fn last_sweep(&self) -> f64 {
         self.last_sweep
+    }
+
+    /// Sessions force-closed by the [`StreamSessionizer::with_max_open`]
+    /// cap so far.
+    pub fn shed_sessions(&self) -> u64 {
+        self.shed_sessions
+    }
+
+    /// Records inside sessions that were shed (those sessions were
+    /// emitted truncated — any later request from the same client starts
+    /// a fresh session).
+    pub fn shed_records(&self) -> u64 {
+        self.shed_records
+    }
+
+    /// The configured open-session cap (0 = unbounded).
+    pub fn max_open(&self) -> usize {
+        self.max_open
+    }
+
+    /// Snapshot the complete mutable state for a checkpoint.
+    pub fn export_state(&self) -> SessionizerState {
+        let mut open: Vec<Session> = self.open.values().copied().collect();
+        open.sort_by_key(|s| s.client);
+        SessionizerState {
+            threshold: self.threshold,
+            sweep_interval: self.sweep_interval,
+            open,
+            watermark: self.watermark,
+            last_sweep: self.last_sweep,
+            records_seen: self.records_seen,
+            emitted: self.emitted,
+            peak_open: self.peak_open,
+            max_open: self.max_open,
+            shed_sessions: self.shed_sessions,
+            shed_records: self.shed_records,
+        }
+    }
+
+    /// Rebuild a sessionizer from [`StreamSessionizer::export_state`]
+    /// output. The restored instance continues the stream exactly where
+    /// the snapshot left off.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid threshold, as [`StreamSessionizer::new`] does.
+    pub fn from_state(state: SessionizerState) -> Result<Self> {
+        let mut s = StreamSessionizer::new(state.threshold)?;
+        s.sweep_interval = state.sweep_interval;
+        s.open = state
+            .open
+            .into_iter()
+            .map(|sess| (sess.client, sess))
+            .collect();
+        s.watermark = state.watermark;
+        s.last_sweep = state.last_sweep;
+        s.records_seen = state.records_seen;
+        s.emitted = state.emitted;
+        s.peak_open = state.peak_open;
+        s.max_open = state.max_open;
+        s.shed_sessions = state.shed_sessions;
+        s.shed_records = state.shed_records;
+        Ok(s)
     }
 }
 
@@ -376,5 +514,77 @@ mod tests {
     fn validation() {
         assert!(StreamSessionizer::new(0.0).is_err());
         assert!(StreamSessionizer::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn max_open_cap_sheds_oldest_and_counts() {
+        let mut s = StreamSessionizer::new(1800.0).unwrap().with_max_open(10);
+        let mut out = Vec::new();
+        // 50 clients interleave within one threshold: without the cap
+        // all 50 would stay open (see peak_open_tracks_memory_bound).
+        for i in 0..200u32 {
+            s.push(&rec(f64::from(i), i % 50, 1), &mut out).unwrap();
+        }
+        assert!(s.open_sessions() <= 10);
+        assert!(s.peak_open_sessions() <= 10);
+        assert!(s.shed_sessions() > 0);
+        assert!(s.shed_records() >= s.shed_sessions());
+        // Conservation: every record lands in exactly one emitted session.
+        s.finish(&mut out);
+        let total: u64 = out.iter().map(|sess| sess.request_count as u64).sum();
+        assert_eq!(total, 200);
+        assert_eq!(out.len() as u64, s.emitted());
+    }
+
+    #[test]
+    fn unbounded_by_default_sheds_nothing() {
+        let out = run(
+            &(0..100)
+                .map(|i| rec(i as f64, i as u32, 1))
+                .collect::<Vec<_>>(),
+            1800.0,
+        );
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        let records: Vec<LogRecord> = (0..3_000)
+            .map(|i| rec(i as f64 * 37.0, (i % 23) as u32, 1 + (i % 7) as u64))
+            .collect();
+        let (head, tail) = records.split_at(1_234);
+
+        let mut whole = StreamSessionizer::new(1800.0).unwrap().with_max_open(8);
+        let mut whole_out = Vec::new();
+        for r in &records {
+            whole.push(r, &mut whole_out).unwrap();
+        }
+        whole.finish(&mut whole_out);
+
+        let mut first = StreamSessionizer::new(1800.0).unwrap().with_max_open(8);
+        let mut split_out = Vec::new();
+        for r in head {
+            first.push(r, &mut split_out).unwrap();
+        }
+        let state = first.export_state();
+        assert_eq!(
+            StreamSessionizer::from_state(state.clone())
+                .unwrap()
+                .export_state(),
+            state,
+            "export/restore must be lossless"
+        );
+        let mut second = StreamSessionizer::from_state(state).unwrap();
+        for r in tail {
+            second.push(r, &mut split_out).unwrap();
+        }
+        second.finish(&mut split_out);
+
+        sort_batch(&mut whole_out);
+        sort_batch(&mut split_out);
+        assert_eq!(split_out, whole_out);
+        assert_eq!(second.emitted(), whole.emitted());
+        assert_eq!(second.shed_sessions(), whole.shed_sessions());
+        assert_eq!(second.shed_records(), whole.shed_records());
     }
 }

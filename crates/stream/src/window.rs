@@ -65,6 +65,26 @@ pub struct WindowReport {
     pub poisson_ten_min: PoissonVerdict,
 }
 
+/// Complete mutable state of a [`WindowedArrivals`] accumulator, for
+/// checkpointing. Ring contents are carried verbatim: counts are exact
+/// and the raw arrival times of the current (partial) window are what
+/// the Poisson battery will need when the window eventually closes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalsState {
+    /// Coarse-ring per-bin counts.
+    pub coarse: Vec<f64>,
+    /// Fine-ring per-bin counts (empty when the fine ring is disabled).
+    pub fine: Vec<f64>,
+    /// Raw arrival times of the current window.
+    pub times: Vec<f64>,
+    /// Index of the current (open) window.
+    pub window_index: u64,
+    /// Last arrival time seen (`-inf` before the first).
+    pub last_time: f64,
+    /// Total arrivals accepted.
+    pub total_events: u64,
+}
+
 /// Streaming window accumulator over one arrival process.
 ///
 /// Feed event times in nondecreasing order via
@@ -159,6 +179,38 @@ impl WindowedArrivals {
     /// Memory footprint of the rings, in bins (diagnostic).
     pub fn ring_bins(&self) -> usize {
         self.coarse.len() + self.fine.len()
+    }
+
+    /// Export the accumulator's mutable state for checkpointing.
+    pub fn export_state(&self) -> ArrivalsState {
+        ArrivalsState {
+            coarse: self.coarse.clone(),
+            fine: self.fine.clone(),
+            times: self.times.clone(),
+            window_index: self.window_index,
+            last_time: self.last_time,
+            total_events: self.total_events,
+        }
+    }
+
+    /// Rebuild an accumulator from a configuration plus exported state.
+    /// Ring sizing comes from `cfg`; exported rings are carried over
+    /// verbatim when their lengths agree and are otherwise clamped to
+    /// the configured sizes (a config/state mismatch is a caller bug,
+    /// but restore degrades to a ring reset instead of panicking).
+    pub fn restore(cfg: WindowConfig, state: ArrivalsState) -> Self {
+        let mut w = WindowedArrivals::new(cfg);
+        if state.coarse.len() == w.coarse.len() {
+            w.coarse = state.coarse;
+        }
+        if state.fine.len() == w.fine.len() {
+            w.fine = state.fine;
+        }
+        w.times = state.times;
+        w.window_index = state.window_index;
+        w.last_time = state.last_time;
+        w.total_events = state.total_events;
+        w
     }
 
     fn close_window(&mut self) -> Result<WindowReport> {
@@ -287,6 +339,35 @@ mod tests {
         assert_eq!(out[0].poisson_hourly, PoissonVerdict::NotApplicable);
         assert_eq!(out[1].events, 0);
         assert_eq!(out[2].events, 0);
+    }
+
+    #[test]
+    fn state_round_trip_closes_identical_windows() {
+        let times = poisson_times(2.0, 9_500.0, 11);
+        let split = times.len() / 3;
+
+        let mut whole = WindowedArrivals::new(cfg(3_600.0));
+        let mut whole_out = Vec::new();
+        for &t in &times {
+            whole.push(t, &mut whole_out).unwrap();
+        }
+        whole.finish(&mut whole_out).unwrap();
+
+        let mut first = WindowedArrivals::new(cfg(3_600.0));
+        let mut split_out = Vec::new();
+        for &t in &times[..split] {
+            first.push(t, &mut split_out).unwrap();
+        }
+        let state = first.export_state();
+        let mut second = WindowedArrivals::restore(cfg(3_600.0), state.clone());
+        assert_eq!(second.export_state(), state);
+        for &t in &times[split..] {
+            second.push(t, &mut split_out).unwrap();
+        }
+        second.finish(&mut split_out).unwrap();
+
+        assert_eq!(split_out, whole_out);
+        assert_eq!(second.total_events(), whole.total_events());
     }
 
     #[test]

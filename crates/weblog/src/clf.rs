@@ -144,14 +144,114 @@ pub fn parse_line(line: &str, base_epoch: i64) -> Result<LogRecord> {
 /// by lenient parsing (here and in the streaming reader).
 pub const MALFORMED_SKIPPED_COUNTER: &str = "weblog/malformed_lines_skipped";
 
+/// Why a line failed to parse — the poison-record taxonomy lenient
+/// consumers report. Derived from the parse-error reason, so strict and
+/// lenient paths classify identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MalformedKind {
+    /// The `[date]` body was present but unparseable.
+    BadTimestamp,
+    /// The status field was present but not a number in 100..=999.
+    BadStatus,
+    /// The line ended before a required field (truncated write): a
+    /// missing, unterminated, or empty field.
+    Truncated,
+    /// Any other malformation (bad host address, bad byte count, …).
+    Other,
+}
+
+impl MalformedKind {
+    /// All kinds, in reporting order.
+    pub const ALL: [MalformedKind; 4] = [
+        MalformedKind::BadTimestamp,
+        MalformedKind::BadStatus,
+        MalformedKind::Truncated,
+        MalformedKind::Other,
+    ];
+
+    /// Stable lower-case token for reports and counter names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MalformedKind::BadTimestamp => "bad_timestamp",
+            MalformedKind::BadStatus => "bad_status",
+            MalformedKind::Truncated => "truncated",
+            MalformedKind::Other => "other",
+        }
+    }
+
+    /// Classify a [`WeblogError::ParseLine`] reason string.
+    pub fn classify(reason: &str) -> MalformedKind {
+        match reason {
+            "bad date" => MalformedKind::BadTimestamp,
+            "bad status" => MalformedKind::BadStatus,
+            "empty request" | "request missing URI" => MalformedKind::Truncated,
+            r if r.starts_with("missing") || r.starts_with("unterminated") => {
+                MalformedKind::Truncated
+            }
+            _ => MalformedKind::Other,
+        }
+    }
+}
+
+/// Per-cause tally of skipped malformed lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MalformedBreakdown {
+    /// Lines with an unparseable `[date]` body.
+    pub bad_timestamp: u64,
+    /// Lines with a non-numeric / out-of-range status.
+    pub bad_status: u64,
+    /// Lines truncated before a required field.
+    pub truncated: u64,
+    /// Everything else.
+    pub other: u64,
+}
+
+impl MalformedBreakdown {
+    /// Count one skipped line of the given kind.
+    pub fn record(&mut self, kind: MalformedKind) {
+        match kind {
+            MalformedKind::BadTimestamp => self.bad_timestamp += 1,
+            MalformedKind::BadStatus => self.bad_status += 1,
+            MalformedKind::Truncated => self.truncated += 1,
+            MalformedKind::Other => self.other += 1,
+        }
+    }
+
+    /// Tally for one kind.
+    pub fn count(&self, kind: MalformedKind) -> u64 {
+        match kind {
+            MalformedKind::BadTimestamp => self.bad_timestamp,
+            MalformedKind::BadStatus => self.bad_status,
+            MalformedKind::Truncated => self.truncated,
+            MalformedKind::Other => self.other,
+        }
+    }
+
+    /// Sum over all kinds — the historical `skipped` count.
+    pub fn total(&self) -> u64 {
+        self.bad_timestamp + self.bad_status + self.truncated + self.other
+    }
+
+    /// Fold another breakdown into this one.
+    pub fn merge(&mut self, other: &MalformedBreakdown) {
+        self.bad_timestamp += other.bad_timestamp;
+        self.bad_status += other.bad_status;
+        self.truncated += other.truncated;
+        self.other += other.other;
+    }
+}
+
 /// A leniently parsed CLF stream: the good records plus the count of
 /// garbage lines that were skipped.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LenientParse {
     /// Successfully parsed records, in input order.
     pub records: Vec<LogRecord>,
-    /// Number of malformed (non-blank, unparseable) lines skipped.
+    /// Number of malformed (non-blank, unparseable) lines skipped —
+    /// always `malformed.total()`, kept for existing consumers.
     pub skipped: u64,
+    /// The skipped lines broken down by cause.
+    pub malformed: MalformedBreakdown,
 }
 
 /// Parse a whole CLF stream; line numbers are reported in errors.
@@ -208,19 +308,26 @@ pub fn parse_log_lenient(text: &str, base_epoch: i64) -> LenientParse {
     let parsed = webpuzzle_obs::metrics::sharded_counter("weblog/records_parsed");
     let skip_counter = webpuzzle_obs::metrics::counter(MALFORMED_SKIPPED_COUNTER);
     let mut records = Vec::new();
-    let mut skipped = 0u64;
+    let mut malformed = MalformedBreakdown::default();
     for line in text.lines() {
         if line.trim().is_empty() {
             continue;
         }
         match parse_line(line, base_epoch) {
             Ok(r) => records.push(r),
-            Err(_) => skipped += 1,
+            Err(WeblogError::ParseLine { reason, .. }) => {
+                malformed.record(MalformedKind::classify(&reason))
+            }
+            Err(_) => malformed.record(MalformedKind::Other),
         }
     }
     parsed.add(records.len() as u64);
-    skip_counter.add(skipped);
-    LenientParse { records, skipped }
+    skip_counter.add(malformed.total());
+    LenientParse {
+        records,
+        skipped: malformed.total(),
+        malformed,
+    }
 }
 
 fn parse_ipv4(s: &str) -> Option<u32> {
@@ -430,6 +537,30 @@ mod tests {
         let clean = parse_log_lenient(&good, BASE);
         assert_eq!(clean.skipped, 0);
         assert_eq!(clean.records.len(), 1);
+    }
+
+    #[test]
+    fn lenient_breakdown_classifies_by_cause() {
+        let good = format_line(&LogRecord::new(3.0, 9, Method::Get, 1, 200, 64), BASE);
+        let bad_date = r#"1.2.3.4 - - [99/Jan/2004:00:00:07 +0000] "GET /r HTTP/1.0" 200 5"#;
+        let bad_status = r#"1.2.3.4 - - [12/Jan/2004:00:00:07 +0000] "GET /r HTTP/1.0" 2x0 5"#;
+        let truncated = "1.2.3.4 - - [12/Jan/2004";
+        let other = r#"zzz - - [12/Jan/2004:00:00:07 +0000] "GET /r HTTP/1.0" 200 5"#;
+        let text = format!("{good}\n{bad_date}\n{bad_status}\n{truncated}\n{other}\n");
+        let parsed = parse_log_lenient(&text, BASE);
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(parsed.malformed.bad_timestamp, 1);
+        assert_eq!(parsed.malformed.bad_status, 1);
+        assert_eq!(parsed.malformed.truncated, 1);
+        assert_eq!(parsed.malformed.other, 1);
+        // The legacy count stays the sum of the breakdown.
+        assert_eq!(parsed.skipped, parsed.malformed.total());
+        let mut merged = parsed.malformed;
+        merged.merge(&parsed.malformed);
+        assert_eq!(merged.total(), 8);
+        for kind in MalformedKind::ALL {
+            assert_eq!(merged.count(kind), 2, "{}", kind.as_str());
+        }
     }
 
     #[test]

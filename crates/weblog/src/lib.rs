@@ -31,6 +31,7 @@ mod merge;
 mod record;
 mod session;
 
+pub use clf::{MalformedBreakdown, MalformedKind};
 pub use dataset::{Interval, WeekDataset, WorkloadLevel, SECONDS_PER_WEEK};
 pub use error::WeblogError;
 pub use merge::merge_sorted;
