@@ -18,6 +18,8 @@
 //!                [--checkpoint-every-secs S] [--resume PATH]
 //!                [--inject-faults SPEC] [--max-open-sessions N]
 //!                [--max-restores N] [--max-retries N]
+//!                [--profile] [--profile-sample N] [--profile-out PATH]
+//!                [--profile-exemplars PATH]
 //! ```
 //!
 //! `FILE` defaults to `-` (stdin). `--lenient` skips and counts
@@ -57,6 +59,28 @@
 //! counting) the oldest open sessions. Exit code **4** means the run
 //! survived a recovery or resume *and* shed sessions — results are
 //! complete but degraded; 3 (drift alarms) takes precedence.
+//!
+//! ## Flight recorder (DESIGN.md §12)
+//!
+//! `--profile` turns on the pipeline flight recorder: 1-in-N sampled
+//! per-stage latency histograms (`--profile-sample N`, default 32),
+//! slowest-record trace exemplars, per-window stage-timing events, and
+//! a per-stage attribution table after the summary. Before ingesting
+//! anything, the tool measures the recorder's own cost on synthetic
+//! records (paired on/off runs) and publishes it as the
+//! `profile/overhead_pct` gauge plus a `profile_overhead_pct` field in
+//! the run report — the DESIGN.md §12 budget is ≤ 3%. `--profile-out
+//! PATH` writes the folded flamegraph stacks (`flamegraph.pl` /
+//! `inferno-flamegraph` input); `--profile-exemplars PATH` writes the
+//! exemplar traces as schema-versioned JSONL; either flag implies
+//! `--profile`. The live snapshot is also served at `/profile` under
+//! `--telemetry-addr`, and the `--json` run report embeds it as
+//! `config.profile`. Profiler state intentionally resets on
+//! `--resume`: latency histograms are wall-clock observations of *this*
+//! process, so stitching them across process generations would blur
+//! incomparable timings (the stream-side counters the sampler keys on
+//! do resume, so trace indices stay deterministic). Note the per-window
+//! timing events are info-severity and count toward `--alert-on info`.
 
 use std::fs::File;
 use std::io::{self, BufReader, Read, Seek, SeekFrom};
@@ -121,6 +145,10 @@ struct Args {
     max_open_sessions: usize,
     max_restores: u32,
     max_retries: u32,
+    profile: bool,
+    profile_sample: u64,
+    profile_out: Option<std::path::PathBuf>,
+    profile_exemplars: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
@@ -131,7 +159,9 @@ fn usage() -> ! {
          [--verify-batch] [--events PATH] [--alert-on info|warn|critical] \
          [--seasonal-period WINDOWS] [--checkpoint PATH] [--checkpoint-every N] \
          [--checkpoint-every-secs S] [--resume PATH] [--inject-faults SPEC] \
-         [--max-open-sessions N] [--max-restores N] [--max-retries N]"
+         [--max-open-sessions N] [--max-restores N] [--max-retries N] \
+         [--profile] [--profile-sample N] [--profile-out PATH] \
+         [--profile-exemplars PATH]"
     );
     std::process::exit(2);
 }
@@ -161,6 +191,10 @@ fn parse_args() -> Args {
         max_open_sessions: 0,
         max_restores: 3,
         max_retries: 5,
+        profile: false,
+        profile_sample: obs::profile::DEFAULT_SAMPLE_EVERY,
+        profile_out: None,
+        profile_exemplars: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -224,6 +258,22 @@ fn parse_args() -> Args {
                     .expect("--max-retries: integer")
             }
             "--verify-batch" => parsed.verify_batch = true,
+            "--profile" => parsed.profile = true,
+            "--profile-sample" => {
+                let n: u64 = value("--profile-sample")
+                    .parse()
+                    .expect("--profile-sample: record period");
+                parsed.profile_sample = n.max(1);
+                parsed.profile = true;
+            }
+            "--profile-out" => {
+                parsed.profile_out = Some(value("--profile-out").into());
+                parsed.profile = true;
+            }
+            "--profile-exemplars" => {
+                parsed.profile_exemplars = Some(value("--profile-exemplars").into());
+                parsed.profile = true;
+            }
             "--events" => parsed.events_path = Some(value("--events").into()),
             "--seasonal-period" => {
                 let token = value("--seasonal-period");
@@ -284,6 +334,8 @@ struct ReportMeta {
     window_len: f64,
     tail_k: usize,
     lenient: bool,
+    profile: bool,
+    profile_overhead_pct: Option<f64>,
 }
 
 fn report_meta(args: &Args) -> ReportMeta {
@@ -293,6 +345,8 @@ fn report_meta(args: &Args) -> ReportMeta {
         window_len: args.window_len,
         tail_k: args.tail_k,
         lenient: args.lenient,
+        profile: args.profile,
+        profile_overhead_pct: None,
     }
 }
 
@@ -309,6 +363,15 @@ fn config_value(meta: &ReportMeta, summary: Option<&StreamSummary>, records: u64
     if let Some(s) = summary {
         fields.push(("summary".to_string(), s.to_value()));
     }
+    if meta.profile {
+        // Live flight-recorder snapshot: stage histograms, exemplars,
+        // and the startup-calibrated self-overhead number the CI gate
+        // asserts against (DESIGN.md §12 budget: ≤ 3%).
+        fields.push(("profile".to_string(), obs::profile::snapshot().to_value()));
+        if let Some(pct) = meta.profile_overhead_pct {
+            fields.push(("profile_overhead_pct".to_string(), pct.to_value()));
+        }
+    }
     serde::Value::Object(fields)
 }
 
@@ -322,7 +385,30 @@ fn main() {
     } else {
         obs::set_sink(Box::new(obs::StderrSink::default()));
     }
+    // Flight recorder: calibrate the profiler's own cost first, on
+    // synthetic records, so the published overhead number never mixes
+    // with real-stream variance. This runs *before* obs::reset() and
+    // before the events sink exists — everything the calibration
+    // touches (metric counters, the event ring, profiler histograms)
+    // is wiped below, so no synthetic sample can leak into the run.
+    let overhead_pct = args.profile.then(|| {
+        let pct = webpuzzle_bench::measure_profile_overhead_pct(50_000, args.profile_sample);
+        if !args.quiet {
+            eprintln!(
+                "stream-analyze: profiler self-overhead {pct:.2}% \
+                 (1-in-{} sampling, 50000-record calibration)",
+                args.profile_sample
+            );
+        }
+        pct
+    });
     obs::reset();
+    if args.profile {
+        obs::profile::enable(args.profile_sample);
+        if let Some(pct) = overhead_pct {
+            obs::metrics::gauge("profile/overhead_pct").set(pct);
+        }
+    }
     if let Some(path) = &args.events_path {
         let sink = obs::events::JsonlEventSink::create(path).unwrap_or_else(|e| {
             eprintln!(
@@ -350,7 +436,8 @@ fn main() {
         default_hook(info);
     }));
 
-    let meta = report_meta(&args);
+    let mut meta = report_meta(&args);
+    meta.profile_overhead_pct = overhead_pct;
     let raw_args: Vec<String> = std::env::args().skip(1).collect();
     let _telemetry = args.telemetry_addr.as_ref().map(|addr| {
         let server = obs::serve(
@@ -511,6 +598,25 @@ fn main() {
     print_summary(&summary, skipped);
     print_recovery(&report, resumed);
 
+    if args.profile {
+        let prof = obs::profile::snapshot();
+        print_profile(&prof, overhead_pct);
+        if let Some(path) = &args.profile_out {
+            if let Err(e) = std::fs::write(path, prof.folded()) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            say!("  folded stacks written to {}", path.display());
+        }
+        if let Some(path) = &args.profile_exemplars {
+            if let Err(e) = std::fs::write(path, prof.exemplars_jsonl()) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            say!("  exemplar traces written to {}", path.display());
+        }
+    }
+
     if args.json {
         let run_report = obs::RunReport::collect(
             "stream-analyze",
@@ -602,6 +708,73 @@ fn print_recovery(report: &SupervisorReport, resumed: bool) {
             "    {} session(s) ({} records) shed at the open-session cap",
             report.shed_sessions,
             report.shed_records
+        );
+    }
+}
+
+/// Print the flight recorder's stage-attribution table: latency
+/// quantiles per stage plus the single-thread throughput each
+/// per-record stage alone would sustain (`count / total_time`).
+fn print_profile(prof: &obs::profile::ProfileReport, overhead_pct: Option<f64>) {
+    say!(
+        "  flight recorder: 1-in-{} sampling, {} record(s) traced{}",
+        prof.sample_every,
+        prof.records_sampled,
+        overhead_pct
+            .map(|p| format!(", self-overhead {p:.2}%"))
+            .unwrap_or_default()
+    );
+    say!(
+        "  {:<18} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "stage",
+        "count",
+        "p50 µs",
+        "p95 µs",
+        "p99 µs",
+        "p999 µs",
+        "max µs",
+        "~rec/s"
+    );
+    let us = |v: Option<f64>| {
+        v.map(|x| format!("{:.1}", x / 1e3))
+            .unwrap_or_else(|| "NA".to_string())
+    };
+    for s in &prof.stages {
+        if s.count == 0 {
+            continue;
+        }
+        let per_record = obs::profile::STAGES
+            .iter()
+            .any(|st| st.as_str() == s.stage && st.is_per_record());
+        let rate = if per_record && s.total_ns > 0 {
+            format!("{:.0}", s.count as f64 * 1e9 / s.total_ns as f64)
+        } else {
+            "-".to_string()
+        };
+        say!(
+            "  {:<18} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9.1} {:>10}",
+            s.stage,
+            s.count,
+            us(s.p50_ns),
+            us(s.p95_ns),
+            us(s.p99_ns),
+            us(s.p999_ns),
+            s.max_ns as f64 / 1e3,
+            rate
+        );
+    }
+    for e in prof.exemplars.iter().take(3) {
+        let stages: Vec<String> = e
+            .stages
+            .iter()
+            .map(|b| format!("{} {:.1}µs", b.stage, b.ns as f64 / 1e3))
+            .collect();
+        say!(
+            "    slowest: record {} @ {:.1}s took {:.1}µs ({})",
+            e.record_index,
+            e.stream_time,
+            e.total_ns as f64 / 1e3,
+            stages.join(", ")
         );
     }
 }

@@ -5,7 +5,10 @@
 //! library only hosts the small utilities they share.
 
 use webpuzzle_core::Result;
-use webpuzzle_weblog::WeekDataset;
+use webpuzzle_obs::profile;
+use webpuzzle_stream::{ClfSource, Source, StreamAnalyzer, StreamConfig, WindowConfig};
+use webpuzzle_weblog::clf::format_line;
+use webpuzzle_weblog::{LogRecord, Method, WeekDataset};
 use webpuzzle_workload::{ServerProfile, WorkloadGenerator};
 
 /// Generate the standard four-server datasets at the given volume scale.
@@ -43,6 +46,97 @@ pub fn cell(v: Option<f64>) -> String {
     }
 }
 
+/// Synthetic CLF text for profiler calibration: `n` well-formed lines,
+/// 10 ms apart, with enough client/path/byte variety to exercise the
+/// sessionizer and the online estimators.
+fn calibration_log(n: usize) -> String {
+    const BASE_EPOCH: i64 = 1_073_865_600;
+    (0..n)
+        .map(|i| {
+            let rec = LogRecord::new(
+                i as f64 * 0.01,
+                (i % 97) as u32,
+                Method::Get,
+                (i % 31) as u32,
+                200,
+                200 + (i % 1_000) as u64,
+            );
+            format_line(&rec, BASE_EPOCH) + "\n"
+        })
+        .collect()
+}
+
+/// Measure the flight recorder's own cost: run the full `ClfSource` →
+/// [`StreamAnalyzer`] path over `n_records` synthetic records with
+/// profiling off and on (1-in-`sample_every`), paired and alternating,
+/// and return `(t_on − t_off) / t_off` as a percentage (clamped at 0).
+///
+/// The minimum over 5–9 paired rounds suppresses scheduler noise (a
+/// one-sided load burst inflates single rounds, never the minimum;
+/// late rounds are spaced out to wait bursts out); alternating arms
+/// keeps cache and frequency state comparable. The measurement drives the
+/// *global* profiler and metrics registry — callers should
+/// [`webpuzzle_obs::reset`] (or at least [`profile::clear`]) afterwards
+/// so synthetic samples never leak into a real run's report. The
+/// profiler is left disabled on return.
+///
+/// # Panics
+///
+/// Panics if the synthetic log fails to parse or push — both would be
+/// bugs, not runtime conditions.
+pub fn measure_profile_overhead_pct(n_records: usize, sample_every: u64) -> f64 {
+    const BASE_EPOCH: i64 = 1_073_865_600;
+    let text = calibration_log(n_records);
+    // Fine bins off: the 10 ms-resolution window buffers dominate setup
+    // cost and are identical in both arms anyway.
+    let cfg = StreamConfig {
+        request_window: WindowConfig {
+            fine_bin_width: None,
+            ..WindowConfig::default()
+        },
+        ..StreamConfig::default()
+    };
+    let run = |text: &str| -> f64 {
+        let mut engine = StreamAnalyzer::new(cfg.clone()).expect("valid calibration config");
+        let mut src = ClfSource::new(text.as_bytes(), BASE_EPOCH);
+        let t0 = std::time::Instant::now();
+        while let Some(item) = src.next_item() {
+            engine
+                .push(&item.expect("calibration line parses"))
+                .expect("sorted calibration input");
+        }
+        engine.finish().expect("calibration finish");
+        t0.elapsed().as_secs_f64()
+    };
+    // Each round times both arms back to back and yields its own
+    // overhead estimate; the minimum across rounds is the answer. A
+    // load burst on a shared core contaminates one arm of one round
+    // and inflates only that round's estimate, which the min rejects,
+    // while a real profiler cost shows up in every round and survives
+    // it. (Taking per-arm minima instead lets a burst that straddles
+    // only the enabled arms of every round masquerade as overhead.)
+    let mut pct = f64::INFINITY;
+    for round in 0..9 {
+        profile::disable();
+        let t_off = run(&text);
+        profile::enable(sample_every);
+        let t_on = run(&text);
+        pct = pct.min((t_on - t_off) / t_off.max(1e-12) * 100.0);
+        if round >= 4 {
+            // Five clean-ish rounds are enough; if the estimate is
+            // still high, a co-tenant burst may have outlasted the
+            // whole back-to-back sequence, so space the remaining
+            // rounds out with growing pauses to straddle it.
+            if pct <= 1.0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50 << (round - 4)));
+        }
+    }
+    profile::disable();
+    pct.max(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +155,14 @@ mod tests {
     fn cell_formatting() {
         assert_eq!(cell(Some(1.2345)), "1.234");
         assert_eq!(cell(None), "NS/NA");
+    }
+
+    #[test]
+    fn overhead_measurement_is_finite_and_leaves_profiler_disabled() {
+        let pct = measure_profile_overhead_pct(2_000, 32);
+        assert!(pct.is_finite());
+        assert!(pct >= 0.0);
+        assert!(!profile::is_enabled());
+        webpuzzle_obs::reset();
     }
 }

@@ -283,8 +283,17 @@ pub fn publish(mut event: Event) -> u64 {
     ))
     .incr();
     if let Some(sink) = SINK.lock().expect("event sink poisoned").as_mut() {
+        // Flight-recorder timing of the append: event publication is
+        // rare, so this is always-on while profiling is enabled.
+        let t0 = crate::profile::is_enabled().then(std::time::Instant::now);
         if let Err(e) = sink.append(&event) {
             crate::sink::warn(&format!("event log append failed: {e}"));
+        }
+        if let Some(t0) = t0 {
+            crate::profile::record_stage_ns(
+                crate::profile::Stage::EventSink,
+                t0.elapsed().as_nanos() as u64,
+            );
         }
     }
     seq

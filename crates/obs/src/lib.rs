@@ -24,6 +24,10 @@
 //! - **Drift events** ([`events`]): typed, schema-versioned change
 //!   events in a bounded ring with per-severity counters and an
 //!   append-only JSONL log, served live at `/events?since=`.
+//! - **Flight recorder** ([`profile`]): sampled per-stage latency
+//!   histograms (p50/p95/p99/p999 + max), slowest-record trace
+//!   exemplars, and folded flamegraph dumps for the streaming
+//!   pipeline, served live at `/profile`.
 //! - **Fidelity** ([`fidelity`]): paper-fidelity scoreboard comparing a
 //!   run report's `fidelity/...` gauges against `paper_targets.toml`
 //!   (the `paper-check` binary).
@@ -44,6 +48,7 @@
 pub mod events;
 pub mod fidelity;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
 pub mod report;
 pub mod server;
@@ -59,8 +64,8 @@ pub use sink::{
     clear_sink, info, set_sink, warn, Event, EventSink, JsonSink, Level, NullSink, StderrSink,
 };
 
-/// Reset spans, metrics, and the drift-event ring (the message sink and
-/// any JSONL event sink are left installed).
+/// Reset spans, metrics, the drift-event ring, and the flight recorder
+/// (the message sink and any JSONL event sink are left installed).
 ///
 /// For tests and tools that run several independent analyses in one
 /// process.
@@ -68,4 +73,5 @@ pub fn reset() {
     spans::reset();
     metrics::reset();
     events::reset();
+    profile::reset();
 }

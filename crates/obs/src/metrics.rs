@@ -304,6 +304,8 @@ pub struct HistogramSnapshot {
     pub p95: Option<f64>,
     /// Interpolated 99th percentile.
     pub p99: Option<f64>,
+    /// Interpolated 99.9th percentile.
+    pub p999: Option<f64>,
 }
 
 /// Snapshot of every registered metric, sorted by name.
@@ -333,13 +335,14 @@ impl MetricsSnapshot {
                 None => "-".to_string(),
             };
             lines.push(format!(
-                "histogram {} count={} sum={} p50={} p95={} p99={}",
+                "histogram {} count={} sum={} p50={} p95={} p99={} p999={}",
                 h.name,
                 h.count,
                 h.sum,
                 fmt(h.p50),
                 fmt(h.p95),
                 fmt(h.p99),
+                fmt(h.p999),
             ));
         }
         lines
@@ -375,6 +378,7 @@ pub fn snapshot() -> MetricsSnapshot {
                     p50: quantile_from_buckets(&buckets, 0.50),
                     p95: quantile_from_buckets(&buckets, 0.95),
                     p99: quantile_from_buckets(&buckets, 0.99),
+                    p999: quantile_from_buckets(&buckets, 0.999),
                     buckets,
                 }
             })
@@ -490,7 +494,11 @@ mod tests {
         let p50 = h.quantile(0.50).unwrap();
         let p95 = h.quantile(0.95).unwrap();
         let p99 = h.quantile(0.99).unwrap();
-        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        let p999 = h.quantile(0.999).unwrap();
+        assert!(
+            p50 <= p95 && p95 <= p99 && p99 <= p999,
+            "{p50} {p95} {p99} {p999}"
+        );
         // The true p50 is ~512: bucket [512, 1024) must contain it.
         assert!((256.0..=1024.0).contains(&p50), "p50 = {p50}");
         assert!((512.0..=1024.0).contains(&p95), "p95 = {p95}");

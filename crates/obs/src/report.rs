@@ -69,6 +69,9 @@ pub struct HistogramReport {
     pub p95: Option<f64>,
     /// Interpolated 99th percentile.
     pub p99: Option<f64>,
+    /// Interpolated 99.9th percentile (absent in reports written before
+    /// it existed).
+    pub p999: Option<f64>,
     /// Non-empty buckets in ascending bound order.
     pub buckets: Vec<BucketReport>,
 }
@@ -148,6 +151,7 @@ impl RunReport {
                     p50: h.p50,
                     p95: h.p95,
                     p99: h.p99,
+                    p999: h.p999,
                     buckets: h
                         .buckets
                         .iter()

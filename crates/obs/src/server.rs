@@ -13,7 +13,11 @@
 //! - `GET /events?since=SEQ` — drift events published through
 //!   [`crate::events`] with sequence numbers above `SEQ` (default 0:
 //!   the whole ring), as a JSON array. Pollers pass the highest `seq`
-//!   they have seen as the next cursor.
+//!   they have seen as the next cursor;
+//! - `GET /profile` — the flight recorder's [`crate::profile`]
+//!   snapshot (per-stage latency histograms + slowest-record
+//!   exemplars) as JSON; `GET /profile?format=folded` returns the
+//!   collapsed-stack rendering flamegraph tooling consumes directly.
 //!
 //! The server is deliberately minimal: one handler thread, one request
 //! per connection (`Connection: close`), no TLS, no keep-alive — it
@@ -181,6 +185,19 @@ fn handle_connection(stream: &mut TcpStream, ctx: &ReportContext) -> io::Result<
                 report.to_json_pretty() + "\n",
             )
         }
+        "/profile" => {
+            let report = crate::profile::snapshot();
+            if query.split('&').any(|kv| kv == "format=folded") {
+                ("200 OK", "text/plain; charset=utf-8", report.folded())
+            } else {
+                (
+                    "200 OK",
+                    "application/json; charset=utf-8",
+                    serde_json::to_string_pretty(&report).unwrap_or_else(|_| "{}".to_string())
+                        + "\n",
+                )
+            }
+        }
         "/events" => {
             let since = query
                 .split('&')
@@ -197,7 +214,7 @@ fn handle_connection(stream: &mut TcpStream, ctx: &ReportContext) -> io::Result<
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found: try /metrics, /healthz, /report, or /events\n".to_string(),
+            "not found: try /metrics, /healthz, /report, /events, or /profile\n".to_string(),
         ),
     };
     // Content-Length counts body *bytes* (the body is ASCII-safe JSON /
@@ -306,6 +323,17 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         out.push_str(&format!("{prom}_bucket{{le=\"+Inf\"}} {}\n", h.count));
         out.push_str(&format!("{prom}_sum {}\n", h.sum));
         out.push_str(&format!("{prom}_count {}\n", h.count));
+        // Tail quantile as a sibling gauge: the histogram type has no
+        // place for precomputed quantiles, and scrape-side quantile
+        // reconstruction from log-2 buckets is too coarse at p999.
+        if let Some(p999) = h.p999 {
+            out.push_str(&format!(
+                "# HELP {prom}_p999 Interpolated 99.9th percentile of {}\n",
+                h.name
+            ));
+            out.push_str(&format!("# TYPE {prom}_p999 gauge\n"));
+            out.push_str(&format!("{prom}_p999 {}\n", prom_f64(p999)));
+        }
     }
     out
 }
@@ -373,6 +401,7 @@ mod tests {
                 p50: Some(2.0),
                 p95: Some(3.5),
                 p99: Some(3.9),
+                p999: Some(3.99),
             }],
         };
         let text = prometheus_text(&snap);
@@ -384,5 +413,7 @@ mod tests {
         assert!(text.contains("webpuzzle_unit_h_bucket{le=\"+Inf\"} 5"));
         assert!(text.contains("webpuzzle_unit_h_sum 8"));
         assert!(text.contains("webpuzzle_unit_h_count 5"));
+        assert!(text.contains("# TYPE webpuzzle_unit_h_p999 gauge"));
+        assert!(text.contains("webpuzzle_unit_h_p999 3.99"));
     }
 }

@@ -10,7 +10,7 @@
 //! is a linear scan over a small arena, and timing uses [`Instant`].
 
 use std::cell::RefCell;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use crate::sink::{self, Event};
@@ -29,6 +29,15 @@ pub struct SpanStat {
 }
 
 static ARENA: Mutex<Vec<SpanStat>> = Mutex::new(Vec::new());
+
+/// Lock the arena, recovering from poisoning. The arena holds plain
+/// aggregates that are valid after any partial update, and span guards
+/// drop during panics — in particular while the stream supervisor
+/// unwinds an engine panic via `catch_unwind`. Panicking here again
+/// (as `expect` would) turns that recoverable panic into an abort.
+fn lock_arena() -> MutexGuard<'static, Vec<SpanStat>> {
+    ARENA.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 thread_local! {
     static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
@@ -51,7 +60,7 @@ pub fn enter(name: &'static str) -> SpanGuard {
         (stack.last().copied(), stack.len())
     });
     let idx = {
-        let mut arena = ARENA.lock().expect("span arena poisoned");
+        let mut arena = lock_arena();
         match arena
             .iter()
             .position(|n| n.parent == parent && n.name == name)
@@ -81,10 +90,14 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let nanos = self.start.elapsed().as_nanos() as u64;
         {
-            let mut arena = ARENA.lock().expect("span arena poisoned");
-            let node = &mut arena[self.idx];
-            node.total_ns += nanos;
-            node.count += 1;
+            let mut arena = lock_arena();
+            // A concurrent `reset` may have shrunk the arena while this
+            // guard was open; recording into a fresh index would
+            // misattribute, so the late close is dropped instead.
+            if let Some(node) = arena.get_mut(self.idx) {
+                node.total_ns += nanos;
+                node.count += 1;
+            }
         }
         STACK.with(|s| {
             let mut stack = s.borrow_mut();
@@ -105,7 +118,7 @@ impl Drop for SpanGuard {
 
 /// Snapshot the whole arena (parent links are arena indices).
 pub fn snapshot() -> Vec<SpanStat> {
-    ARENA.lock().expect("span arena poisoned").clone()
+    lock_arena().clone()
 }
 
 /// Clear all recorded spans.
@@ -114,7 +127,7 @@ pub fn snapshot() -> Vec<SpanStat> {
 /// independent analyses; must not be called while spans are open on
 /// other threads (their guards would then record into fresh indices).
 pub fn reset() {
-    ARENA.lock().expect("span arena poisoned").clear();
+    lock_arena().clear();
     STACK.with(|s| s.borrow_mut().clear());
 }
 
@@ -148,6 +161,28 @@ mod tests {
         assert_eq!(inner.parent, Some(outer));
         assert_eq!(snap[outer].parent, None);
         assert_eq!(snap[outer].count, 1);
+    }
+
+    #[test]
+    fn poisoned_arena_recovers_instead_of_panicking() {
+        let _lock = TEST_LOCK.lock().unwrap();
+        reset();
+        // Poison the arena mutex by panicking while holding it, as an
+        // engine panic under the supervisor's catch_unwind would.
+        let _ = std::panic::catch_unwind(|| {
+            let _arena = ARENA.lock().unwrap();
+            panic!("poison the span arena");
+        });
+        assert!(ARENA.is_poisoned());
+        // Every entry point must keep working instead of aborting.
+        {
+            let _g = enter("unit/after_poison");
+        }
+        let snap = snapshot();
+        let node = snap.iter().find(|n| n.name == "unit/after_poison").unwrap();
+        assert_eq!(node.count, 1);
+        reset();
+        assert!(snapshot().is_empty());
     }
 
     #[test]

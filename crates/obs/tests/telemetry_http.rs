@@ -149,6 +149,27 @@ fn serve_scrape_and_shutdown() {
         .iter()
         .any(|c| c.name == "scrape/events" && c.value == 7));
 
+    // /profile serves the flight recorder: JSON snapshot by default,
+    // folded flamegraph stacks with ?format=folded.
+    obs::profile::enable(4);
+    obs::profile::begin_trace(0, 1.5);
+    obs::profile::trace_add(obs::profile::Stage::ClfParse, 1_000);
+    obs::profile::finish_trace();
+    obs::profile::record_stage_ns(obs::profile::Stage::WindowClose, 2_000_000);
+    let (status, body) = get(addr, "/profile");
+    assert!(status.contains("200"), "profile status: {status}");
+    let prof: obs::profile::ProfileReport = serde_json::from_str(&body).expect("profile parses");
+    assert_eq!(prof.schema, obs::profile::PROFILE_SCHEMA_VERSION);
+    assert!(prof.enabled);
+    assert_eq!(prof.sample_every, 4);
+    assert_eq!(prof.records_sampled, 1);
+    assert_eq!(prof.stage("clf_parse").expect("clf_parse stage").count, 1);
+    assert_eq!(prof.exemplars.len(), 1);
+    let (status, folded) = get(addr, "/profile?format=folded");
+    assert!(status.contains("200"), "folded status: {status}");
+    assert!(folded.contains("pipeline;clf_parse 1000"), "{folded}");
+    assert!(folded.contains("pipeline;window_close 2000000"), "{folded}");
+
     // Shutdown joins the listener thread; the port must stop answering.
     server.shutdown();
     assert!(

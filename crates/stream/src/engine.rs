@@ -22,6 +22,7 @@ use crate::Result;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use webpuzzle_obs::metrics;
+use webpuzzle_obs::profile::{self, Stage};
 use webpuzzle_weblog::{LogRecord, Session, DEFAULT_SESSION_THRESHOLD};
 
 /// Configuration of the streaming engine.
@@ -207,6 +208,11 @@ pub struct StreamAnalyzer {
     last_evict_time: f64,
     shed_synced: u64,
     shed_records_synced: u64,
+    // Flight-recorder bookkeeping: cumulative per-stage totals at the
+    // last window-timing event, for per-window self-time deltas. Not
+    // part of EngineState — profiler data has process lifetime, like
+    // every other registry metric (see the EngineState docs).
+    profile_totals: [u64; profile::STAGE_COUNT],
     records_counter: Arc<webpuzzle_obs::ShardedCounter>,
     shed_counter: Arc<metrics::Counter>,
     bytes_counter: Arc<metrics::Counter>,
@@ -259,6 +265,7 @@ impl StreamAnalyzer {
             last_evict_time: f64::NEG_INFINITY,
             shed_synced: 0,
             shed_records_synced: 0,
+            profile_totals: profile::stage_totals(),
             records_counter: metrics::sharded_counter("stream/records"),
             shed_counter: metrics::counter("stream/records_shed"),
             bytes_counter: metrics::counter("stream/bytes"),
@@ -283,7 +290,12 @@ impl StreamAnalyzer {
     /// [`webpuzzle_weblog::WeblogError::Unsorted`] on out-of-order
     /// input; estimator errors from a window that closed on this push.
     pub fn push(&mut self, record: &LogRecord) -> Result<()> {
+        // Flight recorder: adopt the trace the source began for this
+        // record, or start one iff the deterministic record index is
+        // sampled. Inactive timers take no timestamps at all.
+        let mut timer = profile::record_timer(self.records, record.timestamp);
         let started = self.sessionizer.push(record, &mut self.session_buf)?;
+        timer.mark(Stage::Sessionize);
         self.records += 1;
         self.bytes += record.bytes;
         self.records_counter.incr();
@@ -292,6 +304,12 @@ impl StreamAnalyzer {
         self.bytes_hist.record(record.bytes);
         self.live_bytes_hist.record(record.bytes);
 
+        // Window closes are rare and expensive (variance-time + the
+        // Poisson battery), so while profiling they are timed on every
+        // occurrence, not 1-in-N — a one-comparison pre-check decides
+        // whether any timestamp is taken.
+        let closing = profile::is_enabled() && self.request_arrivals.would_close(record.timestamp);
+        let close_start = closing.then(std::time::Instant::now);
         let closed_from = self.request_windows.len();
         self.request_arrivals
             .push(record.timestamp, &mut self.window_buf)?;
@@ -316,6 +334,11 @@ impl StreamAnalyzer {
                 &self.windows_counter,
             );
         }
+        if let Some(t0) = close_start {
+            profile::record_stage_ns(Stage::WindowClose, t0.elapsed().as_nanos() as u64);
+            timer.resync();
+            self.publish_window_timing(closed_from);
+        }
 
         if !self.session_buf.is_empty() {
             self.backlog_gauge.set(self.session_buf.len() as f64);
@@ -330,6 +353,8 @@ impl StreamAnalyzer {
         if self.records.is_multiple_of(64) {
             self.update_health_gauges();
         }
+        timer.mark(Stage::Estimators);
+        timer.finish();
         Ok(())
     }
 
@@ -350,6 +375,7 @@ impl StreamAnalyzer {
                 self.absorb_session(session);
             }
             let closed_from = self.request_windows.len();
+            let close_start = profile::is_enabled().then(std::time::Instant::now);
             self.request_arrivals.finish(&mut self.window_buf)?;
             Self::drain_windows(
                 &mut self.window_buf,
@@ -358,6 +384,12 @@ impl StreamAnalyzer {
             );
             if self.request_windows.len() > closed_from {
                 self.observe_closed_windows(closed_from);
+            }
+            if let Some(t0) = close_start {
+                if self.request_windows.len() > closed_from {
+                    profile::record_stage_ns(Stage::WindowClose, t0.elapsed().as_nanos() as u64);
+                    self.publish_window_timing(closed_from);
+                }
             }
             self.session_arrivals.finish(&mut self.window_buf)?;
             Self::drain_windows(
@@ -535,6 +567,61 @@ impl StreamAnalyzer {
                 webpuzzle_obs::events::publish(event);
             }
         }
+    }
+
+    /// Publish one Info timeline event for the window-close batch that
+    /// just happened: per-stage self-time accumulated since the
+    /// previous timing event, plus the watermark lag behind the newest
+    /// closed window's end. Batches are singletons except across quiet
+    /// gaps (empty windows closed by one push share a delta). Only
+    /// called while profiling is enabled, so runs without `--profile`
+    /// leave the event ring and JSONL log untouched.
+    fn publish_window_timing(&mut self, closed_from: usize) {
+        if self.request_windows.len() <= closed_from {
+            return;
+        }
+        let Some(last) = self.request_windows.last() else {
+            return;
+        };
+        let totals = profile::stage_totals();
+        let mut breakdown = String::new();
+        let mut delta_total_ns = 0u64;
+        for (i, stage) in profile::STAGES.iter().enumerate() {
+            let d = totals[i].wrapping_sub(self.profile_totals[i]);
+            if d > 0 {
+                if !breakdown.is_empty() {
+                    breakdown.push_str(", ");
+                }
+                breakdown.push_str(&format!("{} {:.2}ms", stage.as_str(), d as f64 / 1e6));
+                delta_total_ns += d;
+            }
+        }
+        self.profile_totals = totals;
+        let end = last.start + self.cfg.request_window.window_len;
+        let lag = (self.sessionizer.watermark() - end).max(0.0);
+        let self_time_ms = delta_total_ns as f64 / 1e6;
+        webpuzzle_obs::events::publish(webpuzzle_obs::events::Event::new(
+            webpuzzle_obs::events::Severity::Info,
+            "flight_recorder",
+            "window_timing",
+            last.index,
+            last.start,
+            0.0,
+            self_time_ms,
+            lag,
+            0.0,
+            format!(
+                "window {} pipeline self-time {:.2} ms ({}), watermark lag {:.1} s",
+                last.index,
+                self_time_ms,
+                if breakdown.is_empty() {
+                    "sampled stages idle"
+                } else {
+                    &breakdown
+                },
+                lag
+            ),
+        ));
     }
 
     /// Refresh the pipeline-health gauges: TTL-map occupancy, eviction

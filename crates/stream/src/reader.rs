@@ -13,7 +13,7 @@ use crate::supervisor::RecoverableSource;
 use crate::Result;
 use std::io::BufRead;
 use std::sync::Arc;
-use webpuzzle_obs::metrics;
+use webpuzzle_obs::{metrics, profile};
 use webpuzzle_weblog::clf::{parse_line, MALFORMED_SKIPPED_COUNTER};
 use webpuzzle_weblog::{LogRecord, MalformedBreakdown, MalformedKind, WeblogError};
 
@@ -140,9 +140,22 @@ impl<R: BufRead> Source for ClfSource<R> {
         if self.done {
             return None;
         }
+        // Flight recorder: the sampling decision comes from the
+        // deterministic index of the *next* parsed record, before any
+        // work — unsampled records never take a timestamp. Skipped
+        // malformed/blank lines on the way to a sampled record are
+        // charged to it (they are part of producing it).
+        let sample = profile::should_sample(self.parsed);
+        let mut read_ns = 0u64;
+        let mut parse_ns = 0u64;
         loop {
             self.buf.clear();
-            match self.reader.read_until(b'\n', &mut self.buf) {
+            let t_read = sample.then(std::time::Instant::now);
+            let read = self.reader.read_until(b'\n', &mut self.buf);
+            if let Some(t0) = t_read {
+                read_ns += t0.elapsed().as_nanos() as u64;
+            }
+            match read {
                 Ok(0) => {
                     self.done = true;
                     return None;
@@ -159,8 +172,18 @@ impl<R: BufRead> Source for ClfSource<R> {
             if line.trim().is_empty() {
                 continue;
             }
-            match parse_line(line, self.base_epoch) {
+            let t_parse = sample.then(std::time::Instant::now);
+            let parsed = parse_line(line, self.base_epoch);
+            if let Some(t0) = t_parse {
+                parse_ns += t0.elapsed().as_nanos() as u64;
+            }
+            match parsed {
                 Ok(rec) => {
+                    if sample {
+                        profile::begin_trace(self.parsed, rec.timestamp);
+                        profile::trace_add(profile::Stage::SourceRead, read_ns);
+                        profile::trace_add(profile::Stage::ClfParse, parse_ns);
+                    }
                     self.parsed += 1;
                     self.parsed_counter.incr();
                     return Some(Ok(rec));

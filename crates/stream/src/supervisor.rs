@@ -508,7 +508,15 @@ where
             transient_retries: state.transient_retries,
             checkpoints_written: state.checkpoints_written + 1,
         };
-        match ck.save(&path) {
+        let t0 = webpuzzle_obs::profile::is_enabled().then(Instant::now);
+        let saved = ck.save(&path);
+        if let Some(t0) = t0 {
+            webpuzzle_obs::profile::record_stage_ns(
+                webpuzzle_obs::profile::Stage::CheckpointEncode,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        match saved {
             Ok(()) => {
                 state.checkpoints_written += 1;
                 self.checkpoints_counter.incr();

@@ -171,6 +171,14 @@ impl WindowedArrivals {
         Ok(())
     }
 
+    /// Would an arrival at time `t` close the current window? A cheap
+    /// pre-check (one comparison) the engine uses to decide whether to
+    /// time the window section for the flight recorder before paying
+    /// for any timestamps.
+    pub fn would_close(&self, t: f64) -> bool {
+        t >= (self.window_index + 1) as f64 * self.cfg.window_len
+    }
+
     /// Total arrivals accepted so far.
     pub fn total_events(&self) -> u64 {
         self.total_events
