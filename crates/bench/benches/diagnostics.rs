@@ -1,0 +1,87 @@
+//! Overhead of the estimator-confidence diagnostics: the Hill-plot
+//! stability scan over the top-k heap (the only super-constant piece —
+//! a prefix-sum pass per window close) and the fully wired engine with
+//! diagnostics on vs off. The on/off pair is what the bench-report
+//! sentinel watches: window-close diagnostics must stay within the
+//! regression band of the plain engine (DESIGN.md §13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use webpuzzle_stream::{diagnostics, StreamAnalyzer, StreamConfig, TopK, WindowConfig};
+use webpuzzle_weblog::LogRecord;
+use webpuzzle_workload::{ServerProfile, WorkloadGenerator};
+
+/// Deterministic uniform in (0, 1] (splitmix64 bit mix, as in
+/// `drift.rs`) — benches must not depend on an RNG crate's stream.
+fn uniform(i: u64) -> f64 {
+    let mut z = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z as f64 + 1.0) / (u64::MAX as f64 + 2.0)
+}
+
+/// A tail heap at the engine's defaults: `k` retained out of 200k
+/// Pareto(1.3) draws, the shape the per-window scan actually sees.
+fn pareto_heap(k: usize) -> TopK {
+    let mut heap = TopK::new(k);
+    for i in 0..200_000u64 {
+        heap.push(1_000.0 * uniform(i).powf(-1.0 / 1.3));
+    }
+    heap
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagnostics/scan_tail");
+    group.sample_size(20);
+    // 8192 is StreamConfig::default().tail_k; 1024 prices the small-heap
+    // regime of short windows.
+    for &k in &[1024usize, 8192] {
+        let heap = pareto_heap(k);
+        group.bench_with_input(BenchmarkId::new("k", k), &heap, |b, heap| {
+            b.iter(|| diagnostics::scan_tail(black_box(heap), 0.14))
+        });
+    }
+    group.finish();
+}
+
+fn records() -> Vec<LogRecord> {
+    WorkloadGenerator::new(ServerProfile::clarknet().with_scale(0.05))
+        .seed(1)
+        .generate()
+        .expect("profile generates")
+}
+
+fn config(diagnostics: bool) -> StreamConfig {
+    StreamConfig {
+        request_window: WindowConfig {
+            fine_bin_width: None,
+            ..WindowConfig::default()
+        },
+        diagnostics,
+        ..StreamConfig::default()
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagnostics/engine");
+    group.sample_size(10);
+    let recs = records();
+    // Same workload and window layout as `stream/engine/full`, so the
+    // on/off delta is exactly the diagnostics cost per closed window.
+    for &(name, on) in &[("off", false), ("on", true)] {
+        group.bench_with_input(BenchmarkId::new(name, recs.len()), &recs, |b, r| {
+            b.iter(|| {
+                let mut engine = StreamAnalyzer::new(config(on)).expect("valid config");
+                for rec in black_box(r) {
+                    engine.push(rec).expect("sorted input");
+                }
+                engine.finish().expect("finish").sessions
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_engine);
+criterion_main!(benches);

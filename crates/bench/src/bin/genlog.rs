@@ -9,6 +9,7 @@
 //!        [--base-epoch SECS] [--out PATH] [--quiet] [--json]
 //!        [--telemetry-addr HOST:PORT] [--stationary]
 //!        [--inject-shift level|trend|diurnal:AT:MAGNITUDE]
+//!        [--calibration H:ALPHA] [--markov]
 //! ```
 //!
 //! Writes CLF lines to `--out` (default stdout). Progress and status go
@@ -22,13 +23,25 @@
 //! day 5, `trend:259200:1` ramps it +100 %/day from day 3,
 //! `diurnal:259200:0.5` adds a ±50 % daily modulation. Detection
 //! latency is then measurable against exact ground truth.
+//!
+//! Two fixtures back the CI `diagnostics-gate` (DESIGN.md §13):
+//! `--calibration H:ALPHA` replaces the profile with the single-request
+//! calibration fixture whose session-byte tail is exactly Pareto(ALPHA)
+//! and whose arrivals are exactly fGn-Cox(H) — the planted truths that
+//! `stream-analyze --truth-alpha/--truth-h` checks coverage against.
+//! `--markov` overrides the arrival process with the two-state
+//! Markov-modulated Poisson control (exponential sojourns, short
+//! memory): bursty traffic whose Hurst and tail estimates must *not*
+//! agree under the 2H = 3 − α consistency relation.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 
 use webpuzzle_obs as obs;
 use webpuzzle_weblog::clf::format_line;
-use webpuzzle_workload::{ServerProfile, ShiftInjector, ShiftSpec, WorkloadGenerator};
+use webpuzzle_workload::{
+    ArrivalModel, ServerProfile, ShiftInjector, ShiftSpec, WorkloadGenerator,
+};
 
 /// 2004-01-12 00:00:00 UTC, the paper's WVU log start.
 const DEFAULT_BASE_EPOCH: i64 = 1_073_865_600;
@@ -44,6 +57,8 @@ fn main() {
     let mut telemetry_addr: Option<String> = None;
     let mut stationary = false;
     let mut inject_shift: Option<String> = None;
+    let mut calibration: Option<String> = None;
+    let mut markov = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -66,13 +81,16 @@ fn main() {
             "--telemetry-addr" => telemetry_addr = Some(value("--telemetry-addr")),
             "--stationary" => stationary = true,
             "--inject-shift" => inject_shift = Some(value("--inject-shift")),
+            "--calibration" => calibration = Some(value("--calibration")),
+            "--markov" => markov = true,
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: genlog --profile wvu|clarknet|csee|nasa \
                      [--scale S] [--seed N] [--base-epoch SECS] [--out PATH] \
                      [--quiet] [--json] [--telemetry-addr HOST:PORT] \
-                     [--stationary] [--inject-shift KIND:AT:MAGNITUDE]"
+                     [--stationary] [--inject-shift KIND:AT:MAGNITUDE] \
+                     [--calibration H:ALPHA] [--markov]"
                 );
                 std::process::exit(2);
             }
@@ -110,16 +128,37 @@ fn main() {
         server
     });
 
-    let mut profile = match profile_name.to_ascii_lowercase().as_str() {
-        "wvu" => ServerProfile::wvu(),
-        "clarknet" => ServerProfile::clarknet(),
-        "csee" => ServerProfile::csee(),
-        "nasa" | "nasa-pub2" => ServerProfile::nasa_pub2(),
-        other => {
-            eprintln!("unknown profile {other} (wvu|clarknet|csee|nasa)");
-            std::process::exit(2);
+    let mut profile = match calibration.as_deref() {
+        Some(spec) => {
+            let (h, alpha) = spec
+                .split_once(':')
+                .and_then(|(h, a)| Some((h.parse::<f64>().ok()?, a.parse::<f64>().ok()?)))
+                .unwrap_or_else(|| {
+                    eprintln!("genlog: --calibration wants H:ALPHA, got {spec}");
+                    std::process::exit(2);
+                });
+            ServerProfile::calibration(h, alpha).unwrap_or_else(|e| {
+                eprintln!("genlog: bad --calibration parameters: {e}");
+                std::process::exit(2);
+            })
         }
+        None => match profile_name.to_ascii_lowercase().as_str() {
+            "wvu" => ServerProfile::wvu(),
+            "clarknet" => ServerProfile::clarknet(),
+            "csee" => ServerProfile::csee(),
+            "nasa" | "nasa-pub2" => ServerProfile::nasa_pub2(),
+            other => {
+                eprintln!("unknown profile {other} (wvu|clarknet|csee|nasa)");
+                std::process::exit(2);
+            }
+        },
     };
+    if markov {
+        profile = profile.with_arrival(ArrivalModel::MarkovModulated {
+            rate_ratio: 4.0,
+            mean_sojourn: 120.0,
+        });
+    }
     if stationary {
         profile = profile
             .with_seasonality(0.0, 0.0)

@@ -20,6 +20,7 @@
 //!                [--max-restores N] [--max-retries N]
 //!                [--profile] [--profile-sample N] [--profile-out PATH]
 //!                [--profile-exemplars PATH]
+//!                [--diagnostics] [--truth-alpha A] [--truth-h H]
 //! ```
 //!
 //! `FILE` defaults to `-` (stdin). `--lenient` skips and counts
@@ -81,6 +82,27 @@
 //! incomparable timings (the stream-side counters the sampler keys on
 //! do resume, so trace indices stay deterministic). Note the per-window
 //! timing events are info-severity and count toward `--alert-on info`.
+//!
+//! ## Estimator diagnostics (DESIGN.md §13)
+//!
+//! `--diagnostics` attaches confidence evidence to every per-window
+//! estimate: a Hill-plot stability scan (plateau location + asymptotic
+//! CI) over the session-bytes tail, the variance-time regression's CI
+//! and R², Welford CIs on the per-window byte / inter-arrival means,
+//! and a cross-estimator verdict on the heavy-tail/LRD consistency
+//! relation `2H = 3 − α`. The evidence prints as a per-window table, is
+//! embedded in the `--json` run report as the schema-versioned
+//! `diagnostics` block, is served live at `/diagnostics` under
+//! `--telemetry-addr`, and surfaces on `/metrics` as the
+//! `estimator_confidence/*` gauges. Disagreement emits a warn-severity
+//! `estimator_disagreement` event; an unjudgeable window emits an
+//! info-severity `low_confidence` event (both count toward
+//! `--alert-on`). `--truth-alpha A` / `--truth-h H` (each implies
+//! `--diagnostics`) declare the generator's planted ground truth; exit
+//! code **5** means the final diagnosable window's CI failed to cover
+//! it — the calibration gate CI runs against `genlog` output. Drift
+//! alarms (3) take precedence over coverage failure (5), which takes
+//! precedence over degraded-but-complete (4).
 
 use std::fs::File;
 use std::io::{self, BufReader, Read, Seek, SeekFrom};
@@ -149,6 +171,9 @@ struct Args {
     profile_sample: u64,
     profile_out: Option<std::path::PathBuf>,
     profile_exemplars: Option<std::path::PathBuf>,
+    diagnostics: bool,
+    truth_alpha: Option<f64>,
+    truth_h: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -161,7 +186,8 @@ fn usage() -> ! {
          [--checkpoint-every-secs S] [--resume PATH] [--inject-faults SPEC] \
          [--max-open-sessions N] [--max-restores N] [--max-retries N] \
          [--profile] [--profile-sample N] [--profile-out PATH] \
-         [--profile-exemplars PATH]"
+         [--profile-exemplars PATH] [--diagnostics] [--truth-alpha A] \
+         [--truth-h H]"
     );
     std::process::exit(2);
 }
@@ -195,6 +221,9 @@ fn parse_args() -> Args {
         profile_sample: obs::profile::DEFAULT_SAMPLE_EVERY,
         profile_out: None,
         profile_exemplars: None,
+        diagnostics: false,
+        truth_alpha: None,
+        truth_h: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -274,6 +303,23 @@ fn parse_args() -> Args {
                 parsed.profile_exemplars = Some(value("--profile-exemplars").into());
                 parsed.profile = true;
             }
+            "--diagnostics" => parsed.diagnostics = true,
+            "--truth-alpha" => {
+                parsed.truth_alpha = Some(
+                    value("--truth-alpha")
+                        .parse()
+                        .expect("--truth-alpha: tail index"),
+                );
+                parsed.diagnostics = true;
+            }
+            "--truth-h" => {
+                parsed.truth_h = Some(
+                    value("--truth-h")
+                        .parse()
+                        .expect("--truth-h: Hurst exponent"),
+                );
+                parsed.diagnostics = true;
+            }
             "--events" => parsed.events_path = Some(value("--events").into()),
             "--seasonal-period" => {
                 let token = value("--seasonal-period");
@@ -321,6 +367,7 @@ fn stream_config(args: &Args) -> StreamConfig {
             seasonal_period: args.seasonal_period,
             ..webpuzzle_stream::ObservatoryConfig::default()
         },
+        diagnostics: args.diagnostics,
         ..StreamConfig::default()
     }
 }
@@ -336,9 +383,21 @@ struct ReportMeta {
     lenient: bool,
     profile: bool,
     profile_overhead_pct: Option<f64>,
+    // Config/seed echo: everything needed to re-run (or audit) the
+    // analysis from the report alone.
+    window_seed: u64,
+    tail_fraction: f64,
+    seasonal_period: Option<u64>,
+    checkpoint_every_records: u64,
+    checkpoint_every_secs: u64,
+    max_open_sessions: usize,
+    diagnostics: bool,
+    truth_alpha: Option<f64>,
+    truth_h: Option<f64>,
 }
 
 fn report_meta(args: &Args) -> ReportMeta {
+    let cfg = stream_config(args);
     ReportMeta {
         base_epoch: args.base_epoch,
         threshold: args.threshold,
@@ -347,10 +406,20 @@ fn report_meta(args: &Args) -> ReportMeta {
         lenient: args.lenient,
         profile: args.profile,
         profile_overhead_pct: None,
+        window_seed: cfg.request_window.seed,
+        tail_fraction: cfg.tail_fraction,
+        seasonal_period: args.seasonal_period,
+        checkpoint_every_records: args.checkpoint_every,
+        checkpoint_every_secs: args.checkpoint_every_secs,
+        max_open_sessions: args.max_open_sessions,
+        diagnostics: args.diagnostics,
+        truth_alpha: args.truth_alpha,
+        truth_h: args.truth_h,
     }
 }
 
 fn config_value(meta: &ReportMeta, summary: Option<&StreamSummary>, records: u64) -> serde::Value {
+    let opt_f64 = |v: Option<f64>| v.map(|x| x.to_value()).unwrap_or(serde::Value::Null);
     let mut fields = vec![
         ("base_epoch".to_string(), meta.base_epoch.to_value()),
         ("threshold".to_string(), meta.threshold.to_value()),
@@ -359,6 +428,29 @@ fn config_value(meta: &ReportMeta, summary: Option<&StreamSummary>, records: u64
         ("lenient".to_string(), meta.lenient.to_value()),
         ("records".to_string(), records.to_value()),
         ("partial".to_string(), summary.is_some().to_value()),
+        ("window_seed".to_string(), meta.window_seed.to_value()),
+        ("tail_fraction".to_string(), meta.tail_fraction.to_value()),
+        (
+            "seasonal_period".to_string(),
+            meta.seasonal_period
+                .map(|p| p.to_value())
+                .unwrap_or(serde::Value::Null),
+        ),
+        (
+            "checkpoint_every_records".to_string(),
+            meta.checkpoint_every_records.to_value(),
+        ),
+        (
+            "checkpoint_every_secs".to_string(),
+            meta.checkpoint_every_secs.to_value(),
+        ),
+        (
+            "max_open_sessions".to_string(),
+            (meta.max_open_sessions as u64).to_value(),
+        ),
+        ("diagnostics".to_string(), meta.diagnostics.to_value()),
+        ("truth_alpha".to_string(), opt_f64(meta.truth_alpha)),
+        ("truth_h".to_string(), opt_f64(meta.truth_h)),
     ];
     if let Some(s) = summary {
         fields.push(("summary".to_string(), s.to_value()));
@@ -597,6 +689,9 @@ fn main() {
 
     print_summary(&summary, skipped);
     print_recovery(&report, resumed);
+    if args.diagnostics {
+        print_diagnostics(&summary.diagnostics);
+    }
 
     if args.profile {
         let prof = obs::profile::snapshot();
@@ -656,6 +751,18 @@ fn main() {
             std::process::exit(3);
         }
         say!("alert-on: no drift alarms at or above {}", min_sev.as_str());
+    }
+
+    // Exit 5: a planted truth was declared and the final diagnosable
+    // window's CI does not cover it — the estimator's stated confidence
+    // is miscalibrated for this stream. Drift (3) takes precedence.
+    if args.truth_alpha.is_some() || args.truth_h.is_some() {
+        let failures = check_truth_coverage(&summary, args.truth_alpha, args.truth_h);
+        if failures > 0 {
+            eprintln!("stream-analyze: {failures} planted-truth coverage failure(s)");
+            std::process::exit(5);
+        }
+        say!("truth-coverage: final-window CIs cover the planted truth");
     }
 
     // Exit 4: the run is complete, but only because it recovered (or
@@ -777,6 +884,105 @@ fn print_profile(prof: &obs::profile::ProfileReport, overhead_pct: Option<f64>) 
             stages.join(", ")
         );
     }
+}
+
+/// Print the per-window estimator-confidence table (DESIGN.md §13).
+fn print_diagnostics(report: &obs::diagnostics::DiagnosticsReport) {
+    say!(
+        "  estimator diagnostics ({:.0}% CIs, schema v{}):",
+        report.confidence_level * 100.0,
+        report.schema
+    );
+    say!(
+        "  {:>4} {:>7} {:>7} {:>13} {:>7} {:>7} {:>6} {:>4} {:>7} {:>14}",
+        "win",
+        "α",
+        "±CI",
+        "plateau k",
+        "H",
+        "±CI",
+        "R²",
+        "pts",
+        "score",
+        "verdict"
+    );
+    let f = |v: Option<f64>| {
+        v.map(|x| format!("{x:.3}"))
+            .unwrap_or_else(|| "NA".to_string())
+    };
+    for w in &report.windows {
+        let plateau = match (w.plateau_k_lo, w.plateau_k_hi) {
+            (Some(lo), Some(hi)) => format!("{lo}..{hi}"),
+            _ => "NS".to_string(),
+        };
+        say!(
+            "  {:>4} {:>7} {:>7} {:>13} {:>7} {:>7} {:>6} {:>4} {:>7} {:>14}",
+            w.index,
+            f(w.alpha),
+            f(w.alpha_ci_half_width),
+            plateau,
+            f(w.h),
+            f(w.h_ci_half_width),
+            f(w.h_r_squared),
+            w.h_points,
+            f(w.agreement_score),
+            w.agreement.as_str()
+        );
+    }
+    say!(
+        "  {} low-confidence, {} disagreement window(s); final 2H=3−α verdict: {}",
+        report.low_confidence_windows,
+        report.disagreement_windows,
+        report.final_verdict.as_str()
+    );
+}
+
+/// One coverage check per declared truth, against the *last* window
+/// that produced the estimate with a CI; returns the failure count.
+fn check_truth_coverage(
+    summary: &StreamSummary,
+    truth_alpha: Option<f64>,
+    truth_h: Option<f64>,
+) -> u32 {
+    let windows = &summary.diagnostics.windows;
+    let mut failures = 0;
+    let mut judge = |label: &str, truth: f64, found: Option<(u64, f64, f64)>| match found {
+        Some((idx, est, half)) => {
+            let covered = (est - truth).abs() <= half;
+            if covered {
+                say!(
+                    "  PASS  truth {label:<24} window {idx}: {est:.3} ± {half:.3} \
+                     covers {truth:.3}"
+                );
+            } else {
+                // Failures always print: they are the verdict.
+                println!(
+                    "  FAIL  truth {label:<24} window {idx}: {est:.3} ± {half:.3} \
+                     misses {truth:.3}"
+                );
+                failures += 1;
+            }
+        }
+        None => {
+            println!("  FAIL  truth {label:<24} no window produced the estimate with a CI");
+            failures += 1;
+        }
+    };
+    if let Some(truth) = truth_alpha {
+        let found = windows
+            .iter()
+            .rev()
+            .find_map(|w| Some((w.index, w.alpha?, w.alpha_ci_half_width?)));
+        judge("α (bytes tail)", truth, found);
+    }
+    if let Some(truth) = truth_h {
+        let found = windows
+            .iter()
+            .rev()
+            .find_map(|w| Some((w.index, w.h?, w.h_ci_half_width?)));
+        judge("H (arrivals)", truth, found);
+    }
+    failures
 }
 
 fn verdict_str(v: PoissonVerdict) -> &'static str {

@@ -48,7 +48,10 @@ mod regime;
 
 pub use ccdf::EmpiricalCcdf;
 pub use curvature::{curvature_test, CurvatureModel, CurvatureTest};
-pub use hill::{hill_estimate, hill_plot, HillEstimate};
+pub use hill::{
+    hill_estimate, hill_plot, hill_stability_scan, HillEstimate, HillStabilityScan,
+    STABILITY_GRID_POINTS,
+};
 pub use llcd::{llcd_fit, llcd_fit_above, LlcdFit};
 pub use moment_est::{moment_estimator, MomentEstimate};
 pub use regime::TailRegime;

@@ -2,9 +2,44 @@
 
 use crate::estimate::{EstimatorKind, HurstEstimate};
 use crate::Result;
-use webpuzzle_stats::regression::ols;
+use webpuzzle_stats::regression::{ols, Regression};
+use webpuzzle_stats::special::student_t_quantile;
 use webpuzzle_stats::StatsError;
 use webpuzzle_timeseries::{aggregate, aggregation_levels};
+
+/// A variance-time fit with its regression diagnostics attached.
+///
+/// `estimate.h = 1 + fit.slope / 2`, so the H confidence half-width is
+/// exactly half the slope half-width. The t quantile (rather than the
+/// normal) is used because the fit typically has only a handful of
+/// aggregation levels. Residuals of a variance-time regression are
+/// positively correlated (the aggregated series share samples), so the
+/// OLS half-width underestimates the true sampling error; callers that
+/// need calibrated coverage should apply [`VT_CI_INFLATION`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarianceTimeFit {
+    /// The point estimate with `ci95` populated.
+    pub estimate: HurstEstimate,
+    /// The OLS fit of `log Var(X^{(m)})` on `log m`.
+    pub fit: Regression,
+    /// Aggregation levels that survived the `var > 0` filter.
+    pub points: usize,
+    /// Half-width of the 95% CI on H (inflated, t-based).
+    pub h_ci_half_width: f64,
+}
+
+/// Empirical inflation factor applied to the OLS-derived H half-width.
+///
+/// Calibrated against seeded fGn coverage runs (see DESIGN.md §13 and
+/// the `inflated_ci_covers_planted_h` test): the log-variance points
+/// share samples, so their errors are smooth rather than independent and
+/// the residual-based OLS half-width wildly understates the realization-
+/// to-realization spread of the fitted slope. Over 200 seeded 14 400-
+/// point fGn runs per level, the 95th percentile of
+/// `|Ĥ − H| / raw half-width` was 3.0 (H = 0.6), 4.5 (0.75) and 7.7
+/// (0.85, where LRD makes the block variances most correlated); 8
+/// restores ≥95% coverage at every level, conservatively so at low H.
+pub const VT_CI_INFLATION: f64 = 8.0;
 
 /// Variance-time estimator: for a self-similar process the variance of the
 /// m-aggregated series decays as `Var(X^{(m)}) ∝ m^{2H−2}`, so the slope β
@@ -13,6 +48,9 @@ use webpuzzle_timeseries::{aggregate, aggregation_levels};
 /// Aggregation levels are chosen geometrically such that every aggregated
 /// series retains at least 64 points (variance estimates from fewer blocks
 /// are too noisy to regress on).
+///
+/// The returned estimate carries a 95% CI derived from the regression
+/// residuals (see [`variance_time_detailed`] for the full diagnostics).
 ///
 /// # Errors
 ///
@@ -33,6 +71,33 @@ use webpuzzle_timeseries::{aggregate, aggregation_levels};
 /// # }
 /// ```
 pub fn variance_time(data: &[f64]) -> Result<HurstEstimate> {
+    variance_time_detailed(data).map(|d| d.estimate)
+}
+
+/// Variance-time estimator with regression diagnostics: slope CI from
+/// the OLS residuals (t-quantile on `points − 2` degrees of freedom,
+/// inflated by [`VT_CI_INFLATION`] for correlated-residual coverage),
+/// R², and the number of aggregation levels used.
+///
+/// # Errors
+///
+/// Same conditions as [`variance_time`].
+///
+/// # Examples
+///
+/// ```
+/// use webpuzzle_lrd::{fgn::FgnGenerator, variance_time_detailed};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = FgnGenerator::new(0.8)?.seed(5).generate(16_384)?;
+/// let d = variance_time_detailed(&x)?;
+/// assert!(d.points >= 3);
+/// assert!(d.h_ci_half_width > 0.0);
+/// assert!(d.fit.r_squared > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn variance_time_detailed(data: &[f64]) -> Result<VarianceTimeFit> {
     if data.len() < 256 {
         return Err(StatsError::InsufficientData {
             needed: 256,
@@ -56,11 +121,57 @@ pub fn variance_time(data: &[f64]) -> Result<HurstEstimate> {
             what: "too few usable aggregation levels for a variance-time fit",
         });
     }
-    let fit = ols(&log_m, &log_var)?;
-    Ok(HurstEstimate::new(
+    let mut fit = ols(&log_m, &log_var)?;
+    let points = log_m.len();
+    let mut h = 1.0 + fit.slope / 2.0;
+    // Finite-sample bias correction. The sample variance of the N = n/m
+    // block means subtracts the grand mean, whose own variance is
+    // σ²·n^{2H−2} — not negligible under LRD — so
+    // E[s²_m] = σ²(m^{2H−2} − n^{2H−2}) = σ²·m^{2H−2}·(1 − (m/n)^{2−2H})
+    // and the raw log-variance points sag at large m, dragging Ĥ down
+    // (−0.026 at H = 0.85 over 14 400-point windows). Dividing each s²_m
+    // by its own attenuation factor needs H, so iterate: fit, correct
+    // with the current Ĥ, refit, until the estimate settles.
+    let n = data.len() as f64;
+    for _ in 0..8 {
+        let exponent = 2.0 - 2.0 * h;
+        let corrected: Vec<f64> = log_m
+            .iter()
+            .zip(&log_var)
+            .map(|(&lm, &lv)| {
+                // Attenuation capped at 0.9 so a wild intermediate Ĥ (or
+                // Ĥ ≥ 1, where the expansion breaks down) cannot blow
+                // the correction up.
+                let attenuation = (lm.exp() / n).powf(exponent).min(0.9);
+                lv - (1.0 - attenuation).ln()
+            })
+            .collect();
+        let refit = ols(&log_m, &corrected)?;
+        let new_h = 1.0 + refit.slope / 2.0;
+        let settled = (new_h - h).abs() < 1e-4;
+        h = new_h;
+        fit = refit;
+        if settled {
+            break;
+        }
+    }
+    // H = 1 + slope/2, so σ_H = σ_slope / 2. Use the t quantile on the
+    // fit's n − 2 dof, then inflate for the correlated residuals.
+    let dof = points.saturating_sub(2).max(1);
+    let t = student_t_quantile(0.975, dof);
+    let h_ci_half_width = VT_CI_INFLATION * t * fit.slope_std_err / 2.0;
+    let estimate = HurstEstimate::with_ci(
         EstimatorKind::VarianceTime,
-        1.0 + fit.slope / 2.0,
-    ))
+        h,
+        h - h_ci_half_width,
+        h + h_ci_half_width,
+    );
+    Ok(VarianceTimeFit {
+        estimate,
+        fit,
+        points,
+        h_ci_half_width,
+    })
 }
 
 #[cfg(test)]
@@ -107,12 +218,57 @@ mod tests {
     }
 
     #[test]
-    fn no_ci_reported() {
+    fn ci_is_reported_and_centered() {
         let x = FgnGenerator::new(0.7)
             .unwrap()
             .seed(79)
             .generate(4096)
             .unwrap();
-        assert!(variance_time(&x).unwrap().ci95.is_none());
+        let est = variance_time(&x).unwrap();
+        let (lo, hi) = est.ci95.expect("variance-time now carries a CI");
+        assert!(lo < est.h && est.h < hi);
+    }
+
+    #[test]
+    fn inflated_ci_covers_planted_h() {
+        // DESIGN.md §13 calibration for VT_CI_INFLATION: over 200 seeded
+        // fGn runs per Hurst level (at the streaming engine's 14 400-point
+        // window length) the inflated half-width must cover the planted H
+        // at least 95% of the time. If this fails after an estimator
+        // change, re-tune VT_CI_INFLATION rather than widening the test.
+        // The planted levels span the paper's Whittle range; coverage is
+        // hardest at high H, where LRD correlates the block variances.
+        for &h in &[0.6, 0.75, 0.85] {
+            let runs = 200;
+            let mut covered = 0;
+            for seed in 0..runs {
+                let x = FgnGenerator::new(h)
+                    .unwrap()
+                    .seed(20_000 + seed)
+                    .generate(14_400)
+                    .unwrap();
+                let d = variance_time_detailed(&x).unwrap();
+                if (d.estimate.h - h).abs() <= d.h_ci_half_width {
+                    covered += 1;
+                }
+            }
+            assert!(covered >= 190, "H={h}: coverage {covered}/{runs} < 95%");
+        }
+    }
+
+    #[test]
+    fn detailed_fit_is_consistent_with_the_point_estimate() {
+        let x = FgnGenerator::new(0.8)
+            .unwrap()
+            .seed(80)
+            .generate(16_384)
+            .unwrap();
+        let d = variance_time_detailed(&x).unwrap();
+        let plain = variance_time(&x).unwrap();
+        assert_eq!(d.estimate, plain);
+        assert_eq!(d.estimate.h, 1.0 + d.fit.slope / 2.0);
+        assert!(d.points >= 3);
+        assert!(d.fit.r_squared > 0.0 && d.fit.r_squared <= 1.0);
+        assert!(d.h_ci_half_width > 0.0);
     }
 }

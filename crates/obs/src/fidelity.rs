@@ -372,6 +372,7 @@ source = "Table 2 Week row"
                 })
                 .collect(),
             histograms: vec![],
+            diagnostics: None,
         }
     }
 

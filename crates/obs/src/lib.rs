@@ -28,6 +28,10 @@
 //!   histograms (p50/p95/p99/p999 + max), slowest-record trace
 //!   exemplars, and folded flamegraph dumps for the streaming
 //!   pipeline, served live at `/profile`.
+//! - **Estimator diagnostics** ([`diagnostics`]): schema-versioned
+//!   per-window confidence intervals, Hill-plateau evidence, and
+//!   cross-estimator agreement verdicts published by the streaming
+//!   engine, served live at `/diagnostics`.
 //! - **Fidelity** ([`fidelity`]): paper-fidelity scoreboard comparing a
 //!   run report's `fidelity/...` gauges against `paper_targets.toml`
 //!   (the `paper-check` binary).
@@ -45,6 +49,7 @@
 //! assert!(report.find_span("hurst/whittle").is_some());
 //! ```
 
+pub mod diagnostics;
 pub mod events;
 pub mod fidelity;
 pub mod metrics;
@@ -64,8 +69,9 @@ pub use sink::{
     clear_sink, info, set_sink, warn, Event, EventSink, JsonSink, Level, NullSink, StderrSink,
 };
 
-/// Reset spans, metrics, the drift-event ring, and the flight recorder
-/// (the message sink and any JSONL event sink are left installed).
+/// Reset spans, metrics, the drift-event ring, the flight recorder,
+/// and the diagnostics slot (the message sink and any JSONL event sink
+/// are left installed).
 ///
 /// For tests and tools that run several independent analyses in one
 /// process.
@@ -74,4 +80,5 @@ pub fn reset() {
     metrics::reset();
     events::reset();
     profile::reset();
+    diagnostics::reset();
 }

@@ -97,6 +97,12 @@ impl Gauge {
     }
 }
 
+/// Counter-name prefix for the per-kind malformed-line family
+/// (`weblog/malformed_lines/<kind>`, kinds from the weblog crate's
+/// `MalformedKind::as_str`). `/metrics` folds these into one labeled
+/// Prometheus family, `webpuzzle_malformed_lines_total{kind="..."}`.
+pub const MALFORMED_LINES_PREFIX: &str = "weblog/malformed_lines/";
+
 /// Number of histogram buckets: bucket 0 for the value 0, then one
 /// bucket per power of two up to `u64::MAX`.
 pub const HISTOGRAM_BUCKETS: usize = 65;

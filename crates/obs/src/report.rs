@@ -97,6 +97,11 @@ pub struct RunReport {
     pub gauges: Vec<GaugeReport>,
     /// All histograms, sorted by name.
     pub histograms: Vec<HistogramReport>,
+    /// Estimator confidence/agreement evidence published by the
+    /// streaming engine via [`crate::diagnostics::set_current`]
+    /// (absent in reports from tools that never publish it and in
+    /// reports written before diagnostics existed).
+    pub diagnostics: Option<crate::diagnostics::DiagnosticsReport>,
 }
 
 fn build_span_tree(stats: &[spans::SpanStat]) -> Vec<SpanReport> {
@@ -164,6 +169,7 @@ impl RunReport {
                         .collect(),
                 })
                 .collect(),
+            diagnostics: crate::diagnostics::current(),
         }
     }
 

@@ -17,7 +17,10 @@
 //! - `GET /profile` — the flight recorder's [`crate::profile`]
 //!   snapshot (per-stage latency histograms + slowest-record
 //!   exemplars) as JSON; `GET /profile?format=folded` returns the
-//!   collapsed-stack rendering flamegraph tooling consumes directly.
+//!   collapsed-stack rendering flamegraph tooling consumes directly;
+//! - `GET /diagnostics` — the current estimator-confidence block
+//!   ([`crate::diagnostics::DiagnosticsReport`]) as JSON: per-window
+//!   CIs, Hill-plateau evidence, and agreement verdicts.
 //!
 //! The server is deliberately minimal: one handler thread, one request
 //! per connection (`Connection: close`), no TLS, no keep-alive — it
@@ -211,10 +214,23 @@ fn handle_connection(stream: &mut TcpStream, ctx: &ReportContext) -> io::Result<
                 serde_json::to_string_pretty(&batch).unwrap_or_else(|_| "[]".to_string()) + "\n",
             )
         }
+        "/diagnostics" => {
+            // Serve an explicit empty (disabled) block rather than a
+            // 404 when no producer has published yet, so pollers can
+            // rely on the schema being present.
+            let report = crate::diagnostics::current()
+                .unwrap_or_else(|| crate::diagnostics::DiagnosticsReport::empty(false, 0.95));
+            (
+                "200 OK",
+                "application/json; charset=utf-8",
+                serde_json::to_string_pretty(&report).unwrap_or_else(|_| "{}".to_string()) + "\n",
+            )
+        }
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found: try /metrics, /healthz, /report, /events, or /profile\n".to_string(),
+            "not found: try /metrics, /healthz, /report, /events, /diagnostics, or /profile\n"
+                .to_string(),
         ),
     };
     // Content-Length counts body *bytes* (the body is ASCII-safe JSON /
@@ -287,8 +303,31 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
             ));
         }
     }
+    // Same treatment for the `weblog/malformed_lines/<kind>` counters:
+    // one family with a `kind` label.
+    let malformed: Vec<(&str, u64)> = snap
+        .counters
+        .iter()
+        .filter_map(|(name, value)| {
+            name.strip_prefix(metrics::MALFORMED_LINES_PREFIX)
+                .map(|kind| (kind, *value))
+        })
+        .collect();
+    if !malformed.is_empty() {
+        out.push_str(
+            "# HELP webpuzzle_malformed_lines_total Malformed log lines skipped, by cause\n",
+        );
+        out.push_str("# TYPE webpuzzle_malformed_lines_total counter\n");
+        for (kind, value) in &malformed {
+            out.push_str(&format!(
+                "webpuzzle_malformed_lines_total{{kind=\"{kind}\"}} {value}\n"
+            ));
+        }
+    }
     for (name, value) in &snap.counters {
-        if name.starts_with(events::EVENTS_TOTAL_PREFIX) {
+        if name.starts_with(events::EVENTS_TOTAL_PREFIX)
+            || name.starts_with(metrics::MALFORMED_LINES_PREFIX)
+        {
             continue;
         }
         let prom = prom_name(name) + "_total";
@@ -383,6 +422,33 @@ mod tests {
         assert!(text.contains("webpuzzle_other_counter_total 2"));
         // TYPE appears exactly once for the family.
         assert_eq!(text.matches("TYPE webpuzzle_events_total ").count(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_render_as_one_labeled_family() {
+        let snap = MetricsSnapshot {
+            counters: vec![
+                ("weblog/malformed_lines/bad_timestamp".to_string(), 3),
+                ("weblog/malformed_lines/truncated".to_string(), 9),
+                ("weblog/malformed_lines_skipped".to_string(), 12),
+            ],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE webpuzzle_malformed_lines_total counter"));
+        assert!(text.contains("webpuzzle_malformed_lines_total{kind=\"bad_timestamp\"} 3"));
+        assert!(text.contains("webpuzzle_malformed_lines_total{kind=\"truncated\"} 9"));
+        // No mangled per-kind metric names leak out.
+        assert!(!text.contains("webpuzzle_weblog_malformed_lines_bad_timestamp"));
+        // The pre-existing unlabeled total keeps its own name (it is not
+        // under the per-kind prefix).
+        assert!(text.contains("webpuzzle_weblog_malformed_lines_skipped_total 12"));
+        assert_eq!(
+            text.matches("TYPE webpuzzle_malformed_lines_total ")
+                .count(),
+            1
+        );
     }
 
     #[test]

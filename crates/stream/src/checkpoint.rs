@@ -47,12 +47,16 @@ use crate::observatory::{ChannelAlarms, DriftSummary};
 use crate::sessionizer::SessionizerState;
 use crate::window::{ArrivalsState, WindowConfig, WindowReport};
 use webpuzzle_core::PoissonVerdict;
+use webpuzzle_obs::diagnostics::{AgreementVerdict, WindowDiagnostics};
 use webpuzzle_weblog::{MalformedBreakdown, Session};
 
 /// File magic: identifies a webpuzzle checkpoint.
 pub const MAGIC: [u8; 8] = *b"WPZCKPT\0";
-/// Current payload layout version.
-pub const VERSION: u32 = 1;
+/// Current payload layout version. Version 2 added the estimator
+/// diagnostics state: the `diagnostics` config flag, the per-window fit
+/// CIs in [`WindowReport`], and the engine's inter-arrival accumulator
+/// plus accrued [`WindowDiagnostics`] rows.
+pub const VERSION: u32 = 2;
 /// Fixed header size: magic + version + payload length + checksum.
 pub const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
@@ -197,6 +201,10 @@ impl Enc {
         self.buf.push(v);
     }
 
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
     fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -279,6 +287,14 @@ impl<'a> Dec<'a> {
 
     fn u8(&mut self) -> DecResult<u8> {
         Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> DecResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CheckpointError::Malformed("bool tag")),
+        }
     }
 
     fn u32(&mut self) -> DecResult<u32> {
@@ -410,6 +426,7 @@ fn enc_stream_config(e: &mut Enc, c: &StreamConfig) {
     e.f64(c.tail_fraction);
     enc_observatory_config(e, &c.observatory);
     e.usize(c.max_open_sessions);
+    e.bool(c.diagnostics);
 }
 
 fn dec_stream_config(d: &mut Dec) -> DecResult<StreamConfig> {
@@ -421,6 +438,7 @@ fn dec_stream_config(d: &mut Dec) -> DecResult<StreamConfig> {
         tail_fraction: d.f64()?,
         observatory: dec_observatory_config(d)?,
         max_open_sessions: d.usize()?,
+        diagnostics: d.bool()?,
     })
 }
 
@@ -521,6 +539,9 @@ fn enc_window_report(e: &mut Enc, w: &WindowReport) {
     e.f64(w.start);
     e.u64(w.events);
     e.opt_f64(w.h_variance_time);
+    e.opt_f64(w.h_ci_half_width);
+    e.opt_f64(w.h_r_squared);
+    e.u64(w.h_points);
     e.opt_f64(w.h_variance_time_fine);
     e.u8(verdict_code(w.poisson_hourly));
     e.u8(verdict_code(w.poisson_ten_min));
@@ -532,6 +553,9 @@ fn dec_window_report(d: &mut Dec) -> DecResult<WindowReport> {
         start: d.f64()?,
         events: d.u64()?,
         h_variance_time: d.opt_f64()?,
+        h_ci_half_width: d.opt_f64()?,
+        h_r_squared: d.opt_f64()?,
+        h_points: d.u64()?,
         h_variance_time_fine: d.opt_f64()?,
         poisson_hourly: dec_verdict(d)?,
         poisson_ten_min: dec_verdict(d)?,
@@ -546,8 +570,86 @@ fn enc_window_reports(e: &mut Enc, ws: &[WindowReport]) {
 }
 
 fn dec_window_reports(d: &mut Dec) -> DecResult<Vec<WindowReport>> {
-    let n = d.len(28)?;
+    let n = d.len(38)?;
     (0..n).map(|_| dec_window_report(d)).collect()
+}
+
+fn agreement_code(v: AgreementVerdict) -> u8 {
+    match v {
+        AgreementVerdict::Agree => 0,
+        AgreementVerdict::Disagree => 1,
+        AgreementVerdict::LowConfidence => 2,
+        AgreementVerdict::NotApplicable => 3,
+    }
+}
+
+fn dec_agreement(d: &mut Dec) -> DecResult<AgreementVerdict> {
+    match d.u8()? {
+        0 => Ok(AgreementVerdict::Agree),
+        1 => Ok(AgreementVerdict::Disagree),
+        2 => Ok(AgreementVerdict::LowConfidence),
+        3 => Ok(AgreementVerdict::NotApplicable),
+        _ => Err(CheckpointError::Malformed("agreement verdict tag")),
+    }
+}
+
+fn enc_window_diag(e: &mut Enc, w: &WindowDiagnostics) {
+    e.u64(w.index);
+    e.f64(w.start);
+    e.opt_f64(w.alpha);
+    e.opt_f64(w.alpha_ci_half_width);
+    e.opt_f64(w.plateau_cv);
+    e.opt_u64(w.plateau_k_lo);
+    e.opt_u64(w.plateau_k_hi);
+    e.opt_f64(w.h);
+    e.opt_f64(w.h_ci_half_width);
+    e.opt_f64(w.h_r_squared);
+    e.u64(w.h_points);
+    e.opt_f64(w.bytes_mean);
+    e.opt_f64(w.bytes_mean_ci_half_width);
+    e.opt_f64(w.interarrival_mean);
+    e.opt_f64(w.interarrival_ci_half_width);
+    e.u8(agreement_code(w.agreement));
+    e.opt_f64(w.agreement_gap);
+    e.opt_f64(w.agreement_band);
+    e.opt_f64(w.agreement_score);
+}
+
+fn dec_window_diag(d: &mut Dec) -> DecResult<WindowDiagnostics> {
+    Ok(WindowDiagnostics {
+        index: d.u64()?,
+        start: d.f64()?,
+        alpha: d.opt_f64()?,
+        alpha_ci_half_width: d.opt_f64()?,
+        plateau_cv: d.opt_f64()?,
+        plateau_k_lo: d.opt_u64()?,
+        plateau_k_hi: d.opt_u64()?,
+        h: d.opt_f64()?,
+        h_ci_half_width: d.opt_f64()?,
+        h_r_squared: d.opt_f64()?,
+        h_points: d.u64()?,
+        bytes_mean: d.opt_f64()?,
+        bytes_mean_ci_half_width: d.opt_f64()?,
+        interarrival_mean: d.opt_f64()?,
+        interarrival_ci_half_width: d.opt_f64()?,
+        agreement: dec_agreement(d)?,
+        agreement_gap: d.opt_f64()?,
+        agreement_band: d.opt_f64()?,
+        agreement_score: d.opt_f64()?,
+    })
+}
+
+fn enc_window_diags(e: &mut Enc, ws: &[WindowDiagnostics]) {
+    e.usize(ws.len());
+    for w in ws {
+        enc_window_diag(e, w);
+    }
+}
+
+fn dec_window_diags(d: &mut Dec) -> DecResult<Vec<WindowDiagnostics>> {
+    // Minimum row size: u64 + f64 + 13 absent options + u64 + verdict.
+    let n = d.len(38)?;
+    (0..n).map(|_| dec_window_diag(d)).collect()
 }
 
 fn enc_welford(e: &mut Enc, w: (u64, f64, f64)) {
@@ -718,6 +820,9 @@ fn enc_engine(e: &mut Enc, s: &EngineState) {
     enc_welford(e, s.window_bytes);
     e.u64(s.last_emitted);
     e.f64(s.last_evict_time);
+    enc_welford(e, s.window_interarrival);
+    e.f64(s.last_arrival);
+    enc_window_diags(e, &s.diagnostics_windows);
 }
 
 fn dec_engine(d: &mut Dec) -> DecResult<EngineState> {
@@ -741,6 +846,9 @@ fn dec_engine(d: &mut Dec) -> DecResult<EngineState> {
         window_bytes: dec_welford(d)?,
         last_emitted: d.u64()?,
         last_evict_time: d.f64()?,
+        window_interarrival: dec_welford(d)?,
+        last_arrival: d.f64()?,
+        diagnostics_windows: dec_window_diags(d)?,
     })
 }
 

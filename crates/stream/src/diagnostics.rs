@@ -1,0 +1,358 @@
+//! Per-window estimator confidence & agreement diagnostics.
+//!
+//! The engine's per-window numbers (Hill α over the session-bytes
+//! top-k heap, variance-time H over the request arrival counts,
+//! Welford byte/inter-arrival means) become self-describing here: each
+//! closed window gets a [`WindowDiagnostics`] row carrying confidence
+//! intervals, Hill-plateau evidence, regression fit quality, and a
+//! verdict on the heavy-tail/LRD consistency relation `2H = 3 − α`
+//! (Faÿ–Roueff–Soulier 2007). The types live in
+//! [`webpuzzle_obs::diagnostics`] so the telemetry server and
+//! `RunReport` can carry them without depending on this crate; this
+//! module is the computation.
+//!
+//! Everything is deterministic in the engine state, so diagnostics
+//! rows round-trip crash/resume bit-identically alongside the rest of
+//! the checkpoint.
+
+use crate::online::{TopK, Welford};
+use crate::window::WindowReport;
+use webpuzzle_heavytail::{hill_stability_scan, HillStabilityScan};
+use webpuzzle_obs::diagnostics::{AgreementVerdict, DiagnosticsReport, WindowDiagnostics};
+use webpuzzle_obs::events::{Event, Severity};
+use webpuzzle_stats::special::normal_quantile;
+
+/// Two-sided confidence level of every interval the engine reports.
+pub const CONFIDENCE_LEVEL: f64 = 0.95;
+
+/// Propagated error bands wider than this make the agreement test
+/// uninformative — the window is scored
+/// [`AgreementVerdict::LowConfidence`] instead of agree/disagree. The
+/// feasible gap range is about `[0, 2]` (`2H ∈ [1, 2]`, `3 − α` mostly
+/// in `[1, 2]`), so a band wider than 0.75 covers most of it and the
+/// verdict would be "agree" no matter what the estimators said.
+pub const AGREEMENT_BAND_MAX: f64 = 0.75;
+
+/// Detector name on `low_confidence` events.
+pub const LOW_CONFIDENCE_DETECTOR: &str = "low_confidence";
+
+/// Detector name on `estimator_disagreement` events.
+pub const DISAGREEMENT_DETECTOR: &str = "estimator_disagreement";
+
+/// Welford-based mean confidence interval: `(mean, z·√(s²/n))`. The
+/// mean is `None` for an empty accumulator; the half-width is `None`
+/// below two observations (no sample variance).
+pub fn welford_mean_ci(w: &Welford, level: f64) -> (Option<f64>, Option<f64>) {
+    if w.count() == 0 {
+        return (None, None);
+    }
+    let mean = w.mean();
+    if w.count() < 2 {
+        return (Some(mean), None);
+    }
+    let z = normal_quantile(0.5 + level / 2.0);
+    let half = z * (w.sample_variance() / w.count() as f64).sqrt();
+    (Some(mean), Some(half))
+}
+
+/// Run the Hill stability scan over a tail heap, using the same
+/// `k_max = ⌊tail_fraction·seen⌋` cap as the engine's point estimate.
+/// `None` when the heap holds too little data for a scan.
+pub fn scan_tail(tail: &TopK, tail_fraction: f64) -> Option<HillStabilityScan> {
+    let k_max = tail.batch_k_max(tail_fraction);
+    if k_max == 0 {
+        return None;
+    }
+    hill_stability_scan(&tail.descending(), k_max, CONFIDENCE_LEVEL).ok()
+}
+
+/// Judge `2H = 3 − α` within propagated error bands. Returns
+/// `(verdict, gap, band, score)` where `gap = |2H − (3 − α)|`,
+/// `band = √((2σ_H)² + σ_α²)`, and `score = gap / band` (≤ 1 agrees).
+///
+/// `NotApplicable` when either estimate is absent; `LowConfidence`
+/// when both exist but an uncertainty is missing (NS Hill plot) or the
+/// band exceeds [`AGREEMENT_BAND_MAX`].
+pub fn agreement(
+    alpha: Option<f64>,
+    alpha_half: Option<f64>,
+    h: Option<f64>,
+    h_half: Option<f64>,
+) -> (AgreementVerdict, Option<f64>, Option<f64>, Option<f64>) {
+    let (Some(h), Some(alpha)) = (h, alpha) else {
+        return (AgreementVerdict::NotApplicable, None, None, None);
+    };
+    let gap = (2.0 * h - (3.0 - alpha)).abs();
+    let (Some(h_half), Some(alpha_half)) = (h_half, alpha_half) else {
+        return (AgreementVerdict::LowConfidence, Some(gap), None, None);
+    };
+    let band = ((2.0 * h_half).powi(2) + alpha_half.powi(2)).sqrt();
+    let score = if band > 0.0 {
+        gap / band
+    } else {
+        f64::INFINITY
+    };
+    let verdict = if band > AGREEMENT_BAND_MAX {
+        AgreementVerdict::LowConfidence
+    } else if gap <= band {
+        AgreementVerdict::Agree
+    } else {
+        AgreementVerdict::Disagree
+    };
+    (verdict, Some(gap), Some(band), Some(score))
+}
+
+/// Build the diagnostics row for one closed window.
+///
+/// `scan` is the Hill stability scan over the session-bytes heap as of
+/// the close (shared across a batch of windows closed by one push, like
+/// the engine's point α). `bytes` / `interarrival` carry the
+/// per-window Welford accumulators — `Some` only for the oldest window
+/// of a close batch (later ones were empty quiet stretches).
+pub fn window_row(
+    report: &WindowReport,
+    scan: Option<&HillStabilityScan>,
+    bytes: Option<&Welford>,
+    interarrival: Option<&Welford>,
+) -> WindowDiagnostics {
+    // An NS scan reports its evidence (cv, no alpha); a missing scan
+    // reports nothing.
+    let alpha = scan.and_then(|s| s.alpha);
+    let alpha_ci_half_width = scan.and_then(|s| s.alpha_ci_half_width);
+    let plateau_cv = scan.map(|s| s.plateau_cv);
+    let plateau_k_lo = scan.and_then(|s| s.plateau_k_lo).map(|k| k as u64);
+    let plateau_k_hi = scan.and_then(|s| s.plateau_k_hi).map(|k| k as u64);
+    let (bytes_mean, bytes_mean_ci_half_width) = bytes
+        .map(|w| welford_mean_ci(w, CONFIDENCE_LEVEL))
+        .unwrap_or((None, None));
+    let (interarrival_mean, interarrival_ci_half_width) = interarrival
+        .map(|w| welford_mean_ci(w, CONFIDENCE_LEVEL))
+        .unwrap_or((None, None));
+    // Distinguish "no scan ran" (NotApplicable) from "scan ran, NS"
+    // (LowConfidence): agreement() alone cannot, so pre-empt here.
+    let (agreement, agreement_gap, agreement_band, agreement_score) =
+        if scan.is_some() && alpha.is_none() && report.h_variance_time.is_some() {
+            (AgreementVerdict::LowConfidence, None, None, None)
+        } else {
+            self::agreement(
+                alpha,
+                alpha_ci_half_width,
+                report.h_variance_time,
+                report.h_ci_half_width,
+            )
+        };
+    WindowDiagnostics {
+        index: report.index,
+        start: report.start,
+        alpha,
+        alpha_ci_half_width,
+        plateau_cv,
+        plateau_k_lo,
+        plateau_k_hi,
+        h: report.h_variance_time,
+        h_ci_half_width: report.h_ci_half_width,
+        h_r_squared: report.h_r_squared,
+        h_points: report.h_points,
+        bytes_mean,
+        bytes_mean_ci_half_width,
+        interarrival_mean,
+        interarrival_ci_half_width,
+        agreement,
+        agreement_gap,
+        agreement_band,
+        agreement_score,
+    }
+}
+
+/// Assemble the schema-versioned report from accumulated rows.
+pub fn build_report(enabled: bool, windows: Vec<WindowDiagnostics>) -> DiagnosticsReport {
+    let low_confidence_windows = windows
+        .iter()
+        .filter(|w| w.agreement == AgreementVerdict::LowConfidence)
+        .count() as u64;
+    let disagreement_windows = windows
+        .iter()
+        .filter(|w| w.agreement == AgreementVerdict::Disagree)
+        .count() as u64;
+    let final_verdict = windows
+        .iter()
+        .rev()
+        .map(|w| w.agreement)
+        .find(|v| *v != AgreementVerdict::NotApplicable)
+        .unwrap_or(AgreementVerdict::NotApplicable);
+    let mut report = DiagnosticsReport::empty(enabled, CONFIDENCE_LEVEL);
+    report.windows = windows;
+    report.low_confidence_windows = low_confidence_windows;
+    report.disagreement_windows = disagreement_windows;
+    report.final_verdict = final_verdict;
+    report
+}
+
+/// Typed events for one diagnostics row: a Warn on disagreement, an
+/// Info on low confidence, nothing otherwise. The caller publishes
+/// (and only does so when diagnostics are enabled, so default runs
+/// keep their event logs empty).
+pub fn events_for(row: &WindowDiagnostics) -> Option<Event> {
+    match row.agreement {
+        AgreementVerdict::Disagree => {
+            let gap = row.agreement_gap.unwrap_or(f64::NAN);
+            let band = row.agreement_band.unwrap_or(f64::NAN);
+            Some(Event::new(
+                Severity::Warn,
+                DISAGREEMENT_DETECTOR,
+                "stream/agreement_2h_vs_3_minus_alpha",
+                row.index,
+                row.start,
+                2.0 * row.h.unwrap_or(f64::NAN),
+                3.0 - row.alpha.unwrap_or(f64::NAN),
+                row.agreement_score.unwrap_or(f64::NAN),
+                1.0,
+                format!(
+                    "window {}: 2H = {:.3} vs 3 − α = {:.3} (gap {:.3} > band {:.3}) — \
+                     estimators disagree on the LRD/heavy-tail relation",
+                    row.index,
+                    2.0 * row.h.unwrap_or(f64::NAN),
+                    3.0 - row.alpha.unwrap_or(f64::NAN),
+                    gap,
+                    band
+                ),
+            ))
+        }
+        AgreementVerdict::LowConfidence => Some(Event::new(
+            Severity::Info,
+            LOW_CONFIDENCE_DETECTOR,
+            "stream/estimator_confidence",
+            row.index,
+            row.start,
+            row.h_ci_half_width.unwrap_or(f64::NAN),
+            row.alpha_ci_half_width.unwrap_or(f64::NAN),
+            row.agreement_band.unwrap_or(f64::NAN),
+            AGREEMENT_BAND_MAX,
+            format!(
+                "window {}: estimates too uncertain to judge 2H = 3 − α \
+                 (α {} ± {}, H {} ± {})",
+                row.index,
+                row.alpha.map_or("NS".to_string(), |a| format!("{a:.3}")),
+                row.alpha_ci_half_width
+                    .map_or("—".to_string(), |v| format!("{v:.3}")),
+                row.h.map_or("—".to_string(), |h| format!("{h:.3}")),
+                row.h_ci_half_width
+                    .map_or("—".to_string(), |v| format!("{v:.3}")),
+            ),
+        )),
+        AgreementVerdict::Agree | AgreementVerdict::NotApplicable => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webpuzzle_core::PoissonVerdict;
+
+    fn report(h: Option<f64>, h_half: Option<f64>) -> WindowReport {
+        WindowReport {
+            index: 2,
+            start: 28_800.0,
+            events: 1_000,
+            h_variance_time: h,
+            h_ci_half_width: h_half,
+            h_r_squared: h.map(|_| 0.95),
+            h_points: if h.is_some() { 7 } else { 0 },
+            h_variance_time_fine: None,
+            poisson_hourly: PoissonVerdict::NotApplicable,
+            poisson_ten_min: PoissonVerdict::NotApplicable,
+        }
+    }
+
+    #[test]
+    fn welford_ci_shrinks_with_n() {
+        let mut small = Welford::new();
+        let mut large = Welford::new();
+        for i in 0..20 {
+            small.push((i % 7) as f64);
+        }
+        for i in 0..2_000 {
+            large.push((i % 7) as f64);
+        }
+        let (_, half_small) = welford_mean_ci(&small, 0.95);
+        let (_, half_large) = welford_mean_ci(&large, 0.95);
+        assert!(half_small.unwrap() > half_large.unwrap());
+        // Degenerate cases.
+        assert_eq!(welford_mean_ci(&Welford::new(), 0.95), (None, None));
+        let mut one = Welford::new();
+        one.push(3.0);
+        assert_eq!(welford_mean_ci(&one, 0.95), (Some(3.0), None));
+    }
+
+    #[test]
+    fn agreement_verdicts() {
+        // 2H = 1.6, 3 − α = 1.55: gap 0.05 inside band.
+        let (v, gap, band, score) = agreement(Some(1.45), Some(0.1), Some(0.8), Some(0.05));
+        assert_eq!(v, AgreementVerdict::Agree);
+        assert!((gap.unwrap() - 0.05).abs() < 1e-12);
+        assert!(score.unwrap() < 1.0 && band.unwrap() > 0.1);
+        // 2H = 1.0 (short memory), 3 − α = 1.6: gap 0.6 outside band.
+        let (v, _, _, score) = agreement(Some(1.4), Some(0.08), Some(0.5), Some(0.05));
+        assert_eq!(v, AgreementVerdict::Disagree);
+        assert!(score.unwrap() > 1.0);
+        // Band wider than the feasible range: uninformative.
+        let (v, _, band, _) = agreement(Some(1.4), Some(0.9), Some(0.8), Some(0.3));
+        assert_eq!(v, AgreementVerdict::LowConfidence);
+        assert!(band.unwrap() > AGREEMENT_BAND_MAX);
+        // Missing estimates.
+        let (v, _, _, _) = agreement(None, None, Some(0.8), Some(0.05));
+        assert_eq!(v, AgreementVerdict::NotApplicable);
+        let (v, _, _, _) = agreement(Some(1.4), Some(0.1), None, None);
+        assert_eq!(v, AgreementVerdict::NotApplicable);
+    }
+
+    #[test]
+    fn ns_scan_with_h_is_low_confidence_not_na() {
+        let scan = HillStabilityScan {
+            grid: vec![(5, 2.0), (50, 3.0)],
+            alpha: None,
+            alpha_ci_half_width: None,
+            plateau_k_lo: None,
+            plateau_k_hi: None,
+            plateau_cv: 0.4,
+            k_max: 50,
+        };
+        let row = window_row(&report(Some(0.8), Some(0.05)), Some(&scan), None, None);
+        assert_eq!(row.agreement, AgreementVerdict::LowConfidence);
+        assert_eq!(row.plateau_cv, Some(0.4));
+        assert!(row.alpha.is_none());
+        // No scan at all → NotApplicable.
+        let row = window_row(&report(Some(0.8), Some(0.05)), None, None, None);
+        assert_eq!(row.agreement, AgreementVerdict::NotApplicable);
+    }
+
+    #[test]
+    fn report_counts_verdicts_and_takes_the_last_judgeable() {
+        let scan = HillStabilityScan {
+            grid: vec![(5, 1.4), (50, 1.45)],
+            alpha: Some(1.45),
+            alpha_ci_half_width: Some(0.1),
+            plateau_k_lo: Some(25),
+            plateau_k_hi: Some(50),
+            plateau_cv: 0.02,
+            k_max: 50,
+        };
+        let rows = vec![
+            window_row(&report(None, None), None, None, None),
+            window_row(&report(Some(0.5), Some(0.04)), Some(&scan), None, None),
+            window_row(&report(Some(0.78), Some(0.05)), Some(&scan), None, None),
+        ];
+        assert_eq!(rows[1].agreement, AgreementVerdict::Disagree);
+        assert_eq!(rows[2].agreement, AgreementVerdict::Agree);
+        let rep = build_report(true, rows);
+        assert_eq!(rep.disagreement_windows, 1);
+        assert_eq!(rep.low_confidence_windows, 0);
+        assert_eq!(rep.final_verdict, AgreementVerdict::Agree);
+        assert!(rep.enabled);
+        // Events: Disagree → Warn, Agree → none.
+        let warn = events_for(&rep.windows[1]).expect("disagreement event");
+        assert_eq!(warn.severity, Severity::Warn);
+        assert!(events_for(&rep.windows[2]).is_none());
+        assert!(events_for(&rep.windows[0]).is_none());
+    }
+}

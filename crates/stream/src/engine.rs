@@ -12,6 +12,7 @@
 //! counters, gauges, and histograms in the `webpuzzle-obs` registry, so
 //! a live `--telemetry-addr` endpoint sees progress mid-stream.
 
+use crate::diagnostics;
 use crate::observatory::{
     DriftObservatory, DriftSummary, ObservatoryConfig, ObservatoryState, WindowObservation,
 };
@@ -21,6 +22,7 @@ use crate::window::{ArrivalsState, WindowConfig, WindowReport, WindowedArrivals}
 use crate::Result;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use webpuzzle_obs::diagnostics::{DiagnosticsReport, WindowDiagnostics};
 use webpuzzle_obs::metrics;
 use webpuzzle_obs::profile::{self, Stage};
 use webpuzzle_weblog::{LogRecord, Session, DEFAULT_SESSION_THRESHOLD};
@@ -51,6 +53,12 @@ pub struct StreamConfig {
     /// counter, never silent. This is the graceful-degradation valve
     /// for adversarial client cardinality under memory pressure.
     pub max_open_sessions: usize,
+    /// Compute per-window estimator diagnostics (Hill stability scans,
+    /// CI propagation, agreement verdicts) at every window close. Off
+    /// by default: the scan costs an extra `O(k_max)` pass per close,
+    /// and diagnostics publish `low_confidence` /
+    /// `estimator_disagreement` events that default runs must not emit.
+    pub diagnostics: bool,
 }
 
 impl Default for StreamConfig {
@@ -66,6 +74,7 @@ impl Default for StreamConfig {
             tail_fraction: 0.14,
             observatory: ObservatoryConfig::default(),
             max_open_sessions: 0,
+            diagnostics: false,
         }
     }
 }
@@ -125,6 +134,10 @@ pub struct StreamSummary {
     pub shed_sessions: u64,
     /// Records already absorbed into sessions that were then shed.
     pub shed_records: u64,
+    /// Per-window estimator confidence & agreement evidence
+    /// ([`StreamConfig::diagnostics`]; empty rows when disabled, with
+    /// `enabled: false` recorded so readers can tell off from missing).
+    pub diagnostics: DiagnosticsReport,
 }
 
 /// Complete mutable state of a [`StreamAnalyzer`], for checkpointing
@@ -178,6 +191,15 @@ pub struct EngineState {
     pub last_emitted: u64,
     /// Eviction-rate bookkeeping: watermark at last eviction.
     pub last_evict_time: f64,
+    /// Current-window inter-arrival accumulator (feeds the diagnostics
+    /// inter-arrival CI when the window closes).
+    pub window_interarrival: (u64, f64, f64),
+    /// Timestamp of the last record pushed (`-inf` before the first) —
+    /// the inter-arrival accumulator's anchor.
+    pub last_arrival: f64,
+    /// Diagnostics rows for closed windows so far (empty when
+    /// [`StreamConfig::diagnostics`] is off).
+    pub diagnostics_windows: Vec<WindowDiagnostics>,
 }
 
 /// The one-pass analysis engine. See the crate docs for an example.
@@ -204,6 +226,9 @@ pub struct StreamAnalyzer {
     finished: bool,
     observatory: DriftObservatory,
     window_bytes: Welford,
+    window_interarrival: Welford,
+    last_arrival: f64,
+    diagnostics_windows: Vec<WindowDiagnostics>,
     last_emitted: u64,
     last_evict_time: f64,
     shed_synced: u64,
@@ -226,6 +251,10 @@ pub struct StreamAnalyzer {
     backlog_gauge: Arc<metrics::Gauge>,
     live_bytes_hist: Arc<metrics::Histogram>,
     live_duration_hist: Arc<metrics::Histogram>,
+    alpha_ci_gauge: Arc<metrics::Gauge>,
+    h_ci_gauge: Arc<metrics::Gauge>,
+    r_squared_gauge: Arc<metrics::Gauge>,
+    agreement_gauge: Arc<metrics::Gauge>,
 }
 
 impl StreamAnalyzer {
@@ -261,6 +290,9 @@ impl StreamAnalyzer {
             finished: false,
             observatory: DriftObservatory::new(&cfg.observatory, cfg.request_window.window_len),
             window_bytes: Welford::new(),
+            window_interarrival: Welford::new(),
+            last_arrival: f64::NEG_INFINITY,
+            diagnostics_windows: Vec::new(),
             last_emitted: 0,
             last_evict_time: f64::NEG_INFINITY,
             shed_synced: 0,
@@ -279,6 +311,10 @@ impl StreamAnalyzer {
             backlog_gauge: metrics::gauge("stream/chunk_backlog"),
             live_bytes_hist: metrics::histogram("stream/response_bytes"),
             live_duration_hist: metrics::histogram("stream/session_duration_secs"),
+            alpha_ci_gauge: metrics::gauge("estimator_confidence/alpha_ci_half_width"),
+            h_ci_gauge: metrics::gauge("estimator_confidence/h_ci_half_width"),
+            r_squared_gauge: metrics::gauge("estimator_confidence/r_squared"),
+            agreement_gauge: metrics::gauge("estimator_confidence/agreement_score"),
             cfg,
         })
     }
@@ -322,9 +358,15 @@ impl StreamAnalyzer {
             self.observe_closed_windows(closed_from);
         }
         // The record that crossed a window boundary belongs to the new
-        // window, so it joins the per-window bytes accumulator *after*
-        // the closed window was observed.
+        // window, so it joins the per-window accumulators *after* the
+        // closed window was observed (the boundary-spanning
+        // inter-arrival gap is charged to the new window).
         self.window_bytes.push(record.bytes as f64);
+        if self.last_arrival.is_finite() {
+            self.window_interarrival
+                .push(record.timestamp - self.last_arrival);
+        }
+        self.last_arrival = record.timestamp;
         if started {
             self.session_arrivals
                 .push(record.timestamp, &mut self.window_buf)?;
@@ -400,6 +442,9 @@ impl StreamAnalyzer {
             self.update_health_gauges();
             self.open_gauge.set(0.0);
             self.occupancy_gauge.set(0.0);
+            if self.cfg.diagnostics {
+                webpuzzle_obs::diagnostics::set_current(self.diagnostics_report());
+            }
         }
         Ok(self.summary())
     }
@@ -426,6 +471,7 @@ impl StreamAnalyzer {
             drift: self.observatory.summary(),
             shed_sessions: self.sessionizer.shed_sessions(),
             shed_records: self.sessionizer.shed_records(),
+            diagnostics: self.diagnostics_report(),
         }
     }
 
@@ -475,6 +521,9 @@ impl StreamAnalyzer {
             window_bytes: self.window_bytes.raw_parts(),
             last_emitted: self.last_emitted,
             last_evict_time: self.last_evict_time,
+            window_interarrival: self.window_interarrival.raw_parts(),
+            last_arrival: self.last_arrival,
+            diagnostics_windows: self.diagnostics_windows.clone(),
         }
     }
 
@@ -530,6 +579,10 @@ impl StreamAnalyzer {
         engine.window_bytes = Welford::from_raw_parts(n, mean, m2);
         engine.last_emitted = state.last_emitted;
         engine.last_evict_time = state.last_evict_time;
+        let (n, mean, m2) = state.window_interarrival;
+        engine.window_interarrival = Welford::from_raw_parts(n, mean, m2);
+        engine.last_arrival = state.last_arrival;
+        engine.diagnostics_windows = state.diagnostics_windows.clone();
         engine.shed_synced = engine.sessionizer.shed_sessions();
         engine.shed_records_synced = engine.sessionizer.shed_records();
         Ok(engine)
@@ -561,12 +614,60 @@ impl StreamAnalyzer {
                 h_variance_time: w.h_variance_time,
             })
             .collect();
+        let diag_rows: Vec<WindowDiagnostics> = if self.cfg.diagnostics {
+            let scan = diagnostics::scan_tail(&self.bytes_tail, self.cfg.tail_fraction);
+            self.request_windows[from..]
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    diagnostics::window_row(
+                        w,
+                        scan.as_ref(),
+                        (i == 0).then_some(&self.window_bytes),
+                        (i == 0).then_some(&self.window_interarrival),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         self.window_bytes = Welford::new();
+        self.window_interarrival = Welford::new();
         for obs in &observations {
             for event in self.observatory.observe(obs) {
                 webpuzzle_obs::events::publish(event);
             }
         }
+        if self.cfg.diagnostics {
+            for row in &diag_rows {
+                if let Some(v) = row.alpha_ci_half_width {
+                    self.alpha_ci_gauge.set(v);
+                }
+                if let Some(v) = row.h_ci_half_width {
+                    self.h_ci_gauge.set(v);
+                }
+                if let Some(v) = row.h_r_squared {
+                    self.r_squared_gauge.set(v);
+                }
+                if let Some(v) = row.agreement_score {
+                    self.agreement_gauge.set(v);
+                }
+                if let Some(event) = diagnostics::events_for(row) {
+                    webpuzzle_obs::events::publish(event);
+                }
+            }
+            self.diagnostics_windows.extend(diag_rows);
+            webpuzzle_obs::diagnostics::set_current(self.diagnostics_report());
+        }
+    }
+
+    /// The estimator confidence/agreement evidence accumulated so far,
+    /// as the schema-versioned report served at `/diagnostics` and
+    /// embedded in [`StreamSummary`]. When the engine runs with
+    /// [`StreamConfig::diagnostics`] off, the report is empty with
+    /// `enabled: false`.
+    pub fn diagnostics_report(&self) -> DiagnosticsReport {
+        diagnostics::build_report(self.cfg.diagnostics, self.diagnostics_windows.clone())
     }
 
     /// Publish one Info timeline event for the window-close batch that
@@ -854,6 +955,95 @@ mod tests {
         let resumed = second.finish().unwrap();
 
         assert_eq!(resumed, expected);
+    }
+
+    #[test]
+    fn diagnostics_rows_accrue_only_when_enabled() {
+        let cfg = StreamConfig {
+            diagnostics: true,
+            ..small_config()
+        };
+        let mut engine = StreamAnalyzer::new(cfg).unwrap();
+        for i in 0..3_100u32 {
+            engine
+                .push(&record(
+                    i as f64 * 0.5,
+                    i % 310,
+                    100 + (i as u64 * 37) % 20_000,
+                ))
+                .unwrap();
+        }
+        let summary = engine.finish().unwrap();
+        assert!(summary.diagnostics.enabled);
+        assert_eq!(
+            summary.diagnostics.windows.len(),
+            summary.request_windows.len()
+        );
+        for (row, w) in summary
+            .diagnostics
+            .windows
+            .iter()
+            .zip(&summary.request_windows)
+        {
+            assert_eq!(row.index, w.index);
+            assert_eq!(row.h, w.h_variance_time);
+            assert_eq!(row.h_ci_half_width, w.h_ci_half_width);
+        }
+        // The first closed window carries the mean CIs; later windows
+        // in the same run get their own accumulators.
+        let first = &summary.diagnostics.windows[0];
+        assert!(first.bytes_mean.is_some());
+        assert!(first.bytes_mean_ci_half_width.is_some());
+        assert!(first.interarrival_mean.is_some());
+
+        // A default-config run publishes the block but no rows.
+        let mut off = StreamAnalyzer::new(small_config()).unwrap();
+        for i in 0..3_100u32 {
+            off.push(&record(i as f64 * 0.5, i % 310, 256)).unwrap();
+        }
+        let off_summary = off.finish().unwrap();
+        assert!(!off_summary.diagnostics.enabled);
+        assert!(off_summary.diagnostics.windows.is_empty());
+    }
+
+    #[test]
+    fn diagnostics_state_round_trips_bit_for_bit() {
+        let cfg = || StreamConfig {
+            diagnostics: true,
+            ..small_config()
+        };
+        let records: Vec<LogRecord> = (0..4_000)
+            .map(|i| {
+                record(
+                    i as f64 * 0.8,
+                    (i % 211) as u32,
+                    50 + (i * 31) as u64 % 12_000,
+                )
+            })
+            .collect();
+        let split = 2_333;
+
+        let mut whole = StreamAnalyzer::new(cfg()).unwrap();
+        for r in &records {
+            whole.push(r).unwrap();
+        }
+        let expected = whole.finish().unwrap();
+        assert!(!expected.diagnostics.windows.is_empty());
+
+        let mut first = StreamAnalyzer::new(cfg()).unwrap();
+        for r in &records[..split] {
+            first.push(r).unwrap();
+        }
+        let state = first.export_state();
+        let mut second = StreamAnalyzer::restore(cfg(), &state).unwrap();
+        assert_eq!(second.export_state(), state);
+        for r in &records[split..] {
+            second.push(r).unwrap();
+        }
+        let resumed = second.finish().unwrap();
+
+        assert_eq!(resumed, expected);
+        assert_eq!(resumed.diagnostics, expected.diagnostics);
     }
 
     #[test]

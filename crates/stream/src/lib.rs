@@ -28,6 +28,10 @@
 //!   `webpuzzle-obs` event ring.
 //! * [`engine`] — [`StreamAnalyzer`]: the wired-up engine behind the
 //!   `stream-analyze` binary, producing a [`StreamSummary`].
+//! * [`diagnostics`] — per-window estimator confidence: Hill-plot
+//!   stability scans, variance-time fit CIs, Welford mean CIs, and the
+//!   `2H = 3 − α` cross-estimator agreement verdict, assembled into the
+//!   schema-versioned report served at `/diagnostics`.
 //! * [`checkpoint`] — [`Checkpoint`]: versioned, checksummed,
 //!   atomically-written snapshots of the full engine state; a resumed
 //!   run reproduces the uninterrupted summary bit for bit.
@@ -63,6 +67,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod diagnostics;
 pub mod engine;
 pub mod fault;
 pub mod observatory;
@@ -74,6 +79,7 @@ pub mod supervisor;
 pub mod window;
 
 pub use checkpoint::{Checkpoint, CheckpointError, SourcePosition};
+pub use diagnostics::{AGREEMENT_BAND_MAX, CONFIDENCE_LEVEL};
 pub use engine::{EngineState, StreamAnalyzer, StreamConfig, StreamSummary, TailSnapshot};
 pub use fault::{FaultCounts, FaultSource, FaultSpec};
 pub use observatory::{

@@ -17,6 +17,32 @@ use webpuzzle_obs::{metrics, profile};
 use webpuzzle_weblog::clf::{parse_line, MALFORMED_SKIPPED_COUNTER};
 use webpuzzle_weblog::{LogRecord, MalformedBreakdown, MalformedKind, WeblogError};
 
+/// Registry counters for the per-cause malformed-line breakdown, in
+/// [`MalformedKind::ALL`] order. Named
+/// `weblog/malformed_lines/<kind>`, which `/metrics` renders as one
+/// labeled Prometheus family `webpuzzle_malformed_lines_total{kind=…}`.
+pub(crate) fn malformed_kind_counters() -> [Arc<metrics::Counter>; 4] {
+    MalformedKind::ALL.map(|k| {
+        metrics::counter(&format!(
+            "{}{}",
+            metrics::MALFORMED_LINES_PREFIX,
+            k.as_str()
+        ))
+    })
+}
+
+/// The counter for one kind, from a [`malformed_kind_counters`] array.
+pub(crate) fn kind_counter(
+    counters: &[Arc<metrics::Counter>; 4],
+    kind: MalformedKind,
+) -> &Arc<metrics::Counter> {
+    let i = MalformedKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("every kind is in ALL");
+    &counters[i]
+}
+
 /// A pull-based CLF record source over any buffered reader.
 ///
 /// # Examples
@@ -50,6 +76,7 @@ pub struct ClfSource<R> {
     done: bool,
     parsed_counter: Arc<webpuzzle_obs::ShardedCounter>,
     skip_counter: Arc<metrics::Counter>,
+    kind_counters: [Arc<metrics::Counter>; 4],
 }
 
 impl<R: BufRead> ClfSource<R> {
@@ -69,6 +96,7 @@ impl<R: BufRead> ClfSource<R> {
             done: false,
             parsed_counter: metrics::sharded_counter("weblog/records_parsed"),
             skip_counter: metrics::counter(MALFORMED_SKIPPED_COUNTER),
+            kind_counters: malformed_kind_counters(),
         }
     }
 
@@ -190,8 +218,10 @@ impl<R: BufRead> Source for ClfSource<R> {
                 }
                 Err(WeblogError::ParseLine { reason, .. }) if self.lenient => {
                     self.skipped += 1;
-                    self.malformed.record(MalformedKind::classify(&reason));
+                    let kind = MalformedKind::classify(&reason);
+                    self.malformed.record(kind);
                     self.skip_counter.incr();
+                    kind_counter(&self.kind_counters, kind).incr();
                 }
                 Err(WeblogError::ParseLine { reason, .. }) => {
                     self.done = true;
@@ -233,6 +263,32 @@ mod tests {
             out.push(item.expect("parse ok"));
         }
         (out, src)
+    }
+
+    #[test]
+    fn lenient_skips_bump_the_per_kind_counters() {
+        let counters = malformed_kind_counters();
+        let before: Vec<u64> = counters.iter().map(|c| c.get()).collect();
+        let good = format_line(&LogRecord::new(5.0, 1, Method::Get, 1, 200, 10), BASE);
+        let text = format!(
+            "{good}\n\
+             10.0.0.1 - - [not a date] \"GET /x HTTP/1.0\" 200 10\n\
+             10.0.0.1 - - [12/Jan/2004:00:00:07 +0000] \"GET /x HTTP/1.0\" abc 10\n\
+             total garbage\n"
+        );
+        let (records, src) = drain(ClfSource::new(text.as_bytes(), BASE).lenient(true));
+        assert_eq!(records.len(), 1);
+        assert_eq!(src.malformed().bad_timestamp, 1);
+        assert_eq!(src.malformed().bad_status, 1);
+        // Each counter moved by at least this source's tally (the
+        // registry is process-global, so other tests may add more).
+        for (i, kind) in MalformedKind::ALL.iter().enumerate() {
+            assert!(
+                counters[i].get() >= before[i] + src.malformed().count(*kind),
+                "counter for {} did not advance",
+                kind.as_str()
+            );
+        }
     }
 
     #[test]

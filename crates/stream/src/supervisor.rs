@@ -194,6 +194,7 @@ where
     recoveries_counter: Arc<metrics::Counter>,
     retries_counter: Arc<metrics::Counter>,
     poison_counter: Arc<metrics::Counter>,
+    kind_counters: [Arc<metrics::Counter>; 4],
     checkpoints_counter: Arc<metrics::Counter>,
     checkpoint_age_gauge: Arc<metrics::Gauge>,
 }
@@ -214,6 +215,7 @@ where
             recoveries_counter: metrics::counter("stream/recoveries"),
             retries_counter: metrics::counter("stream/transient_retries"),
             poison_counter: metrics::counter("stream/poison_records"),
+            kind_counters: crate::reader::malformed_kind_counters(),
             checkpoints_counter: metrics::counter("stream/checkpoints_written"),
             checkpoint_age_gauge: metrics::gauge("stream/checkpoint_age_secs"),
         }
@@ -421,6 +423,7 @@ where
                         };
                         state.poison.record(kind);
                         self.poison_counter.incr();
+                        crate::reader::kind_counter(&self.kind_counters, kind).incr();
                     }
                     ErrorClass::Fatal => return Err(e),
                 },

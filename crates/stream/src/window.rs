@@ -13,7 +13,7 @@
 use crate::Result;
 use serde::{Deserialize, Serialize};
 use webpuzzle_core::{poisson_arrival_test, PoissonVerdict, TieSpreading};
-use webpuzzle_lrd::variance_time;
+use webpuzzle_lrd::variance_time_detailed;
 
 /// Configuration of the per-window analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,6 +57,14 @@ pub struct WindowReport {
     /// Variance-time Hurst estimate over the coarse (per-second) ring;
     /// `None` when the window is too quiet for the estimator.
     pub h_variance_time: Option<f64>,
+    /// Half-width of the 95% CI on `h_variance_time` (t-based, from
+    /// the OLS residuals, inflated per `webpuzzle_lrd::VT_CI_INFLATION`).
+    pub h_ci_half_width: Option<f64>,
+    /// R² of the coarse-ring variance-time regression.
+    pub h_r_squared: Option<f64>,
+    /// Aggregation levels used by the coarse-ring fit (0 when the
+    /// estimator did not run).
+    pub h_points: u64,
     /// Variance-time Hurst estimate over the fine (per-10-ms) ring.
     pub h_variance_time_fine: Option<f64>,
     /// §4.2 Poisson verdict at hourly subinterval rates.
@@ -226,11 +234,17 @@ impl WindowedArrivals {
         let start = self.window_index as f64 * self.cfg.window_len;
         let events = self.times.len() as u64;
 
-        let h_variance_time = variance_time(&self.coarse).ok().map(|e| e.h);
+        let vt = variance_time_detailed(&self.coarse).ok();
+        let h_variance_time = vt.as_ref().map(|d| d.estimate.h);
+        let h_ci_half_width = vt.as_ref().map(|d| d.h_ci_half_width);
+        let h_r_squared = vt.as_ref().map(|d| d.fit.r_squared);
+        let h_points = vt.as_ref().map_or(0, |d| d.points as u64);
         let h_variance_time_fine = if self.fine.is_empty() {
             None
         } else {
-            variance_time(&self.fine).ok().map(|e| e.h)
+            variance_time_detailed(&self.fine)
+                .ok()
+                .map(|d| d.estimate.h)
         };
 
         let subs_hourly = ((self.cfg.window_len / 3_600.0).round() as usize).max(2);
@@ -243,6 +257,9 @@ impl WindowedArrivals {
             start,
             events,
             h_variance_time,
+            h_ci_half_width,
+            h_r_squared,
+            h_points,
             h_variance_time_fine,
             poisson_hourly,
             poisson_ten_min,
@@ -332,6 +349,27 @@ mod tests {
         // Poisson counts are i.i.d.: variance-time H near 1/2.
         let h = out[0].h_variance_time.expect("14400 bins is plenty");
         assert!((h - 0.5).abs() < 0.12, "H = {h}");
+        // The regression diagnostics ride along with the estimate.
+        let half = out[0].h_ci_half_width.expect("fit carries a CI");
+        assert!(half > 0.0 && half < 0.5, "half = {half}");
+        let r2 = out[0].h_r_squared.expect("fit carries R²");
+        assert!((0.0..=1.0).contains(&r2), "R² = {r2}");
+        assert!(out[0].h_points >= 3);
+    }
+
+    #[test]
+    fn empty_window_has_no_fit_diagnostics() {
+        let mut w = WindowedArrivals::new(cfg(600.0));
+        let mut out = Vec::new();
+        w.push(5.0, &mut out).unwrap();
+        // Jump two windows ahead: window 1 closes empty (all-zero ring
+        // → degenerate variance-time input).
+        w.push(1_300.0, &mut out).unwrap();
+        assert_eq!(out[1].events, 0);
+        assert!(out[1].h_variance_time.is_none());
+        assert!(out[1].h_ci_half_width.is_none());
+        assert!(out[1].h_r_squared.is_none());
+        assert_eq!(out[1].h_points, 0);
     }
 
     #[test]

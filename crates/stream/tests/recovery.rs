@@ -339,6 +339,59 @@ fn recovered_run_sheds_like_an_uninterrupted_one() {
     let _ = std::fs::remove_file(&path);
 }
 
+#[test]
+fn crash_and_recover_preserves_diagnostics_bit_for_bit() {
+    let _guard = GLOBALS.lock().unwrap();
+    let records = workload();
+    let cfg = StreamConfig {
+        diagnostics: true,
+        ..small_config()
+    };
+    let mut engine = StreamAnalyzer::new(cfg.clone()).expect("engine");
+    for rec in &records {
+        engine.push(rec).expect("push");
+    }
+    let expected = engine.finish().expect("finish");
+    assert!(expected.diagnostics.enabled);
+    assert!(
+        !expected.diagnostics.windows.is_empty(),
+        "the workload must close diagnosable windows"
+    );
+
+    let path = temp_checkpoint("ck-diag.bin");
+    let _ = std::fs::remove_file(&path);
+    let shared = Arc::new(records);
+    let factory = {
+        let shared = Arc::clone(&shared);
+        move |pos: &SourcePosition| {
+            let inner = VecSource::at(Arc::clone(&shared), pos.parsed as usize);
+            let mut src = FaultSource::new(
+                inner,
+                FaultSpec {
+                    crash_at: Some(1_700),
+                    ..FaultSpec::default()
+                },
+            );
+            src.set_index(pos.parsed);
+            Ok(src)
+        }
+    };
+    let sup_cfg = SupervisorConfig {
+        backoff_base_ms: 0,
+        checkpoint_path: Some(path.clone()),
+        checkpoint_every_records: 500,
+        ..SupervisorConfig::default()
+    };
+    let report = Supervisor::new(cfg, sup_cfg, factory).run().expect("run");
+    assert_eq!(report.recoveries, 1);
+    assert_eq!(
+        report.summary, expected,
+        "diagnostics-enabled resume must reproduce the run"
+    );
+    assert_eq!(report.summary.diagnostics, expected.diagnostics);
+    let _ = std::fs::remove_file(&path);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -1,6 +1,6 @@
 //! Session arrival process generation.
 //!
-//! Three models, matching the ablation axis in DESIGN.md:
+//! Four models, matching the ablation axis in DESIGN.md:
 //!
 //! * [`ArrivalModel::FgnCox`] — a doubly-stochastic (Cox) process whose
 //!   intensity is modulated by fractional Gaussian noise: the counting
@@ -11,6 +11,10 @@
 //!   traffic self-similarity.
 //! * [`ArrivalModel::Poisson`] — the negative control: §4.2/§5.1.2 must
 //!   *fail to reject* Poisson on this model's output.
+//! * [`ArrivalModel::MarkovModulated`] — a two-state Markov-modulated
+//!   Poisson process with exponential sojourns: bursty at the sojourn
+//!   scale but short-memory (H = 1/2), the classic "looks self-similar,
+//!   isn't" control for LRD estimators (Clegg's critique).
 //!
 //! All models share the same deterministic envelope — a 24-hour diurnal
 //! cycle plus a linear weekly trend — so the stationarization pipeline
@@ -59,6 +63,18 @@ pub enum ArrivalModel {
         /// Number of superposed sources.
         sources: usize,
     },
+    /// Two-state Markov-modulated Poisson process: intensity alternates
+    /// between a low and a high state with *exponential* sojourn times
+    /// (Clegg's short-memory control). Autocorrelations decay
+    /// geometrically, so the counting process is bursty at the sojourn
+    /// scale but has H = 1/2 asymptotically — the diagnostics layer must
+    /// score it "disagree"/"low-confidence" against any heavy-tail story.
+    MarkovModulated {
+        /// Intensity ratio high/low, ≥ 1.
+        rate_ratio: f64,
+        /// Mean sojourn time per state in seconds, > 0.
+        mean_sojourn: f64,
+    },
 }
 
 /// Generate `target_count` (in expectation) session start times over one
@@ -69,8 +85,9 @@ pub enum ArrivalModel {
 /// # Errors
 ///
 /// Returns [`StatsError::InvalidParameter`] for a zero target, an fGn `h`
-/// outside (0, 1), a negative `cv`, ON/OFF tail indices outside (1, 2], or
-/// zero sources.
+/// outside (0, 1), a negative `cv`, ON/OFF tail indices outside (1, 2],
+/// zero sources, a Markov rate ratio below 1, or a non-positive mean
+/// sojourn.
 ///
 /// # Examples
 ///
@@ -123,6 +140,10 @@ pub fn generate_session_starts(
             alpha_off,
             sources,
         } => on_off_active_counts(alpha_on, alpha_off, sources, n_steps, rng)?,
+        ArrivalModel::MarkovModulated {
+            rate_ratio,
+            mean_sojourn,
+        } => markov_modulation(rate_ratio, mean_sojourn, n_steps, rng)?,
     };
 
     // Deterministic envelope per second, combined with the modulation, then
@@ -218,6 +239,52 @@ fn on_off_active_counts(
         });
     }
     Ok(active.into_iter().map(|a| (a / mean).max(0.02)).collect())
+}
+
+// Per-step intensity of a two-state Markov chain (low = 1, high =
+// rate_ratio) with exponential sojourn times, normalized to mean 1 by the
+// caller's envelope normalization.
+fn markov_modulation(
+    rate_ratio: f64,
+    mean_sojourn: f64,
+    n_steps: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<f64>> {
+    if !rate_ratio.is_finite() || rate_ratio < 1.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "rate_ratio",
+            value: rate_ratio,
+            constraint: "must be finite and >= 1",
+        });
+    }
+    if !mean_sojourn.is_finite() || mean_sojourn <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "mean_sojourn",
+            value: mean_sojourn,
+            constraint: "must be finite and > 0",
+        });
+    }
+    let mut modulation = vec![1.0f64; n_steps];
+    let horizon = n_steps as f64 * FGN_STEP;
+    // Random initial phase (partway through a sojourn) and state.
+    let mut pos = -(rng.random::<f64>() * mean_sojourn);
+    let mut high = rng.random::<f64>() < 0.5;
+    while pos < horizon {
+        // Exponential sojourn: memoryless, so autocorrelations decay
+        // geometrically and the count process has H = 1/2.
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let len = -mean_sojourn * u.ln();
+        if high {
+            let a = (pos.max(0.0) / FGN_STEP) as usize;
+            let b = (((pos + len).min(horizon)).max(0.0) / FGN_STEP) as usize;
+            for slot in modulation.iter_mut().take(b).skip(a) {
+                *slot = rate_ratio;
+            }
+        }
+        pos += len;
+        high = !high;
+    }
+    Ok(modulation)
 }
 
 #[cfg(test)]
@@ -317,6 +384,42 @@ mod tests {
     }
 
     #[test]
+    fn markov_modulated_is_bursty_but_short_memory() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let starts = generate_session_starts(
+            &ArrivalModel::MarkovModulated {
+                rate_ratio: 4.0,
+                mean_sojourn: 120.0,
+            },
+            200_000,
+            0.0,
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let counts = counts_per_second(&starts, 60.0);
+        // Burstier than Poisson at the sojourn scale...
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+        assert!(var / mean > 2.0, "index of dispersion {}", var / mean);
+        // ...but short-memory: the exponential sojourns (mean 2 bins here)
+        // make autocorrelations decay geometrically, so the lag-1 burst
+        // correlation must be gone by lag 20. (Parametric estimators like
+        // Whittle CAN still be fooled into reading H > 0.5 — Clegg's
+        // critique, and why the diagnostics agreement gate exists.)
+        let acf = |lag: usize| -> f64 {
+            counts[..counts.len() - lag]
+                .iter()
+                .zip(&counts[lag..])
+                .map(|(a, b)| (a - mean) * (b - mean))
+                .sum::<f64>()
+                / ((counts.len() - lag) as f64 * var)
+        };
+        assert!(acf(1) > 0.2, "lag-1 ACF {}", acf(1));
+        assert!(acf(20).abs() < 0.1, "lag-20 ACF {}", acf(20));
+    }
+
+    #[test]
     fn all_times_in_window_and_sorted() {
         let mut rng = StdRng::seed_from_u64(6);
         let starts = generate_session_starts(
@@ -368,6 +471,28 @@ mod tests {
                 alpha_on: 1.4,
                 alpha_off: 1.4,
                 sources: 0
+            },
+            100,
+            0.0,
+            0.0,
+            &mut rng
+        )
+        .is_err());
+        assert!(generate_session_starts(
+            &ArrivalModel::MarkovModulated {
+                rate_ratio: 0.5,
+                mean_sojourn: 60.0
+            },
+            100,
+            0.0,
+            0.0,
+            &mut rng
+        )
+        .is_err());
+        assert!(generate_session_starts(
+            &ArrivalModel::MarkovModulated {
+                rate_ratio: 3.0,
+                mean_sojourn: 0.0
             },
             100,
             0.0,

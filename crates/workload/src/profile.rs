@@ -134,6 +134,52 @@ impl ServerProfile {
         }
     }
 
+    /// A diagnostics calibration fixture: every session is exactly one
+    /// request, so the session-byte tail the streaming observatory scans
+    /// *is* the planted `BoundedPareto(alpha)` — no request-count mixing —
+    /// and the request arrival process *is* the planted fGn-Cox process
+    /// with Hurst `h`. Seasonality is zero (stationary), so per-window
+    /// variance-time fits see only the planted dynamics. This is the
+    /// ground truth the CI `diagnostics-gate` checks coverage against
+    /// (DESIGN.md §13).
+    ///
+    /// Volume is 2 M sessions/week at scale 1.0 (≈ 3.3 requests/s), dense
+    /// enough for the fGn intensity modulation to dominate Poisson
+    /// sampling noise in 1-second counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `h` is outside (0, 1)
+    /// or `alpha` is not a valid Pareto tail index.
+    pub fn calibration(h: f64, alpha: f64) -> Result<Self> {
+        if !(0.0 < h && h < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "h",
+                value: h,
+                constraint: "must be in (0, 1)",
+            });
+        }
+        Ok(ServerProfile {
+            name: "Calibration",
+            base_sessions: 2_000_000.0,
+            scale: 0.05,
+            // Strong modulation (cv 0.9) keeps the LRD signal above the
+            // Poisson noise floor at this rate.
+            arrival: ArrivalModel::FgnCox { h, cv: 0.9 },
+            diurnal_amplitude: 0.0,
+            weekly_trend: 0.0,
+            // Geometric body with mean 1 degenerates to the constant 1.
+            requests_per_session: RequestCountDist::new(1.0, 0.0, 2.0, 10.0, 100.0)
+                .expect("static calibration request-count parameters are valid"),
+            // Never sampled (single-request sessions) but must be valid.
+            think_time: BoundedPareto::new(1.5, 1.0, 10.0)
+                .expect("static calibration think-time parameters are valid"),
+            // Wide upper bound so truncation cannot bias the Hill scan
+            // within the top-k the observatory keeps.
+            bytes_per_request: BoundedPareto::new(alpha, 1_000.0, 1.0e10)?,
+        })
+    }
+
     /// All four presets in the paper's Table 1 order (descending volume).
     pub fn all() -> Vec<ServerProfile> {
         vec![
@@ -320,6 +366,21 @@ mod tests {
     #[should_panic(expected = "scale must be finite")]
     fn zero_scale_panics() {
         ServerProfile::wvu().with_scale(0.0);
+    }
+
+    #[test]
+    fn calibration_sessions_are_single_request() {
+        use rand::SeedableRng;
+        let p = ServerProfile::calibration(0.8, 1.4).unwrap();
+        assert_eq!(p.name(), "Calibration");
+        assert_eq!(p.diurnal_amplitude(), 0.0);
+        assert_eq!(p.weekly_trend(), 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            assert_eq!(p.requests_per_session().sample(&mut rng), 1);
+        }
+        assert!(ServerProfile::calibration(1.2, 1.4).is_err());
+        assert!(ServerProfile::calibration(0.8, -1.0).is_err());
     }
 
     #[test]
