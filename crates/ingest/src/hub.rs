@@ -1,0 +1,784 @@
+//! Thread-safe heart of the ingest service: connection threads push
+//! parsed records in, one analyzer thread pops the merged stream out.
+//!
+//! The hub wraps a [`WatermarkMerger`] in a mutex + two condvars and
+//! adds the three operational behaviors the pure merger does not have:
+//!
+//! - **Backpressure**: each source's buffer is bounded by
+//!   `queue_capacity`. [`SourceHandle::push_batch`] blocks while its
+//!   source is full, which stops the connection thread reading, which
+//!   fills the kernel TCP buffers, which blocks the *sender's* socket.
+//!   The slow consumer slows the producer; nothing is dropped silently,
+//!   and everything that is dropped (late, resume-duplicate,
+//!   stall-late) is counted.
+//! - **Stall grace**: a source that stays open but silent would dam the
+//!   merge forever (its watermark vetoes every release). When nothing
+//!   has moved for `stall_grace` and records are buffered, the hub
+//!   marks idle sources stalled — releases proceed without them and a
+//!   `Warn` event records the decision.
+//! - **Metrics**: per-source queue depth and watermark lag, global
+//!   queue depth, shed counters — all live on `/metrics` while the
+//!   service runs.
+//!
+//! End-of-stream is explicit: with `expected_sources = Some(n)` the
+//! merged stream ends once `n` sources have connected, all of them have
+//! closed, and the buffers are drained (how the CI equivalence gate and
+//! the tests get a deterministic finish); [`IngestHub::finish`] forces
+//! the same from outside. Declaring `expected_sources` also gates the
+//! *start*: nothing is released until all `n` sources have registered,
+//! so an early-connecting source cannot race its records past a
+//! later-connecting source whose timestamps sort first. A source that
+//! never shows up lifts the gate after the stall grace (counted, with a
+//! `Warn` event) instead of damming the merge forever.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use webpuzzle_obs::{events, metrics};
+use webpuzzle_stream::SourcePosition;
+use webpuzzle_weblog::clf::MALFORMED_SKIPPED_COUNTER;
+use webpuzzle_weblog::{LogRecord, MalformedBreakdown, MalformedKind};
+
+use crate::merge::{PushOutcome, WatermarkMerger};
+
+/// How often the blocking pop re-checks for stalls while idle.
+const POP_TICK: Duration = Duration::from_millis(100);
+/// Pop-side gauge refresh cadence, in records.
+const GAUGE_EVERY: u64 = 64;
+
+/// Hub configuration; see the module docs for the semantics.
+#[derive(Debug, Clone)]
+pub struct HubConfig {
+    /// Per-source disorder budget in seconds (0 = sources must be
+    /// internally sorted; anything out of order is counted late).
+    pub reorder_window: f64,
+    /// Records at or below this timestamp are dropped as resume
+    /// duplicates (`NEG_INFINITY` = accept everything). Set from the
+    /// checkpoint watermark on `--resume`.
+    pub admit_floor: f64,
+    /// Max records buffered per source before its pushers block.
+    pub queue_capacity: usize,
+    /// Max concurrently open sources; registration beyond this fails
+    /// (the listener counts and closes the connection).
+    pub max_sources: usize,
+    /// End the merged stream after this many sources have connected and
+    /// all of them have closed (`None` = run until [`IngestHub::finish`]).
+    pub expected_sources: Option<u64>,
+    /// How long the merge may sit still (records buffered, none
+    /// releasable) before idle sources are marked stalled. `None`
+    /// disables stall release: an idle open source blocks forever.
+    pub stall_grace: Option<Duration>,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            reorder_window: 0.0,
+            admit_floor: f64::NEG_INFINITY,
+            queue_capacity: 8192,
+            max_sources: 64,
+            expected_sources: None,
+            stall_grace: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// Why a source could not be registered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterError {
+    /// `max_sources` sources are already open.
+    AtCapacity,
+    /// The merged stream has already ended.
+    Finished,
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::AtCapacity => write!(f, "ingest hub at max_sources capacity"),
+            RegisterError::Finished => write!(f, "ingest hub already finished"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+struct PerSourceGauges {
+    queue_depth: Arc<metrics::Gauge>,
+    lag_secs: Arc<metrics::Gauge>,
+}
+
+struct HubState {
+    merger: WatermarkMerger,
+    finished: bool,
+    /// With `expected_sources = Some(n)`: set once all `n` registered
+    /// (or the stall grace gave up waiting); releases are held back
+    /// until then.
+    gate_lifted: bool,
+    sources_seen: u64,
+    bytes_received: u64,
+    lines_received: u64,
+    skipped: u64,
+    malformed: MalformedBreakdown,
+    oversized: u64,
+    torn: u64,
+    baseline: SourcePosition,
+    last_progress: Instant,
+    pops_since_gauges: u64,
+    merge_late_reported: u64,
+    source_gauges: Vec<PerSourceGauges>,
+}
+
+struct HubCounters {
+    admitted: Arc<metrics::Counter>,
+    late: Arc<metrics::Counter>,
+    duplicates: Arc<metrics::Counter>,
+    merge_late: Arc<metrics::Counter>,
+    stalls: Arc<metrics::Counter>,
+    oversized: Arc<metrics::Counter>,
+    torn: Arc<metrics::Counter>,
+    sources_total: Arc<metrics::Counter>,
+    records_parsed: Arc<webpuzzle_obs::ShardedCounter>,
+    malformed_skipped: Arc<metrics::Counter>,
+    queue_depth: Arc<metrics::Gauge>,
+    sources_active: Arc<metrics::Gauge>,
+    watermark: Arc<metrics::Gauge>,
+    max_lag: Arc<metrics::Gauge>,
+}
+
+impl HubCounters {
+    fn new() -> Self {
+        HubCounters {
+            admitted: metrics::counter("ingest/records_admitted"),
+            late: metrics::counter("ingest/records_late_dropped"),
+            duplicates: metrics::counter("ingest/records_duplicate_dropped"),
+            merge_late: metrics::counter("ingest/records_stall_late_dropped"),
+            stalls: metrics::counter("ingest/watermark_stalls"),
+            oversized: metrics::counter("ingest/lines_oversized"),
+            torn: metrics::counter("ingest/lines_torn"),
+            sources_total: metrics::counter("ingest/sources_total"),
+            records_parsed: metrics::sharded_counter("weblog/records_parsed"),
+            malformed_skipped: metrics::counter(MALFORMED_SKIPPED_COUNTER),
+            queue_depth: metrics::gauge("ingest/queue_depth"),
+            sources_active: metrics::gauge("ingest/sources_active"),
+            watermark: metrics::gauge("ingest/watermark"),
+            max_lag: metrics::gauge("ingest/max_source_lag_secs"),
+        }
+    }
+}
+
+/// The shared ingest hub; see the module docs.
+pub struct IngestHub {
+    cfg: HubConfig,
+    state: Mutex<HubState>,
+    readable: Condvar,
+    writable: Condvar,
+    counters: HubCounters,
+}
+
+impl IngestHub {
+    /// Build a hub. The `Arc` is what sources, the listener, and the
+    /// analyzer-side [`crate::NetSource`] all share.
+    pub fn new(cfg: HubConfig) -> Arc<Self> {
+        let merger = WatermarkMerger::new(cfg.reorder_window, cfg.admit_floor);
+        Arc::new(IngestHub {
+            cfg,
+            state: Mutex::new(HubState {
+                merger,
+                finished: false,
+                gate_lifted: false,
+                sources_seen: 0,
+                bytes_received: 0,
+                lines_received: 0,
+                skipped: 0,
+                malformed: MalformedBreakdown::default(),
+                oversized: 0,
+                torn: 0,
+                baseline: SourcePosition::default(),
+                last_progress: Instant::now(),
+                pops_since_gauges: 0,
+                merge_late_reported: 0,
+                source_gauges: Vec::new(),
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            counters: HubCounters::new(),
+        })
+    }
+
+    /// Seed position counters from a restored checkpoint so
+    /// [`IngestHub::position`] (and therefore new checkpoints) continue
+    /// from where the previous process stood instead of restarting at
+    /// zero.
+    pub fn set_baseline(&self, baseline: SourcePosition) {
+        let mut st = self.state.lock().expect("hub lock");
+        st.baseline = baseline;
+    }
+
+    /// Register a live source under `kind` (e.g. `"tcp"`, `"http"`).
+    ///
+    /// # Errors
+    ///
+    /// [`RegisterError::AtCapacity`] over `max_sources`,
+    /// [`RegisterError::Finished`] after the stream ended.
+    pub fn register_source(self: &Arc<Self>, kind: &str) -> Result<SourceHandle, RegisterError> {
+        let mut st = self.state.lock().expect("hub lock");
+        if st.finished || self.ended(&st) {
+            return Err(RegisterError::Finished);
+        }
+        if st.merger.open_sources() >= self.cfg.max_sources {
+            return Err(RegisterError::AtCapacity);
+        }
+        st.sources_seen += 1;
+        let name = format!("{kind}-{}", st.sources_seen);
+        let id = st.merger.register(name.clone());
+        st.source_gauges.push(PerSourceGauges {
+            queue_depth: metrics::gauge(&format!("ingest/source/{name}/queue_depth")),
+            lag_secs: metrics::gauge(&format!("ingest/source/{name}/lag_secs")),
+        });
+        self.counters.sources_total.incr();
+        self.counters
+            .sources_active
+            .set(st.merger.open_sources() as f64);
+        // A new source starts with watermark −∞ and would veto every
+        // release; wake the popper so its stall clock restarts fairly.
+        st.last_progress = Instant::now();
+        drop(st);
+        self.readable.notify_all();
+        Ok(SourceHandle {
+            hub: Arc::clone(self),
+            id,
+            name,
+            closed: false,
+        })
+    }
+
+    /// Blocking pop of the next merged record; `None` is end-of-stream
+    /// (all expected sources done, or [`IngestHub::finish`] called, and
+    /// the buffers drained).
+    pub fn pop_blocking(&self) -> Option<LogRecord> {
+        let mut st = self.state.lock().expect("hub lock");
+        loop {
+            if let Some(record) = self.gate_open(&st).then(|| st.merger.pop()).flatten() {
+                st.last_progress = Instant::now();
+                st.pops_since_gauges += 1;
+                if st.pops_since_gauges >= GAUGE_EVERY {
+                    st.pops_since_gauges = 0;
+                    self.refresh_gauges(&mut st);
+                }
+                let merge_late = st.merger.merge_late();
+                let delta = merge_late - st.merge_late_reported;
+                st.merge_late_reported = merge_late;
+                drop(st);
+                if delta > 0 {
+                    self.counters.merge_late.add(delta);
+                }
+                self.writable.notify_all();
+                return Some(record);
+            }
+            if self.ended(&st) {
+                self.refresh_gauges(&mut st);
+                drop(st);
+                // Unblock any pusher still waiting on capacity.
+                self.writable.notify_all();
+                return None;
+            }
+            let (guard, _timeout) = self.readable.wait_timeout(st, POP_TICK).expect("hub lock");
+            st = guard;
+            self.maybe_release_stall(&mut st);
+        }
+    }
+
+    /// Force end-of-stream: close every open source, reject future
+    /// registrations, drain what is buffered, then pops return `None`.
+    pub fn finish(&self) {
+        let mut st = self.state.lock().expect("hub lock");
+        st.finished = true;
+        for i in 0..st.merger.source_count() {
+            st.merger.close(i);
+        }
+        drop(st);
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Aggregate source position (checkpoint bookkeeping): bytes and
+    /// lines received over the wire, records delivered to the engine,
+    /// malformed lines skipped — each continuing from the restored
+    /// baseline, if any.
+    pub fn position(&self) -> SourcePosition {
+        let st = self.state.lock().expect("hub lock");
+        let mut malformed = st.baseline.malformed;
+        for kind in MalformedKind::ALL {
+            for _ in 0..st.malformed.count(kind) {
+                malformed.record(kind);
+            }
+        }
+        SourcePosition {
+            byte_offset: st.baseline.byte_offset + st.bytes_received,
+            line_no: st.baseline.line_no + st.lines_received,
+            parsed: st.baseline.parsed + st.merger.emitted(),
+            skipped: st.baseline.skipped + st.skipped,
+            malformed,
+        }
+    }
+
+    /// Point-in-time operational stats (tests, `stream-serve` summary).
+    pub fn stats(&self) -> HubStats {
+        let st = self.state.lock().expect("hub lock");
+        HubStats {
+            sources_seen: st.sources_seen,
+            sources_open: st.merger.open_sources(),
+            buffered: st.merger.buffered(),
+            emitted: st.merger.emitted(),
+            admitted: st.merger.admitted_total(),
+            late_dropped: st.merger.late_total(),
+            duplicate_dropped: st.merger.duplicate_total(),
+            stall_late_dropped: st.merger.merge_late(),
+            skipped_malformed: st.skipped,
+            oversized_lines: st.oversized,
+            torn_lines: st.torn,
+            bytes_received: st.bytes_received,
+            lines_received: st.lines_received,
+            emitted_watermark: st.merger.emitted_watermark(),
+        }
+    }
+
+    /// Whether releases may proceed: either every expected source has
+    /// registered, or the gate was lifted (stall grace, finish).
+    fn gate_open(&self, st: &HubState) -> bool {
+        st.finished
+            || st.gate_lifted
+            || match self.cfg.expected_sources {
+                Some(n) => st.sources_seen >= n,
+                None => true,
+            }
+    }
+
+    fn ended(&self, st: &HubState) -> bool {
+        if !st.merger.is_drained() {
+            return false;
+        }
+        if st.finished {
+            return true;
+        }
+        match self.cfg.expected_sources {
+            Some(n) => st.sources_seen >= n,
+            None => false,
+        }
+    }
+
+    /// If the merge has sat still past the stall grace with records
+    /// buffered, stop waiting for the sources that are holding it back.
+    fn maybe_release_stall(&self, st: &mut MutexGuard<'_, HubState>) {
+        let Some(grace) = self.cfg.stall_grace else {
+            return;
+        };
+        if st.last_progress.elapsed() < grace {
+            return;
+        }
+        if !self.gate_open(st) {
+            // Expected sources that never connected: stop holding the
+            // start gate for them.
+            st.gate_lifted = true;
+            st.last_progress = Instant::now();
+            self.counters.stalls.incr();
+            events::publish(events::Event::new(
+                events::Severity::Warn,
+                "ingest",
+                "ingest/watermark_stalls",
+                0,
+                0.0,
+                self.cfg.expected_sources.unwrap_or(0) as f64,
+                st.sources_seen as f64,
+                grace.as_secs_f64(),
+                grace.as_secs_f64(),
+                format!(
+                    "only {} of {} expected source(s) connected within {:.1}s; \
+                     releasing without the rest",
+                    st.sources_seen,
+                    self.cfg.expected_sources.unwrap_or(0),
+                    grace.as_secs_f64()
+                ),
+            ));
+            return;
+        }
+        if !st.merger.blocked_by_idle_source() {
+            return;
+        }
+        let buffered = st.merger.buffered();
+        for i in 0..st.merger.source_count() {
+            st.merger.mark_stalled(i);
+        }
+        st.last_progress = Instant::now();
+        self.counters.stalls.incr();
+        events::publish(events::Event::new(
+            events::Severity::Warn,
+            "ingest",
+            "ingest/watermark_stalls",
+            0,
+            st.merger.emitted_watermark(),
+            0.0,
+            buffered as f64,
+            grace.as_secs_f64(),
+            grace.as_secs_f64(),
+            format!(
+                "watermark stalled for {:.1}s with {buffered} records buffered; \
+                 releasing without idle sources",
+                grace.as_secs_f64()
+            ),
+        ));
+    }
+
+    fn refresh_gauges(&self, st: &mut MutexGuard<'_, HubState>) {
+        self.counters.queue_depth.set(st.merger.buffered() as f64);
+        self.counters
+            .sources_active
+            .set(st.merger.open_sources() as f64);
+        let wm = st.merger.emitted_watermark();
+        if wm.is_finite() {
+            self.counters.watermark.set(wm);
+        }
+        let frontier = st.merger.max_source_watermark();
+        let mut max_lag = 0.0f64;
+        for i in 0..st.merger.source_count() {
+            let stats = st.merger.source_stats(i);
+            let gauges = &st.source_gauges[i];
+            gauges.queue_depth.set(stats.buffered as f64);
+            if frontier.is_finite() && stats.watermark.is_finite() && stats.open {
+                let lag = (frontier - stats.watermark).max(0.0);
+                gauges.lag_secs.set(lag);
+                max_lag = max_lag.max(lag);
+            }
+        }
+        self.counters.max_lag.set(max_lag);
+    }
+}
+
+/// Point-in-time hub stats; see [`IngestHub::stats`].
+#[derive(Debug, Clone)]
+pub struct HubStats {
+    /// Sources ever registered.
+    pub sources_seen: u64,
+    /// Sources currently open.
+    pub sources_open: usize,
+    /// Records currently buffered.
+    pub buffered: usize,
+    /// Records released to the analyzer.
+    pub emitted: u64,
+    /// Records admitted into buffers in total.
+    pub admitted: u64,
+    /// Records dropped outside the reorder window.
+    pub late_dropped: u64,
+    /// Records dropped at or below the admit floor.
+    pub duplicate_dropped: u64,
+    /// Records dropped behind the output after a stall release.
+    pub stall_late_dropped: u64,
+    /// Malformed lines skipped (lenient connections).
+    pub skipped_malformed: u64,
+    /// Lines dropped for exceeding the line-length cap.
+    pub oversized_lines: u64,
+    /// Partial lines cut off by a disconnect.
+    pub torn_lines: u64,
+    /// Wire bytes consumed.
+    pub bytes_received: u64,
+    /// Wire lines consumed.
+    pub lines_received: u64,
+    /// Max timestamp released (−∞ before the first record).
+    pub emitted_watermark: f64,
+}
+
+/// A connection's handle on the hub: push records, report line
+/// accounting, close on drop.
+pub struct SourceHandle {
+    hub: Arc<IngestHub>,
+    id: usize,
+    name: String,
+    closed: bool,
+}
+
+impl std::fmt::Debug for SourceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceHandle")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("closed", &self.closed)
+            .finish()
+    }
+}
+
+impl SourceHandle {
+    /// The source's registry name (`tcp-3`, `http-7`, ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Push a batch of parsed records, blocking while this source's
+    /// buffer is at capacity (this is the backpressure point: a blocked
+    /// push stops the connection read loop, which fills the kernel
+    /// buffers, which blocks the sender).
+    pub fn push_batch(&self, records: &[LogRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let mut admitted = 0u64;
+        let mut late = 0u64;
+        let mut duplicates = 0u64;
+        let mut st = self.hub.state.lock().expect("hub lock");
+        for record in records {
+            while st.merger.buffered_of(self.id) >= self.hub.cfg.queue_capacity && !st.finished {
+                let guard = self.hub.writable.wait(st).expect("hub lock");
+                st = guard;
+            }
+            if st.finished {
+                break;
+            }
+            match st.merger.push(self.id, *record) {
+                PushOutcome::Admitted => admitted += 1,
+                PushOutcome::Late => late += 1,
+                PushOutcome::Duplicate => duplicates += 1,
+            }
+        }
+        st.last_progress = Instant::now();
+        let gauges = &st.source_gauges[self.id];
+        gauges
+            .queue_depth
+            .set(st.merger.buffered_of(self.id) as f64);
+        self.hub
+            .counters
+            .queue_depth
+            .set(st.merger.buffered() as f64);
+        drop(st);
+        self.hub.counters.admitted.add(admitted);
+        self.hub.counters.late.add(late);
+        self.hub.counters.duplicates.add(duplicates);
+        self.hub.counters.records_parsed.add(records.len() as u64);
+        self.hub.readable.notify_all();
+    }
+
+    /// Account wire consumption (bytes and newline-terminated lines).
+    pub fn note_consumed(&self, bytes: u64, lines: u64) {
+        let mut st = self.hub.state.lock().expect("hub lock");
+        st.bytes_received += bytes;
+        st.lines_received += lines;
+    }
+
+    /// Count one malformed line skipped under lenient parsing, by cause
+    /// (mirrors `ClfSource`'s counters so `/metrics` tells one story
+    /// regardless of how records arrive).
+    pub fn note_malformed(&self, kind: MalformedKind) {
+        let mut st = self.hub.state.lock().expect("hub lock");
+        st.skipped += 1;
+        st.malformed.record(kind);
+        drop(st);
+        self.hub.counters.malformed_skipped.incr();
+        metrics::counter(&format!(
+            "{}{}",
+            metrics::MALFORMED_LINES_PREFIX,
+            kind.as_str()
+        ))
+        .incr();
+    }
+
+    /// Count one line dropped for exceeding the line-length cap.
+    pub fn note_oversized(&self) {
+        let mut st = self.hub.state.lock().expect("hub lock");
+        st.oversized += 1;
+        drop(st);
+        self.hub.counters.oversized.incr();
+    }
+
+    /// Count one partial line cut off by a disconnect.
+    pub fn note_torn(&self) {
+        let mut st = self.hub.state.lock().expect("hub lock");
+        st.torn += 1;
+        drop(st);
+        self.hub.counters.torn.incr();
+    }
+
+    /// Close the source: its buffer flushes and it stops vetoing
+    /// releases. Idempotent; also called on drop.
+    pub fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let mut st = self.hub.state.lock().expect("hub lock");
+        st.merger.close(self.id);
+        self.hub
+            .counters
+            .sources_active
+            .set(st.merger.open_sources() as f64);
+        drop(st);
+        self.hub.readable.notify_all();
+    }
+}
+
+impl Drop for SourceHandle {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webpuzzle_weblog::Method;
+
+    fn rec(t: f64, client: u32) -> LogRecord {
+        LogRecord::new(t, client, Method::Get, 0, 200, 0)
+    }
+
+    fn hub(cfg: HubConfig) -> Arc<IngestHub> {
+        IngestHub::new(cfg)
+    }
+
+    #[test]
+    fn expected_sources_ends_the_stream_deterministically() {
+        let h = hub(HubConfig {
+            expected_sources: Some(2),
+            ..HubConfig::default()
+        });
+        let a = h.register_source("tcp").unwrap();
+        let b = h.register_source("tcp").unwrap();
+        a.push_batch(&[rec(1.0, 1), rec(3.0, 1)]);
+        b.push_batch(&[rec(2.0, 2)]);
+        drop(a);
+        drop(b);
+        let times: Vec<f64> = std::iter::from_fn(|| h.pop_blocking())
+            .map(|r| r.timestamp)
+            .collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+        // Stream has ended; later registrations are refused.
+        assert_eq!(
+            h.register_source("tcp").unwrap_err(),
+            RegisterError::Finished
+        );
+    }
+
+    #[test]
+    fn backpressure_blocks_the_pusher_until_the_popper_drains() {
+        let h = hub(HubConfig {
+            queue_capacity: 8,
+            expected_sources: Some(1),
+            ..HubConfig::default()
+        });
+        let handle = h.register_source("tcp").unwrap();
+        let records: Vec<LogRecord> = (0..64).map(|i| rec(i as f64, 1)).collect();
+        let pusher = std::thread::spawn(move || {
+            handle.push_batch(&records);
+            drop(handle);
+        });
+        // The pusher cannot finish until we pop: 64 records through a
+        // capacity-8 buffer.
+        let mut popped = 0;
+        while let Some(_r) = h.pop_blocking() {
+            popped += 1;
+        }
+        assert_eq!(popped, 64);
+        pusher.join().unwrap();
+        let stats = h.stats();
+        assert_eq!(stats.admitted, 64);
+        assert_eq!(stats.late_dropped, 0);
+    }
+
+    #[test]
+    fn capacity_cap_rejects_excess_sources() {
+        let h = hub(HubConfig {
+            max_sources: 1,
+            ..HubConfig::default()
+        });
+        let _a = h.register_source("tcp").unwrap();
+        assert_eq!(
+            h.register_source("tcp").unwrap_err(),
+            RegisterError::AtCapacity
+        );
+    }
+
+    #[test]
+    fn stall_grace_unblocks_an_idle_source() {
+        let h = hub(HubConfig {
+            stall_grace: Some(Duration::from_millis(150)),
+            expected_sources: Some(2),
+            ..HubConfig::default()
+        });
+        let a = h.register_source("tcp").unwrap();
+        let _idle = h.register_source("tcp").unwrap();
+        a.push_batch(&[rec(1.0, 1)]);
+        // The idle source's −∞ watermark vetoes the release until the
+        // stall grace expires.
+        let started = Instant::now();
+        let r = h.pop_blocking().expect("stall release yields the record");
+        assert_eq!(r.timestamp, 1.0);
+        assert!(
+            started.elapsed() >= Duration::from_millis(100),
+            "released before the grace window"
+        );
+        let stats = h.stats();
+        assert_eq!(stats.emitted, 1);
+    }
+
+    #[test]
+    fn start_gate_waits_for_all_expected_sources() {
+        let h = hub(HubConfig {
+            expected_sources: Some(2),
+            stall_grace: Some(Duration::from_secs(10)),
+            ..HubConfig::default()
+        });
+        let a = h.register_source("tcp").unwrap();
+        a.push_batch(&[rec(5.0, 1)]);
+        drop(a);
+        let h2 = Arc::clone(&h);
+        let late_joiner = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let b = h2.register_source("tcp").unwrap();
+            b.push_batch(&[rec(1.0, 2)]);
+        });
+        // Without the gate the first source's t=5.0 would be released
+        // before the second source connects, and its t=1.0 would then
+        // be dropped as stall-late. The gate holds the release.
+        assert_eq!(h.pop_blocking().unwrap().timestamp, 1.0);
+        assert_eq!(h.pop_blocking().unwrap().timestamp, 5.0);
+        assert!(h.pop_blocking().is_none());
+        late_joiner.join().unwrap();
+        assert_eq!(h.stats().stall_late_dropped, 0);
+    }
+
+    #[test]
+    fn finish_drains_and_ends() {
+        let h = hub(HubConfig::default());
+        let a = h.register_source("tcp").unwrap();
+        a.push_batch(&[rec(5.0, 1), rec(6.0, 1)]);
+        drop(a);
+        h.finish();
+        assert_eq!(h.pop_blocking().unwrap().timestamp, 5.0);
+        assert_eq!(h.pop_blocking().unwrap().timestamp, 6.0);
+        assert!(h.pop_blocking().is_none());
+    }
+
+    #[test]
+    fn position_continues_from_baseline() {
+        let h = hub(HubConfig {
+            expected_sources: Some(1),
+            ..HubConfig::default()
+        });
+        h.set_baseline(SourcePosition {
+            byte_offset: 1000,
+            line_no: 10,
+            parsed: 9,
+            skipped: 1,
+            malformed: MalformedBreakdown::default(),
+        });
+        let a = h.register_source("tcp").unwrap();
+        a.push_batch(&[rec(1.0, 1)]);
+        a.note_consumed(80, 1);
+        drop(a);
+        assert!(h.pop_blocking().is_some());
+        assert!(h.pop_blocking().is_none());
+        let pos = h.position();
+        assert_eq!(pos.byte_offset, 1080);
+        assert_eq!(pos.line_no, 11);
+        assert_eq!(pos.parsed, 10);
+        assert_eq!(pos.skipped, 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Accept layer: bind, cap, spawn.
+//!
+//! The listener owns nothing but the accept loop. Each accepted socket
+//! gets its own named thread running
+//! [`crate::conn`]'s protocol handler against the shared
+//! [`IngestHub`]; connections over `max_connections` are counted and
+//! closed immediately (the refusal is visible in
+//! `ingest/connections_rejected`, never silent). Supervision of the
+//! analyzer is a separate layer again — the listener neither knows nor
+//! cares whether a `StreamAnalyzer` is consuming the hub.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use webpuzzle_obs::metrics;
+
+use crate::conn::{handle_connection, ConnConfig};
+use crate::hub::IngestHub;
+
+/// Handle to a running ingest listener. [`IngestListener::shutdown`]
+/// stops accepting; connection threads already running finish on their
+/// own when their peers disconnect.
+#[derive(Debug)]
+pub struct IngestListener {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl IngestListener {
+    /// The actually bound address (resolves `127.0.0.1:0` requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Bind the ingest listener on `addr` (port 0 for ephemeral) and start
+/// accepting line-protocol and HTTP POST connections into `hub`.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn bind(
+    addr: &str,
+    hub: Arc<IngestHub>,
+    conn_cfg: ConnConfig,
+    max_connections: usize,
+) -> io::Result<IngestListener> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let active = Arc::new(AtomicUsize::new(0));
+    let connections_total = metrics::counter("ingest/connections_total");
+    let connections_rejected = metrics::counter("ingest/connections_rejected");
+    let connections_active = metrics::gauge("ingest/connections_active");
+    let handle = std::thread::Builder::new()
+        .name("webpuzzle-ingest-accept".to_string())
+        .spawn(move || {
+            let mut conn_no = 0u64;
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                conn_no += 1;
+                connections_total.incr();
+                if active.load(Ordering::SeqCst) >= max_connections {
+                    connections_rejected.incr();
+                    drop(stream);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                connections_active.set(active.load(Ordering::SeqCst) as f64);
+                let hub = Arc::clone(&hub);
+                let cfg = conn_cfg.clone();
+                let thread_active = Arc::clone(&active);
+                let thread_gauge = Arc::clone(&connections_active);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("ingest-conn-{conn_no}"))
+                    .spawn(move || {
+                        handle_connection(stream, hub, &cfg);
+                        thread_active.fetch_sub(1, Ordering::SeqCst);
+                        thread_gauge.set(thread_active.load(Ordering::SeqCst) as f64);
+                    });
+                if spawned.is_err() {
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    connections_rejected.incr();
+                }
+            }
+        })?;
+    Ok(IngestListener {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}

@@ -1,0 +1,49 @@
+//! The analyzer-facing side of the hub: a [`NetSource`] is a
+//! [`Source`] + [`RecoverableSource`] over the merged record stream, so
+//! the existing `Supervisor` / `StreamAnalyzer` stack runs unchanged on
+//! network input — same checkpoints, same retry loop, same
+//! observatories.
+//!
+//! The supervisor's factory closure simply builds a fresh `NetSource`
+//! over the same shared hub after a panic recovery: the hub (and every
+//! record still buffered in it) survives the engine restart. What a
+//! crashed engine had already consumed past the last checkpoint cannot
+//! be rewound from the wire — recovering those records is the sender's
+//! job (replay from the checkpoint watermark; the hub's admit floor
+//! makes that idempotent).
+
+use std::sync::Arc;
+
+use webpuzzle_stream::{RecoverableSource, Source, SourcePosition};
+use webpuzzle_weblog::LogRecord;
+
+use crate::hub::IngestHub;
+
+/// Pull-based source over the ingest hub's merged stream. Blocks in
+/// [`Source::next_item`] until a record is releasable; returns `None`
+/// at end-of-stream (see [`IngestHub::pop_blocking`]).
+pub struct NetSource {
+    hub: Arc<IngestHub>,
+}
+
+impl NetSource {
+    /// A new puller over `hub`. Cheap; the supervisor factory builds
+    /// one per engine (re)start.
+    pub fn new(hub: Arc<IngestHub>) -> Self {
+        NetSource { hub }
+    }
+}
+
+impl Source for NetSource {
+    type Item = LogRecord;
+
+    fn next_item(&mut self) -> Option<webpuzzle_stream::Result<LogRecord>> {
+        self.hub.pop_blocking().map(Ok)
+    }
+}
+
+impl RecoverableSource for NetSource {
+    fn position(&self) -> SourcePosition {
+        self.hub.position()
+    }
+}

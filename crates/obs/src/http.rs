@@ -1,0 +1,425 @@
+//! Minimal shared HTTP/1.1 request/response layer.
+//!
+//! One hand-rolled parser for the whole workspace: the telemetry
+//! endpoint ([`crate::server`]) and the ingest POST endpoint
+//! (`webpuzzle-ingest`) both read requests through [`read_request`] and
+//! answer through [`write_response`], under the same [`HttpLimits`]
+//! discipline — per-connection read/write timeouts and hard caps on
+//! request head and body size, so a stuck or hostile peer can pin a
+//! handler thread for at most one timeout, never indefinitely.
+//!
+//! Scope is deliberately small: HTTP/1.1, `Connection: close`, bodies
+//! only via `Content-Length` (no chunked transfer encoding), no TLS.
+//! These servers face `curl`, a Prometheus agent, or a log shipper on a
+//! trusted network, not the internet.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+/// Per-connection resource limits for [`read_request`].
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Socket read timeout; a half-open peer costs at most this long.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout; a non-draining peer costs at most this long
+    /// per buffered write.
+    pub write_timeout: Option<Duration>,
+    /// Maximum bytes of request line + headers before the request is
+    /// rejected with [`HttpError::HeadTooLarge`] (`431` at the caller).
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` accepted before the request is rejected
+    /// with [`HttpError::BodyTooLarge`] (`413` at the caller).
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            read_timeout: Some(Duration::from_secs(2)),
+            write_timeout: Some(Duration::from_secs(2)),
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request: method, split target, headers, and the body (empty
+/// unless the request carried a `Content-Length`).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target, before any `?`.
+    pub path: String,
+    /// Raw query string after `?` (empty when absent).
+    pub query: String,
+    /// Header name/value pairs in arrival order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// Request body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value matching `name` (case-insensitive), trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of `key=...` in the query string, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .find_map(|kv| kv.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket error, including read timeouts from a stalled peer.
+    Io(io::Error),
+    /// The peer closed (or went quiet at EOF) before sending a complete
+    /// request head. Clean close before the first byte is also this.
+    Closed,
+    /// Request line + headers exceeded [`HttpLimits::max_head_bytes`].
+    HeadTooLarge {
+        /// The configured cap that was exceeded.
+        limit: usize,
+    },
+    /// Declared `Content-Length` exceeded [`HttpLimits::max_body_bytes`].
+    BodyTooLarge {
+        /// The configured cap that was exceeded.
+        limit: usize,
+    },
+    /// The bytes received do not parse as an HTTP/1.1 request.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Closed => write!(f, "connection closed before a complete request"),
+            HttpError::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            HttpError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds {limit} bytes")
+            }
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Apply the configured socket timeouts to a connection. Call once per
+/// accepted connection before [`read_request`].
+///
+/// # Errors
+///
+/// Propagates `setsockopt` failures.
+pub fn apply_timeouts(stream: &TcpStream, limits: &HttpLimits) -> io::Result<()> {
+    stream.set_read_timeout(limits.read_timeout)?;
+    stream.set_write_timeout(limits.write_timeout)
+}
+
+/// Read and parse one HTTP/1.1 request from `reader` under `limits`.
+///
+/// Reads until the `\r\n\r\n` head terminator (capped at
+/// `max_head_bytes`), parses the request line and headers, then reads
+/// exactly `Content-Length` body bytes (capped at `max_body_bytes`).
+/// Requests without a `Content-Length` get an empty body — chunked
+/// transfer encoding is not supported and yields
+/// [`HttpError::Malformed`].
+///
+/// # Errors
+///
+/// See [`HttpError`]; callers map `HeadTooLarge`/`BodyTooLarge`/
+/// `Malformed` to `431`/`413`/`400` responses and drop the connection
+/// on `Io`/`Closed`.
+pub fn read_request<R: Read>(reader: &mut R, limits: &HttpLimits) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(HttpError::HeadTooLarge {
+                limit: limits.max_head_bytes,
+            });
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Closed),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line has no target"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header line without a colon"))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("Transfer-Encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Malformed(
+            "chunked transfer encoding unsupported",
+        ));
+    }
+
+    let content_length = match request.header("Content-Length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?,
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            limit: limits.max_body_bytes,
+        });
+    }
+
+    // The head read may have pulled the start of the body into `buf`;
+    // splice that in before draining the rest from the socket.
+    let mut body = buf.split_off(head_end + 4);
+    if body.len() > content_length {
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        match reader.read(&mut chunk[..want]) {
+            Ok(0) => return Err(HttpError::Closed),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+
+    Ok(Request { body, ..request })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Answer a request that was rejected mid-read (`431`/`413`/`400`) in a
+/// way that actually reaches the peer: write the response, half-close
+/// the write side, then drain (bounded) whatever the peer already sent.
+/// Closing with unread bytes queued makes the kernel RST the connection
+/// and the error response is lost off the wire; the drain — capped at
+/// 64 KiB and by the socket read timeout — prevents that without
+/// letting the peer feed us forever.
+///
+/// # Errors
+///
+/// Propagates socket write failures for the response itself; drain
+/// errors are intentionally swallowed (the peer is being hung up on).
+pub fn reject(stream: &mut TcpStream, status: &str, body: &[u8]) -> io::Result<()> {
+    write_response(stream, status, "text/plain; charset=utf-8", &[], body, true)?;
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut sink = [0u8; 512];
+    let mut drained = 0usize;
+    while drained < 64 * 1024 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+    Ok(())
+}
+
+/// Write a complete `Connection: close` response: status line,
+/// `Content-Type`, any extra headers, a correct `Content-Length`, and —
+/// unless `include_body` is false (HEAD) — the body itself.
+///
+/// # Errors
+///
+/// Propagates socket write failures (including write timeouts).
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    include_body: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n"
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(
+        writer,
+        "Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    if include_body {
+        writer.write_all(body)?;
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn limits() -> HttpLimits {
+        HttpLimits::default()
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let raw =
+            b"GET /events?since=42&format=folded HTTP/1.1\r\nHost: x\r\nX-Thing: a b \r\n\r\n";
+        let req = read_request(&mut Cursor::new(&raw[..]), &limits()).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/events");
+        assert_eq!(req.query, "since=42&format=folded");
+        assert_eq!(req.query_param("since"), Some("42"));
+        assert_eq!(req.query_param("format"), Some("folded"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("X-THING"), Some("a b"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn reads_exact_content_length_body() {
+        let raw = b"POST /ingest HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello worldTRAILING";
+        let req = read_request(&mut Cursor::new(&raw[..]), &limits()).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn head_cap_is_enforced() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 100));
+        let small = HttpLimits {
+            max_head_bytes: 64,
+            ..limits()
+        };
+        match read_request(&mut Cursor::new(&raw[..]), &small) {
+            Err(HttpError::HeadTooLarge { limit: 64 }) => {}
+            other => panic!("expected HeadTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn body_cap_is_enforced_before_reading() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        let small = HttpLimits {
+            max_body_bytes: 1024,
+            ..limits()
+        };
+        match read_request(&mut Cursor::new(&raw[..]), &small) {
+            Err(HttpError::BodyTooLarge { limit: 1024 }) => {}
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_head_is_closed_not_parsed() {
+        let raw = b"GET /metr";
+        match read_request(&mut Cursor::new(&raw[..]), &limits()) {
+            Err(HttpError::Closed) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_closed() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        match read_request(&mut Cursor::new(&raw[..]), &limits()) {
+            Err(HttpError::Closed) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_request_line_is_malformed() {
+        let raw = b"\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&raw[..]), &limits()),
+            Err(HttpError::Malformed(_))
+        ));
+        let raw = b"ONLYMETHOD\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&raw[..]), &limits()),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn write_response_formats_headers_and_honors_head() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            "405 Method Not Allowed",
+            "text/plain",
+            &[("Allow", "GET, HEAD")],
+            b"nope\n",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("Allow: GET, HEAD\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\nnope\n"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, "200 OK", "text/plain", &[], b"body", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "HEAD response carries no body");
+    }
+}

@@ -52,6 +52,7 @@
 pub mod diagnostics;
 pub mod events;
 pub mod fidelity;
+pub mod http;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
@@ -63,7 +64,7 @@ pub mod spans;
 
 pub use progress::ProgressMeter;
 pub use report::RunReport;
-pub use server::{serve, ReportContext, TelemetryServer};
+pub use server::{serve, serve_with_limits, ReportContext, TelemetryServer};
 pub use sharded::ShardedCounter;
 pub use sink::{
     clear_sink, info, set_sink, warn, Event, EventSink, JsonSink, Level, NullSink, StderrSink,

@@ -29,16 +29,16 @@
 //! a correct `Content-Length`; non-GET methods get a proper `405` with
 //! an `Allow: GET` header rather than a dropped connection.
 
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 use serde::Value;
 
 use crate::events;
+use crate::http::{self, HttpError, HttpLimits};
 use crate::metrics::{self, MetricsSnapshot};
 use crate::report::RunReport;
 
@@ -106,6 +106,21 @@ impl TelemetryServer {
 ///
 /// Propagates bind failures (port in use, bad address).
 pub fn serve(addr: &str, ctx: ReportContext) -> io::Result<TelemetryServer> {
+    serve_with_limits(addr, ctx, HttpLimits::default())
+}
+
+/// [`serve`] with explicit per-connection [`HttpLimits`] (timeouts and
+/// request-size caps). Tests use short timeouts here; the default 2 s
+/// limits are right for production scraping.
+///
+/// # Errors
+///
+/// Propagates bind failures (port in use, bad address).
+pub fn serve_with_limits(
+    addr: &str,
+    ctx: ReportContext,
+    limits: HttpLimits,
+) -> io::Result<TelemetryServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -118,7 +133,7 @@ pub fn serve(addr: &str, ctx: ReportContext) -> io::Result<TelemetryServer> {
                     break;
                 }
                 if let Ok(mut stream) = conn {
-                    let _ = handle_connection(&mut stream, &ctx);
+                    let _ = handle_connection(&mut stream, &ctx, &limits);
                 }
             }
         })?;
@@ -129,47 +144,45 @@ pub fn serve(addr: &str, ctx: ReportContext) -> io::Result<TelemetryServer> {
     })
 }
 
-fn handle_connection(stream: &mut TcpStream, ctx: &ReportContext) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-
-    // Read until the end of the request headers (or a small cap — we
-    // never care about bodies).
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-                    break;
-                }
-            }
-            Err(_) => break,
+fn handle_connection(
+    stream: &mut TcpStream,
+    ctx: &ReportContext,
+    limits: &HttpLimits,
+) -> io::Result<()> {
+    http::apply_timeouts(stream, limits)?;
+    let req = match http::read_request(stream, limits) {
+        Ok(req) => req,
+        Err(HttpError::HeadTooLarge { .. }) => {
+            return http::reject(
+                stream,
+                "431 Request Header Fields Too Large",
+                b"request head too large\n",
+            );
         }
-    }
-    let request = String::from_utf8_lossy(&buf);
-    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let target = parts.next().unwrap_or("");
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
+        Err(HttpError::BodyTooLarge { .. }) => {
+            return http::reject(stream, "413 Content Too Large", b"request body too large\n");
+        }
+        Err(HttpError::Malformed(_)) => {
+            return http::reject(stream, "400 Bad Request", b"malformed request\n");
+        }
+        // Half-open, stalled, or already-closed peers get nothing: the
+        // read timeout has bounded what they can cost us.
+        Err(HttpError::Closed) | Err(HttpError::Io(_)) => return Ok(()),
     };
+    let (method, path, query) = (req.method.as_str(), req.path.as_str(), req.query.as_str());
 
     // HEAD gets GET's headers (Content-Length included) with no body,
     // per RFC 9110; anything else is a 405 that names the allowed
     // method instead of silently dropping the connection.
     if method != "GET" && method != "HEAD" {
-        let body = "method not allowed\n";
-        write!(
+        return http::write_response(
             stream,
-            "HTTP/1.1 405 Method Not Allowed\r\nAllow: GET, HEAD\r\nContent-Type: text/plain; \
-             charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len(),
-        )?;
-        return stream.flush();
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            &[("Allow", "GET, HEAD")],
+            b"method not allowed\n",
+            true,
+        );
     }
 
     let (status, content_type, body) = match path {
@@ -235,15 +248,14 @@ fn handle_connection(stream: &mut TcpStream, ctx: &ReportContext) -> io::Result<
     };
     // Content-Length counts body *bytes* (the body is ASCII-safe JSON /
     // text, but len() on the String is the byte length either way).
-    write!(
+    http::write_response(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len(),
-    )?;
-    if method == "GET" {
-        stream.write_all(body.as_bytes())?;
-    }
-    stream.flush()
+        status,
+        content_type,
+        &[],
+        body.as_bytes(),
+        method == "GET",
+    )
 }
 
 /// Prometheus metric name: `webpuzzle_` prefix, every character outside

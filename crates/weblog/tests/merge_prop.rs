@@ -1,0 +1,90 @@
+//! Property tests for the k-way heap merge: splitting a sorted record set
+//! into arbitrary shards (each preserving relative order, hence sorted) and
+//! merging them back must reproduce the original sorted sequence — and for
+//! tied timestamps, exactly the stable (timestamp, shard index, shard
+//! position) order the merge contract promises.
+
+use proptest::prelude::*;
+use webpuzzle_weblog::{merge_sorted, LogRecord, Method};
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    prop_oneof![Just(Method::Get), Just(Method::Post), Just(Method::Head)]
+}
+
+/// Coarse timestamps (integer seconds in a small range) so tied timestamps
+/// are common — ties are where a k-way merge goes wrong first.
+fn arb_record() -> impl Strategy<Value = LogRecord> {
+    (
+        0u32..200,
+        0u32..40,
+        arb_method(),
+        0u32..1_000,
+        prop_oneof![Just(200u16), Just(304), Just(404), Just(500)],
+        0u64..1_000_000,
+    )
+        .prop_map(|(t, client, method, resource, status, bytes)| {
+            LogRecord::new(t as f64, client, method, resource, status, bytes)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Merge of arbitrarily split sorted shards ≡ sort of the concatenation.
+    /// The expected order is computed independently of the merge: a stable
+    /// sort of (record, shard, position-in-shard) by (timestamp, shard,
+    /// position), which is exactly the documented tie-break.
+    #[test]
+    fn merge_of_split_shards_equals_sorted_concat(
+        mut records in prop::collection::vec(arb_record(), 0..300),
+        shard_count in 1usize..9,
+        assignment_seed in prop::collection::vec(0usize..9, 0..300),
+    ) {
+        records.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+
+        // Deal each record to a shard; dealing preserves relative order, so
+        // every shard is itself sorted.
+        let mut shards: Vec<Vec<LogRecord>> = vec![Vec::new(); shard_count];
+        for (i, record) in records.iter().enumerate() {
+            let shard = assignment_seed.get(i).copied().unwrap_or(i) % shard_count;
+            shards[shard].push(*record);
+        }
+
+        // Independent expectation: stable sort of the concatenation keyed by
+        // (timestamp, shard, position).
+        let mut expected: Vec<(f64, usize, usize, LogRecord)> = Vec::new();
+        for (s, shard) in shards.iter().enumerate() {
+            for (p, record) in shard.iter().enumerate() {
+                expected.push((record.timestamp, s, p, *record));
+            }
+        }
+        expected.sort_by(|a, b| {
+            a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+        });
+
+        let refs: Vec<&[LogRecord]> = shards.iter().map(|s| s.as_slice()).collect();
+        let merged = merge_sorted(&refs).unwrap();
+
+        prop_assert_eq!(merged.len(), records.len());
+        for (got, want) in merged.iter().zip(expected.iter()) {
+            prop_assert_eq!(got, &want.3);
+        }
+        prop_assert!(merged.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    /// An unsorted shard is always rejected, never silently merged.
+    #[test]
+    fn unsorted_shard_rejected(
+        mut records in prop::collection::vec(arb_record(), 2..100),
+        swap_at in 0usize..99,
+    ) {
+        records.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+        let i = swap_at % (records.len() - 1);
+        // Force a strict inversion at i; skip degenerate all-equal windows.
+        if records[i].timestamp < records[i + 1].timestamp {
+            records.swap(i, i + 1);
+            let result = merge_sorted(&[&records]);
+            prop_assert!(result.is_err());
+        }
+    }
+}
