@@ -22,7 +22,12 @@
 //! `report.json` (or the `--report PATH` override) on exit;
 //! `--telemetry-addr HOST:PORT` serves live `/metrics` (Prometheus text
 //! format), `/healthz`, and `/report` over HTTP for the whole run (port
-//! 0 picks an ephemeral port; the bound address is printed to stderr).
+//! 0 picks an ephemeral port; the bound address is printed to stderr);
+//! `--telemetry-history` samples the registry into the in-process
+//! time-series store (DESIGN.md §15), served as `/timeseries`;
+//! `--slo` additionally evaluates burn-rate objectives from `slo.toml`
+//! (`--slo-file PATH` overrides), prints a deep-health verdict, and
+//! embeds it in the run report.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -156,6 +161,10 @@ fn main() {
     let mut json = false;
     let mut report_path = std::path::PathBuf::from("report.json");
     let mut telemetry_addr: Option<String> = None;
+    let mut telemetry_history = false;
+    let mut telemetry_interval_ms = 1_000u64;
+    let mut slo = false;
+    let mut slo_file = std::path::PathBuf::from("slo.toml");
     let mut experiments: Vec<String> = Vec::new();
     let mut it = raw_args.clone().into_iter();
     while let Some(a) = it.next() {
@@ -187,13 +196,31 @@ fn main() {
                         .expect("--telemetry-addr needs HOST:PORT (port 0 = ephemeral)"),
                 )
             }
+            "--telemetry-history" => telemetry_history = true,
+            "--telemetry-interval-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--telemetry-interval-ms needs milliseconds");
+                telemetry_interval_ms = ms.max(1);
+                telemetry_history = true;
+            }
+            "--slo" => slo = true,
+            "--slo-file" => {
+                slo_file = it
+                    .next()
+                    .map(std::path::PathBuf::from)
+                    .expect("--slo-file needs a path");
+                slo = true;
+            }
             other => experiments.push(other.to_string()),
         }
     }
     if experiments.is_empty() {
         eprintln!(
             "usage: repro [--scale S] [--seed N] [--fast] [--quiet] [--json] \
-             [--report PATH] [--telemetry-addr HOST:PORT] \
+             [--report PATH] [--telemetry-addr HOST:PORT] [--telemetry-history] \
+             [--telemetry-interval-ms MS] [--slo] [--slo-file PATH] \
              <table1|fig2|…|table4|curv|all>"
         );
         std::process::exit(2);
@@ -217,6 +244,18 @@ fn main() {
         obs::set_sink(Box::new(obs::StderrSink::default()));
     }
     obs::reset();
+    // SLO objectives must be installed before the sampler starts: its
+    // immediate baseline tick is the burn-rate windows' left edge.
+    let sampler = webpuzzle_bench::start_history_sampler(&webpuzzle_bench::HistoryOptions {
+        enabled: telemetry_history,
+        interval_ms: telemetry_interval_ms,
+        slo,
+        slo_file,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("repro: {e}");
+        std::process::exit(2);
+    });
 
     let cfg = if fast {
         AnalysisConfig::fast()
@@ -281,6 +320,12 @@ fn main() {
             "ablate" => ablate_arrivals(seed),
             other => obs::warn(&format!("unknown experiment `{other}` (skipped)")),
         }
+    }
+
+    // Final telemetry tick + SLO pass before the run report is
+    // collected, so it carries the verdict from the last interval.
+    if let Some(health) = webpuzzle_bench::finish_history_sampler(sampler, slo) {
+        say!("{}", health.render().trim_end());
     }
 
     if !quiet && !json {

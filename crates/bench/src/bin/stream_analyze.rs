@@ -21,6 +21,8 @@
 //!                [--profile] [--profile-sample N] [--profile-out PATH]
 //!                [--profile-exemplars PATH]
 //!                [--diagnostics] [--truth-alpha A] [--truth-h H]
+//!                [--telemetry-history] [--telemetry-interval-ms MS]
+//!                [--slo] [--slo-file PATH]
 //! ```
 //!
 //! `FILE` defaults to `-` (stdin). `--lenient` skips and counts
@@ -103,6 +105,20 @@
 //! it — the calibration gate CI runs against `genlog` output. Drift
 //! alarms (3) take precedence over coverage failure (5), which takes
 //! precedence over degraded-but-complete (4).
+//!
+//! ## Telemetry history & SLOs (DESIGN.md §15)
+//!
+//! `--telemetry-history` samples the whole metrics registry every
+//! `--telemetry-interval-ms MS` (default 1000) into the fixed-memory
+//! in-process time-series store, served at
+//! `/timeseries?metric=&since=&step=` under `--telemetry-addr`. `--slo`
+//! additionally loads burn-rate objectives from `slo.toml`
+//! (`--slo-file PATH` overrides; either flag implies the history
+//! sampler), evaluates them multi-window after every tick, publishes
+//! `slo/*` events (which count toward `--alert-on`), prints a
+//! deep-health verdict block after the summary, and embeds it in the
+//! run report as the `slo` block. `/healthz?deep=1` serves the same
+//! rollup live.
 
 use std::fs::File;
 use std::io::{self, BufReader, Read, Seek, SeekFrom};
@@ -174,6 +190,10 @@ struct Args {
     diagnostics: bool,
     truth_alpha: Option<f64>,
     truth_h: Option<f64>,
+    telemetry_history: bool,
+    telemetry_interval_ms: u64,
+    slo: bool,
+    slo_file: std::path::PathBuf,
 }
 
 fn usage() -> ! {
@@ -187,7 +207,8 @@ fn usage() -> ! {
          [--max-open-sessions N] [--max-restores N] [--max-retries N] \
          [--profile] [--profile-sample N] [--profile-out PATH] \
          [--profile-exemplars PATH] [--diagnostics] [--truth-alpha A] \
-         [--truth-h H]"
+         [--truth-h H] [--telemetry-history] [--telemetry-interval-ms MS] \
+         [--slo] [--slo-file PATH]"
     );
     std::process::exit(2);
 }
@@ -224,6 +245,10 @@ fn parse_args() -> Args {
         diagnostics: false,
         truth_alpha: None,
         truth_h: None,
+        telemetry_history: false,
+        telemetry_interval_ms: 1_000,
+        slo: false,
+        slo_file: std::path::PathBuf::from("slo.toml"),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -319,6 +344,19 @@ fn parse_args() -> Args {
                         .expect("--truth-h: Hurst exponent"),
                 );
                 parsed.diagnostics = true;
+            }
+            "--telemetry-history" => parsed.telemetry_history = true,
+            "--telemetry-interval-ms" => {
+                let ms: u64 = value("--telemetry-interval-ms")
+                    .parse()
+                    .expect("--telemetry-interval-ms: milliseconds");
+                parsed.telemetry_interval_ms = ms.max(1);
+                parsed.telemetry_history = true;
+            }
+            "--slo" => parsed.slo = true,
+            "--slo-file" => {
+                parsed.slo_file = value("--slo-file").into();
+                parsed.slo = true;
             }
             "--events" => parsed.events_path = Some(value("--events").into()),
             "--seasonal-period" => {
@@ -511,6 +549,18 @@ fn main() {
         });
         obs::events::set_jsonl_sink(sink);
     }
+    // SLO objectives must be installed before the sampler starts: its
+    // immediate baseline tick is the burn-rate windows' left edge.
+    let sampler = webpuzzle_bench::start_history_sampler(&webpuzzle_bench::HistoryOptions {
+        enabled: args.telemetry_history,
+        interval_ms: args.telemetry_interval_ms,
+        slo: args.slo,
+        slo_file: args.slo_file.clone(),
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("stream-analyze: {e}");
+        std::process::exit(2);
+    });
 
     // Injected crashes are recovered by the supervisor; keep their
     // panic backtraces off stderr so drills read like operations, not
@@ -710,6 +760,13 @@ fn main() {
             }
             say!("  exemplar traces written to {}", path.display());
         }
+    }
+
+    // Final telemetry tick + SLO pass before anything reads the verdict:
+    // the run report below and the --alert-on gate both must see events
+    // from the last partial sampling interval.
+    if let Some(health) = webpuzzle_bench::finish_history_sampler(sampler, args.slo) {
+        say!("{}", health.render().trim_end());
     }
 
     if args.json {

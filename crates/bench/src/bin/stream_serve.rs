@@ -24,6 +24,8 @@
 //!              [--exit-after-sources N] [--stall-grace-ms MS]
 //!              [--max-line-bytes N] [--batch-records N]
 //!              [--inject-faults SPEC] [--max-restores N] [--max-retries N]
+//!              [--telemetry-history] [--telemetry-interval-ms MS]
+//!              [--slo] [--slo-file PATH]
 //! ```
 //!
 //! `--listen` defaults to `127.0.0.1:0` (ephemeral port); the bound
@@ -48,6 +50,15 @@
 //! becomes the hub's admit floor: senders simply replay from the start
 //! of their logs and every record at or below the watermark is counted
 //! as a duplicate and dropped, making wire replay idempotent.
+//!
+//! `--telemetry-history` samples the metrics registry into the
+//! in-process time-series store (DESIGN.md §15), served as
+//! `/timeseries` under `--telemetry-addr`; `--slo` additionally
+//! evaluates burn-rate objectives from `slo.toml` (`--slo-file PATH`
+//! overrides), publishes `slo/*` events (which count toward
+//! `--alert-on`), prints a deep-health verdict after the summary, and
+//! embeds it in the run report. `/healthz?deep=1` serves the same
+//! rollup live.
 //!
 //! Exit codes mirror `stream-analyze`: 0 clean, 1 runtime error,
 //! 2 usage, 3 drift alarms at or above `--alert-on`, 4 completed but
@@ -109,6 +120,10 @@ struct Args {
     inject_faults: Option<FaultSpec>,
     max_restores: u32,
     max_retries: u32,
+    telemetry_history: bool,
+    telemetry_interval_ms: u64,
+    slo: bool,
+    slo_file: std::path::PathBuf,
 }
 
 fn usage() -> ! {
@@ -122,7 +137,8 @@ fn usage() -> ! {
          [--reorder-window SECS] [--queue-capacity N] [--max-connections N] \
          [--max-sources N] [--exit-after-sources N] [--stall-grace-ms MS] \
          [--max-line-bytes N] [--batch-records N] [--inject-faults SPEC] \
-         [--max-restores N] [--max-retries N]"
+         [--max-restores N] [--max-retries N] [--telemetry-history] \
+         [--telemetry-interval-ms MS] [--slo] [--slo-file PATH]"
     );
     std::process::exit(2);
 }
@@ -159,6 +175,10 @@ fn parse_args() -> Args {
         inject_faults: None,
         max_restores: 3,
         max_retries: 5,
+        telemetry_history: false,
+        telemetry_interval_ms: 1_000,
+        slo: false,
+        slo_file: std::path::PathBuf::from("slo.toml"),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -272,6 +292,19 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--max-retries: integer")
             }
+            "--telemetry-history" => parsed.telemetry_history = true,
+            "--telemetry-interval-ms" => {
+                let ms: u64 = value("--telemetry-interval-ms")
+                    .parse()
+                    .expect("--telemetry-interval-ms: milliseconds");
+                parsed.telemetry_interval_ms = ms.max(1);
+                parsed.telemetry_history = true;
+            }
+            "--slo" => parsed.slo = true,
+            "--slo-file" => {
+                parsed.slo_file = value("--slo-file").into();
+                parsed.slo = true;
+            }
             _ => usage(),
         }
     }
@@ -378,6 +411,18 @@ fn main() {
         });
         obs::events::set_jsonl_sink(sink);
     }
+    // SLO objectives must be installed before the sampler starts: its
+    // immediate baseline tick is the burn-rate windows' left edge.
+    let sampler = webpuzzle_bench::start_history_sampler(&webpuzzle_bench::HistoryOptions {
+        enabled: args.telemetry_history,
+        interval_ms: args.telemetry_interval_ms,
+        slo: args.slo,
+        slo_file: args.slo_file.clone(),
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("stream-serve: {e}");
+        std::process::exit(2);
+    });
 
     // Injected crashes are recovered by the supervisor; keep their
     // panic backtraces off stderr so drills read like operations.
@@ -545,6 +590,13 @@ fn main() {
 
     print_summary(&summary, &stats);
     print_recovery(&report, resumed);
+
+    // Final telemetry tick + SLO pass before anything reads the verdict:
+    // the run report below and the --alert-on gate both must see events
+    // from the last partial sampling interval.
+    if let Some(health) = webpuzzle_bench::finish_history_sampler(sampler, args.slo) {
+        say!("{}", health.render().trim_end());
+    }
 
     if args.json {
         let run_report = obs::RunReport::collect(

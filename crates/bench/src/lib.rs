@@ -137,6 +137,118 @@ pub fn measure_profile_overhead_pct(n_records: usize, sample_every: u64) -> f64 
     pct.max(0.0)
 }
 
+/// Measure the telemetry-history sampler's cost to the engine: run the
+/// full `ClfSource` → [`StreamAnalyzer`] path over `n_records`
+/// synthetic records with the global sampler stopped and running (at
+/// `interval_ms` cadence), paired and alternating, and return
+/// `(t_on − t_off) / t_off` as a percentage (clamped at 0). The same
+/// min-over-rounds noise rejection as [`measure_profile_overhead_pct`];
+/// the sampler thread and its store are torn down on return.
+///
+/// # Panics
+///
+/// Panics if the synthetic log fails to parse or push — both would be
+/// bugs, not runtime conditions.
+pub fn measure_history_overhead_pct(n_records: usize, interval_ms: u64) -> f64 {
+    const BASE_EPOCH: i64 = 1_073_865_600;
+    let text = calibration_log(n_records);
+    let cfg = StreamConfig {
+        request_window: WindowConfig {
+            fine_bin_width: None,
+            ..WindowConfig::default()
+        },
+        ..StreamConfig::default()
+    };
+    let run = |text: &str| -> f64 {
+        let mut engine = StreamAnalyzer::new(cfg.clone()).expect("valid calibration config");
+        let mut src = ClfSource::new(text.as_bytes(), BASE_EPOCH);
+        let t0 = std::time::Instant::now();
+        while let Some(item) = src.next_item() {
+            engine
+                .push(&item.expect("calibration line parses"))
+                .expect("sorted calibration input");
+        }
+        engine.finish().expect("calibration finish");
+        t0.elapsed().as_secs_f64()
+    };
+    let mut pct = f64::INFINITY;
+    for round in 0..9 {
+        let t_off = run(&text);
+        let sampler = webpuzzle_obs::tsdb::start_sampler(webpuzzle_obs::tsdb::TsdbConfig {
+            interval: std::time::Duration::from_millis(interval_ms.max(1)),
+            ..webpuzzle_obs::tsdb::TsdbConfig::default()
+        });
+        let t_on = run(&text);
+        sampler.shutdown();
+        webpuzzle_obs::tsdb::uninstall();
+        pct = pct.min((t_on - t_off) / t_off.max(1e-12) * 100.0);
+        if round >= 4 {
+            if pct <= 1.0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50 << (round - 4)));
+        }
+    }
+    pct.max(0.0)
+}
+
+/// What `--telemetry-history` / `--slo` ask for, shared by the
+/// `stream-analyze`, `stream-serve`, and `repro` binaries.
+#[derive(Debug, Clone)]
+pub struct HistoryOptions {
+    /// `--telemetry-history`: sample the registry on a cadence.
+    pub enabled: bool,
+    /// `--telemetry-interval-ms`: sampling cadence (min 1 ms).
+    pub interval_ms: u64,
+    /// `--slo`: evaluate burn-rate objectives after every tick.
+    pub slo: bool,
+    /// `--slo-file`: objectives file (default `slo.toml`).
+    pub slo_file: std::path::PathBuf,
+}
+
+/// Install the SLO engine (when asked) and start the telemetry-history
+/// sampler. `None` when neither flag is set. The sampler takes an
+/// immediate baseline tick before returning, so even a run that
+/// finishes within one interval has a well-defined burn-rate window.
+///
+/// # Errors
+///
+/// A human-readable message when the objectives file is missing or
+/// invalid (a usage error: the caller should exit 2).
+pub fn start_history_sampler(
+    opts: &HistoryOptions,
+) -> std::result::Result<Option<webpuzzle_obs::tsdb::SamplerHandle>, String> {
+    if !opts.enabled && !opts.slo {
+        return Ok(None);
+    }
+    if opts.slo {
+        let cfg = webpuzzle_obs::slo::SloConfig::load(&opts.slo_file)?;
+        webpuzzle_obs::slo::install(cfg);
+    }
+    Ok(Some(webpuzzle_obs::tsdb::start_sampler(
+        webpuzzle_obs::tsdb::TsdbConfig {
+            interval: std::time::Duration::from_millis(opts.interval_ms.max(1)),
+            ..webpuzzle_obs::tsdb::TsdbConfig::default()
+        },
+    )))
+}
+
+/// Stop the sampler, take one final sample+evaluation pass (the last
+/// partial interval must not be lost — short CI runs may complete
+/// entirely between two cadence ticks), and return the deep-health
+/// verdict when SLOs were enabled. Call *before* collecting the run
+/// report so `RunReport::slo` reflects the final state.
+pub fn finish_history_sampler(
+    handle: Option<webpuzzle_obs::tsdb::SamplerHandle>,
+    slo: bool,
+) -> Option<webpuzzle_obs::slo::DeepHealth> {
+    let handle = handle?;
+    handle.shutdown();
+    webpuzzle_obs::tsdb::sample_now();
+    webpuzzle_obs::slo::evaluate_now();
+    slo.then(webpuzzle_obs::slo::deep_health)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +267,16 @@ mod tests {
     fn cell_formatting() {
         assert_eq!(cell(Some(1.2345)), "1.234");
         assert_eq!(cell(None), "NS/NA");
+    }
+
+    #[test]
+    fn history_overhead_measurement_is_finite_and_tears_down() {
+        let pct = measure_history_overhead_pct(2_000, 10);
+        eprintln!("tsdb sampler overhead: {pct:.2}%");
+        assert!(pct.is_finite());
+        assert!(pct >= 0.0);
+        assert!(!webpuzzle_obs::tsdb::is_installed());
+        webpuzzle_obs::reset();
     }
 
     #[test]

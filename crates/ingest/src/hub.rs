@@ -104,8 +104,18 @@ impl std::fmt::Display for RegisterError {
 impl std::error::Error for RegisterError {}
 
 struct PerSourceGauges {
+    name: String,
     queue_depth: Arc<metrics::Gauge>,
     lag_secs: Arc<metrics::Gauge>,
+}
+
+impl PerSourceGauges {
+    /// Drop this source's series from the metrics registry so a
+    /// disconnected source does not linger on `/metrics` forever.
+    fn retire(&self) {
+        metrics::remove_gauge(&format!("ingest/source/{}/queue_depth", self.name));
+        metrics::remove_gauge(&format!("ingest/source/{}/lag_secs", self.name));
+    }
 }
 
 struct HubState {
@@ -126,7 +136,9 @@ struct HubState {
     last_progress: Instant,
     pops_since_gauges: u64,
     merge_late_reported: u64,
-    source_gauges: Vec<PerSourceGauges>,
+    /// One slot per registered source, index-aligned with the merger;
+    /// `None` once a closed source drained and its gauges were retired.
+    source_gauges: Vec<Option<PerSourceGauges>>,
 }
 
 struct HubCounters {
@@ -232,10 +244,11 @@ impl IngestHub {
         st.sources_seen += 1;
         let name = format!("{kind}-{}", st.sources_seen);
         let id = st.merger.register(name.clone());
-        st.source_gauges.push(PerSourceGauges {
+        st.source_gauges.push(Some(PerSourceGauges {
+            name: name.clone(),
             queue_depth: metrics::gauge(&format!("ingest/source/{name}/queue_depth")),
             lag_secs: metrics::gauge(&format!("ingest/source/{name}/lag_secs")),
-        });
+        }));
         self.counters.sources_total.incr();
         self.counters
             .sources_active
@@ -443,7 +456,18 @@ impl IngestHub {
         let mut max_lag = 0.0f64;
         for i in 0..st.merger.source_count() {
             let stats = st.merger.source_stats(i);
-            let gauges = &st.source_gauges[i];
+            if st.source_gauges[i].is_none() {
+                continue;
+            }
+            if !stats.open && stats.buffered == 0 {
+                // Closed and drained: retire the per-source series so a
+                // disconnected source disappears from the scrape.
+                if let Some(gauges) = st.source_gauges[i].take() {
+                    gauges.retire();
+                }
+                continue;
+            }
+            let gauges = st.source_gauges[i].as_ref().expect("checked above");
             gauges.queue_depth.set(stats.buffered as f64);
             if frontier.is_finite() && stats.watermark.is_finite() && stats.open {
                 let lag = (frontier - stats.watermark).max(0.0);
@@ -540,10 +564,11 @@ impl SourceHandle {
             }
         }
         st.last_progress = Instant::now();
-        let gauges = &st.source_gauges[self.id];
-        gauges
-            .queue_depth
-            .set(st.merger.buffered_of(self.id) as f64);
+        if let Some(gauges) = st.source_gauges[self.id].as_ref() {
+            gauges
+                .queue_depth
+                .set(st.merger.buffered_of(self.id) as f64);
+        }
         self.hub
             .counters
             .queue_depth
@@ -609,6 +634,10 @@ impl SourceHandle {
             .counters
             .sources_active
             .set(st.merger.open_sources() as f64);
+        // Refresh immediately: an already-drained source retires its
+        // per-source gauges right here instead of lingering until the
+        // next periodic pass.
+        self.hub.refresh_gauges(&mut st);
         drop(st);
         self.hub.readable.notify_all();
     }
@@ -631,6 +660,43 @@ mod tests {
 
     fn hub(cfg: HubConfig) -> Arc<IngestHub> {
         IngestHub::new(cfg)
+    }
+
+    /// A drained, closed source must disappear from the scrape: its
+    /// `ingest/source/<name>/*` gauges are removed from the registry,
+    /// while a still-open source keeps its series. The `"retire"` kind
+    /// keeps these names out of the way of other tests sharing the
+    /// process-global registry.
+    #[test]
+    fn closed_drained_source_retires_its_gauges() {
+        let has_gauge = |name: &str| {
+            webpuzzle_obs::metrics::snapshot()
+                .gauges
+                .iter()
+                .any(|(n, _)| n == name)
+        };
+        let h = hub(HubConfig {
+            expected_sources: Some(2),
+            ..HubConfig::default()
+        });
+        let a = h.register_source("retire").unwrap();
+        let mut b = h.register_source("retire").unwrap();
+        a.push_batch(&[rec(1.0, 1)]);
+        b.push_batch(&[rec(2.0, 2)]);
+        assert!(has_gauge("ingest/source/retire-1/queue_depth"));
+        assert!(has_gauge("ingest/source/retire-2/lag_secs"));
+
+        // Drain everything, then disconnect source 2.
+        drop(a);
+        b.close();
+        while h.pop_blocking().is_some() {}
+        assert!(
+            !has_gauge("ingest/source/retire-2/queue_depth"),
+            "drained source still on the scrape"
+        );
+        assert!(!has_gauge("ingest/source/retire-2/lag_secs"));
+        assert!(!has_gauge("ingest/source/retire-1/queue_depth"));
+        drop(b);
     }
 
     #[test]

@@ -407,6 +407,7 @@ mod tests {
 
     #[test]
     fn publish_assigns_monotone_seqs_and_counts() {
+        let _lock = crate::global_test_lock();
         reset();
         let a = publish(ev(Severity::Warn, 0));
         let b = publish(ev(Severity::Critical, 1));
@@ -428,6 +429,7 @@ mod tests {
 
     #[test]
     fn ring_is_bounded_oldest_first() {
+        let _lock = crate::global_test_lock();
         reset();
         set_ring_capacity(4);
         for i in 0..10 {
@@ -445,6 +447,7 @@ mod tests {
 
     #[test]
     fn resume_from_fast_forwards_but_never_rewinds() {
+        let _lock = crate::global_test_lock();
         reset();
         resume_from(41);
         let seq = publish(ev(Severity::Info, 0));

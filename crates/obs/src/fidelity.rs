@@ -373,6 +373,7 @@ source = "Table 2 Week row"
                 .collect(),
             histograms: vec![],
             diagnostics: None,
+            slo: None,
         }
     }
 

@@ -35,6 +35,14 @@
 //! - **Fidelity** ([`fidelity`]): paper-fidelity scoreboard comparing a
 //!   run report's `fidelity/...` gauges against `paper_targets.toml`
 //!   (the `paper-check` binary).
+//! - **Telemetry history** ([`tsdb`]): a fixed-memory in-process
+//!   time-series store sampling the registry on a cadence into
+//!   delta-encoded rings (dense recent tier + downsampled coarse tier,
+//!   hard global memory budget), served at
+//!   `/timeseries?metric=&since=&step=`.
+//! - **SLOs** ([`slo`]): burn-rate objectives loaded from `slo.toml`,
+//!   evaluated multi-window over the history rings, publishing `slo/*`
+//!   events and a deep-health rollup served at `/healthz?deep=1`.
 //!
 //! ```
 //! use webpuzzle_obs as obs;
@@ -60,7 +68,9 @@ pub mod report;
 pub mod server;
 pub mod sharded;
 pub mod sink;
+pub mod slo;
 pub mod spans;
+pub mod tsdb;
 
 pub use progress::ProgressMeter;
 pub use report::RunReport;
@@ -71,8 +81,9 @@ pub use sink::{
 };
 
 /// Reset spans, metrics, the drift-event ring, the flight recorder,
-/// and the diagnostics slot (the message sink and any JSONL event sink
-/// are left installed).
+/// the diagnostics slot, the telemetry-history store, and the SLO
+/// engine (the message sink and any JSONL event sink are left
+/// installed).
 ///
 /// For tests and tools that run several independent analyses in one
 /// process.
@@ -82,4 +93,16 @@ pub fn reset() {
     events::reset();
     profile::reset();
     diagnostics::reset();
+    tsdb::uninstall();
+    slo::uninstall();
+}
+
+/// Serializes tests that mutate process-global observability state
+/// (the metrics registry, the event ring, the global tsdb/SLO
+/// singletons). Lock poisoning is ignored: a failed test must not
+/// cascade into unrelated ones.
+#[cfg(test)]
+pub(crate) fn global_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -355,6 +355,62 @@ impl MetricsSnapshot {
     }
 }
 
+/// Domain of one sampled registry value; see [`sample_values`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SampleKind {
+    /// Monotone `u64` (plain and sharded counters, histogram
+    /// count/sum).
+    Counter,
+    /// `f64` stored as its bit pattern (`f64::to_bits`).
+    Gauge,
+}
+
+/// One-pass raw read of the registry for the telemetry-history sampler
+/// ([`crate::tsdb`]): every counter (plain + sharded merged), every
+/// gauge (as raw bits, so the round trip stays bit-exact through
+/// delta encoding), and each histogram's running `<name>/count` and
+/// `<name>/sum` as derived counter series. Quantile interpolation is
+/// deliberately skipped — this is the per-tick hot read.
+pub fn sample_values() -> Vec<(String, SampleKind, u64)> {
+    let reg = REGISTRY.lock().expect("metrics registry poisoned");
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    for (name, c) in &reg.counters {
+        *counters.entry(name.clone()).or_insert(0) += c.get();
+    }
+    for (name, c) in &reg.sharded {
+        *counters.entry(name.clone()).or_insert(0) += c.get();
+    }
+    let mut out: Vec<(String, SampleKind, u64)> = counters
+        .into_iter()
+        .map(|(name, v)| (name, SampleKind::Counter, v))
+        .collect();
+    for (name, g) in &reg.gauges {
+        out.push((name.clone(), SampleKind::Gauge, g.get().to_bits()));
+    }
+    for (name, h) in &reg.histograms {
+        out.push((format!("{name}/count"), SampleKind::Counter, h.count()));
+        out.push((format!("{name}/sum"), SampleKind::Counter, h.sum()));
+    }
+    out
+}
+
+/// Remove the gauge named `name` from the registry, returning whether
+/// it was present. Outstanding handles keep working but the gauge no
+/// longer appears in snapshots or scrapes — how the ingest hub retires
+/// per-source gauges once a disconnected source drains, instead of
+/// letting them linger on `/metrics` forever.
+pub fn remove_gauge(name: &str) -> bool {
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    reg.gauges.remove(name).is_some()
+}
+
+/// Remove the (plain) counter named `name`; counterpart of
+/// [`remove_gauge`] for dynamically named counters.
+pub fn remove_counter(name: &str) -> bool {
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    reg.counters.remove(name).is_some()
+}
+
 /// Read a consistent-enough snapshot of the registry.
 pub fn snapshot() -> MetricsSnapshot {
     let reg = REGISTRY.lock().expect("metrics registry poisoned");
@@ -527,6 +583,49 @@ mod tests {
         };
         assert_eq!(get("unit/snapshot_plain"), Some(3));
         assert_eq!(get("unit/snapshot_sharded"), Some(4));
+    }
+
+    #[test]
+    fn remove_gauge_drops_it_from_snapshots() {
+        gauge("unit/removable").set(1.0);
+        let present = |n: &str| snapshot().gauges.iter().any(|(name, _)| name == n);
+        assert!(present("unit/removable"));
+        assert!(remove_gauge("unit/removable"));
+        assert!(!present("unit/removable"));
+        // Idempotent; absent names report false.
+        assert!(!remove_gauge("unit/removable"));
+        // A handle taken before removal still works, silently.
+        let h = gauge("unit/removable2");
+        assert!(remove_gauge("unit/removable2"));
+        h.set(5.0);
+        assert!(!present("unit/removable2"));
+    }
+
+    #[test]
+    fn sample_values_cover_all_kinds() {
+        counter("unit/sample_c").add(2);
+        sharded_counter("unit/sample_s").add(3);
+        gauge("unit/sample_g").set(-0.25);
+        histogram("unit/sample_h").record(9);
+        let values = sample_values();
+        let get = |n: &str| values.iter().find(|(name, _, _)| name == n).cloned();
+        assert_eq!(
+            get("unit/sample_c").map(|(_, k, v)| (k, v)),
+            Some((SampleKind::Counter, 2))
+        );
+        assert_eq!(
+            get("unit/sample_s").map(|(_, k, v)| (k, v)),
+            Some((SampleKind::Counter, 3))
+        );
+        assert_eq!(
+            get("unit/sample_g").map(|(_, k, v)| (k, v)),
+            Some((SampleKind::Gauge, (-0.25f64).to_bits()))
+        );
+        assert_eq!(
+            get("unit/sample_h/count").map(|(_, _, v)| v),
+            Some(1)
+        );
+        assert_eq!(get("unit/sample_h/sum").map(|(_, _, v)| v), Some(9));
     }
 
     #[test]

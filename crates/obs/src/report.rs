@@ -102,6 +102,10 @@ pub struct RunReport {
     /// (absent in reports from tools that never publish it and in
     /// reports written before diagnostics existed).
     pub diagnostics: Option<crate::diagnostics::DiagnosticsReport>,
+    /// End-of-run SLO verdict: deep-health rollup, burn rates, and
+    /// alert counts per objective (absent unless the run enabled
+    /// `--slo`, and in reports written before SLOs existed).
+    pub slo: Option<crate::slo::DeepHealth>,
 }
 
 fn build_span_tree(stats: &[spans::SpanStat]) -> Vec<SpanReport> {
@@ -170,6 +174,7 @@ impl RunReport {
                 })
                 .collect(),
             diagnostics: crate::diagnostics::current(),
+            slo: crate::slo::current_report(),
         }
     }
 

@@ -7,7 +7,10 @@
 //! - `GET /metrics` — the metrics registry in Prometheus text
 //!   exposition format (counters, gauges, histograms with cumulative
 //!   buckets);
-//! - `GET /healthz` — `200 ok` liveness probe;
+//! - `GET /healthz` — `200 ok` liveness probe; `GET /healthz?deep=1`
+//!   returns the [`crate::slo`] deep-health rollup as JSON instead
+//!   (`503` when any subsystem is critical, so a probe can alert on
+//!   status code alone);
 //! - `GET /report` — the current [`RunReport`] as JSON, collected at
 //!   request time;
 //! - `GET /events?since=SEQ` — drift events published through
@@ -20,7 +23,14 @@
 //!   collapsed-stack rendering flamegraph tooling consumes directly;
 //! - `GET /diagnostics` — the current estimator-confidence block
 //!   ([`crate::diagnostics::DiagnosticsReport`]) as JSON: per-window
-//!   CIs, Hill-plateau evidence, and agreement verdicts.
+//!   CIs, Hill-plateau evidence, and agreement verdicts;
+//! - `GET /timeseries?metric=NAME&since=TICK&step=MS` — a range query
+//!   against the in-process telemetry history ([`crate::tsdb`], when
+//!   `--telemetry-history` installed it): points after the `since`
+//!   cursor, from the dense tier (`step` ≤ the sampling interval) or
+//!   the downsampled coarse tier (larger `step`, min/max per bucket).
+//!   Without `metric=` it lists the stored series and the store's
+//!   memory accounting.
 //!
 //! The server is deliberately minimal: one handler thread, one request
 //! per connection (`Connection: close`), no TLS, no keep-alive — it
@@ -191,7 +201,25 @@ fn handle_connection(
             "text/plain; version=0.0.4; charset=utf-8",
             prometheus_text(&metrics::snapshot()),
         ),
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/healthz" => {
+            if matches!(req.query_param("deep"), Some("1") | Some("true")) {
+                let health = crate::slo::deep_health();
+                let status = if health.status == "critical" {
+                    "503 Service Unavailable"
+                } else {
+                    "200 OK"
+                };
+                (
+                    status,
+                    "application/json; charset=utf-8",
+                    serde_json::to_string_pretty(&health).unwrap_or_else(|_| "{}".to_string())
+                        + "\n",
+                )
+            } else {
+                ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())
+            }
+        }
+        "/timeseries" => timeseries_response(&req),
         "/report" => {
             let report =
                 RunReport::collect(&ctx.tool, ctx.seed, ctx.config.clone(), ctx.args.clone());
@@ -242,7 +270,7 @@ fn handle_connection(
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found: try /metrics, /healthz, /report, /events, /diagnostics, or /profile\n"
+            "not found: try /metrics, /healthz, /report, /events, /diagnostics, /timeseries, or /profile\n"
                 .to_string(),
         ),
     };
@@ -258,6 +286,55 @@ fn handle_connection(
     )
 }
 
+/// Answer a `/timeseries` request against the global history store.
+fn timeseries_response(req: &http::Request) -> (&'static str, &'static str, String) {
+    const JSON: &str = "application/json; charset=utf-8";
+    const TEXT: &str = "text/plain; charset=utf-8";
+    if !crate::tsdb::is_installed() {
+        return (
+            "503 Service Unavailable",
+            TEXT,
+            "telemetry history not enabled (run with --telemetry-history)\n".to_string(),
+        );
+    }
+    let Some(metric) = req.query_param("metric") else {
+        // Discovery: the stored series plus the store's accounting.
+        use serde::Serialize;
+        let listing = Value::Object(vec![
+            (
+                "series".to_string(),
+                crate::tsdb::series_names().to_value(),
+            ),
+            ("stats".to_string(), crate::tsdb::stats().to_value()),
+        ]);
+        return (
+            "200 OK",
+            JSON,
+            serde_json::to_string_pretty(&listing).unwrap_or_else(|_| "{}".to_string()) + "\n",
+        );
+    };
+    let since = req
+        .query_param("since")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let step_ms = req
+        .query_param("step")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    match crate::tsdb::query(metric, since, step_ms) {
+        Some(range) => (
+            "200 OK",
+            JSON,
+            serde_json::to_string_pretty(&range).unwrap_or_else(|_| "{}".to_string()) + "\n",
+        ),
+        None => (
+            "404 Not Found",
+            TEXT,
+            format!("no series named {metric:?} in the history store\n"),
+        ),
+    }
+}
+
 /// Prometheus metric name: `webpuzzle_` prefix, every character outside
 /// `[a-zA-Z0-9_]` mapped to `_` (our registry names use `/` separators).
 fn prom_name(name: &str) -> String {
@@ -269,6 +346,42 @@ fn prom_name(name: &str) -> String {
         } else {
             '_'
         });
+    }
+    out
+}
+
+/// Escape free text for a `# HELP` line: the exposition format allows
+/// any UTF-8 there but `\` and newlines must be escaped or a hostile
+/// registry name (e.g. a source name fed into a metric path) could
+/// inject arbitrary exposition lines. Other control characters are
+/// mapped to spaces — HELP is documentation, not data.
+fn prom_help_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if c.is_control() => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: `\`, `"`, and
+/// newline are the three characters with escape sequences; other
+/// control characters are mapped to spaces so a hostile value cannot
+/// corrupt the scrape even for clients with lax parsers.
+fn prom_label_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if c.is_control() => out.push(' '),
+            c => out.push(c),
+        }
     }
     out
 }
@@ -311,7 +424,8 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         out.push_str("# TYPE webpuzzle_events_total counter\n");
         for (sev, value) in &family {
             out.push_str(&format!(
-                "webpuzzle_events_total{{severity=\"{sev}\"}} {value}\n"
+                "webpuzzle_events_total{{severity=\"{}\"}} {value}\n",
+                prom_label_escape(sev)
             ));
         }
     }
@@ -332,7 +446,8 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         out.push_str("# TYPE webpuzzle_malformed_lines_total counter\n");
         for (kind, value) in &malformed {
             out.push_str(&format!(
-                "webpuzzle_malformed_lines_total{{kind=\"{kind}\"}} {value}\n"
+                "webpuzzle_malformed_lines_total{{kind=\"{}\"}} {value}\n",
+                prom_label_escape(kind)
             ));
         }
     }
@@ -343,13 +458,16 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
             continue;
         }
         let prom = prom_name(name) + "_total";
-        out.push_str(&format!("# HELP {prom} Counter {name}\n"));
+        out.push_str(&format!(
+            "# HELP {prom} Counter {}\n",
+            prom_help_escape(name)
+        ));
         out.push_str(&format!("# TYPE {prom} counter\n"));
         out.push_str(&format!("{prom} {value}\n"));
     }
     for (name, value) in &snap.gauges {
         let prom = prom_name(name);
-        out.push_str(&format!("# HELP {prom} Gauge {name}\n"));
+        out.push_str(&format!("# HELP {prom} Gauge {}\n", prom_help_escape(name)));
         out.push_str(&format!("# TYPE {prom} gauge\n"));
         out.push_str(&format!("{prom} {}\n", prom_f64(*value)));
     }
@@ -357,7 +475,7 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         let prom = prom_name(&h.name);
         out.push_str(&format!(
             "# HELP {prom} Histogram {} (log-2 buckets, upper bounds exclusive)\n",
-            h.name
+            prom_help_escape(&h.name)
         ));
         out.push_str(&format!("# TYPE {prom} histogram\n"));
         let mut cumulative = 0u64;
@@ -380,7 +498,7 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         if let Some(p999) = h.p999 {
             out.push_str(&format!(
                 "# HELP {prom}_p999 Interpolated 99.9th percentile of {}\n",
-                h.name
+                prom_help_escape(&h.name)
             ));
             out.push_str(&format!("# TYPE {prom}_p999 gauge\n"));
             out.push_str(&format!("{prom}_p999 {}\n", prom_f64(p999)));
@@ -461,6 +579,143 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    /// Check one rendered exposition line against the text-format
+    /// grammar: a comment (`# HELP`/`# TYPE` + valid name), or
+    /// `name[{labels}] value` where the name matches
+    /// `[a-zA-Z_:][a-zA-Z0-9_:]*` and any label block closes its quotes
+    /// with the three legal escapes (`\\`, `\"`, `\n`).
+    fn line_is_well_formed(line: &str) -> bool {
+        fn valid_name(name: &str) -> bool {
+            let mut chars = name.chars();
+            let Some(first) = chars.next() else {
+                return false;
+            };
+            (first.is_ascii_alphabetic() || first == '_' || first == ':')
+                && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut parts = comment.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or_default();
+            let name = parts.next().unwrap_or_default();
+            return (keyword == "HELP" || keyword == "TYPE") && valid_name(name);
+        }
+        let Some(space) = line.rfind(' ') else {
+            return false;
+        };
+        let (series, value) = line.split_at(space);
+        if value.trim().is_empty() || value.trim().contains(' ') {
+            return false;
+        }
+        match series.split_once('{') {
+            None => valid_name(series),
+            Some((name, labels)) => {
+                let Some(labels) = labels.strip_suffix('}') else {
+                    return false;
+                };
+                if !valid_name(name) {
+                    return false;
+                }
+                // Every label value must be a closed quoted string with
+                // only legal escapes inside.
+                let mut rest = labels;
+                while !rest.is_empty() {
+                    let Some((label, after_eq)) = rest.split_once("=\"") else {
+                        return false;
+                    };
+                    if !valid_name(label.trim_start_matches(',')) {
+                        return false;
+                    }
+                    let mut closed = None;
+                    let mut chars = after_eq.char_indices();
+                    while let Some((i, c)) = chars.next() {
+                        match c {
+                            '\\' => match chars.next() {
+                                Some((_, '\\')) | Some((_, '"')) | Some((_, 'n')) => {}
+                                _ => return false,
+                            },
+                            '"' => {
+                                closed = Some(i);
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    let Some(end) = closed else {
+                        return false;
+                    };
+                    rest = &after_eq[end + 1..];
+                }
+                true
+            }
+        }
+    }
+
+    /// Fuzz-style: hostile registry names (quotes, newlines,
+    /// backslashes, spaces, braces) must never corrupt the scrape. The
+    /// name generator is a deterministic LCG over a deliberately nasty
+    /// alphabet.
+    #[test]
+    fn hostile_names_cannot_corrupt_the_exposition() {
+        const ALPHABET: &[char] = &[
+            'a', 'Z', '9', '_', '/', ' ', '"', '\\', '\n', '{', '}', '=', '#', '\t', 'é', ',',
+        ];
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move |bound: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % bound
+        };
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        for i in 0..200 {
+            let len = 1 + next(12);
+            let name: String = (0..len).map(|_| ALPHABET[next(ALPHABET.len())]).collect();
+            // Hostile *label values* ride the two labeled families.
+            if i % 5 == 0 {
+                counters.push((format!("events/total/{name}"), i as u64));
+            } else if i % 5 == 1 {
+                counters.push((format!("weblog/malformed_lines/{name}"), i as u64));
+            } else if i % 2 == 0 {
+                counters.push((name, i as u64));
+            } else {
+                gauges.push((name, i as f64 / 3.0));
+            }
+        }
+        let snap = MetricsSnapshot {
+            counters,
+            gauges,
+            histograms: vec![HistogramSnapshot {
+                name: "evil\nname with \"quotes\" and \\slashes".to_string(),
+                count: 1,
+                sum: 2,
+                buckets: {
+                    let mut b = vec![0u64; crate::metrics::HISTOGRAM_BUCKETS];
+                    b[1] = 1;
+                    b
+                },
+                p50: Some(2.0),
+                p95: Some(2.0),
+                p99: Some(2.0),
+                p999: Some(2.0),
+            }],
+        };
+        let text = prometheus_text(&snap);
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            assert!(
+                line_is_well_formed(line),
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn help_and_label_escapes() {
+        assert_eq!(prom_help_escape("a\\b\nc\td"), "a\\\\b\\nc d");
+        assert_eq!(prom_label_escape("say \"hi\"\\\n"), "say \\\"hi\\\"\\\\\\n");
     }
 
     #[test]

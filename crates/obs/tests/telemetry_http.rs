@@ -170,6 +170,55 @@ fn serve_scrape_and_shutdown() {
     assert!(folded.contains("pipeline;clf_parse 1000"), "{folded}");
     assert!(folded.contains("pipeline;window_close 2000000"), "{folded}");
 
+    // /timeseries answers 503 until the history store is installed.
+    let (status, _) = get(addr, "/timeseries");
+    assert!(status.contains("503"), "uninstalled tsdb: {status}");
+
+    // Install the store, take two samples, and range-query a counter.
+    obs::tsdb::install(obs::tsdb::TsdbConfig {
+        interval: std::time::Duration::from_millis(50),
+        ..obs::tsdb::TsdbConfig::default()
+    });
+    obs::tsdb::sample_now();
+    obs::metrics::counter("scrape/events").add(3); // 7 -> 10
+    obs::tsdb::sample_now();
+    let (status, body) = get(addr, "/timeseries?metric=scrape/events");
+    assert!(status.contains("200"), "timeseries status: {status}");
+    let range: obs::tsdb::RangeResult = serde_json::from_str(&body).expect("range parses");
+    assert_eq!(range.metric, "scrape/events");
+    assert_eq!(range.kind, "counter");
+    assert_eq!(range.tier, "dense");
+    assert!(range.points.len() >= 2, "{range:?}");
+    assert_eq!(range.points.last().unwrap().value, 10.0);
+    // The `next` cursor polls incrementally: nothing new yet.
+    let (_, body) = get(
+        addr,
+        &format!("/timeseries?metric=scrape/events&since={}", range.next),
+    );
+    let tail: obs::tsdb::RangeResult = serde_json::from_str(&body).expect("range parses");
+    assert!(tail.points.is_empty(), "{tail:?}");
+    // Discovery listing names the series.
+    let (status, body) = get(addr, "/timeseries");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("scrape/events"), "{body}");
+    // Unknown series 404.
+    let (status, _) = get(addr, "/timeseries?metric=no/such/series");
+    assert!(status.contains("404"), "{status}");
+
+    // /healthz?deep=1 serves the deep-health rollup (healthy here: no
+    // SLO engine installed, nothing degraded).
+    let (status, body) = get(addr, "/healthz?deep=1");
+    assert!(status.contains("200"), "deep healthz: {status}");
+    let health: obs::slo::DeepHealth = serde_json::from_str(&body).expect("health parses");
+    assert_eq!(health.status, "healthy");
+    assert!(!health.slo_installed);
+    assert_eq!(health.subsystems.len(), obs::slo::SUBSYSTEMS.len());
+    assert!(health.telemetry.is_some(), "store stats present");
+    // Plain /healthz stays the cheap liveness probe.
+    let (_, body) = get(addr, "/healthz");
+    assert_eq!(body, "ok\n");
+    obs::tsdb::uninstall();
+
     // Shutdown joins the listener thread; the port must stop answering.
     server.shutdown();
     assert!(
