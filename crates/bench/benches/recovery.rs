@@ -61,6 +61,7 @@ fn loaded_checkpoint(recs: &[LogRecord]) -> Checkpoint {
         recoveries: 1,
         transient_retries: 3,
         checkpoints_written: 9,
+        governor_state: 0,
     }
 }
 

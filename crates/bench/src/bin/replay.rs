@@ -35,6 +35,27 @@
 //! sends only its first `N` bytes — usually ending mid-line — then
 //! disconnects abruptly, which the server must count as a torn line,
 //! never crash on.
+//!
+//! `--storm` turns replay into the chaos drill (`--storm-seed N` keeps
+//! the junk deterministic). One run stages the overload playbook from
+//! the SLR's failure drivers against a single server:
+//!
+//! - **slow trickle** — two background connections dribble the head of
+//!   the log a line every few milliseconds: legitimate slow sources
+//!   that must survive the storm un-shed.
+//! - **bot flood** — one connection declares `#priority low`, then
+//!   blasts junk lines (which must trip its circuit breaker) followed
+//!   by a valid tail (absorbed by the open breaker's drop window or
+//!   its half-open probes).
+//! - **flash crowd** — the whole file dealt across 8 connections at
+//!   full speed: the ×50-style rate spike that drives queue and
+//!   session pressure into the governor's Yellow/Red bands.
+//! - **memory squeeze** — not a sender behavior: run the *server* with
+//!   tight `--governor-*` budgets so the storm presses against them.
+//!
+//! The storm always prints a machine-readable accounting line to
+//! stdout (`storm-sent valid=V junk=J total=T sources=S`) so a gate
+//! can check the server's shed accounting is conservation-exact.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -54,6 +75,8 @@ struct Args {
     batch_lines: usize,
     base_epoch: i64,
     truncate_bytes: Option<u64>,
+    storm: bool,
+    storm_seed: u64,
     quiet: bool,
 }
 
@@ -61,7 +84,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: replay FILE --addr HOST:PORT [--connections N] [--speed X] \
          [--chunk BYTES] [--http] [--batch-lines N] [--base-epoch SECS] \
-         [--truncate-bytes N] [--quiet]"
+         [--truncate-bytes N] [--storm] [--storm-seed N] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -77,6 +100,8 @@ fn parse_args() -> Args {
         batch_lines: 500,
         base_epoch: DEFAULT_BASE_EPOCH,
         truncate_bytes: None,
+        storm: false,
+        storm_seed: 42,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -113,6 +138,12 @@ fn parse_args() -> Args {
                         .parse()
                         .expect("--truncate-bytes: bytes"),
                 )
+            }
+            "--storm" => parsed.storm = true,
+            "--storm-seed" => {
+                parsed.storm_seed = value("--storm-seed")
+                    .parse()
+                    .expect("--storm-seed: integer")
             }
             "--quiet" => parsed.quiet = true,
             other if !other.starts_with('-') => {
@@ -263,8 +294,154 @@ fn post_batch(addr: &str, batch: &[String]) -> std::io::Result<u64> {
     Ok(body.len() as u64)
 }
 
+/// The storm's fixed shape; a gate that launches the server with
+/// `--exit-after-sources` needs the source count to be predictable.
+const STORM_CROWD_CONNECTIONS: usize = 8;
+const STORM_TRICKLE_CONNECTIONS: usize = 2;
+const STORM_TRICKLE_LINES: usize = 150;
+const STORM_TRICKLE_GAP: Duration = Duration::from_millis(5);
+const STORM_JUNK_LINES: usize = 3000;
+const STORM_FLOOD_VALID_TAIL: usize = 200;
+
+/// xorshift64*: deterministic junk without pulling in an RNG.
+fn junk_line(state: &mut u64) -> String {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    let word = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    format!("botnet junk {word:016x} definitely not a CLF line\n")
+}
+
+/// Open a connection, send every line, then close with the half-close
+/// courtesy so the server finishes reading before the socket dies.
+fn send_lines(
+    addr: &str,
+    lines: impl Iterator<Item = String>,
+    gap: Option<Duration>,
+) -> std::io::Result<u64> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut sent = 0u64;
+    for line in lines {
+        stream.write_all(line.as_bytes())?;
+        sent += 1;
+        if let Some(gap) = gap {
+            std::thread::sleep(gap);
+        }
+    }
+    stream.flush()?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 256];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    Ok(sent)
+}
+
+/// Run the chaos drill: trickle sources in the background, a
+/// low-priority bot flood, then the flash crowd. Returns
+/// (valid_lines, junk_lines) actually sent.
+fn run_storm(args: &Args) -> std::io::Result<(u64, u64)> {
+    let crowd = deal(&args.file, STORM_CROWD_CONNECTIONS)?;
+    let head: Vec<String> = {
+        let reader = BufReader::new(File::open(&args.file)?);
+        reader
+            .lines()
+            .take(STORM_TRICKLE_CONNECTIONS * STORM_TRICKLE_LINES)
+            .map(|l| {
+                let mut l = l?;
+                l.push('\n');
+                Ok(l)
+            })
+            .collect::<std::io::Result<_>>()?
+    };
+    let seed = args.storm_seed;
+    std::thread::scope(|scope| {
+        // Slow trickle: contiguous slices of the head, so each source
+        // is internally sorted, dribbled out slowly in the background.
+        let trickles: Vec<_> = head
+            .chunks(STORM_TRICKLE_LINES.max(1))
+            .take(STORM_TRICKLE_CONNECTIONS)
+            .map(|slice| {
+                let addr = args.addr.clone();
+                scope.spawn(move || {
+                    send_lines(&addr, slice.iter().cloned(), Some(STORM_TRICKLE_GAP))
+                })
+            })
+            .collect();
+        // Bot flood: self-declared low priority, junk that must trip
+        // the breaker, then a valid tail the open breaker absorbs.
+        let flood = {
+            let addr = args.addr.clone();
+            let tail: Vec<String> = head.iter().take(STORM_FLOOD_VALID_TAIL).cloned().collect();
+            scope.spawn(move || -> std::io::Result<(u64, u64)> {
+                let mut stream = TcpStream::connect(&addr)?;
+                stream.set_nodelay(true)?;
+                stream.write_all(b"#priority low\n")?;
+                let mut rng = seed | 1;
+                for _ in 0..STORM_JUNK_LINES {
+                    stream.write_all(junk_line(&mut rng).as_bytes())?;
+                }
+                for line in &tail {
+                    stream.write_all(line.as_bytes())?;
+                }
+                stream.flush()?;
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let mut sink = [0u8; 256];
+                while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+                Ok((tail.len() as u64, STORM_JUNK_LINES as u64))
+            })
+        };
+        // Give the trickle and the flood a head start so the spike
+        // lands on a server already busy, then unleash the crowd.
+        std::thread::sleep(Duration::from_millis(100));
+        let crowd_handles: Vec<_> = crowd
+            .iter()
+            .map(|share| {
+                let addr = args.addr.clone();
+                scope.spawn(move || send_share(&addr, share, 0, None))
+            })
+            .collect();
+
+        let mut valid = 0u64;
+        for h in crowd_handles {
+            h.join().expect("crowd sender")?;
+        }
+        for share in &crowd {
+            valid += share.lines.len() as u64;
+        }
+        for h in trickles {
+            valid += h.join().expect("trickle sender")?;
+        }
+        let (flood_valid, junk) = flood.join().expect("flood sender")?;
+        valid += flood_valid;
+        Ok((valid, junk))
+    })
+}
+
 fn main() {
     let args = parse_args();
+    if args.storm {
+        let t0 = Instant::now();
+        let (valid, junk) = run_storm(&args).unwrap_or_else(|e| {
+            eprintln!("replay: storm failed: {e}");
+            std::process::exit(1);
+        });
+        let sources = STORM_CROWD_CONNECTIONS + STORM_TRICKLE_CONNECTIONS + 1;
+        // Stdout, always: the chaos gate parses this line.
+        println!(
+            "storm-sent valid={valid} junk={junk} total={} sources={sources}",
+            valid + junk
+        );
+        if !args.quiet {
+            eprintln!(
+                "replay: storm complete in {:.1?} ({valid} valid + {junk} junk \
+                 lines over {sources} sources)",
+                t0.elapsed()
+            );
+        }
+        return;
+    }
     let shares = deal(&args.file, args.connections).unwrap_or_else(|e| {
         eprintln!("replay: cannot read {}: {e}", args.file);
         std::process::exit(1);

@@ -23,7 +23,21 @@
 //!                [--diagnostics] [--truth-alpha A] [--truth-h H]
 //!                [--telemetry-history] [--telemetry-interval-ms MS]
 //!                [--slo] [--slo-file PATH]
+//!                [--governor-sessions N] [--governor-queue-bytes N]
+//!                [--governor-memory-mb MB] [--watchdog-stall-secs S]
 //! ```
+//!
+//! Any `--governor-*` budget installs the process pressure governor
+//! (DESIGN.md §16): under Yellow the engine samples its per-record
+//! estimators 1-in-N (counted, with honestly wider CIs) and tightens
+//! the session TTL; under Red it also refuses records that would open
+//! new sessions (counted) and forces a checkpoint. The governor stage
+//! rides in the checkpoint and is restored on `--resume`.
+//! `--watchdog-stall-secs S` arms the stage watchdog: no engine
+//! progress for S seconds publishes a `Critical` watchdog event
+//! (`--alert-on critical` turns that into exit 3). SIGTERM/SIGINT
+//! stop the read loop at the next record boundary, write the final
+//! checkpoint and run report, and exit 0.
 //!
 //! `FILE` defaults to `-` (stdin). `--lenient` skips and counts
 //! malformed lines instead of aborting. `--snapshot-every N` rewrites
@@ -194,6 +208,10 @@ struct Args {
     telemetry_interval_ms: u64,
     slo: bool,
     slo_file: std::path::PathBuf,
+    governor_sessions: u64,
+    governor_queue_bytes: u64,
+    governor_memory_bytes: u64,
+    watchdog_stall_secs: u64,
 }
 
 fn usage() -> ! {
@@ -208,7 +226,9 @@ fn usage() -> ! {
          [--profile] [--profile-sample N] [--profile-out PATH] \
          [--profile-exemplars PATH] [--diagnostics] [--truth-alpha A] \
          [--truth-h H] [--telemetry-history] [--telemetry-interval-ms MS] \
-         [--slo] [--slo-file PATH]"
+         [--slo] [--slo-file PATH] [--governor-sessions N] \
+         [--governor-queue-bytes N] [--governor-memory-mb MB] \
+         [--watchdog-stall-secs S]"
     );
     std::process::exit(2);
 }
@@ -249,6 +269,10 @@ fn parse_args() -> Args {
         telemetry_interval_ms: 1_000,
         slo: false,
         slo_file: std::path::PathBuf::from("slo.toml"),
+        governor_sessions: 0,
+        governor_queue_bytes: 0,
+        governor_memory_bytes: 0,
+        watchdog_stall_secs: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -357,6 +381,27 @@ fn parse_args() -> Args {
             "--slo-file" => {
                 parsed.slo_file = value("--slo-file").into();
                 parsed.slo = true;
+            }
+            "--governor-sessions" => {
+                parsed.governor_sessions = value("--governor-sessions")
+                    .parse()
+                    .expect("--governor-sessions: open-session budget")
+            }
+            "--governor-queue-bytes" => {
+                parsed.governor_queue_bytes = value("--governor-queue-bytes")
+                    .parse()
+                    .expect("--governor-queue-bytes: bytes")
+            }
+            "--governor-memory-mb" => {
+                let mb: u64 = value("--governor-memory-mb")
+                    .parse()
+                    .expect("--governor-memory-mb: megabytes");
+                parsed.governor_memory_bytes = mb.saturating_mul(1_000_000);
+            }
+            "--watchdog-stall-secs" => {
+                parsed.watchdog_stall_secs = value("--watchdog-stall-secs")
+                    .parse()
+                    .expect("--watchdog-stall-secs: seconds")
             }
             "--events" => parsed.events_path = Some(value("--events").into()),
             "--seasonal-period" => {
@@ -533,6 +578,22 @@ fn main() {
         pct
     });
     obs::reset();
+    obs::shutdown::install();
+    if args.governor_sessions > 0 || args.governor_queue_bytes > 0 || args.governor_memory_bytes > 0
+    {
+        obs::governor::install(obs::governor::GovernorConfig {
+            session_budget: args.governor_sessions,
+            queue_bytes_budget: args.governor_queue_bytes,
+            memory_budget_bytes: args.governor_memory_bytes,
+            ..obs::governor::GovernorConfig::default()
+        });
+        say!(
+            "pressure governor armed: sessions {} / queue bytes {} / memory bytes {}",
+            args.governor_sessions,
+            args.governor_queue_bytes,
+            args.governor_memory_bytes
+        );
+    }
     if args.profile {
         obs::profile::enable(args.profile_sample);
         if let Some(pct) = overhead_pct {
@@ -659,14 +720,42 @@ fn main() {
         ..SupervisorConfig::default()
     };
 
+    /// Stops the stream at the next record boundary once a shutdown
+    /// signal has arrived: the supervisor sees a normal end of input
+    /// and takes its usual final-checkpoint-and-report exit.
+    struct DrainSource<S>(S);
+
+    impl<S: webpuzzle_stream::Source<Item = webpuzzle_weblog::LogRecord>> webpuzzle_stream::Source
+        for DrainSource<S>
+    {
+        type Item = webpuzzle_weblog::LogRecord;
+        fn next_item(&mut self) -> Option<webpuzzle_stream::Result<webpuzzle_weblog::LogRecord>> {
+            if obs::shutdown::requested() {
+                return None;
+            }
+            self.0.next_item()
+        }
+    }
+
+    impl<S: webpuzzle_stream::RecoverableSource> webpuzzle_stream::RecoverableSource
+        for DrainSource<S>
+    {
+        fn position(&self) -> SourcePosition {
+            self.0.position()
+        }
+        fn disarm_crash(&mut self) {
+            self.0.disarm_crash();
+        }
+    }
+
+    type DrainedClf = DrainSource<FaultSource<ClfSource<Box<dyn io::BufRead>>>>;
+
     let fault_spec = args.inject_faults.clone().unwrap_or_default();
     let base_epoch = args.base_epoch;
     let lenient = args.lenient;
     let factory_input = input.clone();
     let mut stdin_taken = false;
-    let factory = move |pos: &SourcePosition| -> webpuzzle_stream::Result<
-        FaultSource<ClfSource<Box<dyn io::BufRead>>>,
-    > {
+    let factory = move |pos: &SourcePosition| -> webpuzzle_stream::Result<DrainedClf> {
         let reader: Box<dyn io::BufRead> = if factory_input == "-" {
             if stdin_taken {
                 return Err(io::Error::other(
@@ -688,8 +777,24 @@ fn main() {
             .with_position(pos);
         let mut source = FaultSource::new(clf, fault_spec.clone());
         source.set_index(pos.parsed);
-        Ok(source)
+        Ok(DrainSource(source))
     };
+
+    // Stage watchdog over the one pipeline stage this binary has; the
+    // monitor thread scans on a wall-clock cadence, the engine beats
+    // per record.
+    let mut watchdog = (args.watchdog_stall_secs > 0).then(|| {
+        let mut wd = webpuzzle_stream::Watchdog::new(
+            webpuzzle_stream::WatchdogConfig {
+                stall_after: std::time::Duration::from_secs(args.watchdog_stall_secs),
+                ..webpuzzle_stream::WatchdogConfig::default()
+            },
+            &["engine"],
+        );
+        wd.spawn_monitor();
+        wd
+    });
+    let engine_beat = watchdog.as_ref().map(|wd| wd.handle(0));
 
     let mut supervisor = Supervisor::new(engine_cfg, sup_cfg, factory);
     if let Some(ck) = resume_ck {
@@ -702,6 +807,9 @@ fn main() {
     let mut progress = obs::ProgressMeter::new("stream/records", None);
     supervisor = supervisor.on_record(Box::new(move |engine| {
         progress.tick(1);
+        if let Some(beat) = &engine_beat {
+            beat.beat();
+        }
         if snapshot_every > 0 && engine.records().is_multiple_of(snapshot_every) {
             let partial = engine.summary();
             let report = obs::RunReport::collect(
@@ -739,6 +847,28 @@ fn main() {
 
     print_summary(&summary, skipped);
     print_recovery(&report, resumed);
+    if let Some(wd) = &mut watchdog {
+        wd.stop();
+        let stalls = wd.total_stalls();
+        if stalls > 0 {
+            say!("  watchdog: {stalls} stall(s) detected during the run");
+        }
+    }
+    if obs::governor::is_installed() {
+        say!(
+            "  governor: final state {} (pressure {:.2}); \
+             {} record(s) hard-shed, {} estimator sample(s) skipped, \
+             {} session(s) evicted early",
+            obs::governor::state().as_str(),
+            obs::governor::pressure(),
+            summary.hard_shed_records,
+            summary.sampled_out,
+            summary.early_evicted_sessions
+        );
+    }
+    if obs::shutdown::requested() {
+        say!("  graceful shutdown: stopped at a record boundary, final checkpoint and report written");
+    }
     if args.diagnostics {
         print_diagnostics(&summary.diagnostics);
     }

@@ -26,6 +26,8 @@
 //!              [--inject-faults SPEC] [--max-restores N] [--max-retries N]
 //!              [--telemetry-history] [--telemetry-interval-ms MS]
 //!              [--slo] [--slo-file PATH]
+//!              [--governor-sessions N] [--governor-queue-bytes N]
+//!              [--governor-memory-mb MB] [--watchdog-stall-secs S]
 //! ```
 //!
 //! `--listen` defaults to `127.0.0.1:0` (ephemeral port); the bound
@@ -59,6 +61,22 @@
 //! `--alert-on`), prints a deep-health verdict after the summary, and
 //! embeds it in the run report. `/healthz?deep=1` serves the same
 //! rollup live.
+//!
+//! Any `--governor-*` budget installs the process pressure governor
+//! (DESIGN.md §16): occupancy over budget moves the run through
+//! Green → Yellow → Red, the hub sheds low-priority batches
+//! proportionally, the engine degrades to estimator sampling and a
+//! tightened session TTL, and every shed is counted. The governor's
+//! stage rides in the checkpoint, so a resumed run picks the flood
+//! back up where it left it. `--watchdog-stall-secs` arms the stage
+//! watchdog: records buffered in the hub with no engine progress for
+//! that long publishes a `Critical` watchdog event (which `--alert-on
+//! critical` turns into exit 3).
+//!
+//! SIGTERM/SIGINT request a graceful drain: the hub stops admitting
+//! (late arrivals are counted as shutdown drops), buffered records
+//! flow through the engine, the final checkpoint and run report are
+//! written, and the process exits 0.
 //!
 //! Exit codes mirror `stream-analyze`: 0 clean, 1 runtime error,
 //! 2 usage, 3 drift alarms at or above `--alert-on`, 4 completed but
@@ -124,6 +142,10 @@ struct Args {
     telemetry_interval_ms: u64,
     slo: bool,
     slo_file: std::path::PathBuf,
+    governor_sessions: u64,
+    governor_queue_bytes: u64,
+    governor_memory_bytes: u64,
+    watchdog_stall_secs: u64,
 }
 
 fn usage() -> ! {
@@ -138,7 +160,9 @@ fn usage() -> ! {
          [--max-sources N] [--exit-after-sources N] [--stall-grace-ms MS] \
          [--max-line-bytes N] [--batch-records N] [--inject-faults SPEC] \
          [--max-restores N] [--max-retries N] [--telemetry-history] \
-         [--telemetry-interval-ms MS] [--slo] [--slo-file PATH]"
+         [--telemetry-interval-ms MS] [--slo] [--slo-file PATH] \
+         [--governor-sessions N] [--governor-queue-bytes N] \
+         [--governor-memory-mb MB] [--watchdog-stall-secs S]"
     );
     std::process::exit(2);
 }
@@ -179,6 +203,10 @@ fn parse_args() -> Args {
         telemetry_interval_ms: 1_000,
         slo: false,
         slo_file: std::path::PathBuf::from("slo.toml"),
+        governor_sessions: 0,
+        governor_queue_bytes: 0,
+        governor_memory_bytes: 0,
+        watchdog_stall_secs: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -305,6 +333,27 @@ fn parse_args() -> Args {
                 parsed.slo_file = value("--slo-file").into();
                 parsed.slo = true;
             }
+            "--governor-sessions" => {
+                parsed.governor_sessions = value("--governor-sessions")
+                    .parse()
+                    .expect("--governor-sessions: open-session budget")
+            }
+            "--governor-queue-bytes" => {
+                parsed.governor_queue_bytes = value("--governor-queue-bytes")
+                    .parse()
+                    .expect("--governor-queue-bytes: bytes")
+            }
+            "--governor-memory-mb" => {
+                let mb: u64 = value("--governor-memory-mb")
+                    .parse()
+                    .expect("--governor-memory-mb: megabytes");
+                parsed.governor_memory_bytes = mb.saturating_mul(1_000_000);
+            }
+            "--watchdog-stall-secs" => {
+                parsed.watchdog_stall_secs = value("--watchdog-stall-secs")
+                    .parse()
+                    .expect("--watchdog-stall-secs: seconds")
+            }
             _ => usage(),
         }
     }
@@ -385,6 +434,13 @@ fn ingest_value(st: &ingest::HubStats) -> serde::Value {
         ),
         ("oversized_lines".to_string(), st.oversized_lines.to_value()),
         ("torn_lines".to_string(), st.torn_lines.to_value()),
+        ("pressure_shed".to_string(), st.pressure_shed.to_value()),
+        ("breaker_dropped".to_string(), st.breaker_dropped.to_value()),
+        ("breaker_trips".to_string(), st.breaker_trips.to_value()),
+        (
+            "shutdown_dropped".to_string(),
+            st.shutdown_dropped.to_value(),
+        ),
         ("bytes_received".to_string(), st.bytes_received.to_value()),
         ("lines_received".to_string(), st.lines_received.to_value()),
     ])
@@ -401,6 +457,22 @@ fn main() {
         obs::set_sink(Box::new(obs::StderrSink::default()));
     }
     obs::reset();
+    obs::shutdown::install();
+    if args.governor_sessions > 0 || args.governor_queue_bytes > 0 || args.governor_memory_bytes > 0
+    {
+        obs::governor::install(obs::governor::GovernorConfig {
+            session_budget: args.governor_sessions,
+            queue_bytes_budget: args.governor_queue_bytes,
+            memory_budget_bytes: args.governor_memory_bytes,
+            ..obs::governor::GovernorConfig::default()
+        });
+        say!(
+            "pressure governor armed: sessions {} / queue bytes {} / memory bytes {}",
+            args.governor_sessions,
+            args.governor_queue_bytes,
+            args.governor_memory_bytes
+        );
+    }
     if let Some(path) = &args.events_path {
         let sink = obs::events::JsonlEventSink::create(path).unwrap_or_else(|e| {
             eprintln!(
@@ -472,6 +544,7 @@ fn main() {
         max_sources: args.max_sources,
         expected_sources: args.exit_after_sources,
         stall_grace: (args.stall_grace_ms > 0).then(|| Duration::from_millis(args.stall_grace_ms)),
+        ..ingest::HubConfig::default()
     });
     if let Some(ck) = &resume_ck {
         hub.set_baseline(ck.source);
@@ -560,6 +633,54 @@ fn main() {
             Ok(source)
         };
 
+    // SIGTERM/SIGINT → graceful drain: finish the hub so buffered
+    // records flow out and the merged stream ends; the supervisor then
+    // takes its normal final-checkpoint-and-report exit.
+    let run_done = std::sync::Arc::new(AtomicBool::new(false));
+    {
+        let hub = hub.clone();
+        let run_done = std::sync::Arc::clone(&run_done);
+        std::thread::spawn(move || {
+            while !run_done.load(Ordering::Relaxed) {
+                if obs::shutdown::requested() {
+                    eprintln!("stream-serve: shutdown signal — draining buffered records");
+                    hub.finish();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+    }
+
+    // Stage watchdog: a stall is records buffered in the hub while the
+    // engine makes no progress — an idle wire is not a stall.
+    let watchdog = (args.watchdog_stall_secs > 0).then(|| {
+        std::sync::Arc::new(webpuzzle_stream::Watchdog::new(
+            webpuzzle_stream::WatchdogConfig {
+                stall_after: Duration::from_secs(args.watchdog_stall_secs),
+                ..webpuzzle_stream::WatchdogConfig::default()
+            },
+            &["engine"],
+        ))
+    });
+    let engine_beat = watchdog.as_ref().map(|wd| wd.handle(0));
+    if let Some(wd) = &watchdog {
+        let wd = std::sync::Arc::clone(wd);
+        let idle_beat = wd.handle(0);
+        let hub = hub.clone();
+        let run_done = std::sync::Arc::clone(&run_done);
+        std::thread::spawn(move || {
+            while !run_done.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(250));
+                if hub.stats().buffered > 0 {
+                    wd.scan();
+                } else {
+                    idle_beat.beat();
+                }
+            }
+        });
+    }
+
     let mut supervisor = Supervisor::new(engine_cfg, sup_cfg, factory);
     if let Some(ck) = resume_ck {
         supervisor = supervisor.with_resume(ck);
@@ -567,6 +688,9 @@ fn main() {
     let mut progress = obs::ProgressMeter::new("stream/records", None);
     supervisor = supervisor.on_record(Box::new(move |_engine| {
         progress.tick(1);
+        if let Some(beat) = &engine_beat {
+            beat.beat();
+        }
     }));
 
     let t0 = std::time::Instant::now();
@@ -574,6 +698,7 @@ fn main() {
         eprintln!("stream-serve: {e}");
         std::process::exit(1);
     });
+    run_done.store(true, Ordering::Relaxed);
     // The merged stream has ended; stop accepting and let connection
     // threads drain out.
     hub.finish();
@@ -590,6 +715,15 @@ fn main() {
 
     print_summary(&summary, &stats);
     print_recovery(&report, resumed);
+    if let Some(wd) = &watchdog {
+        let stalls = wd.total_stalls();
+        if stalls > 0 {
+            say!("  watchdog: {stalls} stall(s) detected during the run");
+        }
+    }
+    if obs::shutdown::requested() {
+        say!("  graceful shutdown: drained, final checkpoint and report written");
+    }
 
     // Final telemetry tick + SLO pass before anything reads the verdict:
     // the run report below and the --alert-on gate both must see events
@@ -661,6 +795,9 @@ fn print_summary(summary: &StreamSummary, stats: &ingest::HubStats) {
         ("late", stats.late_dropped),
         ("duplicate", stats.duplicate_dropped),
         ("stall-late", stats.stall_late_dropped),
+        ("pressure-shed", stats.pressure_shed),
+        ("breaker-dropped", stats.breaker_dropped),
+        ("shutdown-dropped", stats.shutdown_dropped),
     ];
     let shed: Vec<String> = sheds
         .iter()
@@ -671,6 +808,23 @@ fn print_summary(summary: &StreamSummary, stats: &ingest::HubStats) {
         say!("  ingest sheds: none");
     } else {
         say!("  ingest sheds: {}", shed.join(", "));
+    }
+    if stats.breaker_trips > 0 || stats.breakers_open > 0 {
+        say!(
+            "  circuit breakers: {} trip(s), {} currently open/probing",
+            stats.breaker_trips,
+            stats.breakers_open
+        );
+    }
+    if obs::governor::is_installed() {
+        say!(
+            "  governor: final state {} (pressure {:.2}); \
+             {} record(s) hard-shed, {} estimator sample(s) skipped",
+            obs::governor::state().as_str(),
+            obs::governor::pressure(),
+            summary.hard_shed_records,
+            summary.sampled_out
+        );
     }
     let alpha = |tail: &webpuzzle_stream::TailSnapshot| {
         tail.alpha

@@ -22,6 +22,13 @@
 //! skipped and counted by cause under lenient parsing, or end the
 //! connection under strict. Nothing in this module panics on hostile
 //! input.
+//!
+//! **Admission priority** is declared in-band: a line-protocol client
+//! sends a `#priority <high|normal|low>` control line (any point in the
+//! stream, conventionally first), an HTTP client sets the
+//! `X-Ingest-Priority` header. Unknown or missing declarations leave
+//! the source at [`Priority::Normal`]; under governor pressure the hub
+//! sheds lowest-priority sources first.
 
 use std::io::{self, BufRead, BufReader, Read};
 use std::net::TcpStream;
@@ -33,7 +40,7 @@ use webpuzzle_obs::metrics;
 use webpuzzle_weblog::clf::parse_line;
 use webpuzzle_weblog::{LogRecord, MalformedKind, WeblogError};
 
-use crate::hub::{IngestHub, SourceHandle};
+use crate::hub::{IngestHub, Priority, SourceHandle};
 
 /// Per-connection parsing configuration.
 #[derive(Debug, Clone)]
@@ -259,7 +266,14 @@ fn handle_line_protocol<R: BufRead>(reader: &mut R, hub: &Arc<IngestHub>, cfg: &
                 lines_acc += 1;
                 let line = String::from_utf8_lossy(&buf);
                 let line = line.trim_end_matches(['\n', '\r']);
-                if !line.trim().is_empty() {
+                if let Some(decl) = line.strip_prefix("#priority ") {
+                    // In-band control line, not a record; an unknown
+                    // class is counted malformed rather than ignored.
+                    match Priority::parse(decl.trim()) {
+                        Some(p) => handle.set_priority(p),
+                        None => handle.note_malformed(MalformedKind::Other),
+                    }
+                } else if !line.trim().is_empty() {
                     match parse_line(line, cfg.base_epoch) {
                         Ok(rec) => {
                             batch.push(rec);
@@ -333,7 +347,11 @@ fn handle_http<R: Read>(
     };
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/ingest") => {
-            let handle = match hub.register_source("http") {
+            let priority = req
+                .header("x-ingest-priority")
+                .and_then(Priority::parse)
+                .unwrap_or_default();
+            let handle = match hub.register_source_with("http", priority) {
                 Ok(h) => h,
                 Err(e) => {
                     metrics::counter("ingest/sources_rejected").incr();

@@ -19,6 +19,20 @@
 //! - **Metrics**: per-source queue depth and watermark lag, global
 //!   queue depth, shed counters — all live on `/metrics` while the
 //!   service runs.
+//! - **Adaptive admission** (overload governor): every source carries a
+//!   [`Priority`] class; when the process-wide
+//!   [`webpuzzle_obs::governor`] leaves Green, push-side admission
+//!   sheds the lowest-priority records first, proportionally to
+//!   pressure, counted under `ingest/records_pressure_shed` — never
+//!   silently. Backpressure still protects Green operation; shedding
+//!   only starts once the global budget is threatened.
+//! - **Circuit breakers**: a source whose malformed/torn/oversized rate
+//!   stays above [`BreakerConfig::trip_ratio`] across a
+//!   [`BreakerConfig::window`]-line window is tripped open — its
+//!   records are dropped (counted under
+//!   `ingest/records_breaker_dropped`) until a cooldown elapses, then
+//!   re-admitted through a half-open probe window that closes the
+//!   breaker only if the probes come back clean.
 //!
 //! End-of-stream is explicit: with `expected_sources = Some(n)` the
 //! merged stream ends once `n` sources have connected, all of them have
@@ -34,7 +48,7 @@
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use webpuzzle_obs::{events, metrics};
+use webpuzzle_obs::{events, governor, metrics};
 use webpuzzle_stream::SourcePosition;
 use webpuzzle_weblog::clf::MALFORMED_SKIPPED_COUNTER;
 use webpuzzle_weblog::{LogRecord, MalformedBreakdown, MalformedKind};
@@ -45,6 +59,189 @@ use crate::merge::{PushOutcome, WatermarkMerger};
 const POP_TICK: Duration = Duration::from_millis(100);
 /// Pop-side gauge refresh cadence, in records.
 const GAUGE_EVERY: u64 = 64;
+
+/// Admission priority of a source. Under governor pressure the hub
+/// sheds `Low` before `Normal` and never sheds `High` — the operator's
+/// knob for "my canary trickle must survive the bot flood".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Shed last (never by the hub): control traffic, canaries.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Shed first: bulk backfill, untrusted floods.
+    Low,
+}
+
+impl Priority {
+    /// Lower-case token used in wire directives and counter names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parse a wire/CLI token (case-insensitive).
+    pub fn parse(token: &str) -> Option<Priority> {
+        match token.trim().to_ascii_lowercase().as_str() {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
+
+/// Per-source circuit-breaker thresholds. All counts are in *lines*
+/// (records pushed plus malformed/torn/oversized notes), so breaker
+/// behavior is a deterministic function of the wire history — the shed
+/// conservation property test relies on that.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Lines per evaluation window.
+    pub window: u64,
+    /// Bad-line fraction at or above which the breaker trips.
+    pub trip_ratio: f64,
+    /// Lines (including dropped ones) the breaker stays open before
+    /// probing.
+    pub cooldown: u64,
+    /// Clean probe records required to close from half-open.
+    pub probes: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 64,
+            trip_ratio: 0.5,
+            cooldown: 256,
+            probes: 16,
+        }
+    }
+}
+
+/// Breaker state machine. `Closed` admits and watches the bad-line
+/// rate; `Open` drops everything while a cooldown runs down; `HalfOpen`
+/// admits a bounded probe batch and re-trips on the first bad line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { cooldown_left: u64 },
+    HalfOpen { probes_left: u64 },
+}
+
+/// Push-side admission state for one source: its priority class, its
+/// breaker, and the fractional-shed accumulator (Bresenham-style, so a
+/// shed fraction of 0.3 drops exactly 3 of every 10 records,
+/// deterministically).
+#[derive(Debug)]
+struct Admission {
+    priority: Priority,
+    breaker: BreakerState,
+    window_lines: u64,
+    window_bad: u64,
+    shed_accum: f64,
+}
+
+impl Admission {
+    fn new(priority: Priority) -> Self {
+        Admission {
+            priority,
+            breaker: BreakerState::Closed,
+            window_lines: 0,
+            window_bad: 0,
+            shed_accum: 0.0,
+        }
+    }
+}
+
+/// What the breaker decided about one observed line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerVerdict {
+    /// Admit the record (or count the bad line) normally.
+    Admit,
+    /// Breaker is open: drop the record, counted.
+    Drop,
+    /// This observation tripped the breaker open.
+    Tripped,
+    /// This observation closed the breaker from half-open.
+    Recovered,
+}
+
+/// Advance one source's breaker for one observed line (`bad` = a
+/// malformed/torn/oversized note, good = a pushed record). Pure state
+/// machine — event publication happens at the call sites, outside the
+/// per-record loop's fast path.
+fn breaker_observe(adm: &mut Admission, cfg: &BreakerConfig, bad: bool) -> BreakerVerdict {
+    match adm.breaker {
+        BreakerState::Closed => {
+            adm.window_lines += 1;
+            if bad {
+                adm.window_bad += 1;
+            }
+            if adm.window_lines >= cfg.window {
+                let tripped = adm.window_bad as f64 >= cfg.trip_ratio * adm.window_lines as f64;
+                adm.window_lines = 0;
+                adm.window_bad = 0;
+                if tripped {
+                    adm.breaker = BreakerState::Open {
+                        cooldown_left: cfg.cooldown,
+                    };
+                    return BreakerVerdict::Tripped;
+                }
+            }
+            BreakerVerdict::Admit
+        }
+        BreakerState::Open { cooldown_left } => {
+            let left = cooldown_left.saturating_sub(1);
+            adm.breaker = if left == 0 {
+                BreakerState::HalfOpen {
+                    probes_left: cfg.probes.max(1),
+                }
+            } else {
+                BreakerState::Open {
+                    cooldown_left: left,
+                }
+            };
+            BreakerVerdict::Drop
+        }
+        BreakerState::HalfOpen { probes_left } => {
+            if bad {
+                // A dirty probe: straight back to open.
+                adm.breaker = BreakerState::Open {
+                    cooldown_left: cfg.cooldown,
+                };
+                return BreakerVerdict::Tripped;
+            }
+            let left = probes_left.saturating_sub(1);
+            if left == 0 {
+                adm.breaker = BreakerState::Closed;
+                adm.window_lines = 0;
+                adm.window_bad = 0;
+                return BreakerVerdict::Recovered;
+            }
+            adm.breaker = BreakerState::HalfOpen { probes_left: left };
+            BreakerVerdict::Admit
+        }
+    }
+}
+
+/// Fraction of this priority class to shed at the given governor state
+/// and pressure. Lowest priority sheds first and proportionally to
+/// pressure; `High` is never shed by the hub (the engine's Red-state
+/// hard shed is the last resort above it).
+fn shed_fraction(state: governor::PressureState, pressure: f64, priority: Priority) -> f64 {
+    use governor::PressureState::*;
+    match (state, priority) {
+        (Yellow, Priority::Low) => pressure.clamp(0.0, 1.0),
+        (Red, Priority::Low) => 1.0,
+        (Red, Priority::Normal) => pressure.clamp(0.0, 1.0),
+        _ => 0.0,
+    }
+}
 
 /// Hub configuration; see the module docs for the semantics.
 #[derive(Debug, Clone)]
@@ -68,6 +265,8 @@ pub struct HubConfig {
     /// releasable) before idle sources are marked stalled. `None`
     /// disables stall release: an idle open source blocks forever.
     pub stall_grace: Option<Duration>,
+    /// Per-source circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for HubConfig {
@@ -79,6 +278,7 @@ impl Default for HubConfig {
             max_sources: 64,
             expected_sources: None,
             stall_grace: Some(Duration::from_secs(5)),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -139,6 +339,16 @@ struct HubState {
     /// One slot per registered source, index-aligned with the merger;
     /// `None` once a closed source drained and its gauges were retired.
     source_gauges: Vec<Option<PerSourceGauges>>,
+    /// Push-side admission state, index-aligned with the merger.
+    admissions: Vec<Admission>,
+    /// Records shed by governor pressure (lowest priority first).
+    pressure_shed: u64,
+    /// Records dropped while a source's breaker was open.
+    breaker_dropped: u64,
+    /// Breaker trips (initial and half-open re-trips).
+    breaker_trips: u64,
+    /// Records discarded because the hub finished mid-batch.
+    shutdown_dropped: u64,
 }
 
 struct HubCounters {
@@ -152,7 +362,13 @@ struct HubCounters {
     sources_total: Arc<metrics::Counter>,
     records_parsed: Arc<webpuzzle_obs::ShardedCounter>,
     malformed_skipped: Arc<metrics::Counter>,
+    pressure_shed: Arc<metrics::Counter>,
+    breaker_dropped: Arc<metrics::Counter>,
+    breaker_trips: Arc<metrics::Counter>,
+    shutdown_dropped: Arc<metrics::Counter>,
     queue_depth: Arc<metrics::Gauge>,
+    queue_bytes: Arc<metrics::Gauge>,
+    breakers_open: Arc<metrics::Gauge>,
     sources_active: Arc<metrics::Gauge>,
     watermark: Arc<metrics::Gauge>,
     max_lag: Arc<metrics::Gauge>,
@@ -171,7 +387,13 @@ impl HubCounters {
             sources_total: metrics::counter("ingest/sources_total"),
             records_parsed: metrics::sharded_counter("weblog/records_parsed"),
             malformed_skipped: metrics::counter(MALFORMED_SKIPPED_COUNTER),
+            pressure_shed: metrics::counter("ingest/records_pressure_shed"),
+            breaker_dropped: metrics::counter("ingest/records_breaker_dropped"),
+            breaker_trips: metrics::counter("ingest/breaker_trips"),
+            shutdown_dropped: metrics::counter("ingest/records_shutdown_dropped"),
             queue_depth: metrics::gauge("ingest/queue_depth"),
+            queue_bytes: metrics::gauge("ingest/queue_bytes"),
+            breakers_open: metrics::gauge("ingest/breakers_open"),
             sources_active: metrics::gauge("ingest/sources_active"),
             watermark: metrics::gauge("ingest/watermark"),
             max_lag: metrics::gauge("ingest/max_source_lag_secs"),
@@ -211,6 +433,11 @@ impl IngestHub {
                 pops_since_gauges: 0,
                 merge_late_reported: 0,
                 source_gauges: Vec::new(),
+                admissions: Vec::new(),
+                pressure_shed: 0,
+                breaker_dropped: 0,
+                breaker_trips: 0,
+                shutdown_dropped: 0,
             }),
             readable: Condvar::new(),
             writable: Condvar::new(),
@@ -234,6 +461,20 @@ impl IngestHub {
     /// [`RegisterError::AtCapacity`] over `max_sources`,
     /// [`RegisterError::Finished`] after the stream ended.
     pub fn register_source(self: &Arc<Self>, kind: &str) -> Result<SourceHandle, RegisterError> {
+        self.register_source_with(kind, Priority::Normal)
+    }
+
+    /// [`IngestHub::register_source`] with an explicit admission
+    /// priority — the class governor-pressure shedding orders by.
+    ///
+    /// # Errors
+    ///
+    /// As [`IngestHub::register_source`].
+    pub fn register_source_with(
+        self: &Arc<Self>,
+        kind: &str,
+        priority: Priority,
+    ) -> Result<SourceHandle, RegisterError> {
         let mut st = self.state.lock().expect("hub lock");
         if st.finished || self.ended(&st) {
             return Err(RegisterError::Finished);
@@ -249,6 +490,7 @@ impl IngestHub {
             queue_depth: metrics::gauge(&format!("ingest/source/{name}/queue_depth")),
             lag_secs: metrics::gauge(&format!("ingest/source/{name}/lag_secs")),
         }));
+        st.admissions.push(Admission::new(priority));
         self.counters.sources_total.incr();
         self.counters
             .sources_active
@@ -351,6 +593,15 @@ impl IngestHub {
             skipped_malformed: st.skipped,
             oversized_lines: st.oversized,
             torn_lines: st.torn,
+            pressure_shed: st.pressure_shed,
+            breaker_dropped: st.breaker_dropped,
+            breaker_trips: st.breaker_trips,
+            shutdown_dropped: st.shutdown_dropped,
+            breakers_open: st
+                .admissions
+                .iter()
+                .filter(|a| !matches!(a.breaker, BreakerState::Closed))
+                .count(),
             bytes_received: st.bytes_received,
             lines_received: st.lines_received,
             emitted_watermark: st.merger.emitted_watermark(),
@@ -443,8 +694,84 @@ impl IngestHub {
         ));
     }
 
+    /// Publish breaker trip/recovery events for one source. Called
+    /// outside the state lock; `trips`/`recoveries` are the counts the
+    /// caller observed inside it.
+    fn publish_breaker_events(&self, source: &str, trips: u64, recoveries: u64) {
+        for _ in 0..trips {
+            events::publish(events::Event::new(
+                events::Severity::Warn,
+                "ingest",
+                "ingest/breaker_trips",
+                0,
+                0.0,
+                0.0,
+                1.0,
+                self.cfg.breaker.trip_ratio,
+                self.cfg.breaker.trip_ratio,
+                format!(
+                    "circuit breaker tripped for source {source}: sustained \
+                     malformed/torn/oversized rate at or above {:.0}% over {} lines",
+                    self.cfg.breaker.trip_ratio * 100.0,
+                    self.cfg.breaker.window
+                ),
+            ));
+        }
+        for _ in 0..recoveries {
+            events::publish(events::Event::new(
+                events::Severity::Info,
+                "ingest",
+                "ingest/breaker_trips",
+                0,
+                0.0,
+                1.0,
+                0.0,
+                0.0,
+                self.cfg.breaker.trip_ratio,
+                format!(
+                    "circuit breaker closed for source {source}: {} half-open \
+                     probe(s) came back clean",
+                    self.cfg.breaker.probes
+                ),
+            ));
+        }
+    }
+
+    /// Feed one bad line (malformed/torn/oversized) into a source's
+    /// breaker, handling trip events and the open-breakers gauge.
+    fn breaker_note_bad(&self, st: &mut MutexGuard<'_, HubState>, id: usize, name: &str) {
+        match breaker_observe(&mut st.admissions[id], &self.cfg.breaker, true) {
+            BreakerVerdict::Tripped => {
+                st.breaker_trips += 1;
+                self.counters.breaker_trips.incr();
+                let open = st
+                    .admissions
+                    .iter()
+                    .filter(|a| !matches!(a.breaker, BreakerState::Closed))
+                    .count();
+                self.counters.breakers_open.set(open as f64);
+                self.publish_breaker_events(name, 1, 0);
+            }
+            BreakerVerdict::Drop => {
+                // An open breaker observed a bad line: nothing to drop
+                // (the line never parsed into a record), cooldown ticked.
+            }
+            BreakerVerdict::Admit | BreakerVerdict::Recovered => {}
+        }
+    }
+
     fn refresh_gauges(&self, st: &mut MutexGuard<'_, HubState>) {
         self.counters.queue_depth.set(st.merger.buffered() as f64);
+        let queue_bytes = (st.merger.buffered() * std::mem::size_of::<LogRecord>()) as u64;
+        self.counters.queue_bytes.set(queue_bytes as f64);
+        governor::set_queue_bytes(queue_bytes);
+        governor::evaluate();
+        let open_breakers = st
+            .admissions
+            .iter()
+            .filter(|a| !matches!(a.breaker, BreakerState::Closed))
+            .count();
+        self.counters.breakers_open.set(open_breakers as f64);
         self.counters
             .sources_active
             .set(st.merger.open_sources() as f64);
@@ -504,6 +831,16 @@ pub struct HubStats {
     pub oversized_lines: u64,
     /// Partial lines cut off by a disconnect.
     pub torn_lines: u64,
+    /// Records shed by governor pressure (lowest priority first).
+    pub pressure_shed: u64,
+    /// Records dropped while a source's circuit breaker was open.
+    pub breaker_dropped: u64,
+    /// Circuit-breaker trips (initial and half-open re-trips).
+    pub breaker_trips: u64,
+    /// Records discarded because the hub finished mid-batch.
+    pub shutdown_dropped: u64,
+    /// Sources whose breaker is currently not closed.
+    pub breakers_open: usize,
     /// Wire bytes consumed.
     pub bytes_received: u64,
     /// Wire lines consumed.
@@ -545,16 +882,59 @@ impl SourceHandle {
         if records.is_empty() {
             return;
         }
+        // One governor read per batch: admission reacts to pressure at
+        // batch granularity, and a Green read keeps the whole loop on
+        // the pre-governor fast path.
+        let gov_state = governor::state();
+        let gov_pressure = governor::pressure();
         let mut admitted = 0u64;
         let mut late = 0u64;
         let mut duplicates = 0u64;
+        let mut pressure_shed = 0u64;
+        let mut breaker_dropped = 0u64;
+        let mut shutdown_dropped = 0u64;
+        let mut trips = 0u64;
+        let mut recoveries = 0u64;
         let mut st = self.hub.state.lock().expect("hub lock");
-        for record in records {
+        for (i, record) in records.iter().enumerate() {
+            // Breaker first: an open breaker drops regardless of
+            // pressure, and its cooldown advances per observed line.
+            match breaker_observe(&mut st.admissions[self.id], &self.hub.cfg.breaker, false) {
+                BreakerVerdict::Drop => {
+                    breaker_dropped += 1;
+                    continue;
+                }
+                BreakerVerdict::Tripped => {
+                    // A record can only trip the breaker by closing a
+                    // window whose bad rate was already over the bar;
+                    // the record itself is clean, so it is admitted.
+                    trips += 1;
+                }
+                BreakerVerdict::Recovered => recoveries += 1,
+                BreakerVerdict::Admit => {}
+            }
+            // Pressure shed: lowest priority first, proportional to
+            // pressure, Bresenham accumulator for exact fractions.
+            if gov_state != governor::PressureState::Green {
+                let adm = &mut st.admissions[self.id];
+                let frac = shed_fraction(gov_state, gov_pressure, adm.priority);
+                if frac > 0.0 {
+                    adm.shed_accum += frac;
+                    if adm.shed_accum >= 1.0 {
+                        adm.shed_accum -= 1.0;
+                        pressure_shed += 1;
+                        continue;
+                    }
+                }
+            }
             while st.merger.buffered_of(self.id) >= self.hub.cfg.queue_capacity && !st.finished {
                 let guard = self.hub.writable.wait(st).expect("hub lock");
                 st = guard;
             }
             if st.finished {
+                // The analyzer is gone; the rest of the batch cannot be
+                // delivered. Count it — shutdown is not silence.
+                shutdown_dropped += (records.len() - i) as u64;
                 break;
             }
             match st.merger.push(self.id, *record) {
@@ -564,21 +944,49 @@ impl SourceHandle {
             }
         }
         st.last_progress = Instant::now();
+        st.pressure_shed += pressure_shed;
+        st.breaker_dropped += breaker_dropped;
+        st.breaker_trips += trips;
+        st.shutdown_dropped += shutdown_dropped;
         if let Some(gauges) = st.source_gauges[self.id].as_ref() {
             gauges
                 .queue_depth
                 .set(st.merger.buffered_of(self.id) as f64);
         }
-        self.hub
-            .counters
-            .queue_depth
-            .set(st.merger.buffered() as f64);
+        let buffered = st.merger.buffered();
+        self.hub.counters.queue_depth.set(buffered as f64);
+        let queue_bytes = (buffered * std::mem::size_of::<LogRecord>()) as u64;
+        self.hub.counters.queue_bytes.set(queue_bytes as f64);
+        governor::set_queue_bytes(queue_bytes);
+        let source_name = (trips > 0 || recoveries > 0).then(|| self.name.clone());
         drop(st);
         self.hub.counters.admitted.add(admitted);
         self.hub.counters.late.add(late);
         self.hub.counters.duplicates.add(duplicates);
+        self.hub.counters.pressure_shed.add(pressure_shed);
+        self.hub.counters.breaker_dropped.add(breaker_dropped);
+        self.hub.counters.breaker_trips.add(trips);
+        self.hub.counters.shutdown_dropped.add(shutdown_dropped);
         self.hub.counters.records_parsed.add(records.len() as u64);
+        if let Some(name) = source_name {
+            self.hub.publish_breaker_events(&name, trips, recoveries);
+        }
         self.hub.readable.notify_all();
+    }
+
+    /// Change this source's admission priority. Wire clients declare it
+    /// in-band (`#priority <class>` line, `X-Ingest-Priority` header),
+    /// so the handle starts at the registration default and is adjusted
+    /// once the declaration arrives.
+    pub fn set_priority(&self, priority: Priority) {
+        let mut st = self.hub.state.lock().expect("hub lock");
+        st.admissions[self.id].priority = priority;
+    }
+
+    /// This source's current admission priority.
+    pub fn priority(&self) -> Priority {
+        let st = self.hub.state.lock().expect("hub lock");
+        st.admissions[self.id].priority
     }
 
     /// Account wire consumption (bytes and newline-terminated lines).
@@ -595,6 +1003,7 @@ impl SourceHandle {
         let mut st = self.hub.state.lock().expect("hub lock");
         st.skipped += 1;
         st.malformed.record(kind);
+        self.hub.breaker_note_bad(&mut st, self.id, &self.name);
         drop(st);
         self.hub.counters.malformed_skipped.incr();
         metrics::counter(&format!(
@@ -609,6 +1018,7 @@ impl SourceHandle {
     pub fn note_oversized(&self) {
         let mut st = self.hub.state.lock().expect("hub lock");
         st.oversized += 1;
+        self.hub.breaker_note_bad(&mut st, self.id, &self.name);
         drop(st);
         self.hub.counters.oversized.incr();
     }
@@ -617,6 +1027,7 @@ impl SourceHandle {
     pub fn note_torn(&self) {
         let mut st = self.hub.state.lock().expect("hub lock");
         st.torn += 1;
+        self.hub.breaker_note_bad(&mut st, self.id, &self.name);
         drop(st);
         self.hub.counters.torn.incr();
     }
@@ -820,6 +1231,76 @@ mod tests {
         assert_eq!(h.pop_blocking().unwrap().timestamp, 5.0);
         assert_eq!(h.pop_blocking().unwrap().timestamp, 6.0);
         assert!(h.pop_blocking().is_none());
+    }
+
+    /// Sustained bad lines trip the source's breaker open; the open
+    /// breaker drops records while the cooldown runs down, then clean
+    /// half-open probes re-admit the source. A dirty probe re-trips.
+    #[test]
+    fn breaker_trips_on_sustained_bad_lines_and_readmits() {
+        let h = hub(HubConfig {
+            expected_sources: Some(1),
+            breaker: BreakerConfig {
+                window: 4,
+                trip_ratio: 0.5,
+                cooldown: 6,
+                probes: 2,
+            },
+            ..HubConfig::default()
+        });
+        let a = h.register_source("brk").unwrap();
+        for _ in 0..4 {
+            a.note_malformed(MalformedKind::Other);
+        }
+        let stats = h.stats();
+        assert_eq!(stats.breaker_trips, 1, "4/4 bad over a 4-line window trips");
+        assert_eq!(stats.breakers_open, 1);
+
+        // Open: the next 6 observations drop while the cooldown runs
+        // out, then the 2 clean probes close the breaker and the tail
+        // of the batch is admitted.
+        let records: Vec<LogRecord> = (0..10).map(|i| rec(i as f64, 1)).collect();
+        a.push_batch(&records);
+        drop(a);
+        let stats = h.stats();
+        assert_eq!(stats.breaker_dropped, 6);
+        assert_eq!(stats.breaker_trips, 1, "clean probes do not re-trip");
+        assert_eq!(stats.breakers_open, 0, "probes closed the breaker");
+        let times: Vec<f64> = std::iter::from_fn(|| h.pop_blocking())
+            .map(|r| r.timestamp)
+            .collect();
+        assert_eq!(times, vec![6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(h.stats().admitted, 4);
+    }
+
+    /// A bad line during the half-open probe phase re-opens the breaker
+    /// immediately and counts a second trip.
+    #[test]
+    fn dirty_half_open_probe_re_trips_the_breaker() {
+        let h = hub(HubConfig {
+            expected_sources: Some(1),
+            breaker: BreakerConfig {
+                window: 2,
+                trip_ratio: 0.5,
+                cooldown: 3,
+                probes: 4,
+            },
+            ..HubConfig::default()
+        });
+        let a = h.register_source("brk2").unwrap();
+        a.note_malformed(MalformedKind::Other);
+        a.note_malformed(MalformedKind::Other);
+        assert_eq!(h.stats().breaker_trips, 1);
+        // Run the cooldown down with dropped records, reach half-open,
+        // then poison the first probe.
+        a.push_batch(&[rec(0.0, 1), rec(1.0, 1), rec(2.0, 1)]);
+        assert_eq!(h.stats().breaker_dropped, 3);
+        a.note_torn();
+        let stats = h.stats();
+        assert_eq!(stats.breaker_trips, 2, "dirty probe re-trips");
+        assert_eq!(stats.breakers_open, 1);
+        drop(a);
+        while h.pop_blocking().is_some() {}
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod merge;
 pub mod source;
 
 pub use conn::ConnConfig;
-pub use hub::{HubConfig, HubStats, IngestHub, SourceHandle};
+pub use hub::{BreakerConfig, HubConfig, HubStats, IngestHub, Priority, SourceHandle};
 pub use listener::{bind, IngestListener};
 pub use merge::{PushOutcome, WatermarkMerger};
 pub use source::NetSource;

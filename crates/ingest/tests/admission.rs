@@ -1,0 +1,152 @@
+//! Governor-coupled admission tests.
+//!
+//! These install the process-global [`governor`], so they run in their
+//! own test binary (integration tests get their own process) and are
+//! serialized behind a local lock: a forced Yellow/Red state would
+//! otherwise bleed into unrelated hub pushes running in parallel.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use webpuzzle_ingest::{HubConfig, IngestHub, Priority};
+use webpuzzle_obs::governor;
+use webpuzzle_weblog::{LogRecord, Method};
+
+static GOV: Mutex<()> = Mutex::new(());
+
+/// Holds the serialization lock and uninstalls the governor on drop,
+/// even if the test panics.
+struct GovGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl GovGuard {
+    fn install(cfg: governor::GovernorConfig) -> Self {
+        let guard = GOV.lock().unwrap_or_else(PoisonError::into_inner);
+        governor::install(cfg);
+        GovGuard(guard)
+    }
+}
+
+impl Drop for GovGuard {
+    fn drop(&mut self) {
+        governor::uninstall();
+    }
+}
+
+fn rec(t: f64, client: u32) -> LogRecord {
+    LogRecord::new(t, client, Method::Get, 0, 200, 0)
+}
+
+/// Force the governor to the given state via session pressure.
+/// `evaluate` walks one stage per call, so Red takes two rounds.
+fn force(sessions: u64, want: governor::PressureState) {
+    governor::set_sessions(sessions);
+    governor::evaluate();
+    if governor::state() != want {
+        governor::evaluate();
+    }
+    assert_eq!(governor::state(), want, "could not force governor state");
+}
+
+fn conservation(stats: &webpuzzle_ingest::HubStats, sent: u64) {
+    let accounted = stats.admitted
+        + stats.late_dropped
+        + stats.duplicate_dropped
+        + stats.stall_late_dropped
+        + stats.pressure_shed
+        + stats.breaker_dropped
+        + stats.shutdown_dropped;
+    assert_eq!(
+        accounted, sent,
+        "shed accounting must be conservation-exact: {stats:?}"
+    );
+}
+
+/// Under Yellow at pressure 0.75 (dyadic, so the Bresenham accumulator
+/// is float-exact), a Low source sheds exactly proportionally while a
+/// Normal source is untouched; every record is accounted somewhere.
+#[test]
+fn yellow_sheds_low_priority_proportionally() {
+    let _gov = GovGuard::install(governor::GovernorConfig {
+        session_budget: 16,
+        ..governor::GovernorConfig::default()
+    });
+    force(12, governor::PressureState::Yellow);
+
+    let h = IngestHub::new(HubConfig {
+        expected_sources: Some(2),
+        ..HubConfig::default()
+    });
+    let low = h.register_source_with("low", Priority::Low).unwrap();
+    let norm = h.register_source_with("norm", Priority::Normal).unwrap();
+    let n = 10u64;
+    let low_recs: Vec<LogRecord> = (0..n).map(|i| rec(i as f64, 1)).collect();
+    let norm_recs: Vec<LogRecord> = (0..n).map(|i| rec(i as f64 + 0.5, 2)).collect();
+    low.push_batch(&low_recs);
+    norm.push_batch(&norm_recs);
+    drop(low);
+    drop(norm);
+    while h.pop_blocking().is_some() {}
+
+    let stats = h.stats();
+    // Bresenham at 0.75/record over 10 records sheds exactly 7
+    // (floor(10 * 0.75), accumulated without float drift).
+    assert_eq!(stats.pressure_shed, 7, "{stats:?}");
+    assert_eq!(stats.admitted, 2 * n - 7);
+    conservation(&stats, 2 * n);
+}
+
+/// Red sheds all Low traffic, Normal proportionally to pressure, and
+/// High never (the engine's own hard shed is the layer above).
+#[test]
+fn red_sheds_all_low_and_normal_proportionally_but_never_high() {
+    let _gov = GovGuard::install(governor::GovernorConfig {
+        session_budget: 16,
+        ..governor::GovernorConfig::default()
+    });
+    // 15/16 = 0.9375: above red_enter and float-exact under repeated
+    // accumulation.
+    force(15, governor::PressureState::Red);
+
+    let h = IngestHub::new(HubConfig {
+        expected_sources: Some(3),
+        ..HubConfig::default()
+    });
+    let low = h.register_source_with("low", Priority::Low).unwrap();
+    let norm = h.register_source_with("norm", Priority::Normal).unwrap();
+    let high = h.register_source_with("high", Priority::High).unwrap();
+    let n = 20u64;
+    low.push_batch(&(0..n).map(|i| rec(i as f64, 1)).collect::<Vec<_>>());
+    norm.push_batch(&(0..n).map(|i| rec(i as f64 + 0.3, 2)).collect::<Vec<_>>());
+    high.push_batch(&(0..n).map(|i| rec(i as f64 + 0.6, 3)).collect::<Vec<_>>());
+    drop(low);
+    drop(norm);
+    drop(high);
+    while h.pop_blocking().is_some() {}
+
+    let stats = h.stats();
+    // Low: all 20. Normal at pressure 0.9375: Bresenham sheds
+    // floor(20 * 0.9375) = 18 of 20. High: none.
+    assert_eq!(stats.pressure_shed, 20 + 18, "{stats:?}");
+    assert_eq!(stats.admitted, 2 + 20);
+    conservation(&stats, 3 * n);
+}
+
+/// With no governor installed (or after relaxing back to Green) the
+/// admission path sheds nothing: the fast path is untouched.
+#[test]
+fn green_or_uninstalled_sheds_nothing() {
+    let _guard = GOV.lock().unwrap_or_else(PoisonError::into_inner);
+    governor::uninstall();
+    let h = IngestHub::new(HubConfig {
+        expected_sources: Some(1),
+        ..HubConfig::default()
+    });
+    let low = h.register_source_with("low", Priority::Low).unwrap();
+    low.push_batch(&(0..50).map(|i| rec(i as f64, 1)).collect::<Vec<_>>());
+    drop(low);
+    while h.pop_blocking().is_some() {}
+    let stats = h.stats();
+    assert_eq!(stats.pressure_shed, 0);
+    assert_eq!(stats.breaker_dropped, 0);
+    assert_eq!(stats.admitted, 50);
+    conservation(&stats, 50);
+}

@@ -43,6 +43,10 @@
 //! - **SLOs** ([`slo`]): burn-rate objectives loaded from `slo.toml`,
 //!   evaluated multi-window over the history rings, publishing `slo/*`
 //!   events and a deep-health rollup served at `/healthz?deep=1`.
+//! - **Overload governor** ([`governor`]): a process-wide pressure
+//!   budget over sessionizer occupancy, ingest queue bytes, and
+//!   telemetry memory, staged Green/Yellow/Red with hysteresis,
+//!   driving priority-aware shedding and honest engine degradation.
 //!
 //! ```
 //! use webpuzzle_obs as obs;
@@ -60,6 +64,7 @@
 pub mod diagnostics;
 pub mod events;
 pub mod fidelity;
+pub mod governor;
 pub mod http;
 pub mod metrics;
 pub mod profile;
@@ -67,6 +72,7 @@ pub mod progress;
 pub mod report;
 pub mod server;
 pub mod sharded;
+pub mod shutdown;
 pub mod sink;
 pub mod slo;
 pub mod spans;
@@ -95,6 +101,7 @@ pub fn reset() {
     diagnostics::reset();
     tsdb::uninstall();
     slo::uninstall();
+    governor::uninstall();
 }
 
 /// Serializes tests that mutate process-global observability state
@@ -104,5 +111,6 @@ pub fn reset() {
 #[cfg(test)]
 pub(crate) fn global_test_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -621,10 +621,7 @@ mod tests {
             get("unit/sample_g").map(|(_, k, v)| (k, v)),
             Some((SampleKind::Gauge, (-0.25f64).to_bits()))
         );
-        assert_eq!(
-            get("unit/sample_h/count").map(|(_, _, v)| v),
-            Some(1)
-        );
+        assert_eq!(get("unit/sample_h/count").map(|(_, _, v)| v), Some(1));
         assert_eq!(get("unit/sample_h/sum").map(|(_, _, v)| v), Some(9));
     }
 

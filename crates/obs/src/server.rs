@@ -301,10 +301,7 @@ fn timeseries_response(req: &http::Request) -> (&'static str, &'static str, Stri
         // Discovery: the stored series plus the store's accounting.
         use serde::Serialize;
         let listing = Value::Object(vec![
-            (
-                "series".to_string(),
-                crate::tsdb::series_names().to_value(),
-            ),
+            ("series".to_string(), crate::tsdb::series_names().to_value()),
             ("stats".to_string(), crate::tsdb::stats().to_value()),
         ]);
         return (
@@ -663,7 +660,9 @@ mod tests {
         ];
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = move |bound: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % bound
         };
         let mut counters = Vec::new();

@@ -1,0 +1,87 @@
+//! Graceful-shutdown signal wiring, std-only.
+//!
+//! [`install`] registers SIGTERM and SIGINT handlers that do the only
+//! async-signal-safe thing worth doing: set one atomic flag. Long-
+//! running loops poll [`requested`] and wind down on their own terms —
+//! stop accepting input, drain what is buffered, write the final
+//! checkpoint and run report, exit 0. A second Ctrl-C while draining
+//! still works: the handler stays installed and the flag is already
+//! set, so the drain simply continues (kill -9 remains the escape
+//! hatch, and checkpoint rotation makes even that survivable).
+//!
+//! The handler registration goes through `signal(2)` declared directly
+//! against the platform libc — no crates, and the flag-only handler
+//! needs none of `sigaction`'s extras. On non-Unix targets [`install`]
+//! is a no-op and [`requested`] just reads the flag (tests may
+//! [`trigger`] it by hand).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::trigger();
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install() {}
+}
+
+/// Register the SIGTERM/SIGINT handlers (idempotent; call early in
+/// `main`, before threads that should observe the flag start).
+pub fn install() {
+    sys::install();
+}
+
+/// Whether a shutdown signal has arrived (or [`trigger`] was called).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Set the flag by hand — what the signal handler does, callable from
+/// tests and drills without delivering a real signal.
+pub fn trigger() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clear the flag (test isolation only; a real process never unasks
+/// for shutdown).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        reset();
+        assert!(!requested());
+        trigger();
+        assert!(requested());
+        trigger();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}

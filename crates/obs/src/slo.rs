@@ -196,10 +196,12 @@ fn parse_scalar(raw: &str, line: usize) -> Result<TomlVal, ParseError> {
         };
         return Ok(TomlVal::Str(inner.replace("\\\"", "\"")));
     }
-    raw.parse::<f64>().map(TomlVal::Num).map_err(|_| ParseError {
-        line,
-        message: format!("expected number, quoted string, or [array], got `{raw}`"),
-    })
+    raw.parse::<f64>()
+        .map(TomlVal::Num)
+        .map_err(|_| ParseError {
+            line,
+            message: format!("expected number, quoted string, or [array], got `{raw}`"),
+        })
 }
 
 #[derive(Debug)]
@@ -294,9 +296,7 @@ impl PendingObjective {
                     .limit
                     .ok_or_else(|| err(format!("[[objective]] {name} missing `limit`")))?;
                 if !limit.is_finite() {
-                    return Err(err(format!(
-                        "[[objective]] {name}: limit must be finite"
-                    )));
+                    return Err(err(format!("[[objective]] {name}: limit must be finite")));
                 }
             }
         }
@@ -310,7 +310,8 @@ impl PendingObjective {
                 )));
             }
         }
-        if !(self.fast_burn > 0.0) || !(self.slow_burn > 0.0) {
+        let positive = |b: f64| b.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if !positive(self.fast_burn) || !positive(self.slow_burn) {
             return Err(err(format!(
                 "[[objective]] {name}: burn thresholds must be > 0"
             )));
@@ -346,10 +347,7 @@ impl SloConfig {
         let mut out = SloConfig::default();
         let mut current: Option<PendingObjective> = None;
 
-        fn flush(
-            out: &mut SloConfig,
-            current: Option<PendingObjective>,
-        ) -> Result<(), ParseError> {
+        fn flush(out: &mut SloConfig, current: Option<PendingObjective>) -> Result<(), ParseError> {
             if let Some(pending) = current {
                 out.objectives.push(pending.finish()?);
             }
@@ -417,14 +415,10 @@ impl SloConfig {
                 ("limit", TomlVal::Num(n)) => pending.limit = Some(n),
                 ("objective", TomlVal::Num(n)) => pending.objective = Some(n),
                 ("min_events", TomlVal::Num(n)) => pending.min_events = n.max(0.0) as u64,
-                ("fast_short_secs", TomlVal::Num(n)) => {
-                    pending.fast_short_secs = n.max(0.0) as u64
-                }
+                ("fast_short_secs", TomlVal::Num(n)) => pending.fast_short_secs = n.max(0.0) as u64,
                 ("fast_long_secs", TomlVal::Num(n)) => pending.fast_long_secs = n.max(0.0) as u64,
                 ("fast_burn", TomlVal::Num(n)) => pending.fast_burn = n,
-                ("slow_short_secs", TomlVal::Num(n)) => {
-                    pending.slow_short_secs = n.max(0.0) as u64
-                }
+                ("slow_short_secs", TomlVal::Num(n)) => pending.slow_short_secs = n.max(0.0) as u64,
                 ("slow_long_secs", TomlVal::Num(n)) => pending.slow_long_secs = n.max(0.0) as u64,
                 ("slow_burn", TomlVal::Num(n)) => pending.slow_burn = n,
                 ("name" | "subsystem" | "kind" | "gauge", _) => return Err(type_err("a string")),
@@ -526,10 +520,7 @@ impl DeepHealth {
             "subsystem", "status", "reason"
         ));
         for s in &self.subsystems {
-            out.push_str(&format!(
-                "{:<24} {:>10}  {}\n",
-                s.name, s.status, s.reason
-            ));
+            out.push_str(&format!("{:<24} {:>10}  {}\n", s.name, s.status, s.reason));
         }
         if !self.objectives.is_empty() {
             out.push_str(&format!(
@@ -691,7 +682,8 @@ fn window_ratio(store: &Tsdb, o: &Objective, now: u64, window_ticks: u64) -> Opt
             Some(bad as f64 / total as f64)
         }
         ObjectiveKind::GaugeMax | ObjectiveKind::GaugeMin => {
-            let (frac, samples) = gauge_violation(store, &o.gauge, now, window_ticks, o.kind, o.limit)?;
+            let (frac, samples) =
+                gauge_violation(store, &o.gauge, now, window_ticks, o.kind, o.limit)?;
             // At least two samples before a gauge objective may alarm:
             // a single startup sample is not a trend.
             if samples < 2 {
@@ -744,7 +736,7 @@ pub fn evaluate_now() -> bool {
             let burn_fast = fast_short.unwrap_or(0.0);
             let burn_slow = slow_short.unwrap_or(0.0);
             match (state.active, level) {
-                (prev, Some(sev)) if prev.map_or(true, |p| sev > p) => {
+                (prev, Some(sev)) if prev.is_none_or(|p| sev > p) => {
                     state.alerts += 1;
                     let (burn, bar) = if sev == Severity::Critical {
                         (burn_fast, o.fast_burn)
@@ -764,7 +756,7 @@ pub fn evaluate_now() -> bool {
                         ),
                     ));
                 }
-                (Some(prev), lower) if lower.map_or(true, |l| l < prev) => {
+                (Some(prev), lower) if lower.is_none_or(|l| l < prev) => {
                     transitions.push((
                         Severity::Info,
                         o.name.clone(),

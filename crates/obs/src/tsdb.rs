@@ -522,11 +522,7 @@ impl Tsdb {
         let evicted_ring: u64 = self.series.values().map(|s| s.evicted).sum();
         TsdbStats {
             series: self.series.len() as u64,
-            memory_bytes: self
-                .series
-                .values()
-                .map(|s| s.memory_bytes() as u64)
-                .sum(),
+            memory_bytes: self.series.values().map(|s| s.memory_bytes() as u64).sum(),
             evicted_samples: evicted_ring,
             budget_evictions: self.evicted_budget,
             dropped_series: self.dropped_series,
@@ -691,6 +687,11 @@ pub fn sample_now() -> Option<u64> {
     if stats.evicted_samples > 0 {
         metrics::gauge("tsdb/evicted_samples").set(stats.evicted_samples as f64);
     }
+    // The telemetry store is one of the overload governor's memory
+    // inputs; the sample cadence doubles as its evaluation cadence so
+    // pressure is re-assessed even when the engine is idle.
+    crate::governor::set_memory_bytes(stats.memory_bytes);
+    crate::governor::evaluate();
     Some(tick)
 }
 
@@ -726,11 +727,7 @@ pub fn stats() -> Option<TsdbStats> {
 /// Run `f` against the global store under its lock (the SLO engine's
 /// window evaluation path). `None` when not installed.
 pub fn with_store<R>(f: impl FnOnce(&Tsdb) -> R) -> Option<R> {
-    GLOBAL
-        .lock()
-        .expect("tsdb poisoned")
-        .as_ref()
-        .map(f)
+    GLOBAL.lock().expect("tsdb poisoned").as_ref().map(f)
 }
 
 /// Handle to the background sampler thread; see [`start_sampler`].
@@ -923,7 +920,12 @@ mod tests {
         // The flat series keeps far more history than the noisy one.
         let flat = t.dense_raw("flat", 0).unwrap();
         let noisy = t.dense_raw("noisy", 0).unwrap();
-        assert!(flat.len() > noisy.len(), "{} vs {}", flat.len(), noisy.len());
+        assert!(
+            flat.len() > noisy.len(),
+            "{} vs {}",
+            flat.len(),
+            noisy.len()
+        );
     }
 
     #[test]
@@ -968,7 +970,11 @@ mod tests {
         for v in 0..12u64 {
             t.ingest(&[
                 ("c".to_string(), SampleKind::Counter, v),
-                ("g".to_string(), SampleKind::Gauge, (v as f64 * 0.5).to_bits()),
+                (
+                    "g".to_string(),
+                    SampleKind::Gauge,
+                    (v as f64 * 0.5).to_bits(),
+                ),
             ]);
         }
         let dense = t.query("c", 0, 0).unwrap();

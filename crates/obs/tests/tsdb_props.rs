@@ -191,7 +191,11 @@ fn concurrent_scrape_while_sampling_is_consistent() {
         let Some(r) = obs::tsdb::query("props/live", since, 0) else {
             continue; // first tick may not have landed yet
         };
-        assert!(r.next >= since, "cursor went backwards: {} < {since}", r.next);
+        assert!(
+            r.next >= since,
+            "cursor went backwards: {} < {since}",
+            r.next
+        );
         let mut prev_index = since;
         let mut prev_value = last_value;
         for (i, p) in r.points.iter().enumerate() {

@@ -37,7 +37,7 @@
 use std::fmt;
 use std::fs;
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::engine::{EngineState, StreamConfig};
 use crate::observatory::{
@@ -55,8 +55,12 @@ pub const MAGIC: [u8; 8] = *b"WPZCKPT\0";
 /// Current payload layout version. Version 2 added the estimator
 /// diagnostics state: the `diagnostics` config flag, the per-window fit
 /// CIs in [`WindowReport`], and the engine's inter-arrival accumulator
-/// plus accrued [`WindowDiagnostics`] rows.
-pub const VERSION: u32 = 2;
+/// plus accrued [`WindowDiagnostics`] rows. Version 3 added the
+/// overload-governor state: the sessionizer's TTL scale and
+/// early-eviction count, the engine's degradation mode / sampling /
+/// hard-shed counters and forced-checkpoint flag, and the process
+/// governor's pressure-state code.
+pub const VERSION: u32 = 3;
 /// Fixed header size: magic + version + payload length + checksum.
 pub const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
@@ -167,6 +171,11 @@ pub struct Checkpoint {
     pub transient_retries: u64,
     /// Checkpoints written so far (this one included).
     pub checkpoints_written: u64,
+    /// Process-governor pressure state at checkpoint time
+    /// ([`webpuzzle_obs::governor::PressureState::code`]). Restore
+    /// seeds the reinstalled governor with it so degradation resumes
+    /// where it stood instead of flapping through Green.
+    pub governor_state: u8,
 }
 
 // ---------------------------------------------------------------------
@@ -475,6 +484,8 @@ fn enc_sessionizer(e: &mut Enc, s: &SessionizerState) {
     e.usize(s.max_open);
     e.u64(s.shed_sessions);
     e.u64(s.shed_records);
+    e.f64(s.ttl_scale);
+    e.u64(s.early_evicted);
 }
 
 fn dec_sessionizer(d: &mut Dec) -> DecResult<SessionizerState> {
@@ -494,6 +505,8 @@ fn dec_sessionizer(d: &mut Dec) -> DecResult<SessionizerState> {
         max_open: d.usize()?,
         shed_sessions: d.u64()?,
         shed_records: d.u64()?,
+        ttl_scale: d.f64()?,
+        early_evicted: d.u64()?,
     })
 }
 
@@ -823,6 +836,10 @@ fn enc_engine(e: &mut Enc, s: &EngineState) {
     enc_welford(e, s.window_interarrival);
     e.f64(s.last_arrival);
     enc_window_diags(e, &s.diagnostics_windows);
+    e.u8(s.degradation_mode);
+    e.u64(s.sampled_out);
+    e.u64(s.hard_shed_records);
+    e.bool(s.forced_checkpoint_due);
 }
 
 fn dec_engine(d: &mut Dec) -> DecResult<EngineState> {
@@ -849,6 +866,10 @@ fn dec_engine(d: &mut Dec) -> DecResult<EngineState> {
         window_interarrival: dec_welford(d)?,
         last_arrival: d.f64()?,
         diagnostics_windows: dec_window_diags(d)?,
+        degradation_mode: d.u8()?,
+        sampled_out: d.u64()?,
+        hard_shed_records: d.u64()?,
+        forced_checkpoint_due: d.bool()?,
     })
 }
 
@@ -902,6 +923,7 @@ impl Checkpoint {
         e.u64(self.recoveries);
         e.u64(self.transient_retries);
         e.u64(self.checkpoints_written);
+        e.u8(self.governor_state);
         let payload = e.buf;
 
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -957,15 +979,20 @@ impl Checkpoint {
             recoveries: d.u64()?,
             transient_retries: d.u64()?,
             checkpoints_written: d.u64()?,
+            governor_state: d.u8()?,
         };
         d.done()?;
         Ok(ck)
     }
 
-    /// Write the checkpoint atomically: temp file in the target
-    /// directory, `sync_all`, rename over `path`, best-effort directory
-    /// fsync. A crash at any point leaves either the old checkpoint or
-    /// the new one — never a torn file under the final name.
+    /// Write the checkpoint atomically with one-deep rotation: temp
+    /// file in the target directory, `sync_all`, rename the current
+    /// checkpoint (if any) to [`Checkpoint::previous_path`], rename the
+    /// temp file over `path`, best-effort directory fsync. A crash at
+    /// any point leaves a loadable generation: either the old file
+    /// under `path`, or — in the window between the two renames — the
+    /// old file under `path.1`, which
+    /// [`Checkpoint::load_with_fallback`] finds.
     ///
     /// # Errors
     ///
@@ -979,19 +1006,36 @@ impl Checkpoint {
             file.write_all(&bytes)?;
             file.sync_all()?;
         }
+        // Keep the previous generation: if the new file turns out torn
+        // (a crash mid-rename dance, media corruption later), recovery
+        // falls back one checkpoint instead of starting from zero.
+        if path.exists() {
+            if let Err(e) = fs::rename(path, Self::previous_path(path)) {
+                let _ = fs::remove_file(&tmp);
+                return Err(e.into());
+            }
+        }
         if let Err(e) = fs::rename(&tmp, path) {
             let _ = fs::remove_file(&tmp);
             return Err(e.into());
         }
-        // Make the rename itself durable where the platform allows
-        // opening directories; failure here cannot produce a torn file,
-        // so it is not fatal.
+        // Make the renames durable where the platform allows opening
+        // directories; failure here cannot produce a torn file, so it
+        // is not fatal.
         if let Some(dir) = dir {
             if let Ok(d) = fs::File::open(dir) {
                 let _ = d.sync_all();
             }
         }
         Ok(())
+    }
+
+    /// Where [`Checkpoint::save`] parks the previous generation:
+    /// `path` with `.1` appended (`run.ckpt` → `run.ckpt.1`).
+    pub fn previous_path(path: &Path) -> PathBuf {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".1");
+        PathBuf::from(os)
     }
 
     /// Read and validate a checkpoint file.
@@ -1003,6 +1047,25 @@ impl Checkpoint {
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
         let bytes = fs::read(path)?;
         Checkpoint::decode(&bytes)
+    }
+
+    /// Read the latest checkpoint, falling back to the rotated previous
+    /// generation when the latest is missing, torn, or corrupt. Returns
+    /// the checkpoint and whether the fallback was taken (callers
+    /// should surface that — it means some progress was re-done).
+    ///
+    /// # Errors
+    ///
+    /// The *latest* generation's error when both generations fail —
+    /// that is the file the operator pointed at.
+    pub fn load_with_fallback(path: &Path) -> Result<(Self, bool), CheckpointError> {
+        match Checkpoint::load(path) {
+            Ok(ck) => Ok((ck, false)),
+            Err(latest_err) => match Checkpoint::load(&Self::previous_path(path)) {
+                Ok(ck) => Ok((ck, true)),
+                Err(_) => Err(latest_err),
+            },
+        }
     }
 }
 
@@ -1050,6 +1113,7 @@ mod tests {
             recoveries: 1,
             transient_retries: 7,
             checkpoints_written: 5,
+            governor_state: 1,
         }
     }
 
@@ -1081,6 +1145,7 @@ mod tests {
             recoveries: 0,
             transient_retries: 0,
             checkpoints_written: 0,
+            governor_state: 0,
         };
         let back = Checkpoint::decode(&ck.encode()).unwrap();
         assert_eq!(back.engine.sessionizer.watermark, f64::NEG_INFINITY);
@@ -1147,6 +1212,59 @@ mod tests {
             Checkpoint::decode(&[]),
             Err(CheckpointError::Truncated)
         ));
+    }
+
+    #[test]
+    fn rotation_keeps_the_previous_generation_and_falls_back_on_corruption() {
+        let dir = std::env::temp_dir().join("webpuzzle-ckpt-rotate-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ck");
+        let prev = Checkpoint::previous_path(&path);
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&prev);
+
+        let mut first = sample_checkpoint();
+        first.checkpoints_written = 1;
+        let mut second = sample_checkpoint();
+        second.checkpoints_written = 2;
+
+        // First save: no rotation partner yet.
+        first.save(&path).unwrap();
+        assert!(!prev.exists());
+        // Second save rotates the first out of the way.
+        second.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), second);
+        assert_eq!(Checkpoint::load(&prev).unwrap(), first);
+
+        // A clean latest never takes the fallback.
+        let (ck, fell_back) = Checkpoint::load_with_fallback(&path).unwrap();
+        assert_eq!(ck, second);
+        assert!(!fell_back);
+
+        // Kill-mid-write: tear the latest generation in half. Recovery
+        // falls back one checkpoint instead of starting over.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let (ck, fell_back) = Checkpoint::load_with_fallback(&path).unwrap();
+        assert_eq!(ck, first);
+        assert!(fell_back);
+
+        // Latest gone entirely (crash between the two renames): the
+        // rotated generation still answers.
+        fs::remove_file(&path).unwrap();
+        let (ck, fell_back) = Checkpoint::load_with_fallback(&path).unwrap();
+        assert_eq!(ck, first);
+        assert!(fell_back);
+
+        // Both generations bad: the latest generation's error wins.
+        fs::write(&prev, b"garbage").unwrap();
+        match Checkpoint::load_with_fallback(&path) {
+            Err(CheckpointError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::NotFound);
+            }
+            other => panic!("expected the latest generation's error, got {other:?}"),
+        }
+        let _ = fs::remove_file(&prev);
     }
 
     #[test]

@@ -23,9 +23,24 @@ use crate::Result;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use webpuzzle_obs::diagnostics::{DiagnosticsReport, WindowDiagnostics};
+use webpuzzle_obs::governor;
 use webpuzzle_obs::metrics;
 use webpuzzle_obs::profile::{self, Stage};
 use webpuzzle_weblog::{LogRecord, Session, DEFAULT_SESSION_THRESHOLD};
+
+/// Estimator sampling stride under governor degradation (Yellow or
+/// Red): one record in this many feeds the per-record estimators
+/// (byte moments, histograms, inter-arrival CI accumulators). Counts
+/// shrink by the same factor, so confidence intervals widen honestly —
+/// the recorded [`StreamSummary::sampling_stride`] tells readers why.
+/// Sessionization and arrival counting always see every record.
+pub const DEGRADED_SAMPLING_STRIDE: u64 = 4;
+
+/// Session-TTL scale under governor degradation (Yellow or Red): idle
+/// sessions are evicted at `threshold · scale` instead of the nominal
+/// threshold, shrinking the TTL map. Early evictions are counted in
+/// [`StreamSummary::early_evicted_sessions`].
+pub const DEGRADED_TTL_SCALE: f64 = 0.5;
 
 /// Configuration of the streaming engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -138,6 +153,19 @@ pub struct StreamSummary {
     /// ([`StreamConfig::diagnostics`]; empty rows when disabled, with
     /// `enabled: false` recorded so readers can tell off from missing).
     pub diagnostics: DiagnosticsReport,
+    /// Records refused outright under Red-state degradation (the
+    /// client had no open session, so admitting it would have grown
+    /// the TTL map). Not part of [`StreamSummary::records`].
+    pub hard_shed_records: u64,
+    /// Per-record estimator updates skipped under degraded sampling
+    /// (the records themselves were fully sessionized and counted).
+    pub sampled_out: u64,
+    /// Estimator sampling stride in effect when the summary was taken
+    /// (1 = unsampled; [`DEGRADED_SAMPLING_STRIDE`] under Yellow/Red).
+    pub sampling_stride: u64,
+    /// Sessions evicted earlier than the nominal TTL under degradation
+    /// (see [`DEGRADED_TTL_SCALE`]).
+    pub early_evicted_sessions: u64,
 }
 
 /// Complete mutable state of a [`StreamAnalyzer`], for checkpointing
@@ -200,6 +228,15 @@ pub struct EngineState {
     /// Diagnostics rows for closed windows so far (empty when
     /// [`StreamConfig::diagnostics`] is off).
     pub diagnostics_windows: Vec<WindowDiagnostics>,
+    /// Governor degradation mode the engine last observed
+    /// (0 = Green, 1 = Yellow, 2 = Red).
+    pub degradation_mode: u8,
+    /// Per-record estimator updates skipped under degraded sampling.
+    pub sampled_out: u64,
+    /// Records refused under Red-state degradation.
+    pub hard_shed_records: u64,
+    /// A forced checkpoint (Red entry) was requested but not yet taken.
+    pub forced_checkpoint_due: bool,
 }
 
 /// The one-pass analysis engine. See the crate docs for an example.
@@ -233,6 +270,10 @@ pub struct StreamAnalyzer {
     last_evict_time: f64,
     shed_synced: u64,
     shed_records_synced: u64,
+    degradation_mode: u8,
+    sampled_out: u64,
+    hard_shed_records: u64,
+    forced_checkpoint_due: bool,
     // Flight-recorder bookkeeping: cumulative per-stage totals at the
     // last window-timing event, for per-window self-time deltas. Not
     // part of EngineState — profiler data has process lifetime, like
@@ -240,6 +281,9 @@ pub struct StreamAnalyzer {
     profile_totals: [u64; profile::STAGE_COUNT],
     records_counter: Arc<webpuzzle_obs::ShardedCounter>,
     shed_counter: Arc<metrics::Counter>,
+    hard_shed_counter: Arc<metrics::Counter>,
+    sampled_out_counter: Arc<metrics::Counter>,
+    mode_gauge: Arc<metrics::Gauge>,
     bytes_counter: Arc<metrics::Counter>,
     sessions_counter: Arc<metrics::Counter>,
     windows_counter: Arc<metrics::Counter>,
@@ -297,9 +341,16 @@ impl StreamAnalyzer {
             last_evict_time: f64::NEG_INFINITY,
             shed_synced: 0,
             shed_records_synced: 0,
+            degradation_mode: 0,
+            sampled_out: 0,
+            hard_shed_records: 0,
+            forced_checkpoint_due: false,
             profile_totals: profile::stage_totals(),
             records_counter: metrics::sharded_counter("stream/records"),
             shed_counter: metrics::counter("stream/records_shed"),
+            hard_shed_counter: metrics::counter("stream/records_hard_shed"),
+            sampled_out_counter: metrics::counter("stream/estimator_samples_skipped"),
+            mode_gauge: metrics::gauge("stream/degradation_mode"),
             bytes_counter: metrics::counter("stream/bytes"),
             sessions_counter: metrics::counter("stream/sessions_completed"),
             windows_counter: metrics::counter("stream/windows_closed"),
@@ -326,19 +377,44 @@ impl StreamAnalyzer {
     /// [`webpuzzle_weblog::WeblogError::Unsorted`] on out-of-order
     /// input; estimator errors from a window that closed on this push.
     pub fn push(&mut self, record: &LogRecord) -> Result<()> {
+        // Degradation mode tracks the governor on the same 64-record
+        // cadence as the health gauges; the counter includes hard sheds
+        // so a Red engine keeps re-reading the governor and relaxes.
+        if (self.records + self.hard_shed_records).is_multiple_of(64) {
+            self.update_degradation();
+        }
+        // Red: refuse records that would open a *new* session — the
+        // one admission that grows the TTL map. Existing sessions keep
+        // absorbing, and every refusal is counted.
+        if self.degradation_mode == 2 && !self.sessionizer.is_open(record.client) {
+            self.hard_shed_records += 1;
+            self.hard_shed_counter.incr();
+            return Ok(());
+        }
         // Flight recorder: adopt the trace the source began for this
         // record, or start one iff the deterministic record index is
         // sampled. Inactive timers take no timestamps at all.
         let mut timer = profile::record_timer(self.records, record.timestamp);
         let started = self.sessionizer.push(record, &mut self.session_buf)?;
         timer.mark(Stage::Sessionize);
+        // Degraded sampling gates the per-record estimators only:
+        // totals, sessionization, and arrival windows stay exact. The
+        // stride is deterministic in the record index, so a resumed
+        // run samples identically.
+        let sampled =
+            self.degradation_mode == 0 || self.records.is_multiple_of(DEGRADED_SAMPLING_STRIDE);
         self.records += 1;
         self.bytes += record.bytes;
         self.records_counter.incr();
         self.bytes_counter.add(record.bytes);
-        self.response_bytes.push(record.bytes as f64);
-        self.bytes_hist.record(record.bytes);
-        self.live_bytes_hist.record(record.bytes);
+        if sampled {
+            self.response_bytes.push(record.bytes as f64);
+            self.bytes_hist.record(record.bytes);
+            self.live_bytes_hist.record(record.bytes);
+        } else {
+            self.sampled_out += 1;
+            self.sampled_out_counter.incr();
+        }
 
         // Window closes are rare and expensive (variance-time + the
         // Poisson battery), so while profiling they are timed on every
@@ -361,10 +437,12 @@ impl StreamAnalyzer {
         // window, so it joins the per-window accumulators *after* the
         // closed window was observed (the boundary-spanning
         // inter-arrival gap is charged to the new window).
-        self.window_bytes.push(record.bytes as f64);
-        if self.last_arrival.is_finite() {
-            self.window_interarrival
-                .push(record.timestamp - self.last_arrival);
+        if sampled {
+            self.window_bytes.push(record.bytes as f64);
+            if self.last_arrival.is_finite() {
+                self.window_interarrival
+                    .push(record.timestamp - self.last_arrival);
+            }
         }
         self.last_arrival = record.timestamp;
         if started {
@@ -472,6 +550,14 @@ impl StreamAnalyzer {
             shed_sessions: self.sessionizer.shed_sessions(),
             shed_records: self.sessionizer.shed_records(),
             diagnostics: self.diagnostics_report(),
+            hard_shed_records: self.hard_shed_records,
+            sampled_out: self.sampled_out,
+            sampling_stride: if self.degradation_mode >= 1 {
+                DEGRADED_SAMPLING_STRIDE
+            } else {
+                1
+            },
+            early_evicted_sessions: self.sessionizer.early_evicted(),
         }
     }
 
@@ -524,6 +610,10 @@ impl StreamAnalyzer {
             window_interarrival: self.window_interarrival.raw_parts(),
             last_arrival: self.last_arrival,
             diagnostics_windows: self.diagnostics_windows.clone(),
+            degradation_mode: self.degradation_mode,
+            sampled_out: self.sampled_out,
+            hard_shed_records: self.hard_shed_records,
+            forced_checkpoint_due: self.forced_checkpoint_due,
         }
     }
 
@@ -585,6 +675,13 @@ impl StreamAnalyzer {
         engine.diagnostics_windows = state.diagnostics_windows.clone();
         engine.shed_synced = engine.sessionizer.shed_sessions();
         engine.shed_records_synced = engine.sessionizer.shed_records();
+        engine.degradation_mode = state.degradation_mode;
+        engine.sampled_out = state.sampled_out;
+        engine.hard_shed_records = state.hard_shed_records;
+        engine.forced_checkpoint_due = state.forced_checkpoint_due;
+        // Re-apply the restored mode (gauge + TTL scale); the restore
+        // path never re-forces a checkpoint the flag doesn't carry.
+        engine.apply_degradation(false);
         Ok(engine)
     }
 
@@ -725,6 +822,58 @@ impl StreamAnalyzer {
         ));
     }
 
+    /// Re-read the process governor (when one is installed) and apply
+    /// any stage change. Called on the 64-record cadence, so a mode is
+    /// stable between cadence boundaries and a resumed run — which
+    /// restores the mode and the counters the cadence is computed
+    /// from — re-applies it at the same record indexes.
+    fn update_degradation(&mut self) {
+        if !governor::is_installed() {
+            return;
+        }
+        let mode = governor::state().code();
+        if mode != self.degradation_mode {
+            self.degradation_mode = mode;
+            self.apply_degradation(true);
+        }
+    }
+
+    /// Wire the current mode into the sessionizer and gauges. `entered`
+    /// distinguishes a live transition (Red entry forces a checkpoint)
+    /// from a restore re-applying saved state.
+    fn apply_degradation(&mut self, entered: bool) {
+        let scale = if self.degradation_mode >= 1 {
+            DEGRADED_TTL_SCALE
+        } else {
+            1.0
+        };
+        self.sessionizer.set_ttl_scale(scale);
+        if entered && self.degradation_mode == 2 {
+            self.forced_checkpoint_due = true;
+        }
+        self.mode_gauge.set(self.degradation_mode as f64);
+    }
+
+    /// True once after the engine enters Red — the supervisor's cue to
+    /// write an immediate checkpoint. Reading clears the flag (it is
+    /// checkpointed, so a crash between Red entry and the forced write
+    /// re-arms on restore).
+    pub fn take_forced_checkpoint(&mut self) -> bool {
+        std::mem::take(&mut self.forced_checkpoint_due)
+    }
+
+    /// Governor degradation mode the engine is currently applying
+    /// (0 = Green, 1 = Yellow, 2 = Red).
+    pub fn degradation_mode(&self) -> u8 {
+        self.degradation_mode
+    }
+
+    #[cfg(test)]
+    pub(crate) fn force_mode(&mut self, mode: u8) {
+        self.degradation_mode = mode;
+        self.apply_degradation(true);
+    }
+
     /// Refresh the pipeline-health gauges: TTL-map occupancy, eviction
     /// staleness relative to the watermark, and the eviction rate over
     /// the stretch since sessions last left the map.
@@ -736,6 +885,11 @@ impl StreamAnalyzer {
         let open = self.sessionizer.open_sessions() as f64;
         self.open_gauge.set(open);
         self.occupancy_gauge.set(open);
+        // Session occupancy is one of the governor's budget inputs;
+        // evaluate here too so a hub-less binary (stream-analyze)
+        // still walks the stage machine on the health-gauge cadence.
+        governor::set_sessions(self.sessionizer.open_sessions() as u64);
+        governor::evaluate();
         self.peak_gauge
             .set(self.sessionizer.peak_open_sessions() as f64);
         let sweep = self.sessionizer.last_sweep();
@@ -1067,6 +1221,78 @@ mod tests {
         // belongs to exactly one completed session.
         let total_requests = summary.session_requests.mean * summary.session_requests.count as f64;
         assert!((total_requests - 2_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn yellow_sampling_widens_counts_honestly_and_round_trips() {
+        let records: Vec<LogRecord> = (0..2_000)
+            .map(|i| {
+                record(
+                    i as f64 * 0.9,
+                    (i % 61) as u32,
+                    100 + (i * 17) as u64 % 4_000,
+                )
+            })
+            .collect();
+        let run = |split: Option<usize>| {
+            let mut engine = StreamAnalyzer::new(small_config()).unwrap();
+            engine.force_mode(1);
+            let split = split.unwrap_or(records.len());
+            for r in &records[..split] {
+                engine.push(r).unwrap();
+            }
+            if split < records.len() {
+                let state = engine.export_state();
+                engine = StreamAnalyzer::restore(small_config(), &state).unwrap();
+                assert_eq!(engine.export_state(), state);
+                for r in &records[split..] {
+                    engine.push(r).unwrap();
+                }
+            }
+            engine.finish().unwrap()
+        };
+        let whole = run(None);
+        // 1-in-4 sampling: the estimator count shrinks by the stride,
+        // every skip is counted, totals stay exact.
+        assert_eq!(whole.sampling_stride, DEGRADED_SAMPLING_STRIDE);
+        assert_eq!(whole.sampled_out, 1_500);
+        assert_eq!(whole.response_bytes.count, 500);
+        assert_eq!(whole.records, 2_000);
+        assert_eq!(
+            whole.bytes,
+            records.iter().map(|r| r.bytes).sum::<u64>(),
+            "byte totals are never sampled"
+        );
+        // The stride is deterministic in the record index, so a
+        // kill-and-resume run reproduces the summary bit for bit.
+        let resumed = run(Some(777));
+        assert_eq!(resumed, whole);
+    }
+
+    #[test]
+    fn red_hard_sheds_new_sessions_but_feeds_open_ones() {
+        let mut engine = StreamAnalyzer::new(small_config()).unwrap();
+        // Open sessions for clients 0..5 while Green.
+        for i in 0..5u32 {
+            engine.push(&record(i as f64, i, 64)).unwrap();
+        }
+        engine.force_mode(2);
+        assert!(
+            engine.take_forced_checkpoint(),
+            "Red entry forces a checkpoint"
+        );
+        assert!(!engine.take_forced_checkpoint(), "the flag reads once");
+        // Known clients keep absorbing; strangers are refused, counted.
+        for i in 0..20u32 {
+            engine.push(&record(10.0 + i as f64, i % 10, 64)).unwrap();
+        }
+        let summary = engine.finish().unwrap();
+        assert_eq!(
+            summary.hard_shed_records, 10,
+            "clients 5..10 refused twice each"
+        );
+        assert_eq!(summary.records, 5 + 10);
+        assert_eq!(summary.sessions, 5, "no new sessions under Red");
     }
 
     #[test]

@@ -42,6 +42,9 @@
 //!   that classifies failures, retries transients with backoff, skips
 //!   poison under lenient, and restores from the last checkpoint when
 //!   the engine panics.
+//! * [`watchdog`] — [`Watchdog`]: per-stage stall detection; stages
+//!   beat on progress, silence past a deadline publishes a `Critical`
+//!   event for the supervising loop to escalate on.
 //!
 //! Total memory is `O(open sessions + window bins + window arrivals +
 //! top-k)` — independent of log length. See DESIGN.md §9 for the
@@ -76,6 +79,7 @@ pub mod pipeline;
 pub mod reader;
 pub mod sessionizer;
 pub mod supervisor;
+pub mod watchdog;
 pub mod window;
 
 pub use checkpoint::{Checkpoint, CheckpointError, SourcePosition};
@@ -94,6 +98,7 @@ pub use supervisor::{
     classify, ErrorClass, RecordCallback, RecoverableSource, Supervisor, SupervisorConfig,
     SupervisorReport,
 };
+pub use watchdog::{StageHandle, Watchdog, WatchdogConfig};
 pub use window::{ArrivalsState, WindowConfig, WindowReport, WindowedArrivals};
 
 use std::error::Error;

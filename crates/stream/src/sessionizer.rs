@@ -65,6 +65,8 @@ pub struct StreamSessionizer {
     max_open: usize,
     shed_sessions: u64,
     shed_records: u64,
+    ttl_scale: f64,
+    early_evicted: u64,
 }
 
 /// Complete mutable state of a [`StreamSessionizer`], for checkpointing.
@@ -94,6 +96,11 @@ pub struct SessionizerState {
     pub shed_sessions: u64,
     /// Records inside sessions that were shed.
     pub shed_records: u64,
+    /// Eviction-deadline scale (1.0 = nominal TTL; < 1.0 under
+    /// governor degradation).
+    pub ttl_scale: f64,
+    /// Sessions evicted earlier than the nominal TTL would have.
+    pub early_evicted: u64,
 }
 
 impl StreamSessionizer {
@@ -124,6 +131,8 @@ impl StreamSessionizer {
             max_open: 0,
             shed_sessions: 0,
             shed_records: 0,
+            ttl_scale: 1.0,
+            early_evicted: 0,
         })
     }
 
@@ -239,16 +248,25 @@ impl StreamSessionizer {
     }
 
     /// Evict every open session whose TTL elapsed: the watermark passed
-    /// `end + threshold`, so no future record can extend it. Eviction
-    /// order is made deterministic by sorting the evicted batch.
+    /// `end + threshold · ttl_scale`, so at the nominal scale of 1.0 no
+    /// future record can extend it. Under governor degradation the
+    /// scale drops below 1.0 and idle sessions are evicted early —
+    /// truncated honestly and counted, exactly like cap sheds (a
+    /// returning client starts a fresh session). Eviction order is made
+    /// deterministic by sorting the evicted batch.
     fn sweep(&mut self, out: &mut Vec<Session>) {
-        let deadline = self.watermark - self.threshold;
+        let deadline = self.watermark - self.threshold * self.ttl_scale;
         if self.open.is_empty() || deadline == f64::NEG_INFINITY {
             return;
         }
+        let nominal_deadline = self.watermark - self.threshold;
         let before = out.len();
+        let mut early = 0u64;
         self.open.retain(|_, session| {
             if session.end <= deadline {
+                if session.end > nominal_deadline {
+                    early += 1;
+                }
                 out.push(*session);
                 false
             } else {
@@ -257,6 +275,7 @@ impl StreamSessionizer {
         });
         sort_batch(&mut out[before..]);
         self.emitted += (out.len() - before) as u64;
+        self.early_evicted += early;
     }
 
     /// Flush every still-open session at end-of-stream, sorted by
@@ -319,6 +338,38 @@ impl StreamSessionizer {
         self.max_open
     }
 
+    /// Scale the eviction deadline: `scale < 1.0` tightens the
+    /// effective session TTL to `threshold · scale` (the governor's
+    /// Yellow-state degradation), `1.0` restores nominal behavior. The
+    /// gap rule is untouched — an early-evicted client that returns
+    /// simply starts a fresh session, so every record still lands in
+    /// exactly one emitted session. Clamped to `(0, 1]`.
+    pub fn set_ttl_scale(&mut self, scale: f64) {
+        self.ttl_scale = if scale.is_finite() {
+            scale.clamp(f64::MIN_POSITIVE, 1.0)
+        } else {
+            1.0
+        };
+    }
+
+    /// The current eviction-deadline scale.
+    pub fn ttl_scale(&self) -> f64 {
+        self.ttl_scale
+    }
+
+    /// Sessions evicted earlier than the nominal TTL would have
+    /// (non-zero only after running with `ttl_scale < 1.0`).
+    pub fn early_evicted(&self) -> u64 {
+        self.early_evicted
+    }
+
+    /// Whether `client` currently has an open session (the Red-state
+    /// hard-shed check: existing sessions keep absorbing, new ones are
+    /// refused upstream).
+    pub fn is_open(&self, client: u32) -> bool {
+        self.open.contains_key(&client)
+    }
+
     /// Snapshot the complete mutable state for a checkpoint.
     pub fn export_state(&self) -> SessionizerState {
         let mut open: Vec<Session> = self.open.values().copied().collect();
@@ -335,6 +386,8 @@ impl StreamSessionizer {
             max_open: self.max_open,
             shed_sessions: self.shed_sessions,
             shed_records: self.shed_records,
+            ttl_scale: self.ttl_scale,
+            early_evicted: self.early_evicted,
         }
     }
 
@@ -361,6 +414,8 @@ impl StreamSessionizer {
         s.max_open = state.max_open;
         s.shed_sessions = state.shed_sessions;
         s.shed_records = state.shed_records;
+        s.ttl_scale = state.ttl_scale;
+        s.early_evicted = state.early_evicted;
         Ok(s)
     }
 }
@@ -545,6 +600,32 @@ mod tests {
             1800.0,
         );
         assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn tightened_ttl_evicts_early_and_counts_and_conserves() {
+        let mut s = StreamSessionizer::new(1800.0)
+            .unwrap()
+            .with_sweep_interval(0.0);
+        let mut out = Vec::new();
+        s.push(&rec(0.0, 1, 1), &mut out).unwrap();
+        s.set_ttl_scale(0.5);
+        // Watermark 1000: client 1 idle for 1000 s ≥ 900 s scaled TTL
+        // but < 1800 s nominal — evicted early, counted.
+        s.push(&rec(1000.0, 2, 1), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].client, 1);
+        assert_eq!(s.early_evicted(), 1);
+        // Client 1 returns within the nominal threshold: a fresh
+        // session starts (gap rule untouched), the record is not lost.
+        assert!(s.push(&rec(1500.0, 1, 1), &mut out).unwrap());
+        // Back to nominal: no further early evictions.
+        s.set_ttl_scale(1.0);
+        s.push(&rec(2000.0, 3, 1), &mut out).unwrap();
+        assert_eq!(s.early_evicted(), 1);
+        s.finish(&mut out);
+        let total: u64 = out.iter().map(|sess| sess.request_count as u64).sum();
+        assert_eq!(total, 4);
     }
 
     #[test]

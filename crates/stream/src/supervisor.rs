@@ -43,7 +43,7 @@ use crate::engine::{StreamAnalyzer, StreamConfig, StreamSummary};
 use crate::pipeline::Source;
 use crate::{Result, StreamError};
 use webpuzzle_obs::events::{self, Event, Severity};
-use webpuzzle_obs::metrics;
+use webpuzzle_obs::{governor, metrics};
 use webpuzzle_weblog::{LogRecord, MalformedBreakdown, MalformedKind, WeblogError};
 
 /// A [`Source`] of log records that can report where it stands and be
@@ -102,6 +102,12 @@ pub struct SupervisorConfig {
     pub backoff_cap_ms: u64,
     /// Seed for the deterministic retry jitter.
     pub jitter_seed: u64,
+    /// Total time the run may spend in transient-retry backoff before
+    /// it is declared fatal, seconds (0 = unlimited). Cumulative across
+    /// the whole run, not per streak: a source that flaps forever fails
+    /// here even though no single streak ever exceeds
+    /// [`SupervisorConfig::max_transient_retries`].
+    pub max_retry_elapsed_secs: u64,
     /// Engine restarts (panic recoveries) tolerated before giving up.
     pub max_restores: u32,
     /// Where to write checkpoints; `None` disables checkpointing.
@@ -120,6 +126,7 @@ impl Default for SupervisorConfig {
             backoff_base_ms: 10,
             backoff_cap_ms: 1_000,
             jitter_seed: 0x5EED,
+            max_retry_elapsed_secs: 300,
             max_restores: 3,
             checkpoint_path: None,
             checkpoint_every_records: 0,
@@ -169,6 +176,9 @@ struct RunState {
     poison: MalformedBreakdown,
     transient_retries: u64,
     total_transients: u64,
+    /// Backoff time accumulated across the whole run, charged against
+    /// [`SupervisorConfig::max_retry_elapsed_secs`].
+    retry_slept: Duration,
     checkpoints_written: u64,
     last_checkpoint: Option<Checkpoint>,
     last_checkpoint_at: Instant,
@@ -259,11 +269,16 @@ where
                 // Never reuse an event sequence a previous incarnation
                 // already published under.
                 events::resume_from(ck.events_seq);
+                // Resume in the degradation stage the killed process
+                // was in, not Green — re-admitting a flood it had
+                // already shed would flap the whole pipeline.
+                governor::restore_state(ck.governor_state);
                 state = RunState {
                     recoveries: ck.recoveries,
                     poison: ck.poison,
                     transient_retries: ck.transient_retries,
                     total_transients: ck.transient_retries,
+                    retry_slept: Duration::ZERO,
                     checkpoints_written: ck.checkpoints_written,
                     last_checkpoint_at: Instant::now(),
                     last_checkpoint: Some(ck),
@@ -277,6 +292,7 @@ where
                     poison: MalformedBreakdown::default(),
                     transient_retries: 0,
                     total_transients: 0,
+                    retry_slept: Duration::ZERO,
                     checkpoints_written: 0,
                     last_checkpoint: None,
                     last_checkpoint_at: Instant::now(),
@@ -338,6 +354,7 @@ where
                             engine = StreamAnalyzer::restore(ck.config.clone(), &ck.engine)?;
                             position = ck.source;
                             events::resume_from(ck.events_seq);
+                            governor::restore_state(ck.governor_state);
                             // Work after the checkpoint is replayed, so
                             // its per-record tallies roll back with it.
                             state.poison = ck.poison;
@@ -406,6 +423,19 @@ where
                             ))));
                         }
                         let delay = self.backoff_delay(consecutive_transients, state);
+                        // Charge the budget before sleeping: at the
+                        // boundary the run fails instead of paying for
+                        // one more sleep it no longer has.
+                        state.retry_slept = state.retry_slept.saturating_add(delay);
+                        if self.retry_budget_exhausted(state) {
+                            return Err(StreamError::Io(std::io::Error::other(format!(
+                                "transient-retry backoff budget exhausted: \
+                                 {:.1}s accumulated (max_retry_elapsed_secs = {}); \
+                                 last error: {e}",
+                                state.retry_slept.as_secs_f64(),
+                                self.cfg.max_retry_elapsed_secs
+                            ))));
+                        }
                         if !delay.is_zero() {
                             std::thread::sleep(delay);
                         }
@@ -451,7 +481,15 @@ where
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x ^= x >> 31;
         let jitter = x % base.max(1);
-        Duration::from_millis(exp + jitter)
+        Duration::from_millis(exp.saturating_add(jitter))
+    }
+
+    /// Whether accumulated backoff time has crossed the elapsed-retry
+    /// budget. `>=` on purpose: a budget of N seconds buys strictly
+    /// less than N seconds of sleeping.
+    fn retry_budget_exhausted(&self, state: &RunState) -> bool {
+        self.cfg.max_retry_elapsed_secs > 0
+            && state.retry_slept >= Duration::from_secs(self.cfg.max_retry_elapsed_secs)
     }
 
     /// Take a checkpoint if either cadence is due.
@@ -468,7 +506,11 @@ where
             && records.is_multiple_of(self.cfg.checkpoint_every_records);
         let due_secs = self.cfg.checkpoint_every_secs > 0
             && state.last_checkpoint_at.elapsed().as_secs() >= self.cfg.checkpoint_every_secs;
-        if due_records || due_secs {
+        // A Red transition demands durability now, off any cadence: if
+        // the process dies under the overload that caused it, the
+        // restart must not replay the flood from the last checkpoint.
+        let forced = engine.take_forced_checkpoint();
+        if due_records || due_secs || forced {
             let position = source.position();
             self.checkpoint(engine, position, state);
         }
@@ -510,6 +552,7 @@ where
             recoveries: state.recoveries,
             transient_retries: state.transient_retries,
             checkpoints_written: state.checkpoints_written + 1,
+            governor_state: governor::state().code(),
         };
         let t0 = webpuzzle_obs::profile::is_enabled().then(Instant::now);
         let saved = ck.save(&path);
@@ -610,6 +653,7 @@ mod tests {
             poison: MalformedBreakdown::default(),
             transient_retries: 0,
             total_transients: 0,
+            retry_slept: Duration::ZERO,
             checkpoints_written: 0,
             last_checkpoint: None,
             last_checkpoint_at: Instant::now(),
@@ -632,5 +676,77 @@ mod tests {
                 unreachable!("factory unused in this test")
             });
         assert_eq!(sup.backoff_delay(7, &state), Duration::ZERO);
+    }
+
+    fn idle_state() -> RunState {
+        RunState {
+            recoveries: 0,
+            poison: MalformedBreakdown::default(),
+            transient_retries: 0,
+            total_transients: 0,
+            retry_slept: Duration::ZERO,
+            checkpoints_written: 0,
+            last_checkpoint: None,
+            last_checkpoint_at: Instant::now(),
+        }
+    }
+
+    type TestSource = crate::ClfSource<&'static [u8]>;
+
+    fn sup_with(
+        cfg: SupervisorConfig,
+    ) -> Supervisor<TestSource, impl FnMut(&SourcePosition) -> Result<TestSource>> {
+        Supervisor::new(StreamConfig::default(), cfg, |_pos: &SourcePosition| {
+            unreachable!("factory unused in this test")
+        })
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // Pathological tuning must clamp, not wrap or panic: u64::MAX
+        // base with the cap wide open, at an attempt count far past the
+        // shift clamp.
+        let sup = sup_with(SupervisorConfig {
+            backoff_base_ms: u64::MAX,
+            backoff_cap_ms: u64::MAX,
+            ..SupervisorConfig::default()
+        });
+        let state = idle_state();
+        let d = sup.backoff_delay(u32::MAX, &state);
+        assert!(d >= Duration::from_millis(u64::MAX - 1));
+        // The exponent shift is clamped, so attempts past the clamp all
+        // produce the same delay.
+        let sup = sup_with(SupervisorConfig {
+            backoff_base_ms: 10,
+            backoff_cap_ms: u64::MAX,
+            ..SupervisorConfig::default()
+        });
+        assert_eq!(
+            sup.backoff_delay(17, &state),
+            sup.backoff_delay(400, &state)
+        );
+    }
+
+    #[test]
+    fn retry_budget_boundary_is_exact() {
+        let sup = sup_with(SupervisorConfig {
+            max_retry_elapsed_secs: 2,
+            ..SupervisorConfig::default()
+        });
+        let mut state = idle_state();
+        // One nanosecond under budget: still allowed.
+        state.retry_slept = Duration::from_secs(2) - Duration::from_nanos(1);
+        assert!(!sup.retry_budget_exhausted(&state));
+        // Exactly at budget: exhausted (the budget buys strictly less
+        // than N seconds of sleeping).
+        state.retry_slept = Duration::from_secs(2);
+        assert!(sup.retry_budget_exhausted(&state));
+        // Zero disables the budget entirely.
+        let unlimited = sup_with(SupervisorConfig {
+            max_retry_elapsed_secs: 0,
+            ..SupervisorConfig::default()
+        });
+        state.retry_slept = Duration::from_secs(1 << 40);
+        assert!(!unlimited.retry_budget_exhausted(&state));
     }
 }

@@ -193,6 +193,7 @@ fn profiler_resets_on_resume_but_sampling_grid_continues() {
         recoveries: 0,
         transient_retries: 0,
         checkpoints_written: 1,
+        governor_state: 0,
     };
     ck.save(&path).expect("save checkpoint");
     let ck = Checkpoint::load(&path).expect("load checkpoint");

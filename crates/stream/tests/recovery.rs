@@ -252,6 +252,140 @@ fn process_style_kill_then_resume_from_disk() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Kill-and-resume equivalence while the overload governor is actively
+/// degrading the engine: the checkpoint must capture the governor
+/// stage and the degradation counters, and a fresh "process" (fresh
+/// governor install, stage reset to Green) resuming from it must
+/// reproduce the uninterrupted degraded summary exactly.
+#[test]
+fn degraded_run_resumes_with_its_governor_stage_intact() {
+    use webpuzzle_obs::governor;
+    let _guard = GLOBALS.lock().unwrap();
+    // 97 concurrently-open sessions against a budget of 80: Yellow at
+    // the first health tick (64 open), Red from the second (97 open),
+    // Green again only across the 200 s gap's mass eviction.
+    let gov = || governor::GovernorConfig {
+        session_budget: 80,
+        ..governor::GovernorConfig::default()
+    };
+    let records = Arc::new(workload());
+    governor::install(gov());
+    let expected = uninterrupted_summary(&records);
+    assert!(
+        expected.sampled_out > 0,
+        "the reference run must actually degrade: {expected:?}"
+    );
+
+    // First incarnation: degraded, checkpointing, killed hard at 1500.
+    governor::install(gov());
+    let path = temp_checkpoint("ck-governor.bin");
+    let prev = Checkpoint::previous_path(&path);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&prev);
+    let spec = FaultSpec {
+        crash_at: Some(1_500),
+        ..FaultSpec::default()
+    };
+    let cfg = SupervisorConfig {
+        backoff_base_ms: 0,
+        checkpoint_path: Some(path.clone()),
+        checkpoint_every_records: 400,
+        max_restores: 0,
+        ..SupervisorConfig::default()
+    };
+    supervised_run(Arc::clone(&records), spec, cfg).expect_err("must die");
+
+    // The snapshot carries the stage the process died in.
+    let ck = Checkpoint::load(&path).expect("checkpoint survives");
+    assert_eq!(ck.engine.records + ck.engine.hard_shed_records, 1_200);
+    assert_eq!(ck.governor_state, 2, "killed while Red");
+    assert!(ck.engine.sampled_out > 0, "degradation counters captured");
+
+    // Second incarnation: a fresh install resets the stage to Green;
+    // the resume must restore Red from the checkpoint, not re-admit.
+    governor::install(gov());
+    assert_eq!(governor::state(), governor::PressureState::Green);
+    let records2 = Arc::clone(&records);
+    let factory =
+        move |pos: &SourcePosition| Ok(VecSource::at(Arc::clone(&records2), pos.parsed as usize));
+    let cfg = SupervisorConfig {
+        backoff_base_ms: 0,
+        checkpoint_path: Some(path.clone()),
+        checkpoint_every_records: 400,
+        ..SupervisorConfig::default()
+    };
+    let report = Supervisor::new(small_config(), cfg, factory)
+        .with_resume(ck)
+        .run()
+        .expect("resumed degraded run");
+    assert_eq!(
+        report.summary, expected,
+        "degraded resume must reproduce the degraded run"
+    );
+    governor::uninstall();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&prev);
+}
+
+#[test]
+fn kill_mid_checkpoint_write_resumes_from_the_previous_generation() {
+    let _guard = GLOBALS.lock().unwrap();
+    let records = Arc::new(workload());
+    let expected = uninterrupted_summary(&records);
+    let path = temp_checkpoint("ck-torn.bin");
+    let prev = Checkpoint::previous_path(&path);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&prev);
+
+    // First incarnation: checkpoints at 400/800/1200, killed hard at
+    // 1500 (no restores allowed, as with SIGKILL).
+    let spec = FaultSpec {
+        crash_at: Some(1_500),
+        ..FaultSpec::default()
+    };
+    let cfg = SupervisorConfig {
+        backoff_base_ms: 0,
+        checkpoint_path: Some(path.clone()),
+        checkpoint_every_records: 400,
+        max_restores: 0,
+        ..SupervisorConfig::default()
+    };
+    supervised_run(Arc::clone(&records), spec, cfg).expect_err("must die");
+
+    // The kill landed mid-checkpoint-write: the latest generation is
+    // torn on disk. Rotation kept the one before it.
+    let latest = std::fs::read(&path).expect("latest checkpoint bytes");
+    std::fs::write(&path, &latest[..latest.len() / 2]).expect("tear latest");
+    assert!(Checkpoint::load(&path).is_err(), "torn file must not load");
+
+    let (ck, fell_back) = Checkpoint::load_with_fallback(&path).expect("fallback generation");
+    assert!(fell_back, "must report the fallback");
+    assert_eq!(ck.engine.records, 800, "one full generation behind");
+
+    // Second incarnation resumes from the older snapshot and still
+    // reproduces the uninterrupted run exactly.
+    let records2 = Arc::clone(&records);
+    let factory =
+        move |pos: &SourcePosition| Ok(VecSource::at(Arc::clone(&records2), pos.parsed as usize));
+    let cfg = SupervisorConfig {
+        backoff_base_ms: 0,
+        checkpoint_path: Some(path.clone()),
+        checkpoint_every_records: 400,
+        ..SupervisorConfig::default()
+    };
+    let report = Supervisor::new(small_config(), cfg, factory)
+        .with_resume(ck)
+        .run()
+        .expect("resumed run");
+    assert_eq!(report.resumed_from_records, Some(800));
+    assert_eq!(
+        report.summary, expected,
+        "fallback resume must reproduce the run"
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&prev);
+}
+
 #[test]
 fn corrupted_and_truncated_checkpoints_are_refused() {
     let _guard = GLOBALS.lock().unwrap();
